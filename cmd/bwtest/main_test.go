@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestBwtestPaperParameters(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-s", "19-ffaa:0:1303", "-cs", "3,64,?,12Mbps"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	for _, want := range []string{"bwtest to 19-ffaa:0:1303", "CS (", "SC (", "achieved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBwtestMTUAndSeparateSC(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-s", "13", "-cs", "3,MTU,?,150Mbps", "-sc", "3,64,?,12Mbps"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "1472") {
+		t.Errorf("MTU not resolved:\n%s", out)
+	}
+}
+
+func TestBwtestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-s", "zz"},
+		{"-s", "1", "-cs", "bogus"},
+		{"-s", "1", "-cs", "3,64,?,12Mbps", "-sc", "bogus"},
+		{"-s", "1", "-sequence", "%%"},
+	} {
+		if _, code := capture(t, func() int { return run(args) }); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

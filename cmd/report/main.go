@@ -1,0 +1,175 @@
+// Command report regenerates the paper's figures and tables (Fig 4-9 plus
+// the in-text reachability numbers) from fresh simulated campaigns and
+// prints them as text plots.
+//
+// Usage:
+//
+//	report -fig all
+//	report -fig 5 -scale paper -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/upin/scionpath/internal/cliutil"
+	"github.com/upin/scionpath/internal/experiments"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "which figure: 4,5,6,7,8,9,campaign,correlation,tables or all")
+		scaleStr = fs.String("scale", "fast", "measurement effort: fast | paper")
+		outDir   = fs.String("o", "", "also write each figure to <dir>/<name>.txt")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "%v", err)
+		}
+	}
+	emit := func(name, rendered string) {
+		fmt.Println(rendered)
+		if *outDir == "" {
+			return
+		}
+		path := filepath.Join(*outDir, name+".txt")
+		if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "report: writing %s: %v\n", path, err)
+		}
+	}
+	scale := experiments.Fast
+	switch strings.ToLower(*scaleStr) {
+	case "fast":
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		return cliutil.Fatalf(os.Stderr, "report", "unknown scale %q", *scaleStr)
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	newEnv := func() *experiments.Env {
+		env, err := experiments.NewEnv(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		return env
+	}
+
+	if all || want["4"] {
+		res, err := experiments.Fig4(newEnv())
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "fig 4: %v", err)
+		}
+		emit("fig4", res.Rendered)
+		ran++
+	}
+	if all || want["5"] || want["6"] {
+		env := newEnv()
+		if all || want["5"] {
+			res, err := experiments.Fig5(env, scale)
+			if err != nil {
+				return cliutil.Fatalf(os.Stderr, "report", "fig 5: %v", err)
+			}
+			emit("fig5", res.Rendered)
+			for _, layer := range []experiments.LatencyLayer{
+				experiments.LayerEurope, experiments.LayerOhio, experiments.LayerSingapore,
+			} {
+				s := res.LayerSummary[layer]
+				fmt.Printf("  layer %-9s %s\n", layer, s)
+			}
+			fmt.Println()
+			ran++
+		}
+		if all || want["6"] {
+			// Fig 6 reuses the campaign Fig 5 stored in the same env.
+			res, err := experiments.Fig6(env, scale)
+			if err != nil {
+				return cliutil.Fatalf(os.Stderr, "report", "fig 6: %v", err)
+			}
+			emit("fig6", res.Rendered)
+			ran++
+		}
+	}
+	if all || want["7"] {
+		res, err := experiments.Fig7(newEnv(), scale)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "fig 7: %v", err)
+		}
+		emit("fig7", res.Rendered)
+		fmt.Printf("  means (Mbps): 64B up %.1f down %.1f | MTU up %.1f down %.1f\n\n",
+			res.Mean64Up/1e6, res.Mean64Down/1e6, res.MeanMTUUp/1e6, res.MeanMTUDown/1e6)
+		ran++
+	}
+	if all || want["8"] {
+		res, err := experiments.Fig8(newEnv(), scale)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "fig 8: %v", err)
+		}
+		emit("fig8", res.Rendered)
+		fmt.Printf("  means (Mbps): 64B up %.1f down %.1f | MTU up %.1f down %.1f\n\n",
+			res.Mean64Up/1e6, res.Mean64Down/1e6, res.MeanMTUUp/1e6, res.MeanMTUDown/1e6)
+		ran++
+	}
+	if all || want["9"] {
+		res, err := experiments.Fig9(newEnv(), scale)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "fig 9: %v", err)
+		}
+		emit("fig9", res.Rendered)
+		fmt.Printf("  full-loss paths: %v (shared first-half transits: %v)\n\n",
+			res.FullLossPaths, res.SharedFirstHalf)
+		ran++
+	}
+	if all || want["campaign"] {
+		res, err := experiments.FullCampaign(newEnv(), scale)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "campaign: %v", err)
+		}
+		emit("campaign", res.Rendered)
+		ran++
+	}
+	if all || want["correlation"] {
+		res, err := experiments.Correlation(newEnv(), scale, nil)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "correlation: %v", err)
+		}
+		emit("correlation", res.Rendered)
+		ran++
+	}
+	if all || want["tables"] {
+		tab, err := experiments.TableReachability(newEnv())
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "tables: %v", err)
+		}
+		fmt.Println("In-text results (§6):")
+		fmt.Println(tab.Rendered)
+		ft, err := experiments.TableFilter(newEnv())
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "tables: %v", err)
+		}
+		fmt.Printf("Path retention (hops <= min+1): %d of %d discovered paths\n", ft.Retained, ft.Discovered)
+		fmt.Println(ft.Rendered)
+		ran++
+	}
+	if ran == 0 {
+		return cliutil.Fatalf(os.Stderr, "report", "nothing matched -fig %q", *fig)
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestReportFig4(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-fig", "4"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Fig 4") || !strings.Contains(out, "within 6 hops") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestReportFig56ShareCampaign(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-fig", "5,6"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Fig 5", "layer europe", "Fig 6 (left)", "Fig 6 (right)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestReportTables(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-fig", "tables"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "5.66") || !strings.Contains(out, "retained paths") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestReportFig789(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-fig", "7,8,9"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Fig 7", "Fig 8", "Fig 9", "full-loss paths"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestReportOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	_, code := capture(t, func() int { return run([]string{"-fig", "4,campaign", "-o", dir}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, f := range []string{"fig4.txt", "campaign.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing %s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run([]string{"-fig", "99"}) }); code == 0 {
+		t.Error("unknown figure accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-scale", "huge"}) }); code == 0 {
+		t.Error("unknown scale accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-badflag"}) }); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

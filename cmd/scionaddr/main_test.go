@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestScionAddr(t *testing.T) {
+	out, code := capture(t, func() int { return run(nil) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"17-ffaa:1:1,[127.0.0.1]", "MY_AS", "attachment point: 17-ffaa:0:1107"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScionAddrBadFlag(t *testing.T) {
+	if _, code := capture(t, func() int { return run([]string{"-zz"}) }); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

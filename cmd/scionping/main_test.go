@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestPingDefaultPath(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-c", "5", "-interval", "10ms", "16-ffaa:0:1002"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "5 packets transmitted") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "PING 16-ffaa:0:1002") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}
+
+func TestPingInteractive(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-interactive", "-path", "2", "-c", "3", "-interval", "5ms", "1"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Available paths") || !strings.Contains(out, "Using path 2") {
+		t.Errorf("interactive output:\n%s", out)
+	}
+}
+
+func TestPingWithSequence(t *testing.T) {
+	// First fetch a valid sequence via interactive listing, then pin it.
+	out, code := capture(t, func() int {
+		return run([]string{"-c", "2", "-interval", "5ms", "-sequence",
+			"17-ffaa:1:1#1 17-ffaa:0:1107#3,1 17-ffaa:0:1102#2,1 17-ffaa:0:1101#5,2 16-ffaa:0:1001#1,5 16-ffaa:0:1002#1",
+			"16-ffaa:0:1002"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "2 packets transmitted") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestPingWithGlobSequence(t *testing.T) {
+	// Partial pin: any path crossing ISD 19 on the way to Ireland.
+	out, code := capture(t, func() int {
+		return run([]string{"-c", "2", "-interval", "5ms",
+			"-sequence", "17-ffaa:1:1 * 19-0 * 16-ffaa:0:1002",
+			"16-ffaa:0:1002"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "19-ffaa:0:1301") {
+		t.Errorf("resolved path does not cross ISD 19:\n%s", out)
+	}
+}
+
+func TestPingErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // no destination
+		{"a", "b"},                            // too many
+		{"-sequence", "%%", "1"},              // bad sequence
+		{"-sequence", "1-0#0", "1"},           // unresolvable sequence
+		{"-interactive", "-path", "999", "1"}, // out-of-range path
+		{"zz"},                                // bad destination
+	}
+	for _, args := range cases {
+		if _, code := capture(t, func() int { return run(args) }); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

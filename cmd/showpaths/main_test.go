@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestShowPathsBasic(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-d", "16-ffaa:0:1002", "-m", "40", "-extended"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Available paths to 16-ffaa:0:1002", "Hops: 6", "MTU:", "Status: alive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShowPathsDefaultLimit(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-d", "1"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if n := strings.Count(out, "\n") - 1; n > 10 {
+		t.Errorf("%d paths despite the default limit of 10", n)
+	}
+}
+
+func TestShowPathsACL(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-d", "16-ffaa:0:1002", "-m", "40",
+			"-acl", "- 16-ffaa:0:1004#0, - 16-ffaa:0:1007#0"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "16-ffaa:0:1004") || strings.Contains(out, "16-ffaa:0:1007") {
+		t.Errorf("ACL-denied transit in output:\n%s", out)
+	}
+	if _, code := capture(t, func() int {
+		return run([]string{"-d", "1", "-acl", "garbage"})
+	}); code == 0 {
+		t.Error("bad ACL accepted")
+	}
+}
+
+func TestShowPathsErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run([]string{}) }); code == 0 {
+		t.Error("missing destination accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-d", "zz"}) }); code == 0 {
+		t.Error("bad destination accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-badflag"}) }); code == 0 {
+		t.Error("bad flag accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-d", "1", "-m", "-3"}) }); code == 0 {
+		t.Error("negative limit accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command testsuite is the Go port of the paper's test_suite.sh wrapper
+// (§5.1): it collects paths to every destination in availableServers and
+// runs the three-nested-loop measurement campaign, storing one stats
+// document per path per iteration in the database.
+//
+// Usage (mirrors "./test_suite.sh 100 --skip"):
+//
+//	testsuite 100 --skip
+//	testsuite 20 --some-only --db stats.jsonl
+//	testsuite 5 --servers 2,5,9 --target 150Mbps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/upin/scionpath/internal/bwtest"
+	"github.com/upin/scionpath/internal/cliutil"
+	"github.com/upin/scionpath/internal/measure"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("testsuite", flag.ContinueOnError)
+	var (
+		skip     = fs.Bool("skip", false, "bypass paths collection (paths must already be collected)")
+		someOnly = fs.Bool("some-only", false, "test only the first destination")
+		servers  = fs.String("servers", "", "comma-separated server ids to test (default all)")
+		dbPath   = fs.String("db", "", "JSONL journal path for persistent storage (default in-memory)")
+		target   = fs.String("target", "12Mbps", "bandwidth target for the bwtester runs")
+		pingN    = fs.Int("ping-count", 30, "echo packets per latency measurement")
+		pingIvl  = fs.Duration("ping-interval", 100*time.Millisecond, "echo packet interval")
+		bwDur    = fs.Duration("bw-duration", 3*time.Second, "duration of each bandwidth flow")
+		noBw     = fs.Bool("no-bandwidth", false, "skip the bandwidth measurements")
+		csvPath  = fs.String("csv", "", "export the stored statistics to this CSV file afterwards")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: testsuite <iterations> [flags]\n")
+		fs.PrintDefaults()
+	}
+	// Accept the positional <iterations> before or after flags.
+	var positional []string
+	var flagArgs []string
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") && len(positional) == 0 && len(flagArgs) == 0 {
+			positional = append(positional, a)
+			continue
+		}
+		flagArgs = append(flagArgs, a)
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return 2
+	}
+	positional = append(positional, fs.Args()...)
+	if len(positional) != 1 {
+		fs.Usage()
+		return 2
+	}
+	iterations, err := strconv.Atoi(positional[0])
+	if err != nil || iterations < 1 {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "iterations %q must be a positive integer", positional[0])
+	}
+	targetBps, err := parseTarget(*target)
+	if err != nil {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
+	}
+
+	w, err := cliutil.NewWorld(*seed, *dbPath)
+	if err != nil {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
+	}
+	defer w.Close()
+
+	var ids []int
+	if *servers != "" {
+		for _, part := range strings.Split(*servers, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return cliutil.Fatalf(os.Stderr, "testsuite", "bad server id %q", part)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
+	rep, err := suite.Run(measure.RunOpts{
+		Iterations:    iterations,
+		Skip:          *skip,
+		SomeOnly:      *someOnly,
+		ServerIDs:     ids,
+		PingCount:     *pingN,
+		PingInterval:  *pingIvl,
+		BwDuration:    *bwDur,
+		BwTargetBps:   targetBps,
+		SkipBandwidth: *noBw,
+	})
+	if err != nil {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
+	}
+	fmt.Printf("test-suite finished: %d iterations x %d destinations\n", rep.Iterations, rep.Destinations)
+	fmt.Printf("  paths tested:      %d\n", rep.PathsTested)
+	fmt.Printf("  stats stored:      %d\n", rep.StatsStored)
+	fmt.Printf("  failures:          %d\n", rep.Failures)
+	fmt.Printf("  unresolved paths:  %d\n", rep.UnresolvedPaths)
+	fmt.Printf("  simulated time:    %v\n", w.Net.Now().Round(time.Second))
+	if *dbPath != "" {
+		fmt.Printf("  database:          %s\n", *dbPath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "testsuite", "csv: %v", err)
+		}
+		rows, err := measure.ExportStatsCSV(w.DB, f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "testsuite", "csv: %v", err)
+		}
+		fmt.Printf("  csv export:        %s (%d rows)\n", *csvPath, rows)
+	}
+	return 0
+}
+
+func parseTarget(s string) (float64, error) {
+	p, err := bwtest.ParseParams("3,1000,?,"+s, 1472)
+	if err != nil {
+		return 0, fmt.Errorf("bad target %q", s)
+	}
+	return p.TargetBps, nil
+}

@@ -1,0 +1,117 @@
+// Command topoviz renders the SCIONLab-like world topology — the paper's
+// Fig 1 — as text (grouped by ISD, with AS roles colour-coded the way the
+// figure legends them) or as Graphviz DOT, and can dump/load the topology
+// as JSON.
+//
+// Usage:
+//
+//	topoviz                      # text summary, Fig 1 equivalent
+//	topoviz -format dot > w.dot  # Graphviz rendering
+//	topoviz -format json > w.json
+//	topoviz -in w.json           # validate + summarise a custom topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/upin/scionpath/internal/cliutil"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	var (
+		format = fs.String("format", "text", "output format: text | dot | json")
+		inPath = fs.String("in", "", "load a topology JSON file instead of the built-in world")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var topo *topology.Topology
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "topoviz", "%v", err)
+		}
+		defer f.Close()
+		topo, err = topology.ReadJSON(f)
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "topoviz", "%v", err)
+		}
+	} else {
+		topo = topology.DefaultWorld()
+	}
+
+	switch *format {
+	case "text":
+		printText(topo)
+	case "dot":
+		printDot(topo)
+	case "json":
+		if err := topo.WriteJSON(os.Stdout); err != nil {
+			return cliutil.Fatalf(os.Stderr, "topoviz", "%v", err)
+		}
+	default:
+		return cliutil.Fatalf(os.Stderr, "topoviz", "unknown format %q", *format)
+	}
+	return 0
+}
+
+func printText(topo *topology.Topology) {
+	fmt.Printf("SCIONLab world: %d ASes, %d links, %d ISDs, %d testable servers\n\n",
+		len(topo.ASes()), len(topo.Links()), len(topo.ISDs()), len(topo.Servers()))
+	for _, isd := range topo.ISDs() {
+		fmt.Printf("ISD %d:\n", isd)
+		for _, as := range topo.ASes() {
+			if as.IA.ISD != isd {
+				continue
+			}
+			marker := " "
+			switch as.Type {
+			case topology.Core:
+				marker = "C" // light orange in Fig 1
+			case topology.AttachmentPoint:
+				marker = "A" // light green in Fig 1
+			case topology.UserAS:
+				marker = "U" // light blue in Fig 1 (our AS)
+			}
+			servers := ""
+			if as.NumServers > 0 {
+				servers = fmt.Sprintf("  [%d server(s)]", as.NumServers)
+			}
+			fmt.Printf("  [%s] %-16s %-24s %s, %s%s\n",
+				marker, as.IA, as.Name, as.Site.Name, as.Site.Country, servers)
+		}
+	}
+	fmt.Println("\nlegend: [C] core AS  [A] attachment point  [U] user AS")
+}
+
+func printDot(topo *topology.Topology) {
+	fmt.Println("graph scionlab {")
+	fmt.Println("  overlap=false; splines=true;")
+	for _, as := range topo.ASes() {
+		color := "white"
+		switch as.Type {
+		case topology.Core:
+			color = "orange"
+		case topology.AttachmentPoint:
+			color = "palegreen"
+		case topology.UserAS:
+			color = "lightblue"
+		}
+		fmt.Printf("  %q [style=filled, fillcolor=%s, label=%q];\n",
+			as.IA.String(), color, fmt.Sprintf("%s\\n%s", as.IA, as.Name))
+	}
+	for _, l := range topo.Links() {
+		style := "solid"
+		if l.Type == topology.CoreLink {
+			style = "bold"
+		}
+		fmt.Printf("  %q -- %q [style=%s];\n", l.A.String(), l.B.String(), style)
+	}
+	fmt.Println("}")
+}

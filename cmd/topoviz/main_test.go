@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestTopovizText(t *testing.T) {
+	out, code := capture(t, func() int { return run(nil) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"36 ASes", "21 testable servers",
+		"[C] 17-ffaa:0:1101", "[A] 17-ffaa:0:1107", "[U] 17-ffaa:1:1",
+		"legend:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopovizDot(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-format", "dot"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"graph scionlab {", `fillcolor=lightblue`, `"17-ffaa:0:1107" -- "17-ffaa:1:1"`, "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTopovizJSONRoundTrip(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-format", "json"}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, code2 := capture(t, func() int { return run([]string{"-in", path}) })
+	if code2 != 0 {
+		t.Fatalf("reload exit %d", code2)
+	}
+	if !strings.Contains(out2, "36 ASes") {
+		t.Errorf("reloaded summary:\n%s", out2)
+	}
+}
+
+func TestTopovizErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run([]string{"-format", "png"}) }); code == 0 {
+		t.Error("bad format accepted")
+	}
+	if _, code := capture(t, func() int { return run([]string{"-in", "/no/such/file.json"}) }); code == 0 {
+		t.Error("missing input accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, code := capture(t, func() int { return run([]string{"-in", bad}) }); code == 0 {
+		t.Error("corrupt input accepted")
+	}
+}

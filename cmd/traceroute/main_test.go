@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), code
+}
+
+func TestTraceroute(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-probes", "2", "16-ffaa:0:1002"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "traceroute to 16-ffaa:0:1002, 6 hops") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	// One line per hop, numbered.
+	if !strings.Contains(out, " 1 17-ffaa:1:1") || !strings.Contains(out, " 6 16-ffaa:0:1002") {
+		t.Errorf("hop lines missing:\n%s", out)
+	}
+}
+
+func TestTracerouteInteractive(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-interactive", "-path", "1", "-probes", "1", "1"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "Available paths") || !strings.Contains(out, "Using path 1") {
+		t.Errorf("interactive output:\n%s", out)
+	}
+}
+
+func TestTracerouteErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{}, {"a", "b"}, {"zz"}, {"-sequence", "%%", "1"}, {"-sequence", "1-0#0", "1"},
+		{"-interactive", "-path", "999", "1"},
+	} {
+		if _, code := capture(t, func() int { return run(args) }); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command upinserver runs the UPIN front-end as an HTTP/JSON service — the
+// §2.1 Front-end: users submit intents and receive decisions, verification
+// verdicts and recommendations over the measured SCIONLab world.
+//
+// Endpoints:
+//
+//	GET  /api/health
+//	GET  /api/servers
+//	GET  /api/nodes
+//	GET  /api/paths?server=N
+//	POST /api/intent   {"server_id":1,"objective":"latency","profile":"voip",...}
+//
+// Usage:
+//
+//	upinserver -addr :8080 -db stats.jsonl
+//	upinserver -addr :8080 -measure 1,13      # measure those servers at boot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/cliutil"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/upin"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("upinserver", flag.ContinueOnError)
+	var (
+		addrFlag = fs.String("addr", ":8080", "listen address")
+		dbPath   = fs.String("db", "", "measurement database journal (in-memory when empty)")
+		domain   = fs.String("domain", "16,17,19", "comma-separated ISDs forming the UPIN domain")
+		measureS = fs.String("measure", "", "comma-separated server ids to measure at boot")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	handler, cleanup, err := buildHandler(*seed, *dbPath, *domain, *measureS)
+	if err != nil {
+		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
+	}
+	defer cleanup()
+	fmt.Printf("upinserver listening on %s\n", *addrFlag)
+	if err := http.ListenAndServe(*addrFlag, handler); err != nil {
+		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
+	}
+	return 0
+}
+
+// buildHandler wires the world, optional boot-time measurements, and the
+// front-end handler. The returned cleanup closes the database journal.
+func buildHandler(seed int64, dbPath, domain, measureList string) (http.Handler, func() error, error) {
+	w, err := cliutil.NewWorld(seed, dbPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if measureList != "" {
+		var ids []int
+		for _, part := range strings.Split(measureList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				w.Close()
+				return nil, nil, fmt.Errorf("bad server id %q", part)
+			}
+			ids = append(ids, id)
+		}
+		suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
+		if _, err := suite.Run(measure.RunOpts{
+			Iterations: 3, ServerIDs: ids,
+			PingCount: 10, PingInterval: 20 * time.Millisecond,
+			BwDuration: 500 * time.Millisecond,
+		}); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+	}
+	var isds []addr.ISD
+	for _, part := range strings.Split(domain, ",") {
+		if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && v > 0 {
+			isds = append(isds, addr.ISD(v))
+		}
+	}
+	explorer := upin.NewDomainExplorer(w.Topo, isds)
+	engine := selection.New(w.DB, w.Topo)
+	srv := upin.NewServer(w.DB, w.Daemon, w.Net, engine, explorer)
+	return srv, w.Close, nil
+}

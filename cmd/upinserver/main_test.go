@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildHandlerServesIntent(t *testing.T) {
+	handler, cleanup, err := buildHandler(1, "", "16,17,19", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Health.
+	resp, err := http.Get(ts.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health %d", resp.StatusCode)
+	}
+
+	// Intent over the boot-time measurements.
+	body := strings.NewReader(`{"server_id":1,"profile":"browsing"}`)
+	resp2, err := http.Post(ts.URL+"/api/intent", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("intent %d", resp2.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["satisfied"] != true {
+		t.Errorf("intent response: %v", out)
+	}
+}
+
+func TestBuildHandlerWithJournal(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "stats.jsonl")
+	_, cleanup, err := buildHandler(1, db, "17", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildHandlerErrors(t *testing.T) {
+	if _, _, err := buildHandler(1, "", "17", "zz"); err == nil {
+		t.Error("bad measure list accepted")
+	}
+	if _, _, err := buildHandler(1, filepath.Join(t.TempDir(), "no", "dir", "x.jsonl"), "17", ""); err == nil {
+		t.Error("bad db path accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/upin/scionpath
+
+go 1.22

@@ -1,0 +1,25 @@
+package addr_test
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/addr"
+)
+
+func ExampleParseIA() {
+	ia, err := addr.ParseIA("16-ffaa:0:1002")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ia.ISD, ia.AS, ia)
+	// Output: 16 ffaa:0:1002 16-ffaa:0:1002
+}
+
+func ExampleParseHost() {
+	h, err := addr.ParseHost("19-ffaa:0:1303,[141.44.25.144]")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(h.IA, h.Local)
+	// Output: 19-ffaa:0:1303 141.44.25.144
+}

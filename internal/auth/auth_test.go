@@ -1,0 +1,234 @@
+package auth
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+var (
+	coreIA   = addr.MustParseIA("17-ffaa:0:1101")
+	memberIA = addr.MustParseIA("17-ffaa:1:1")
+	otherISD = addr.MustParseIA("16-ffaa:0:1002")
+)
+
+func trustSetup(t *testing.T) (*TRC, KeyPair, *Certificate) {
+	t.Helper()
+	trc, err := NewTRC(coreIA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := trc.Issue(memberIA, key.Public, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trc, key, cert
+}
+
+func TestCertificateIssueAndVerify(t *testing.T) {
+	trc, _, cert := trustSetup(t)
+	if err := trc.Verify(cert, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateExpiry(t *testing.T) {
+	trc, _, cert := trustSetup(t)
+	if err := trc.Verify(cert, 25*time.Hour); err == nil || !strings.Contains(err.Error(), "expired") {
+		t.Errorf("expired cert verified: %v", err)
+	}
+}
+
+func TestCertificateCrossISDRejected(t *testing.T) {
+	trc, _, _ := trustSetup(t)
+	key, _ := GenerateKeyPair()
+	if _, err := trc.Issue(otherISD, key.Public, time.Hour); err == nil {
+		t.Error("core issued a certificate outside its ISD")
+	}
+}
+
+func TestCertificateTamperDetected(t *testing.T) {
+	trc, _, cert := trustSetup(t)
+	evil := *cert
+	evil.Subject = addr.MustParseIA("17-ffaa:1:99")
+	if err := trc.Verify(&evil, time.Hour); err == nil {
+		t.Error("tampered certificate verified")
+	}
+	// Wrong issuer.
+	other, _ := NewTRC(addr.MustParseIA("16-ffaa:0:1001"))
+	if err := other.Verify(cert, time.Hour); err == nil {
+		t.Error("certificate verified against the wrong trust root")
+	}
+	if err := trc.Verify(nil, time.Hour); err == nil {
+		t.Error("nil certificate verified")
+	}
+}
+
+func TestSignAndVerifyDocument(t *testing.T) {
+	trc, key, cert := trustSetup(t)
+	doc := docdb.Document{"_id": "2_15@100", "loss_pct": 0.0, "avg_latency_ms": 42.5}
+	if err := SignDocument(doc, memberIA, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDocument(doc, cert, trc, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySurvivesJSONRoundTrip(t *testing.T) {
+	// A document stored and re-read from the journal changes int->float64;
+	// canonicalisation must make the signature robust to that.
+	trc, key, cert := trustSetup(t)
+	doc := docdb.Document{"_id": "x", "hops": 6, "loss_pct": 10}
+	if err := SignDocument(doc, memberIA, key); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the round trip.
+	roundTripped := docdb.Document{"_id": "x", "hops": 6.0, "loss_pct": 10.0,
+		FieldSigner: doc[FieldSigner], FieldSignature: doc[FieldSignature]}
+	if err := VerifyDocument(roundTripped, cert, trc, time.Hour); err != nil {
+		t.Fatalf("round-tripped document failed verification: %v", err)
+	}
+}
+
+func TestVerifyDetectsInjection(t *testing.T) {
+	trc, key, cert := trustSetup(t)
+	doc := docdb.Document{"_id": "2_15@100", "loss_pct": 0.0}
+	if err := SignDocument(doc, memberIA, key); err != nil {
+		t.Fatal(err)
+	}
+	// "fake performances injection" (§4.2.2): attacker improves the stats.
+	doc["loss_pct"] = 100.0
+	if err := VerifyDocument(doc, cert, trc, time.Hour); err == nil {
+		t.Error("tampered measurement verified")
+	}
+}
+
+func TestVerifyRejectsUnsigned(t *testing.T) {
+	trc, _, cert := trustSetup(t)
+	if err := VerifyDocument(docdb.Document{"_id": "x"}, cert, trc, 0); err == nil {
+		t.Error("unsigned document verified")
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	trc, key, _ := trustSetup(t)
+	// Certificate belongs to someone else.
+	otherKey, _ := GenerateKeyPair()
+	otherCert, err := trc.Issue(addr.MustParseIA("17-ffaa:0:1102"), otherKey.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := docdb.Document{"_id": "x"}
+	if err := SignDocument(doc, memberIA, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDocument(doc, otherCert, trc, 0); err == nil {
+		t.Error("document verified against the wrong certificate")
+	}
+}
+
+func TestGrantFlow(t *testing.T) {
+	owner, err := NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := owner.Grant(memberIA, "paths_stats", PermWrite, time.Hour)
+	if err := owner.verifyGrant(g, memberIA, "paths_stats", PermWrite, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"wrong subject", func() error {
+			return owner.verifyGrant(g, otherISD, "paths_stats", PermWrite, 0)
+		}},
+		{"wrong collection", func() error {
+			return owner.verifyGrant(g, memberIA, "paths", PermWrite, 0)
+		}},
+		{"wrong permission", func() error {
+			return owner.verifyGrant(g, memberIA, "paths_stats", PermModify, 0)
+		}},
+		{"expired", func() error {
+			return owner.verifyGrant(g, memberIA, "paths_stats", PermWrite, 2*time.Hour)
+		}},
+		{"nil grant", func() error {
+			return owner.verifyGrant(nil, memberIA, "paths_stats", PermWrite, 0)
+		}},
+	}
+	for _, c := range cases {
+		if c.f() == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Forged grant: signed by a different owner.
+	evilOwner, _ := NewOwner()
+	forged := evilOwner.Grant(memberIA, "paths_stats", PermWrite, time.Hour)
+	if err := owner.verifyGrant(forged, memberIA, "paths_stats", PermWrite, 0); err == nil {
+		t.Error("forged grant accepted")
+	}
+}
+
+func TestGuardedDBEndToEnd(t *testing.T) {
+	trc, key, cert := trustSetup(t)
+	owner, _ := NewOwner()
+	gdb := NewGuardedDB(docdb.Open(), owner, []*TRC{trc})
+	gdb.Guard("paths_stats")
+	gdb.Register(cert)
+	grant := owner.Grant(memberIA, "paths_stats", PermWrite, time.Hour)
+
+	doc := docdb.Document{"_id": "1_1@5", "loss_pct": 0.0}
+	if err := SignDocument(doc, memberIA, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := gdb.InsertMany("paths_stats", memberIA, grant, []docdb.Document{doc}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if gdb.DB().Collection("paths_stats").Count() != 1 {
+		t.Error("authenticated insert lost")
+	}
+
+	// Unsigned document rejected.
+	if err := gdb.InsertMany("paths_stats", memberIA, grant, []docdb.Document{{"_id": "x"}}, time.Minute); err == nil {
+		t.Error("unsigned insert accepted into guarded collection")
+	}
+	// No grant rejected.
+	doc2 := docdb.Document{"_id": "1_1@6"}
+	SignDocument(doc2, memberIA, key)
+	if err := gdb.InsertMany("paths_stats", memberIA, nil, []docdb.Document{doc2}, time.Minute); err == nil {
+		t.Error("grantless insert accepted")
+	}
+	// Unknown certificate.
+	gdb2 := NewGuardedDB(docdb.Open(), owner, []*TRC{trc})
+	gdb2.Guard("paths_stats")
+	if err := gdb2.InsertMany("paths_stats", memberIA, grant, []docdb.Document{doc}, time.Minute); err == nil {
+		t.Error("insert without registered certificate accepted")
+	}
+	// Unguarded collections stay open.
+	if err := gdb.InsertMany("open", memberIA, nil, []docdb.Document{{"_id": "y"}}, 0); err != nil {
+		t.Errorf("unguarded insert rejected: %v", err)
+	}
+}
+
+func TestGuardedDBMissingTRC(t *testing.T) {
+	owner, _ := NewOwner()
+	gdb := NewGuardedDB(docdb.Open(), owner, nil)
+	gdb.Guard("paths_stats")
+	trc, key, cert := trustSetup(t)
+	_ = trc
+	gdb.Register(cert)
+	grant := owner.Grant(memberIA, "paths_stats", PermWrite, time.Hour)
+	doc := docdb.Document{"_id": "z"}
+	SignDocument(doc, memberIA, key)
+	if err := gdb.InsertMany("paths_stats", memberIA, grant, []docdb.Document{doc}, 0); err == nil {
+		t.Error("insert accepted without a trust root for the signer's ISD")
+	}
+}

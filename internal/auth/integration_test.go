@@ -1,0 +1,104 @@
+package auth_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/auth"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// TestSignedCampaign wires the full §4.2.2 design: the measurement suite
+// signs every stats document with MY_AS's certified key, and every stored
+// document verifies against the ISD-17 trust root afterwards.
+func TestSignedCampaign(t *testing.T) {
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 40})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := docdb.Open()
+	if err := measure.SeedServers(db, topo); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trust setup: the ISD-17 core certifies MY_AS (§3.1).
+	trc, err := auth.NewTRC(topo.CoreASes(17)[0].IA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := auth.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := trc.Issue(topology.MyAS, key.Public, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suite := &measure.Suite{
+		DB:     db,
+		Daemon: daemon,
+		SignStats: func(d docdb.Document) error {
+			return auth.SignDocument(d, topology.MyAS, key)
+		},
+	}
+	rep, err := suite.Run(measure.RunOpts{
+		Iterations: 1, ServerIDs: []int{1},
+		PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatsStored == 0 {
+		t.Fatal("nothing stored")
+	}
+
+	now := net.Now()
+	verified := 0
+	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{}) {
+		if err := auth.VerifyDocument(d, cert, trc, now); err != nil {
+			t.Errorf("stored stat %s fails verification: %v", d.ID(), err)
+			continue
+		}
+		verified++
+	}
+	if verified != rep.StatsStored {
+		t.Errorf("verified %d of %d stored documents", verified, rep.StatsStored)
+	}
+}
+
+// TestSignedCampaignSignerFailureAborts ensures a failing signer aborts the
+// run before anything unauthenticated is stored.
+func TestSignedCampaignSignerFailureAborts(t *testing.T) {
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 41})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := docdb.Open()
+	if err := measure.SeedServers(db, topo); err != nil {
+		t.Fatal(err)
+	}
+	suite := &measure.Suite{
+		DB:        db,
+		Daemon:    daemon,
+		SignStats: func(docdb.Document) error { return errors.New("hsm offline") },
+	}
+	if _, err := suite.Run(measure.RunOpts{
+		Iterations: 1, ServerIDs: []int{1},
+		PingCount: 2, PingInterval: 2 * time.Millisecond, SkipBandwidth: true,
+	}); err == nil {
+		t.Fatal("signer failure not surfaced")
+	}
+	if db.Collection(measure.ColStats).Count() != 0 {
+		t.Error("unauthenticated stats stored despite signer failure")
+	}
+}

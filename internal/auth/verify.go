@@ -1,0 +1,12 @@
+package auth
+
+import "crypto/ed25519"
+
+// verifySig wraps ed25519.Verify with a defensive length check so corrupt
+// grants cannot panic the verifier.
+func verifySig(pub, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
+}

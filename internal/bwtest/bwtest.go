@@ -1,0 +1,218 @@
+// Package bwtest implements the bwtester application the paper uses for
+// bandwidth measurements (§3.3): parameter strings such as "3,64,?,12Mbps"
+// (duration, packet size, packet count, target bandwidth, with "?" as a
+// wildcard inferred from the others), client-server and server-client
+// directions, and execution over the simulated network.
+package bwtest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/simnet"
+)
+
+// Params is one direction's test specification.
+type Params struct {
+	Duration    time.Duration
+	PacketBytes int
+	PacketCount int
+	TargetBps   float64
+}
+
+// MaxDuration is the bwtester's test-length cap ("up to 10 seconds").
+const MaxDuration = 10 * time.Second
+
+// MinPacketBytes is the bwtester's packet-size floor ("at least 4 bytes").
+const MinPacketBytes = 4
+
+// ParseParams parses a bwtester parameter string "duration,size,count,bw".
+// Exactly one component may be "?" and is then derived from the others;
+// a fully specified quadruple is validated for consistency. "MTU" as the
+// size resolves to mtu. Examples from the paper:
+//
+//	"3,64,?,12Mbps"   -> 3 s of 64-byte packets at 12 Mbps
+//	"3,MTU,?,150Mbps" -> 3 s of MTU-sized packets at 150 Mbps
+//	"5,100,?,150Mbps" -> the §3.3 example
+func ParseParams(s string, mtu int) (Params, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return Params{}, fmt.Errorf("bwtest: %q: want 4 comma-separated fields, have %d", s, len(parts))
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	wildcards := 0
+	for _, p := range parts {
+		if p == "?" {
+			wildcards++
+		}
+	}
+	if wildcards > 1 {
+		return Params{}, fmt.Errorf("bwtest: %q: at most one wildcard allowed", s)
+	}
+
+	var pr Params
+	var err error
+	if parts[0] != "?" {
+		var secs float64
+		secs, err = strconv.ParseFloat(parts[0], 64)
+		if err != nil || secs <= 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: bad duration %q", s, parts[0])
+		}
+		pr.Duration = time.Duration(secs * float64(time.Second))
+	}
+	if parts[1] != "?" {
+		if strings.EqualFold(parts[1], "MTU") {
+			if mtu < MinPacketBytes {
+				return Params{}, fmt.Errorf("bwtest: %q: MTU size requested but mtu=%d", s, mtu)
+			}
+			pr.PacketBytes = mtu
+		} else {
+			pr.PacketBytes, err = strconv.Atoi(parts[1])
+			if err != nil {
+				return Params{}, fmt.Errorf("bwtest: %q: bad packet size %q", s, parts[1])
+			}
+		}
+	}
+	if parts[2] != "?" {
+		pr.PacketCount, err = strconv.Atoi(parts[2])
+		if err != nil || pr.PacketCount <= 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: bad packet count %q", s, parts[2])
+		}
+	}
+	if parts[3] != "?" {
+		pr.TargetBps, err = parseBandwidth(parts[3])
+		if err != nil {
+			return Params{}, fmt.Errorf("bwtest: %q: %v", s, err)
+		}
+	}
+
+	// Derive the wildcard: bw = count*size*8/duration.
+	switch {
+	case parts[0] == "?":
+		if pr.TargetBps == 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: cannot infer duration without bandwidth", s)
+		}
+		pr.Duration = time.Duration(float64(pr.PacketCount*pr.PacketBytes*8) / pr.TargetBps * float64(time.Second))
+	case parts[1] == "?":
+		denom := float64(pr.PacketCount * 8)
+		if denom == 0 || pr.TargetBps == 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: cannot infer packet size", s)
+		}
+		pr.PacketBytes = int(pr.TargetBps * pr.Duration.Seconds() / denom)
+	case parts[2] == "?":
+		if pr.PacketBytes == 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: cannot infer packet count without size", s)
+		}
+		pr.PacketCount = int(pr.TargetBps * pr.Duration.Seconds() / float64(pr.PacketBytes*8))
+	case parts[3] == "?":
+		if pr.Duration == 0 {
+			return Params{}, fmt.Errorf("bwtest: %q: cannot infer bandwidth without duration", s)
+		}
+		pr.TargetBps = float64(pr.PacketCount*pr.PacketBytes*8) / pr.Duration.Seconds()
+	default:
+		// Fully specified: the quadruple must be consistent within 1%.
+		implied := float64(pr.PacketCount*pr.PacketBytes*8) / pr.Duration.Seconds()
+		if pr.TargetBps > 0 && (implied < 0.99*pr.TargetBps || implied > 1.01*pr.TargetBps) {
+			return Params{}, fmt.Errorf("bwtest: %q: inconsistent parameters (implied %.0f bps, stated %.0f bps)", s, implied, pr.TargetBps)
+		}
+	}
+
+	if pr.Duration <= 0 || pr.Duration > MaxDuration {
+		return Params{}, fmt.Errorf("bwtest: %q: duration %v outside (0, %v]", s, pr.Duration, MaxDuration)
+	}
+	if pr.PacketBytes < MinPacketBytes {
+		return Params{}, fmt.Errorf("bwtest: %q: packet size %d below minimum %d", s, pr.PacketBytes, MinPacketBytes)
+	}
+	if pr.PacketCount <= 0 {
+		return Params{}, fmt.Errorf("bwtest: %q: packet count %d not positive", s, pr.PacketCount)
+	}
+	if pr.TargetBps <= 0 {
+		return Params{}, fmt.Errorf("bwtest: %q: bandwidth %.0f not positive", s, pr.TargetBps)
+	}
+	return pr, nil
+}
+
+// parseBandwidth parses "12Mbps", "150Mbps", "1.5Gbps", "800kbps", "500bps".
+func parseBandwidth(s string) (float64, error) {
+	lower := strings.ToLower(s)
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(lower, "gbps"):
+		mult, lower = 1e9, lower[:len(lower)-4]
+	case strings.HasSuffix(lower, "mbps"):
+		mult, lower = 1e6, lower[:len(lower)-4]
+	case strings.HasSuffix(lower, "kbps"):
+		mult, lower = 1e3, lower[:len(lower)-4]
+	case strings.HasSuffix(lower, "bps"):
+		lower = lower[:len(lower)-3]
+	default:
+		return 0, fmt.Errorf("bandwidth %q missing bps unit", s)
+	}
+	v, err := strconv.ParseFloat(lower, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad bandwidth value %q", s)
+	}
+	return v * mult, nil
+}
+
+// String renders the parameters in bwtester notation.
+func (p Params) String() string {
+	return fmt.Sprintf("%g,%d,%d,%s", p.Duration.Seconds(), p.PacketBytes, p.PacketCount, FormatBandwidth(p.TargetBps))
+}
+
+// FormatBandwidth renders a bit rate with the largest clean unit.
+func FormatBandwidth(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return trimZero(bps/1e9) + "Gbps"
+	case bps >= 1e6:
+		return trimZero(bps/1e6) + "Mbps"
+	case bps >= 1e3:
+		return trimZero(bps/1e3) + "kbps"
+	default:
+		return trimZero(bps) + "bps"
+	}
+}
+
+func trimZero(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// Result is the outcome of one bidirectional bwtester run.
+type Result struct {
+	CS simnet.FlowResult // client -> server (the -cs parameters)
+	SC simnet.FlowResult // server -> client (the -sc parameters)
+}
+
+// Run executes a bidirectional bandwidth test over the path: first the
+// client-to-server flow, then server-to-client, mirroring bwtestclient. If
+// scParams is the zero value, the cs parameters are reused, "by default,
+// they are used for the server-client too" (§5.3).
+func Run(net *simnet.Network, path *pathmgr.Path, csParams, scParams Params) (Result, error) {
+	if scParams == (Params{}) {
+		scParams = csParams
+	}
+	cs, err := net.BandwidthTest(path, simnet.FlowSpec{
+		Duration:    csParams.Duration,
+		PacketBytes: csParams.PacketBytes,
+		TargetBps:   csParams.TargetBps,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("bwtest: cs flow: %w", err)
+	}
+	sc, err := net.BandwidthTest(path, simnet.FlowSpec{
+		Duration:    scParams.Duration,
+		PacketBytes: scParams.PacketBytes,
+		TargetBps:   scParams.TargetBps,
+		Reverse:     true,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("bwtest: sc flow: %w", err)
+	}
+	return Result{CS: cs, SC: sc}, nil
+}

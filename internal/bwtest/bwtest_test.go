@@ -1,0 +1,199 @@
+package bwtest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func TestParseParamsPaperExamples(t *testing.T) {
+	// "3,64,?,12Mbps": 3 s of 64-byte packets at 12 Mbps -> count inferred.
+	p, err := ParseParams("3,64,?,12Mbps", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration != 3*time.Second || p.PacketBytes != 64 || p.TargetBps != 12e6 {
+		t.Errorf("parsed %+v", p)
+	}
+	bw := 12e6
+	wantCount := int(bw * 3 / (64 * 8))
+	if p.PacketCount != wantCount {
+		t.Errorf("count %d, want %d", p.PacketCount, wantCount)
+	}
+
+	// "5,100,?,150Mbps": the §3.3 example.
+	p2, err := ParseParams("5,100,?,150Mbps", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PacketCount != int(150e6*5/(100*8)) {
+		t.Errorf("count %d", p2.PacketCount)
+	}
+
+	// MTU keyword resolves against the path MTU.
+	p3, err := ParseParams("3,MTU,?,12Mbps", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.PacketBytes != 1472 {
+		t.Errorf("MTU size %d, want 1472", p3.PacketBytes)
+	}
+}
+
+func TestParseParamsWildcards(t *testing.T) {
+	// Infer bandwidth.
+	p, err := ParseParams("2,1000,2500,?", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(2500*1000*8) / 2; p.TargetBps != want {
+		t.Errorf("bw %v, want %v", p.TargetBps, want)
+	}
+	// Infer duration.
+	p2, err := ParseParams("?,1000,1500,12Mbps", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Duration != time.Second {
+		t.Errorf("duration %v, want 1s", p2.Duration)
+	}
+	// Infer packet size.
+	p3, err := ParseParams("3,?,4500,12Mbps", 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.PacketBytes != 1000 {
+		t.Errorf("size %d, want 1000", p3.PacketBytes)
+	}
+}
+
+func TestParseParamsErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"3,64,?",              // too few fields
+		"3,64,?,12Mbps,extra", // too many
+		"?,?,1000,12Mbps",     // two wildcards
+		"0,64,?,12Mbps",       // zero duration
+		"-3,64,?,12Mbps",      // negative duration
+		"11,64,?,12Mbps",      // above 10s cap
+		"3,2,?,12Mbps",        // packet below 4 bytes
+		"3,64,?,12",           // missing unit
+		"3,64,?,zzMbps",       // bad number
+		"3,64,0,?",            // zero count
+		"3,64,100,12Mbps",     // inconsistent quadruple
+		"3,MTU,?,12Mbps|0",    // garbage
+		"3,xx,?,12Mbps",       // bad size
+		"x,64,?,12Mbps",       // bad duration
+	}
+	for _, s := range bad {
+		if _, err := ParseParams(s, 1472); err == nil {
+			t.Errorf("ParseParams(%q) accepted", s)
+		}
+	}
+	// MTU keyword without a valid mtu.
+	if _, err := ParseParams("3,MTU,?,12Mbps", 0); err == nil {
+		t.Error("MTU without path MTU accepted")
+	}
+}
+
+func TestParseBandwidthUnits(t *testing.T) {
+	cases := map[string]float64{
+		"500bps":  500,
+		"800kbps": 800e3,
+		"12Mbps":  12e6,
+		"1.5Gbps": 1.5e9,
+	}
+	for in, want := range cases {
+		got, err := parseBandwidth(in)
+		if err != nil || got != want {
+			t.Errorf("parseBandwidth(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestFormatBandwidth(t *testing.T) {
+	cases := map[float64]string{
+		500:   "500bps",
+		12e6:  "12Mbps",
+		1.5e9: "1.5Gbps",
+		800e3: "800kbps",
+	}
+	for in, want := range cases {
+		if got := FormatBandwidth(in); got != want {
+			t.Errorf("FormatBandwidth(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: any consistent quadruple round-trips through String/ParseParams.
+func TestParamsRoundTripQuick(t *testing.T) {
+	f := func(durDs uint8, sizeRaw uint16, bwMbps uint8) bool {
+		dur := time.Duration(1+int(durDs)%9) * time.Second
+		size := 4 + int(sizeRaw)%1469
+		bw := float64(1+int(bwMbps)%200) * 1e6
+		count := int(bw * dur.Seconds() / float64(size*8))
+		if count <= 0 {
+			return true
+		}
+		p := Params{Duration: dur, PacketBytes: size, PacketCount: count, TargetBps: float64(count*size*8) / dur.Seconds()}
+		q, err := ParseParams(p.String(), 1472)
+		if err != nil {
+			return false
+		}
+		return q.PacketBytes == p.PacketBytes && q.PacketCount == p.PacketCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBothDirections(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := pathmgr.NewCombiner(topo, reg)
+	net := simnet.New(topo, simnet.Options{Seed: 20})
+	paths, err := c.Paths(topology.MyAS, topology.MagdeburgAP)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no paths: %v", err)
+	}
+	p := paths[0]
+	cs, err := ParseParams("3,64,?,12Mbps", p.MTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.Now()
+	res, err := Run(net, p, cs, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CS.AchievedBps <= 0 || res.SC.AchievedBps <= 0 {
+		t.Errorf("zero achieved bandwidth: %+v", res)
+	}
+	// Both directions ran sequentially: 6 s of simulated time.
+	if got := net.Now() - before; got != 6*time.Second {
+		t.Errorf("clock advanced %v, want 6s", got)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := pathmgr.NewCombiner(topo, reg)
+	net := simnet.New(topo, simnet.Options{Seed: 21})
+	paths, _ := c.Paths(topology.MyAS, topology.MagdeburgAP)
+	badCS := Params{Duration: 3 * time.Second, PacketBytes: 1, TargetBps: 1e6}
+	if _, err := Run(net, paths[0], badCS, Params{}); err == nil || !strings.Contains(err.Error(), "cs flow") {
+		t.Errorf("want cs flow error, got %v", err)
+	}
+	goodCS := Params{Duration: 3 * time.Second, PacketBytes: 64, PacketCount: 1000, TargetBps: 1e6}
+	badSC := Params{Duration: 3 * time.Second, PacketBytes: 1, TargetBps: 1e6}
+	if _, err := Run(net, paths[0], goodCS, badSC); err == nil || !strings.Contains(err.Error(), "sc flow") {
+		t.Errorf("want sc flow error, got %v", err)
+	}
+}

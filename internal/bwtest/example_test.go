@@ -1,0 +1,23 @@
+package bwtest_test
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/bwtest"
+)
+
+func ExampleParseParams() {
+	// The paper's §5.3 parameter string: 3 seconds of 64-byte packets at
+	// 12 Mbps, packet count inferred from the wildcard.
+	p, err := bwtest.ParseParams("3,64,?,12Mbps", 1472)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p)
+	// Output: 3,64,70312,12Mbps
+}
+
+func ExampleFormatBandwidth() {
+	fmt.Println(bwtest.FormatBandwidth(12e6), bwtest.FormatBandwidth(1.5e9))
+	// Output: 12Mbps 1.5Gbps
+}

@@ -1,0 +1,635 @@
+// Package docdb is an embedded document database standing in for the
+// MongoDB instance of the paper's architecture (§4.2.1). It keeps the
+// properties the paper chose MongoDB for: named collections of
+// heterogeneous JSON-like documents, flexible addition of new metrics,
+// batched multi-document insertion (the fault-tolerance/scalability
+// trade-off of §4.2.2), and a query surface with filters, sorting,
+// projection and indexes. Persistence is an append-only JSONL journal that
+// can be replayed on open, so a crash costs at most the unflushed batch.
+package docdb
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors for errors.Is checks.
+var (
+	// ErrDuplicateID reports an insert whose _id already exists.
+	ErrDuplicateID = errors.New("duplicate _id")
+	// ErrBadDocument reports a structurally invalid document (nil, or a
+	// non-string _id).
+	ErrBadDocument = errors.New("invalid document")
+)
+
+// Document is one record in a collection. Values are JSON-compatible:
+// string, float64, int, int64, bool, nil, []any, map[string]any, or nested
+// Documents. Field paths in queries use dots ("stats.avg_latency_ms").
+type Document map[string]any
+
+// Clone returns a deep copy of the document (one level of nesting for maps
+// and slices, which covers everything this system stores).
+func (d Document) Clone() Document {
+	out := make(Document, len(d))
+	for k, v := range d {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v any) any {
+	switch t := v.(type) {
+	case Document:
+		return t.Clone()
+	case map[string]any:
+		return Document(t).Clone()
+	case []any:
+		c := make([]any, len(t))
+		for i, e := range t {
+			c[i] = cloneValue(e)
+		}
+		return c
+	case []string:
+		c := make([]string, len(t))
+		copy(c, t)
+		return c
+	default:
+		return v
+	}
+}
+
+// lookup resolves a dotted field path within the document.
+func (d Document) lookup(path string) (any, bool) {
+	cur := any(d)
+	for _, part := range strings.Split(path, ".") {
+		switch m := cur.(type) {
+		case Document:
+			v, ok := m[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case map[string]any:
+			v, ok := m[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// ID returns the document's "_id" field as a string, or "".
+func (d Document) ID() string {
+	if v, ok := d["_id"].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// DB is a set of named collections guarded for concurrent use.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	journal     *journal // nil for purely in-memory databases
+}
+
+// Open creates an in-memory database.
+func Open() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it on first use, like
+// MongoDB's implicit collection creation.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[name]
+	if !ok {
+		c = &Collection{name: name, byID: make(map[string]int), db: db}
+		db.collections[name] = c
+	}
+	return c
+}
+
+// CollectionNames lists existing collections in sorted order.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a collection and its documents.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.collections, name)
+	if db.journal != nil {
+		db.journal.append(journalEntry{Op: "drop", Collection: name})
+	}
+}
+
+// Collection is a named set of documents with an "_id" unique key.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    []Document
+	byID    map[string]int
+	db      *DB
+	seq     int64 // auto-id counter
+	indexes map[string]*index
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Count returns the number of documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Insert stores one document. Documents without an "_id" get a generated
+// one. Inserting a duplicate "_id" is an error.
+func (c *Collection) Insert(doc Document) error {
+	return c.InsertMany([]Document{doc})
+}
+
+// InsertMany stores a batch atomically: either every document is inserted
+// or none. This is the paper's "multiple insertions of path statistics"
+// I/O-overhead optimisation (§4.2.2).
+func (c *Collection) InsertMany(docs []Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Validate the whole batch first (atomicity).
+	ids := make([]string, len(docs))
+	seen := make(map[string]bool, len(docs))
+	seq := c.seq
+	for i, doc := range docs {
+		if doc == nil {
+			return fmt.Errorf("docdb: %s: nil document in batch: %w", c.name, ErrBadDocument)
+		}
+		id := doc.ID()
+		if id == "" {
+			if raw, ok := doc["_id"]; ok && raw != nil {
+				return fmt.Errorf("docdb: %s: non-string _id %v: %w", c.name, raw, ErrBadDocument)
+			}
+			seq++
+			id = fmt.Sprintf("%s-%d", c.name, seq)
+		}
+		if _, dup := c.byID[id]; dup || seen[id] {
+			return fmt.Errorf("docdb: %s: %w %q", c.name, ErrDuplicateID, id)
+		}
+		seen[id] = true
+		ids[i] = id
+	}
+	c.seq = seq
+	for i, doc := range docs {
+		stored := doc.Clone()
+		stored["_id"] = ids[i]
+		c.byID[ids[i]] = len(c.docs)
+		c.docs = append(c.docs, stored)
+		c.indexAdd(stored)
+		if c.db.journal != nil {
+			c.db.journal.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
+		}
+	}
+	return nil
+}
+
+// Get returns the document with the given _id, or nil.
+func (c *Collection) Get(id string) Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i, ok := c.byID[id]; ok {
+		return c.docs[i].Clone()
+	}
+	return nil
+}
+
+// Delete removes documents matching the filter and returns how many.
+func (c *Collection) Delete(f Filter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.docs[:0]
+	removed := 0
+	for _, d := range c.docs {
+		if f != nil && f.Match(d) {
+			removed++
+			c.indexRemove(d)
+			if c.db.journal != nil {
+				c.db.journal.append(journalEntry{Op: "delete", Collection: c.name, ID: d.ID()})
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.docs = kept
+	c.byID = make(map[string]int, len(c.docs))
+	for i, d := range c.docs {
+		c.byID[d.ID()] = i
+	}
+	return removed
+}
+
+// Update replaces the non-_id fields of matching documents with the merge
+// of the existing document and set, returning how many changed.
+func (c *Collection) Update(f Filter, set Document) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i, d := range c.docs {
+		if f != nil && !f.Match(d) {
+			continue
+		}
+		c.indexRemove(d)
+		for k, v := range set {
+			if k == "_id" {
+				continue
+			}
+			d[k] = cloneValue(v)
+		}
+		c.docs[i] = d
+		c.indexAdd(d)
+		n++
+		if c.db.journal != nil {
+			c.db.journal.append(journalEntry{Op: "insert", Collection: c.name, Doc: d, Replace: true})
+		}
+	}
+	return n
+}
+
+// Find runs a query and returns matching documents (deep copies).
+func (c *Collection) Find(q Query) []Document {
+	c.mu.RLock()
+	matched := make([]Document, 0, 16)
+	if candidates, ok := c.lookupIndexed(q.Filter); ok {
+		// Index narrowed the scan; re-check the full filter (the index may
+		// cover only one conjunct of an And).
+		for _, d := range candidates {
+			if q.Filter.Match(d) {
+				matched = append(matched, d)
+			}
+		}
+	} else {
+		for _, d := range c.docs {
+			if q.Filter == nil || q.Filter.Match(d) {
+				matched = append(matched, d)
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	if q.SortBy != "" {
+		asc := !q.SortDesc
+		sort.SliceStable(matched, func(i, j int) bool {
+			vi, _ := matched[i].lookup(q.SortBy)
+			vj, _ := matched[j].lookup(q.SortBy)
+			less := compareValues(vi, vj) < 0
+			if asc {
+				return less
+			}
+			return compareValues(vi, vj) > 0
+		})
+	}
+	if q.Skip > 0 {
+		if q.Skip >= len(matched) {
+			matched = nil
+		} else {
+			matched = matched[q.Skip:]
+		}
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	out := make([]Document, len(matched))
+	for i, d := range matched {
+		if len(q.Project) > 0 {
+			p := Document{"_id": d.ID()}
+			for _, field := range q.Project {
+				if v, ok := d.lookup(field); ok {
+					p[field] = cloneValue(v)
+				}
+			}
+			out[i] = p
+		} else {
+			out[i] = d.Clone()
+		}
+	}
+	return out
+}
+
+// FindOne returns the first match of the query, or nil.
+func (c *Collection) FindOne(q Query) Document {
+	q.Limit = 1
+	res := c.Find(q)
+	if len(res) == 0 {
+		return nil
+	}
+	return res[0]
+}
+
+// Distinct returns the sorted distinct values of a field among matching
+// documents, rendered as strings.
+func (c *Collection) Distinct(field string, f Filter) []string {
+	set := map[string]bool{}
+	for _, d := range c.Find(Query{Filter: f}) {
+		if v, ok := d.lookup(field); ok {
+			set[fmt.Sprint(v)] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query combines a filter with result shaping.
+type Query struct {
+	Filter   Filter
+	SortBy   string
+	SortDesc bool
+	Skip     int
+	Limit    int
+	// Project restricts returned fields (plus _id).
+	Project []string
+}
+
+// Filter matches documents.
+type Filter interface {
+	Match(Document) bool
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(Document) bool
+
+// Match implements Filter.
+func (f FilterFunc) Match(d Document) bool { return f(d) }
+
+type cmpOp int
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opGt
+	opGte
+	opLt
+	opLte
+)
+
+type cmpFilter struct {
+	field string
+	op    cmpOp
+	value any
+}
+
+func (f cmpFilter) Match(d Document) bool {
+	v, ok := d.lookup(f.field)
+	if !ok {
+		// Missing fields only match $ne, like MongoDB.
+		return f.op == opNe
+	}
+	c := compareValues(v, f.value)
+	switch f.op {
+	case opEq:
+		return c == 0
+	case opNe:
+		return c != 0
+	case opGt:
+		return c > 0
+	case opGte:
+		return c >= 0
+	case opLt:
+		return c < 0
+	case opLte:
+		return c <= 0
+	}
+	return false
+}
+
+// Eq matches field == value.
+func Eq(field string, value any) Filter { return cmpFilter{field, opEq, value} }
+
+// Ne matches field != value (including missing fields).
+func Ne(field string, value any) Filter { return cmpFilter{field, opNe, value} }
+
+// Gt matches field > value.
+func Gt(field string, value any) Filter { return cmpFilter{field, opGt, value} }
+
+// Gte matches field >= value.
+func Gte(field string, value any) Filter { return cmpFilter{field, opGte, value} }
+
+// Lt matches field < value.
+func Lt(field string, value any) Filter { return cmpFilter{field, opLt, value} }
+
+// Lte matches field <= value.
+func Lte(field string, value any) Filter { return cmpFilter{field, opLte, value} }
+
+type inFilter struct {
+	field  string
+	values []any
+	negate bool
+}
+
+func (f inFilter) Match(d Document) bool {
+	v, ok := d.lookup(f.field)
+	if !ok {
+		return f.negate
+	}
+	for _, w := range f.values {
+		if compareValues(v, w) == 0 {
+			return !f.negate
+		}
+	}
+	return f.negate
+}
+
+// In matches documents whose field equals any of the values.
+func In(field string, values ...any) Filter { return inFilter{field, values, false} }
+
+// Nin matches documents whose field equals none of the values.
+func Nin(field string, values ...any) Filter { return inFilter{field, values, true} }
+
+type existsFilter struct {
+	field string
+	want  bool
+}
+
+func (f existsFilter) Match(d Document) bool {
+	_, ok := d.lookup(f.field)
+	return ok == f.want
+}
+
+// Exists matches documents that have (or, want=false, lack) the field.
+func Exists(field string, want bool) Filter { return existsFilter{field, want} }
+
+type regexFilter struct {
+	field string
+	re    *regexp.Regexp
+}
+
+func (f regexFilter) Match(d Document) bool {
+	v, ok := d.lookup(f.field)
+	if !ok {
+		return false
+	}
+	s, ok := v.(string)
+	if !ok {
+		s = fmt.Sprint(v)
+	}
+	return f.re.MatchString(s)
+}
+
+// Regex matches string fields against a compiled pattern. It panics on an
+// invalid pattern (programming error, like regexp.MustCompile).
+func Regex(field, pattern string) Filter {
+	return regexFilter{field, regexp.MustCompile(pattern)}
+}
+
+type andFilter []Filter
+
+func (fs andFilter) Match(d Document) bool {
+	for _, f := range fs {
+		if !f.Match(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// And matches documents satisfying every sub-filter; And() matches all.
+func And(fs ...Filter) Filter { return andFilter(fs) }
+
+type orFilter []Filter
+
+func (fs orFilter) Match(d Document) bool {
+	for _, f := range fs {
+		if f.Match(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or matches documents satisfying at least one sub-filter; Or() matches none.
+func Or(fs ...Filter) Filter { return orFilter(fs) }
+
+type notFilter struct{ f Filter }
+
+func (n notFilter) Match(d Document) bool { return !n.f.Match(d) }
+
+// Not inverts a filter.
+func Not(f Filter) Filter { return notFilter{f} }
+
+// ElemMatch matches documents whose array field contains at least one
+// element equal to value (used for ISD-set membership queries).
+func ElemMatch(field string, value any) Filter {
+	return FilterFunc(func(d Document) bool {
+		v, ok := d.lookup(field)
+		if !ok {
+			return false
+		}
+		switch arr := v.(type) {
+		case []any:
+			for _, e := range arr {
+				if compareValues(e, value) == 0 {
+					return true
+				}
+			}
+		case []string:
+			for _, e := range arr {
+				if compareValues(e, value) == 0 {
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+// compareValues orders mixed scalar values: numbers numerically, strings
+// lexically, booleans false<true; mismatched kinds order by kind name so
+// sorting is total and stable.
+func compareValues(a, b any) int {
+	na, aNum := toFloat(a)
+	nb, bNum := toFloat(b)
+	if aNum && bNum {
+		switch {
+		case na < nb:
+			return -1
+		case na > nb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	sa, aStr := a.(string)
+	sb, bStr := b.(string)
+	if aStr && bStr {
+		return strings.Compare(sa, sb)
+	}
+	ba, aBool := a.(bool)
+	bb, bBool := b.(bool)
+	if aBool && bBool {
+		switch {
+		case !ba && bb:
+			return -1
+		case ba && !bb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(kindName(a), kindName(b))
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case float32:
+		return float64(t), true
+	case int:
+		return float64(t), true
+	case int32:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	case uint:
+		return float64(t), true
+	case uint64:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}
+
+func kindName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "0nil"
+	case bool:
+		return "1bool"
+	case float64, float32, int, int32, int64, uint, uint64:
+		return "2number"
+	case string:
+		return "3string"
+	default:
+		return fmt.Sprintf("9%T", v)
+	}
+}

@@ -1,0 +1,27 @@
+package docdb_test
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+func Example() {
+	db := docdb.Open()
+	paths := db.Collection("paths")
+	if err := paths.InsertMany([]docdb.Document{
+		{"_id": "1_0", "hops": 6, "isds": []any{"16", "17"}},
+		{"_id": "1_9", "hops": 7, "isds": []any{"16", "17"}},
+		{"_id": "1_4", "hops": 7, "isds": []any{"16", "17", "19"}},
+	}); err != nil {
+		panic(err)
+	}
+	short := paths.Find(docdb.Query{
+		Filter: docdb.And(docdb.Lte("hops", 7), docdb.ElemMatch("isds", "19")),
+		SortBy: "_id",
+	})
+	for _, d := range short {
+		fmt.Println(d.ID(), d["hops"])
+	}
+	// Output: 1_4 7
+}

@@ -1,0 +1,182 @@
+package docdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Index is a hash index over one field: equality lookups consult the index
+// instead of scanning the collection. This backs the §4.2.1 scalability
+// requirement — "a non-relational database can easily store huge quantities
+// of data and query them".
+type index struct {
+	field string
+	// byValue maps the canonical rendering of a field value to document ids.
+	byValue map[string][]string
+}
+
+func indexKey(v any) string {
+	// Normalise numeric types so 6, 6.0 and int64(6) share a bucket, in
+	// line with compareValues' cross-type equality.
+	if f, ok := toFloat(v); ok {
+		return fmt.Sprintf("n:%g", f)
+	}
+	return fmt.Sprintf("%T:%v", v, v)
+}
+
+// EnsureIndex creates a hash index on a field (idempotent). Existing
+// documents are indexed immediately; inserts, updates and deletes maintain
+// the index from then on.
+func (c *Collection) EnsureIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.indexes == nil {
+		c.indexes = map[string]*index{}
+	}
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	idx := &index{field: field, byValue: map[string][]string{}}
+	for _, d := range c.docs {
+		if v, ok := d.lookup(field); ok {
+			k := indexKey(v)
+			idx.byValue[k] = append(idx.byValue[k], d.ID())
+		}
+	}
+	c.indexes[field] = idx
+}
+
+// Indexes lists indexed fields in sorted order.
+func (c *Collection) Indexes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexAdd/indexRemove maintain indexes; callers hold c.mu.
+func (c *Collection) indexAdd(d Document) {
+	for _, idx := range c.indexes {
+		if v, ok := d.lookup(idx.field); ok {
+			k := indexKey(v)
+			idx.byValue[k] = append(idx.byValue[k], d.ID())
+		}
+	}
+}
+
+func (c *Collection) indexRemove(d Document) {
+	for _, idx := range c.indexes {
+		v, ok := d.lookup(idx.field)
+		if !ok {
+			continue
+		}
+		k := indexKey(v)
+		ids := idx.byValue[k]
+		for i, id := range ids {
+			if id == d.ID() {
+				idx.byValue[k] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(idx.byValue[k]) == 0 {
+			delete(idx.byValue, k)
+		}
+	}
+}
+
+// lookupIndexed returns candidate documents via an index when the filter is
+// (or begins with) an equality on an indexed field. The second result is
+// false when no index applies and the caller must scan.
+func (c *Collection) lookupIndexed(f Filter) ([]Document, bool) {
+	eq, ok := extractEq(f)
+	if !ok {
+		return nil, false
+	}
+	idx, ok := c.indexes[eq.field]
+	if !ok {
+		return nil, false
+	}
+	ids := idx.byValue[indexKey(eq.value)]
+	out := make([]Document, 0, len(ids))
+	for _, id := range ids {
+		if i, ok := c.byID[id]; ok {
+			out = append(out, c.docs[i])
+		}
+	}
+	return out, true
+}
+
+// extractEq finds a usable equality predicate: a bare Eq, or an Eq inside a
+// top-level And (the remaining conjuncts are re-checked by Match).
+func extractEq(f Filter) (cmpFilter, bool) {
+	switch t := f.(type) {
+	case cmpFilter:
+		if t.op == opEq {
+			return t, true
+		}
+	case andFilter:
+		for _, sub := range t {
+			if eq, ok := extractEq(sub); ok {
+				return eq, ok
+			}
+		}
+	}
+	return cmpFilter{}, false
+}
+
+// Aggregation -----------------------------------------------------------
+
+// AggResult summarises one group of an aggregation.
+type AggResult struct {
+	Key   string
+	Count int
+	Sum   float64
+	Mean  float64
+	Min   float64
+	Max   float64
+}
+
+// Aggregate groups matching documents by the groupField's rendered value
+// and reduces valueField numerically per group (documents without a numeric
+// valueField count toward Count only). Results are sorted by key. This is
+// what the selection engine's mean-per-path queries and the figures' group
+// summaries build on.
+func (c *Collection) Aggregate(f Filter, groupField, valueField string) []AggResult {
+	groups := map[string]*AggResult{}
+	for _, d := range c.Find(Query{Filter: f}) {
+		gv, ok := d.lookup(groupField)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprint(gv)
+		g := groups[key]
+		if g == nil {
+			g = &AggResult{Key: key, Min: math.Inf(1), Max: math.Inf(-1)}
+			groups[key] = g
+		}
+		g.Count++
+		if v, ok := d.lookup(valueField); ok {
+			if x, isNum := toFloat(v); isNum {
+				g.Sum += x
+				g.Min = math.Min(g.Min, x)
+				g.Max = math.Max(g.Max, x)
+			}
+		}
+	}
+	out := make([]AggResult, 0, len(groups))
+	for _, g := range groups {
+		if g.Count > 0 && !math.IsInf(g.Min, 1) {
+			g.Mean = g.Sum / float64(g.Count)
+		} else {
+			g.Min, g.Max = 0, 0
+		}
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,168 @@
+package docdb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func indexed(t *testing.T) *Collection {
+	t.Helper()
+	db := Open()
+	c := db.Collection("stats")
+	docs := make([]Document, 0, 300)
+	for i := 0; i < 300; i++ {
+		docs = append(docs, Document{
+			"_id":     fmt.Sprintf("s%d", i),
+			"path_id": fmt.Sprintf("2_%d", i%10),
+			"loss":    float64(i % 5),
+		})
+	}
+	if err := c.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	c.EnsureIndex("path_id")
+	return c
+}
+
+func TestIndexEqualityLookup(t *testing.T) {
+	c := indexed(t)
+	got := c.Find(Query{Filter: Eq("path_id", "2_3")})
+	if len(got) != 30 {
+		t.Fatalf("indexed lookup returned %d, want 30", len(got))
+	}
+	for _, d := range got {
+		if d["path_id"] != "2_3" {
+			t.Errorf("wrong doc %v", d.ID())
+		}
+	}
+	// Same result as an unindexed field scan.
+	unindexed := c.Find(Query{Filter: Eq("loss", 2.0), SortBy: "_id"})
+	if len(unindexed) != 60 {
+		t.Errorf("scan returned %d, want 60", len(unindexed))
+	}
+}
+
+func TestIndexWithinAnd(t *testing.T) {
+	c := indexed(t)
+	got := c.Find(Query{Filter: And(Eq("path_id", "2_3"), Eq("loss", 3.0))})
+	// path 2_3 docs are i=3,13,...,293; loss = i%5 == 3 -> i in {3,13,23,...}
+	// i%10==3 and i%5==3: i%10==3 implies i%5==3, so all 30 match.
+	if len(got) != 30 {
+		t.Fatalf("And with index returned %d, want 30", len(got))
+	}
+	// A conjunct that rules everything out.
+	if got := c.Find(Query{Filter: And(Eq("path_id", "2_3"), Eq("loss", 4.0))}); len(got) != 0 {
+		t.Errorf("And mismatch returned %d", len(got))
+	}
+}
+
+func TestIndexMaintainedOnDeleteAndUpdate(t *testing.T) {
+	c := indexed(t)
+	c.Delete(Eq("path_id", "2_3"))
+	if got := c.Find(Query{Filter: Eq("path_id", "2_3")}); len(got) != 0 {
+		t.Errorf("index returned %d deleted docs", len(got))
+	}
+	// Update moves a doc between buckets.
+	n := c.Update(Eq("_id", "s4"), Document{"path_id": "2_99"})
+	if n != 1 {
+		t.Fatalf("updated %d", n)
+	}
+	if got := c.Find(Query{Filter: Eq("path_id", "2_99")}); len(got) != 1 {
+		t.Errorf("moved doc not found via index: %d", len(got))
+	}
+	for _, d := range c.Find(Query{Filter: Eq("path_id", "2_4")}) {
+		if d.ID() == "s4" {
+			t.Error("stale index entry for updated doc")
+		}
+	}
+}
+
+func TestIndexCrossTypeNumericEquality(t *testing.T) {
+	db := Open()
+	c := db.Collection("nums")
+	c.Insert(Document{"_id": "a", "v": 6})
+	c.Insert(Document{"_id": "b", "v": 6.0})
+	c.Insert(Document{"_id": "c", "v": int64(6)})
+	c.EnsureIndex("v")
+	if got := c.Find(Query{Filter: Eq("v", 6.0)}); len(got) != 3 {
+		t.Errorf("cross-type indexed equality returned %d, want 3", len(got))
+	}
+}
+
+func TestEnsureIndexIdempotentAndListed(t *testing.T) {
+	c := indexed(t)
+	c.EnsureIndex("path_id")
+	c.EnsureIndex("loss")
+	idx := c.Indexes()
+	if len(idx) != 2 || idx[0] != "loss" || idx[1] != "path_id" {
+		t.Errorf("Indexes() = %v", idx)
+	}
+}
+
+func TestIndexedAndScanAgree(t *testing.T) {
+	db := Open()
+	plain := db.Collection("plain")
+	fast := db.Collection("fast")
+	for i := 0; i < 200; i++ {
+		d := Document{"_id": fmt.Sprintf("d%d", i), "k": i % 7, "v": i}
+		plain.Insert(d)
+		fast.Insert(d)
+	}
+	fast.EnsureIndex("k")
+	for k := 0; k < 8; k++ {
+		a := plain.Find(Query{Filter: Eq("k", k), SortBy: "_id"})
+		b := fast.Find(Query{Filter: Eq("k", k), SortBy: "_id"})
+		if len(a) != len(b) {
+			t.Fatalf("k=%d: scan %d vs index %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID() != b[i].ID() {
+				t.Fatalf("k=%d: result %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	c := indexed(t)
+	res := c.Aggregate(nil, "path_id", "loss")
+	if len(res) != 10 {
+		t.Fatalf("%d groups, want 10", len(res))
+	}
+	for _, g := range res {
+		if g.Count != 30 {
+			t.Errorf("group %s count %d", g.Key, g.Count)
+		}
+		if g.Min > g.Mean || g.Mean > g.Max {
+			t.Errorf("group %s stats disordered: %+v", g.Key, g)
+		}
+	}
+	// Sorted by key.
+	for i := 1; i < len(res); i++ {
+		if res[i].Key < res[i-1].Key {
+			t.Fatal("groups not sorted")
+		}
+	}
+	// Filtered aggregation.
+	some := c.Aggregate(Eq("loss", 1.0), "path_id", "loss")
+	for _, g := range some {
+		if g.Mean != 1 {
+			t.Errorf("filtered group %s mean %v", g.Key, g.Mean)
+		}
+	}
+}
+
+func TestAggregateMissingValueField(t *testing.T) {
+	db := Open()
+	c := db.Collection("x")
+	c.Insert(Document{"_id": "a", "g": "one"})
+	c.Insert(Document{"_id": "b", "g": "one", "v": 4})
+	res := c.Aggregate(nil, "g", "v")
+	if len(res) != 1 || res[0].Count != 2 {
+		t.Fatalf("res %+v", res)
+	}
+	if res[0].Sum != 4 || math.IsInf(res[0].Min, 1) {
+		t.Errorf("partial numeric group: %+v", res[0])
+	}
+}

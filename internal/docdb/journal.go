@@ -1,0 +1,233 @@
+package docdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// journalEntry is one line of the persistence journal.
+type journalEntry struct {
+	Op         string   `json:"op"` // insert | delete | drop
+	Collection string   `json:"c"`
+	Doc        Document `json:"doc,omitempty"`
+	ID         string   `json:"id,omitempty"`
+	// Replace marks an insert that overwrites the _id (update journaling).
+	Replace bool `json:"replace,omitempty"`
+}
+
+type journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+func (j *journal) append(e journalEntry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+func (j *journal) flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	ferr := j.flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// OpenFile opens (or creates) a journal-backed database at path, replaying
+// any existing journal so a restarted test-suite continues with its data —
+// the fault-tolerance requirement of §4.1.2.
+func OpenFile(path string) (*DB, error) {
+	db := Open()
+	// Replay existing journal, tolerating a truncated final line (crash
+	// mid-append loses at most the unflushed batch, by design).
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // truncated tail: stop replay, keep what we have
+			}
+			db.applyReplay(e)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("docdb: replay %s: %w", path, err)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("docdb: open %s: %w", path, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("docdb: open journal %s: %w", path, err)
+	}
+	db.journal = &journal{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	return db, nil
+}
+
+// applyReplay applies a journal entry without re-journaling it.
+func (db *DB) applyReplay(e journalEntry) {
+	switch e.Op {
+	case "insert":
+		c := db.Collection(e.Collection)
+		c.mu.Lock()
+		id := e.Doc.ID()
+		if i, dup := c.byID[id]; dup {
+			if e.Replace {
+				c.docs[i] = e.Doc
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.byID[id] = len(c.docs)
+		c.docs = append(c.docs, e.Doc)
+		c.mu.Unlock()
+	case "delete":
+		c := db.Collection(e.Collection)
+		c.mu.Lock()
+		if i, ok := c.byID[e.ID]; ok {
+			c.docs = append(c.docs[:i], c.docs[i+1:]...)
+			c.byID = make(map[string]int, len(c.docs))
+			for j, d := range c.docs {
+				c.byID[d.ID()] = j
+			}
+		}
+		c.mu.Unlock()
+	case "drop":
+		db.mu.Lock()
+		delete(db.collections, e.Collection)
+		db.mu.Unlock()
+	}
+}
+
+// Flush forces buffered journal writes to disk. The measurement runner
+// calls it after each per-destination batch insert.
+func (db *DB) Flush() error {
+	if db.journal == nil {
+		return nil
+	}
+	return db.journal.flush()
+}
+
+// Close flushes and closes the journal (no-op for in-memory databases).
+func (db *DB) Close() error {
+	if db.journal == nil {
+		return nil
+	}
+	err := db.journal.close()
+	db.journal = nil
+	return err
+}
+
+// Compact rewrites the journal to contain exactly the current state: one
+// insert per live document, dropping superseded updates, deletes and
+// dropped collections. Long-running monitors call it to keep the journal
+// proportional to the data rather than to the operation history. The
+// rewrite goes through a temporary file and an atomic rename, so a crash
+// during compaction leaves either the old or the new journal intact.
+func (db *DB) Compact() error {
+	if db.journal == nil {
+		return fmt.Errorf("docdb: compact: in-memory database has no journal")
+	}
+	if err := db.journal.flush(); err != nil {
+		return err
+	}
+	path := db.journal.f.Name()
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	db.mu.RLock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		c := db.Collection(name)
+		c.mu.RLock()
+		for _, d := range c.docs {
+			b, err := json.Marshal(journalEntry{Op: "insert", Collection: name, Doc: d})
+			if err != nil {
+				c.mu.RUnlock()
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("docdb: compact: %w", err)
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				c.mu.RUnlock()
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("docdb: compact: %w", err)
+			}
+		}
+		c.mu.RUnlock()
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	// Swap: close the old journal, rename, reopen for append.
+	if err := db.journal.close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: compact: reopen: %w", err)
+	}
+	db.journal = &journal{f: nf, w: bufio.NewWriterSize(nf, 1<<16)}
+	return nil
+}

@@ -1,0 +1,107 @@
+package docdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Oracle test: random filter trees evaluated through Find (with and without
+// an index) must agree with a naive reference evaluation, document by
+// document.
+
+// randomFilter builds a random filter tree of bounded depth.
+func randomFilter(rng *rand.Rand, depth int) Filter {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		field := []string{"hops", "loss", "status", "path_id"}[rng.Intn(4)]
+		var value any
+		switch field {
+		case "hops":
+			value = rng.Intn(10)
+		case "loss":
+			value = float64(rng.Intn(5) * 25)
+		case "status":
+			value = []string{"alive", "timeout"}[rng.Intn(2)]
+		case "path_id":
+			value = fmt.Sprintf("2_%d", rng.Intn(6))
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return Eq(field, value)
+		case 1:
+			return Ne(field, value)
+		case 2:
+			return Gt(field, value)
+		case 3:
+			return Lt(field, value)
+		case 4:
+			return Gte(field, value)
+		case 5:
+			return Lte(field, value)
+		default:
+			return Exists(field, rng.Intn(2) == 0)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(randomFilter(rng, depth-1), randomFilter(rng, depth-1))
+	case 1:
+		return Or(randomFilter(rng, depth-1), randomFilter(rng, depth-1))
+	default:
+		return Not(randomFilter(rng, depth-1))
+	}
+}
+
+func TestFindMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db := Open()
+	plain := db.Collection("plain")
+	fast := db.Collection("fast")
+	var docs []Document
+	for i := 0; i < 400; i++ {
+		d := Document{
+			"_id":     fmt.Sprintf("d%d", i),
+			"hops":    rng.Intn(10),
+			"path_id": fmt.Sprintf("2_%d", rng.Intn(6)),
+		}
+		if rng.Intn(4) != 0 {
+			d["loss"] = float64(rng.Intn(5) * 25)
+		}
+		if rng.Intn(3) != 0 {
+			d["status"] = []string{"alive", "timeout"}[rng.Intn(2)]
+		}
+		docs = append(docs, d)
+	}
+	if err := plain.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	fast.EnsureIndex("path_id")
+	fast.EnsureIndex("hops")
+
+	for trial := 0; trial < 300; trial++ {
+		f := randomFilter(rng, 3)
+		// Naive oracle: Match on every stored doc.
+		want := map[string]bool{}
+		for _, d := range docs {
+			// Re-fetch the stored clone so types match storage exactly.
+			stored := plain.Get(d.ID())
+			if f.Match(stored) {
+				want[d.ID()] = true
+			}
+		}
+		for name, col := range map[string]*Collection{"plain": plain, "fast": fast} {
+			got := col.Find(Query{Filter: f})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (%s): got %d, oracle %d", trial, name, len(got), len(want))
+			}
+			for _, d := range got {
+				if !want[d.ID()] {
+					t.Fatalf("trial %d (%s): %s not in oracle set", trial, name, d.ID())
+				}
+			}
+		}
+	}
+}

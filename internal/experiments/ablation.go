@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Ablations quantify which model mechanisms the reproduced figures depend
+// on (the design choices DESIGN.md §5 calls out):
+//
+//   - the overload goodput collapse produces Fig 8's 64B>MTU reversal;
+//   - the sender packet-rate cap keeps 64-byte flows from offering
+//     150 Mbps (without it the reversal direction changes character);
+//   - per-AS jitter produces the wide whiskers of the 1004/1007 paths
+//     in Fig 5/6.
+
+// NewEnvWithOptions builds an env with custom simulator options (the
+// topology and database wiring match NewEnv).
+func NewEnvWithOptions(seed int64, opts simnet.Options) (*Env, error) {
+	topo := topology.DefaultWorld()
+	opts.Seed = seed
+	net := simnet.New(topo, opts)
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		return nil, err
+	}
+	db := docdb.Open()
+	if err := measure.SeedServers(db, topo); err != nil {
+		return nil, err
+	}
+	return &Env{
+		Topo:   topo,
+		Net:    net,
+		Daemon: daemon,
+		DB:     db,
+		Suite:  &measure.Suite{DB: db, Daemon: daemon},
+	}, nil
+}
+
+// AblationReversal measures the Fig 8 comparison (150 Mbps, 64B vs MTU
+// upstream) with and without the goodput-collapse mechanism. The reversal
+// must hold with the mechanism and vanish without it.
+type AblationReversal struct {
+	With64, WithMTU       float64 // means with collapse enabled (bps)
+	Without64, WithoutMTU float64 // means with collapse ablated
+}
+
+// ReversalHolds reports whether 64B beats MTU under the full model.
+func (a AblationReversal) ReversalHolds() bool { return a.With64 > a.WithMTU }
+
+// ReversalGoneWithoutCollapse reports whether ablating the collapse restores
+// MTU dominance (proportional dropping can never favour small packets).
+func (a AblationReversal) ReversalGoneWithoutCollapse() bool {
+	return a.WithoutMTU >= a.Without64
+}
+
+// RunAblationReversal runs the paired experiment.
+func RunAblationReversal(seed int64, scale Scale) (AblationReversal, error) {
+	var out AblationReversal
+	full, err := NewEnvWithOptions(seed, simnet.Options{})
+	if err != nil {
+		return out, err
+	}
+	r1, err := Fig8(full, scale)
+	if err != nil {
+		return out, fmt.Errorf("full model: %w", err)
+	}
+	out.With64, out.WithMTU = r1.Mean64Up, r1.MeanMTUUp
+
+	ablated, err := NewEnvWithOptions(seed, simnet.Options{DisableCollapse: true})
+	if err != nil {
+		return out, err
+	}
+	r2, err := Fig8(ablated, scale)
+	if err != nil {
+		return out, fmt.Errorf("ablated model: %w", err)
+	}
+	out.Without64, out.WithoutMTU = r2.Mean64Up, r2.MeanMTUUp
+	return out, nil
+}
+
+// AblationJitter measures the Fig 5/6 jitter contrast — the mean within-run
+// latency deviation (mdev) of paths through the jittery transits
+// (16-ffaa:0:1004 and 16-ffaa:0:1007) versus all other paths — with and
+// without per-AS jitter.
+type AblationJitter struct {
+	WithOhioMdev, WithDirectMdev       float64
+	WithoutOhioMdev, WithoutDirectMdev float64
+}
+
+// ContrastHolds reports whether the jittery transits visibly raise mdev
+// under the full model ("a wide jitter other than high latency peeks").
+func (a AblationJitter) ContrastHolds() bool {
+	return a.WithOhioMdev > 2*a.WithDirectMdev
+}
+
+// ContrastGoneWithoutJitter reports whether ablating jitter collapses the
+// contrast (mdevs within a factor ~2 of each other).
+func (a AblationJitter) ContrastGoneWithoutJitter() bool {
+	return a.WithoutOhioMdev <= 2*a.WithoutDirectMdev+0.5
+}
+
+// RunAblationJitter runs the paired experiment over the Fig 5 campaign.
+func RunAblationJitter(seed int64, scale Scale) (AblationJitter, error) {
+	var out AblationJitter
+	measureMdev := func(opts simnet.Options) (ohio, direct float64, err error) {
+		env, err := NewEnvWithOptions(seed, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := Fig5(env, scale)
+		if err != nil {
+			return 0, 0, err
+		}
+		mdevs := mdevByPath(env.DB, res.ServerID)
+		pds, err := measure.PathsForServer(env.DB, res.ServerID)
+		if err != nil {
+			return 0, 0, err
+		}
+		var nOhio, nDirect int
+		for _, pd := range pds {
+			jittery := false
+			for _, ia := range longDistanceTransits() {
+				if pathTraverses(pd, ia) {
+					jittery = true
+					break
+				}
+			}
+			for _, v := range mdevs[pd.ID] {
+				if jittery {
+					ohio += v
+					nOhio++
+				} else {
+					direct += v
+					nDirect++
+				}
+			}
+		}
+		if nOhio == 0 || nDirect == 0 {
+			return 0, 0, fmt.Errorf("ablation: missing layers (ohio=%d direct=%d)", nOhio, nDirect)
+		}
+		return ohio / float64(nOhio), direct / float64(nDirect), nil
+	}
+	var err error
+	if out.WithOhioMdev, out.WithDirectMdev, err = measureMdev(simnet.Options{}); err != nil {
+		return out, err
+	}
+	if out.WithoutOhioMdev, out.WithoutDirectMdev, err = measureMdev(simnet.Options{DisableJitter: true}); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// The Fig 8 reversal requires the overload goodput collapse: proportional
+// dropping can never make small packets beat large ones on goodput.
+func TestAblationReversalMechanism(t *testing.T) {
+	// Use more iterations to stabilise the means across the ablated pair.
+	scale := Fast
+	scale.Iterations = 4
+	res, err := RunAblationReversal(21, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReversalHolds() {
+		t.Errorf("full model lost the reversal: 64B %.1f vs MTU %.1f Mbps",
+			res.With64/1e6, res.WithMTU/1e6)
+	}
+	if !res.ReversalGoneWithoutCollapse() {
+		t.Errorf("reversal survives without collapse: 64B %.1f vs MTU %.1f Mbps",
+			res.Without64/1e6, res.WithoutMTU/1e6)
+	}
+	// Ablating the collapse must not reduce MTU throughput.
+	if res.WithoutMTU < res.WithMTU {
+		t.Errorf("collapse ablation lowered MTU throughput: %.1f -> %.1f",
+			res.WithMTU/1e6, res.WithoutMTU/1e6)
+	}
+}
+
+// The wide whiskers of the long-distance paths require per-AS jitter.
+func TestAblationJitterMechanism(t *testing.T) {
+	scale := Fast
+	scale.Iterations = 6
+	res, err := RunAblationJitter(22, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContrastHolds() {
+		t.Errorf("full model lacks the jitter contrast: ohio mdev %.2f vs direct %.2f ms",
+			res.WithOhioMdev, res.WithDirectMdev)
+	}
+	if !res.ContrastGoneWithoutJitter() {
+		t.Errorf("contrast survives without jitter: ohio mdev %.2f vs direct %.2f ms",
+			res.WithoutOhioMdev, res.WithoutDirectMdev)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullCampaignFastScale(t *testing.T) {
+	res, err := FullCampaign(env(t, 80), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destinations != 5 {
+		t.Errorf("campaign covered %d destinations, want the 5-focus subset", res.Destinations)
+	}
+	// Samples = iterations x total retained paths over the subset.
+	if res.Samples != res.PathsTested {
+		t.Errorf("samples %d != paths tested %d (one stat per path per iteration)", res.Samples, res.PathsTested)
+	}
+	if res.Samples < 5*Fast.Iterations {
+		t.Errorf("only %d samples", res.Samples)
+	}
+	if res.Failures != 0 {
+		t.Errorf("%d failures on a healthy network", res.Failures)
+	}
+	if res.SimulatedTime <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if !strings.Contains(res.Rendered, "~3000") {
+		t.Error("rendering misses the paper reference")
+	}
+}
+
+// TestFullCampaignSampleScaling checks the arithmetic that lands the paper
+// at ~3000 samples: samples scale linearly with iterations.
+func TestFullCampaignSampleScaling(t *testing.T) {
+	scale1, scale2 := Fast, Fast
+	scale1.Iterations, scale2.Iterations = 1, 3
+	r1, err := FullCampaign(env(t, 81), scale1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FullCampaign(env(t, 82), scale2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Samples != 3*r1.Samples {
+		t.Errorf("samples do not scale linearly: %d vs 3x%d", r2.Samples, r1.Samples)
+	}
+	// At the paper's 20 iterations the same path set yields 20x r1 samples;
+	// assert the extrapolation lands in the paper's "approximately three
+	// thousand" ballpark.
+	extrapolated := 20 * r1.Samples
+	if extrapolated < 500 || extrapolated > 5000 {
+		t.Errorf("paper-scale extrapolation %d samples outside the ~3000 ballpark", extrapolated)
+	}
+}

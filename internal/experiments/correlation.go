@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/stats"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// CorrelationResult quantifies the paper's central §6.1 claim: latency is
+// driven by the geographic length of the path, "rather than ... the number
+// of hops or the ISDs traversed". It correlates measured RTTs against (a)
+// hop count and (b) the summed great-circle distance of the path, over
+// every measured path to the focus destinations.
+type CorrelationResult struct {
+	Samples int
+	// HopsVsLatency and DistanceVsLatency are Pearson coefficients.
+	HopsVsLatency     float64
+	DistanceVsLatency float64
+	Rendered          string
+}
+
+// Correlation measures several destinations (latency only) and computes
+// both coefficients.
+func Correlation(env *Env, scale Scale, dests []addr.IA) (CorrelationResult, error) {
+	if len(dests) == 0 {
+		dests = []addr.IA{topology.AWSIreland, topology.AWSVirginia, topology.KoreaUniv}
+	}
+	var ids []int
+	for _, ia := range dests {
+		id, err := env.ServerID(ia)
+		if err != nil {
+			return CorrelationResult{}, err
+		}
+		ids = append(ids, id)
+	}
+	if _, err := env.Suite.Run(scale.runOpts(ids, true, 0)); err != nil {
+		return CorrelationResult{}, err
+	}
+
+	var hops, dist, lat []float64
+	for _, id := range ids {
+		pds, err := measure.PathsForServer(env.DB, id)
+		if err != nil {
+			return CorrelationResult{}, err
+		}
+		distOf := map[string]float64{}
+		hopsOf := map[string]float64{}
+		for _, pd := range pds {
+			distOf[pd.ID] = pathDistanceKm(env, pd)
+			hopsOf[pd.ID] = float64(pd.Hops)
+		}
+		for pathID, samples := range latencyByPath(env.DB, id) {
+			for _, v := range samples {
+				hops = append(hops, hopsOf[pathID])
+				dist = append(dist, distOf[pathID])
+				lat = append(lat, v)
+			}
+		}
+	}
+	res := CorrelationResult{
+		Samples:           len(lat),
+		HopsVsLatency:     stats.Pearson(hops, lat),
+		DistanceVsLatency: stats.Pearson(dist, lat),
+	}
+	res.Rendered = fmt.Sprintf(
+		"Correlation with measured RTT over %d samples:\n"+
+			"  hop count          r = %+.3f\n"+
+			"  path distance (km) r = %+.3f\n"+
+			"(§6.1: distance, not hop count, drives latency)\n",
+		res.Samples, res.HopsVsLatency, res.DistanceVsLatency)
+	return res, nil
+}
+
+// pathDistanceKm sums the great-circle lengths of the stored path's links.
+func pathDistanceKm(env *Env, pd measure.PathDoc) float64 {
+	var total float64
+	for i := 0; i+1 < len(pd.Sequence); i++ {
+		a := env.Topo.AS(addr.IA{ISD: pd.Sequence[i].ISD, AS: pd.Sequence[i].AS})
+		b := env.Topo.AS(addr.IA{ISD: pd.Sequence[i+1].ISD, AS: pd.Sequence[i+1].AS})
+		if a == nil || b == nil {
+			continue
+		}
+		total += geo.DistanceKm(a.Site.Coords, b.Site.Coords)
+	}
+	return total
+}

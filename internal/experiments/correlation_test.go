@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorrelationDistanceDominates encodes the paper's central claim
+// quantitatively: across measured paths, geographic distance correlates
+// with RTT far more strongly than hop count does.
+func TestCorrelationDistanceDominates(t *testing.T) {
+	res, err := Correlation(env(t, 30), Fast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 30 {
+		t.Fatalf("only %d samples", res.Samples)
+	}
+	if res.DistanceVsLatency < 0.9 {
+		t.Errorf("distance correlation %.3f, want near 1 (propagation dominates)", res.DistanceVsLatency)
+	}
+	if res.HopsVsLatency > 0.6 {
+		t.Errorf("hop-count correlation %.3f unexpectedly strong", res.HopsVsLatency)
+	}
+	if res.DistanceVsLatency <= res.HopsVsLatency {
+		t.Errorf("distance r=%.3f not above hops r=%.3f", res.DistanceVsLatency, res.HopsVsLatency)
+	}
+	if !strings.Contains(res.Rendered, "path distance") {
+		t.Error("rendering incomplete")
+	}
+}

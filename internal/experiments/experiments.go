@@ -1,0 +1,189 @@
+// Package experiments reproduces every figure and in-text table of the
+// paper's evaluation (§6). Each Fig* function builds its workload, drives
+// the test-suite over the simulated SCIONLab, and returns both structured
+// results (for assertions and benchmarks) and a rendered text figure.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Scale sets the measurement effort. Fast keeps tests and benchmarks
+// snappy; PaperScale matches the paper's parameters (30-echo pings at
+// 0.1 s, 3 s bandwidth tests, enough iterations for ~3000 samples).
+type Scale struct {
+	Iterations   int
+	PingCount    int
+	PingInterval time.Duration
+	BwDuration   time.Duration
+}
+
+// Fast is the test/bench scale.
+var Fast = Scale{Iterations: 3, PingCount: 10, PingInterval: 10 * time.Millisecond, BwDuration: 500 * time.Millisecond}
+
+// PaperScale mirrors §5.3's parameters.
+var PaperScale = Scale{Iterations: 20, PingCount: 30, PingInterval: 100 * time.Millisecond, BwDuration: 3 * time.Second}
+
+// Env is a fresh simulated SCIONLab with an empty measurement database.
+type Env struct {
+	Topo   *topology.Topology
+	Net    *simnet.Network
+	Daemon *sciond.Daemon
+	DB     *docdb.DB
+	Suite  *measure.Suite
+}
+
+// NewEnv builds the world with a deterministic seed.
+func NewEnv(seed int64) (*Env, error) {
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: seed})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		return nil, err
+	}
+	db := docdb.Open()
+	if err := measure.SeedServers(db, topo); err != nil {
+		return nil, err
+	}
+	return &Env{
+		Topo:   topo,
+		Net:    net,
+		Daemon: daemon,
+		DB:     db,
+		Suite:  &measure.Suite{DB: db, Daemon: daemon},
+	}, nil
+}
+
+// ServerID resolves the availableServers id of a destination AS (its first
+// server when the AS houses several).
+func (e *Env) ServerID(ia addr.IA) (int, error) {
+	servers, err := measure.Servers(e.DB)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range servers {
+		if s.Address.IA == ia {
+			return s.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no server in AS %s", ia)
+}
+
+// Selection returns a path-selection engine over the env's database.
+func (e *Env) Selection() *selection.Engine {
+	return selection.New(e.DB, e.Topo)
+}
+
+// runOpts converts a Scale to measurement options for one destination.
+func (s Scale) runOpts(serverIDs []int, skipBW bool, targetBps float64) measure.RunOpts {
+	return measure.RunOpts{
+		Iterations:    s.Iterations,
+		ServerIDs:     serverIDs,
+		PingCount:     s.PingCount,
+		PingInterval:  s.PingInterval,
+		BwDuration:    s.BwDuration,
+		BwTargetBps:   targetBps,
+		SkipBandwidth: skipBW,
+	}
+}
+
+// longDistanceTransits are the geographically remote ASes of §6.1 whose
+// removal the Fig 6 right-hand plot studies.
+func longDistanceTransits() []string {
+	return []string{topology.AWSOhio.String(), topology.AWSSingapore.String()}
+}
+
+// pathCrossesCountry reports whether any hop of the stored path sits in the
+// given country.
+func pathCrossesCountry(env *Env, pd measure.PathDoc, country string) bool {
+	for _, pred := range pd.Sequence {
+		as := env.Topo.AS(addr.IA{ISD: pred.ISD, AS: pred.AS})
+		if as != nil && as.Site.Country == country {
+			return true
+		}
+	}
+	return false
+}
+
+// pathTraverses reports whether the stored path traverses the AS.
+func pathTraverses(pd measure.PathDoc, ia string) bool {
+	target, err := addr.ParseIA(ia)
+	if err != nil {
+		return false
+	}
+	for _, pred := range pd.Sequence {
+		if pred.ISD == target.ISD && pred.AS == target.AS {
+			return true
+		}
+	}
+	return false
+}
+
+// latencyByPath extracts per-path average latencies from paths_stats.
+func latencyByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
+		Filter: docdb.Eq(measure.FServerID, serverID),
+		SortBy: measure.FTimestamp,
+	}) {
+		pathID, _ := d[measure.FPathID].(string)
+		if v, ok := d[measure.FAvgLatency].(float64); ok {
+			out[pathID] = append(out[pathID], v)
+		}
+	}
+	return out
+}
+
+// mdevByPath extracts per-path latency deviations from paths_stats.
+func mdevByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
+		Filter: docdb.Eq(measure.FServerID, serverID),
+		SortBy: measure.FTimestamp,
+	}) {
+		pathID, _ := d[measure.FPathID].(string)
+		if v, ok := d[measure.FMdev].(float64); ok {
+			out[pathID] = append(out[pathID], v)
+		}
+	}
+	return out
+}
+
+// lossByPath extracts per-path loss percentages from paths_stats.
+func lossByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
+		Filter: docdb.Eq(measure.FServerID, serverID),
+		SortBy: measure.FTimestamp,
+	}) {
+		pathID, _ := d[measure.FPathID].(string)
+		if v, ok := d[measure.FLoss].(float64); ok {
+			out[pathID] = append(out[pathID], v)
+		}
+	}
+	return out
+}
+
+// bwByPath extracts one bandwidth field per path from paths_stats.
+func bwByPath(db *docdb.DB, serverID int, field string) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
+		Filter: docdb.Eq(measure.FServerID, serverID),
+		SortBy: measure.FTimestamp,
+	}) {
+		pathID, _ := d[measure.FPathID].(string)
+		if v, ok := d[field].(float64); ok {
+			out[pathID] = append(out[pathID], v)
+		}
+	}
+	return out
+}

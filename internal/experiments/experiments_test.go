@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/upin/scionpath/internal/stats"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func env(t testing.TB, seed int64) *Env {
+	t.Helper()
+	e, err := NewEnv(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(env(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 21 reachable destinations (20 distinct ASes here), average
+	// path length 5.66 hops, ~70% within 6 hops.
+	if res.Reachable < 19 {
+		t.Errorf("reachable ASes %d", res.Reachable)
+	}
+	if res.AvgMinHops < 5.0 || res.AvgMinHops > 6.5 {
+		t.Errorf("avg min hops %.2f outside the paper's ballpark (5.66)", res.AvgMinHops)
+	}
+	if res.FracWithin6 < 0.55 || res.FracWithin6 > 0.9 {
+		t.Errorf("fraction within 6 hops %.2f outside the paper's ballpark (~0.70)", res.FracWithin6)
+	}
+	if !strings.Contains(res.Rendered, "hops") || !strings.Contains(res.Rendered, "█") {
+		t.Errorf("rendered figure incomplete:\n%s", res.Rendered)
+	}
+}
+
+func TestFig5ThreeLatencyLayers(t *testing.T) {
+	res, err := Fig5(env(t, 2), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boxes) < 6 {
+		t.Fatalf("only %d paths measured", len(res.Boxes))
+	}
+	eu, ohio, sg := res.LayerSummary[LayerEurope], res.LayerSummary[LayerOhio], res.LayerSummary[LayerSingapore]
+	if eu.N == 0 || ohio.N == 0 || sg.N == 0 {
+		t.Fatalf("missing layers: eu=%d ohio=%d sg=%d", eu.N, ohio.N, sg.N)
+	}
+	// "clear separation of latency values into three main layers": Europe
+	// below Ohio below Singapore, with gaps.
+	if !(eu.Mean < ohio.Mean && ohio.Mean < sg.Mean) {
+		t.Errorf("layer means not ordered: eu=%.1f ohio=%.1f sg=%.1f", eu.Mean, ohio.Mean, sg.Mean)
+	}
+	if ohio.Mean < 2*eu.Mean {
+		t.Errorf("Ohio layer %.1f not clearly above Europe %.1f", ohio.Mean, eu.Mean)
+	}
+	if sg.Mean < 1.5*ohio.Mean {
+		t.Errorf("Singapore layer %.1f not clearly above Ohio %.1f", sg.Mean, ohio.Mean)
+	}
+	// Paths come in exactly the 6-hop and 7-hop groups.
+	for id, hops := range res.HopsOf {
+		if hops != 6 && hops != 7 {
+			t.Errorf("path %s has %d hops; collection filter should keep 6-7 only", id, hops)
+		}
+	}
+	// Long-distance paths all sit in the 7-hop group with second-last hop
+	// at the transit (checked structurally in pathmgr tests); here verify
+	// the layers map onto hop groups: every Ohio/Singapore path has 7 hops.
+	for id, layer := range res.LayerOf {
+		if layer != LayerEurope && res.HopsOf[id] != 7 {
+			t.Errorf("long-distance path %s in %d-hop group", id, res.HopsOf[id])
+		}
+	}
+}
+
+func TestFig6ExclusionShrinksVariance(t *testing.T) {
+	res, err := Fig6(env(t, 3), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) < 2 {
+		t.Fatalf("only %d groups", len(res.All))
+	}
+	// The {16,17}/7h group contains the long-distance paths: after
+	// exclusion its spread and mean must drop sharply.
+	key := GroupKey([]string{"16", "17"}, 7)
+	before, okB := res.All[key]
+	after, okA := res.Excluded[key]
+	if !okB || !okA {
+		t.Fatalf("group %q missing: before=%v after=%v (groups: %v)", key, okB, okA, keys(res.All))
+	}
+	if !(after.Mean < before.Mean/2) {
+		t.Errorf("exclusion did not drop the mean: %.1f -> %.1f", before.Mean, after.Mean)
+	}
+	if !(after.IQR() < before.IQR()) {
+		t.Errorf("exclusion did not shrink the IQR: %.1f -> %.1f", before.IQR(), after.IQR())
+	}
+	// After exclusion the 6-hop and 7-hop same-ISD groups are comparable
+	// ("comparable values", §6.1): within 2x of each other.
+	key6 := GroupKey([]string{"16", "17"}, 6)
+	if g6, ok := res.Excluded[key6]; ok {
+		if after.Mean > 2*g6.Mean {
+			t.Errorf("excluded 7-hop mean %.1f not comparable to 6-hop %.1f", after.Mean, g6.Mean)
+		}
+	}
+	if !strings.Contains(res.Rendered, "Fig 6 (left)") || !strings.Contains(res.Rendered, "Fig 6 (right)") {
+		t.Error("rendered output missing panels")
+	}
+}
+
+func TestFig7SmallPacketsLose(t *testing.T) {
+	res, err := Fig7(env(t, 4), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 7 orderings at 12 Mbps: MTU beats 64B in both directions.
+	if !(res.Mean64Up < res.MeanMTUUp) {
+		t.Errorf("upstream: 64B %.1f Mbps !< MTU %.1f Mbps", res.Mean64Up/1e6, res.MeanMTUUp/1e6)
+	}
+	if !(res.Mean64Down < res.MeanMTUDown) {
+		t.Errorf("downstream: 64B %.1f Mbps !< MTU %.1f Mbps", res.Mean64Down/1e6, res.MeanMTUDown/1e6)
+	}
+	// MTU flows run near the 12 Mbps target.
+	if res.MeanMTUDown < 9e6 || res.MeanMTUDown > 12.2e6 {
+		t.Errorf("MTU downstream %.1f Mbps far from the 12 Mbps target", res.MeanMTUDown/1e6)
+	}
+	// Upstream below downstream (asymmetry).
+	if !(res.Mean64Up < res.Mean64Down) {
+		t.Errorf("64B upstream %.1f !< downstream %.1f", res.Mean64Up/1e6, res.Mean64Down/1e6)
+	}
+}
+
+func TestFig8TrendReverses(t *testing.T) {
+	res, err := Fig8(env(t, 5), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "This trend reverses when we require a higher bandwidth of 150Mbps":
+	// 64B beats MTU in both directions.
+	if !(res.Mean64Up > res.MeanMTUUp) {
+		t.Errorf("upstream: 64B %.1f Mbps !> MTU %.1f Mbps", res.Mean64Up/1e6, res.MeanMTUUp/1e6)
+	}
+	if !(res.Mean64Down > res.MeanMTUDown) {
+		t.Errorf("downstream: 64B %.1f Mbps !> MTU %.1f Mbps", res.Mean64Down/1e6, res.MeanMTUDown/1e6)
+	}
+	// Nobody gets close to 150 Mbps — the network "may not have
+	// sufficient capacity".
+	for _, v := range []float64{res.Mean64Up, res.Mean64Down, res.MeanMTUUp, res.MeanMTUDown} {
+		if v > 75e6 {
+			t.Errorf("achieved %.1f Mbps at a 150 Mbps target: bottleneck missing", v/1e6)
+		}
+	}
+}
+
+func TestFig9LossPattern(t *testing.T) {
+	res, err := Fig9(env(t, 6), Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 6 {
+		t.Fatalf("only %d paths in the dot plot", len(res.Series))
+	}
+	// A subset of paths registers complete 100% loss.
+	if len(res.FullLossPaths) < 2 {
+		t.Fatalf("only %d full-loss paths", len(res.FullLossPaths))
+	}
+	if len(res.FullLossPaths) >= len(res.Series) {
+		t.Fatal("every path lost everything; episode should hit a subset")
+	}
+	// Their shared nodes sit in the first half of the path and include the
+	// congested transit.
+	foundETHZ := false
+	for _, ia := range res.SharedFirstHalf {
+		if ia.String() == "17-ffaa:0:1102" {
+			foundETHZ = true
+		}
+	}
+	if !foundETHZ {
+		t.Errorf("shared first-half ASes %v do not include the congested transit", res.SharedFirstHalf)
+	}
+	// The majority of paths exhibits ~0% loss; a few see intermediate loss.
+	zeroish := 0
+	for _, s := range res.Series {
+		allZero := true
+		for _, v := range s.Values {
+			if v > 15 {
+				allZero = false
+			}
+		}
+		if allZero && len(s.Values) > 0 {
+			zeroish++
+		}
+	}
+	if zeroish == 0 {
+		t.Error("no low-loss paths at all")
+	}
+	if !strings.Contains(res.Rendered, "Fig 9") {
+		t.Error("rendered figure missing")
+	}
+}
+
+func TestTableReachability(t *testing.T) {
+	tab, err := TableReachability(env(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: exactly 21 testable servers.
+	if tab.ReachableServers != 21 {
+		t.Errorf("reachable servers %d, want 21", tab.ReachableServers)
+	}
+	if !strings.Contains(tab.Rendered, "5.66") {
+		t.Error("rendered table missing the paper reference value")
+	}
+}
+
+func TestTableFilter(t *testing.T) {
+	tab, err := TableFilter(env(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Retained == 0 || tab.Retained > tab.Discovered {
+		t.Errorf("retained %d of %d", tab.Retained, tab.Discovered)
+	}
+	if len(tab.PerServer) != 21 {
+		t.Errorf("per-server rows %d", len(tab.PerServer))
+	}
+}
+
+func TestFocusServerIDs(t *testing.T) {
+	e := env(t, 9)
+	ids, err := FocusServerIDs(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("%d focus ids, want 5", len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 1 || id > 21 || seen[id] {
+			t.Errorf("bad focus id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestEnvServerIDUnknown(t *testing.T) {
+	e := env(t, 10)
+	if _, err := e.ServerID(topology.MyAS); err == nil {
+		t.Error("ServerID for a serverless AS succeeded")
+	}
+}
+
+func keys(m map[string]stats.Summary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

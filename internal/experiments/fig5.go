@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/stats"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// LatencyLayer classifies a path by the geography of its transit, the
+// mechanism behind Fig 5's "clear separation of latency values into three
+// main layers".
+type LatencyLayer string
+
+// The three layers of Fig 5: paths staying in Europe, paths detouring
+// through the United States (the paper's paths "10"/"15" via Ohio), and
+// paths detouring through Asia (paths "9"/"14" via Singapore).
+const (
+	LayerEurope    LatencyLayer = "europe"
+	LayerOhio      LatencyLayer = "us-detour"
+	LayerSingapore LatencyLayer = "singapore"
+)
+
+// Fig5Result reproduces "Average Latency Values measured for each path of
+// destination 16-ffaa:0:1002 (AWS - Ireland)", box plots split into 6-hop
+// and 7-hop path groups.
+type Fig5Result struct {
+	ServerID int
+	// Boxes hold one whisker summary per path, tagged "6 hops"/"7 hops".
+	Boxes []plot.Box
+	// LayerOf maps path id to its latency layer.
+	LayerOf map[string]LatencyLayer
+	// LayerSummary aggregates all samples per layer.
+	LayerSummary map[LatencyLayer]stats.Summary
+	// HopsOf maps path id to its hop count.
+	HopsOf   map[string]int
+	Rendered string
+}
+
+// Fig5 measures every retained path to AWS Ireland Scale.Iterations times
+// (latency/loss only) and builds the per-path box plots.
+func Fig5(env *Env, scale Scale) (Fig5Result, error) {
+	id, err := env.ServerID(topology.AWSIreland)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	if _, err := env.Suite.Run(scale.runOpts([]int{id}, true, 0)); err != nil {
+		return Fig5Result{}, err
+	}
+	return fig5FromDB(env, id)
+}
+
+// fig5FromDB builds the figure from an already measured database (so Fig 6
+// can reuse the same campaign, like the paper does).
+func fig5FromDB(env *Env, serverID int) (Fig5Result, error) {
+	pds, err := measure.PathsForServer(env.DB, serverID)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	lat := latencyByPath(env.DB, serverID)
+
+	res := Fig5Result{
+		ServerID:     serverID,
+		LayerOf:      map[string]LatencyLayer{},
+		LayerSummary: map[LatencyLayer]stats.Summary{},
+		HopsOf:       map[string]int{},
+	}
+	layerSamples := map[LatencyLayer][]float64{}
+	// Path order: by index (the x-axis of Fig 5).
+	sort.Slice(pds, func(i, j int) bool { return pds[i].Index < pds[j].Index })
+	for _, pd := range pds {
+		samples := lat[pd.ID]
+		layer := LayerEurope
+		switch {
+		case pathCrossesCountry(env, pd, "Singapore"):
+			layer = LayerSingapore
+		case pathCrossesCountry(env, pd, "United States"):
+			layer = LayerOhio
+		}
+		res.LayerOf[pd.ID] = layer
+		res.HopsOf[pd.ID] = pd.Hops
+		layerSamples[layer] = append(layerSamples[layer], samples...)
+		res.Boxes = append(res.Boxes, plot.Box{
+			Label:   pd.ID,
+			Tag:     fmt.Sprintf("%d hops", pd.Hops),
+			Summary: stats.Summarize(samples),
+		})
+	}
+	for layer, samples := range layerSamples {
+		res.LayerSummary[layer] = stats.Summarize(samples)
+	}
+	res.Rendered = plot.BoxPlot(
+		"Fig 5 — Average latency per path to 16-ffaa:0:1002 (AWS Ireland)",
+		"ms", res.Boxes, 64)
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/stats"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Fig6Result reproduces "Average latency for each ISD set grouped by hop
+// count": the left plot includes every measurement, the right plot excludes
+// the long-distance paths (via AWS Ohio and AWS Singapore) from the groups,
+// showing "a smaller variance and comparable values".
+type Fig6Result struct {
+	ServerID int
+	// All summarises latency per "ISDset/hops" group over every path.
+	All map[string]stats.Summary
+	// Excluded is the same after removing long-distance paths.
+	Excluded map[string]stats.Summary
+	Rendered string
+}
+
+// GroupKey builds the "ISDset/hops" key of Fig 6's x-axis.
+func GroupKey(isds []string, hops int) string {
+	return fmt.Sprintf("{%s}/%dh", strings.Join(isds, ","), hops)
+}
+
+// Fig6 reuses (or creates) a latency campaign against AWS Ireland and
+// groups it by traversed-ISD set and hop count.
+func Fig6(env *Env, scale Scale) (Fig6Result, error) {
+	id, err := env.ServerID(topology.AWSIreland)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	// Measure only when the database has no campaign for this server yet.
+	if len(latencyByPath(env.DB, id)) == 0 {
+		if _, err := env.Suite.Run(scale.runOpts([]int{id}, true, 0)); err != nil {
+			return Fig6Result{}, err
+		}
+	}
+
+	pds, err := measure.PathsForServer(env.DB, id)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	lat := latencyByPath(env.DB, id)
+
+	all := stats.NewGroup()
+	excl := stats.NewGroup()
+	for _, pd := range pds {
+		key := GroupKey(pd.ISDs, pd.Hops)
+		longDistance := false
+		for _, ia := range longDistanceTransits() {
+			if pathTraverses(pd, ia) {
+				longDistance = true
+				break
+			}
+		}
+		for _, v := range lat[pd.ID] {
+			all.Add(key, v)
+			if !longDistance {
+				excl.Add(key, v)
+			}
+		}
+	}
+
+	res := Fig6Result{
+		ServerID: id,
+		All:      map[string]stats.Summary{},
+		Excluded: map[string]stats.Summary{},
+	}
+	var leftBoxes, rightBoxes []plot.Box
+	for _, key := range all.SortedKeys() {
+		res.All[key] = all.Summary(key)
+		leftBoxes = append(leftBoxes, plot.Box{Label: key, Summary: all.Summary(key)})
+	}
+	for _, key := range excl.SortedKeys() {
+		res.Excluded[key] = excl.Summary(key)
+		rightBoxes = append(rightBoxes, plot.Box{Label: key, Summary: excl.Summary(key)})
+	}
+	res.Rendered = plot.BoxPlot("Fig 6 (left) — Latency per ISD set x hop count, all paths", "ms", leftBoxes, 64) +
+		plot.BoxPlot("Fig 6 (right) — Same, long-distance paths excluded", "ms", rightBoxes, 64)
+	return res, nil
+}

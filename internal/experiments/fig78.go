@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/stats"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// BandwidthFigResult reproduces Fig 7 (12 Mbps target) and Fig 8
+// (150 Mbps target): "Average bandwidth values for each path, requiring a
+// bandwidth of X from and to a Germany Server", upstream on the left,
+// downstream on the right, with a 64-byte whisker and an MTU whisker per
+// path.
+type BandwidthFigResult struct {
+	ServerID  int
+	TargetBps float64
+	// Per-path summaries, keyed by path id, in Mbps.
+	Up64, Down64, UpMTU, DownMTU map[string]stats.Summary
+	// Aggregate means over all paths and samples (Mbps), for the shape
+	// assertions: who wins, 64B or MTU, in which direction.
+	Mean64Up, Mean64Down, MeanMTUUp, MeanMTUDown float64
+	Rendered                                     string
+}
+
+// Fig7 runs the 12 Mbps campaign against the Magdeburg AP (Germany).
+func Fig7(env *Env, scale Scale) (BandwidthFigResult, error) {
+	return bandwidthFig(env, scale, 12e6, "Fig 7")
+}
+
+// Fig8 runs the 150 Mbps campaign, where the 64-byte/MTU trend reverses.
+func Fig8(env *Env, scale Scale) (BandwidthFigResult, error) {
+	return bandwidthFig(env, scale, 150e6, "Fig 8")
+}
+
+func bandwidthFig(env *Env, scale Scale, target float64, tag string) (BandwidthFigResult, error) {
+	id, err := env.ServerID(topology.MagdeburgAP)
+	if err != nil {
+		return BandwidthFigResult{}, err
+	}
+	if _, err := env.Suite.Run(scale.runOpts([]int{id}, false, target)); err != nil {
+		return BandwidthFigResult{}, err
+	}
+
+	res := BandwidthFigResult{
+		ServerID:  id,
+		TargetBps: target,
+		Up64:      map[string]stats.Summary{},
+		Down64:    map[string]stats.Summary{},
+		UpMTU:     map[string]stats.Summary{},
+		DownMTU:   map[string]stats.Summary{},
+	}
+	fields := []struct {
+		field string
+		into  map[string]stats.Summary
+		mean  *float64
+	}{
+		{measure.FBwUp64, res.Up64, &res.Mean64Up},
+		{measure.FBwDown64, res.Down64, &res.Mean64Down},
+		{measure.FBwUpMTU, res.UpMTU, &res.MeanMTUUp},
+		{measure.FBwDownMTU, res.DownMTU, &res.MeanMTUDown},
+	}
+	for _, f := range fields {
+		var allSamples []float64
+		for pathID, samples := range bwByPath(env.DB, id, f.field) {
+			mbps := make([]float64, len(samples))
+			for i, v := range samples {
+				mbps[i] = v / 1e6
+			}
+			f.into[pathID] = stats.Summarize(mbps)
+			allSamples = append(allSamples, mbps...)
+		}
+		*f.mean = stats.Mean(allSamples) * 1e6 // back to bps
+	}
+
+	var upBoxes, downBoxes []plot.Box
+	pds, err := measure.PathsForServer(env.DB, id)
+	if err != nil {
+		return res, err
+	}
+	for _, pd := range pds {
+		upBoxes = append(upBoxes,
+			plot.Box{Label: pd.ID, Tag: "64B", Summary: res.Up64[pd.ID]},
+			plot.Box{Label: pd.ID, Tag: "MTU", Summary: res.UpMTU[pd.ID]})
+		downBoxes = append(downBoxes,
+			plot.Box{Label: pd.ID, Tag: "64B", Summary: res.Down64[pd.ID]},
+			plot.Box{Label: pd.ID, Tag: "MTU", Summary: res.DownMTU[pd.ID]})
+	}
+	title := fmt.Sprintf("%s — Achieved bandwidth per path to 19-ffaa:0:1303 (Germany), target %s",
+		tag, fmtMbps(target))
+	res.Rendered = plot.BoxPlot(title+" — upstream", "Mbps", upBoxes, 56) +
+		plot.BoxPlot(title+" — downstream", "Mbps", downBoxes, 56)
+	return res, nil
+}
+
+func fmtMbps(bps float64) string { return fmt.Sprintf("%.0fMbps", bps/1e6) }

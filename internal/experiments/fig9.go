@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Fig9Result reproduces "Average packet loss percentage for each path of
+// AWS US N. Virginia AS": most paths at 0 % loss, a few occasionally near
+// 10 %, and a set of paths registering a complete 100 % loss whose shared
+// nodes "are only those concentrated in the first half of the path" — here
+// a congestion episode on the ETHZ transit that one of the two up segments
+// crosses.
+type Fig9Result struct {
+	ServerID int
+	// Series carries the per-path loss measurements of the dot plot.
+	Series []plot.DotSeries
+	// FullLossPaths are the path ids whose every measurement was 100 %.
+	FullLossPaths []string
+	// SharedFirstHalf are the transit ASes common to all full-loss paths,
+	// restricted to the first half of the path.
+	SharedFirstHalf []addr.IA
+	// OccasionalLossPaths saw intermediate loss (0 < loss < 100 on some
+	// measurement).
+	OccasionalLossPaths []string
+	Rendered            string
+}
+
+// Fig9 collects paths to AWS N. Virginia, schedules a full-outage
+// congestion episode on a shared first-half transit AS (ETHZ) spanning the
+// campaign plus brief mild congestion on the AWS core, then measures loss
+// on every path.
+func Fig9(env *Env, scale Scale) (Fig9Result, error) {
+	id, err := env.ServerID(topology.AWSVirginia)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	// Collect first so the campaign length is known for episode planning.
+	if _, err := measure.CollectPaths(env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
+		return Fig9Result{}, err
+	}
+	pds, err := measure.PathsForServer(env.DB, id)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+
+	perPath := time.Duration(scale.PingCount-1) * scale.PingInterval
+	campaign := time.Duration(scale.Iterations*len(pds))*perPath + time.Second
+
+	// The outage: a node in the first half of several paths is congested
+	// for the whole campaign (§6.3's hypothesis, made concrete).
+	ethz := addr.MustParseIA("17-ffaa:0:1102")
+	if err := env.Net.ScheduleEpisode(simnet.Episode{
+		IA: ethz, Start: env.Net.Now(), End: env.Net.Now() + campaign, DropProb: 1,
+	}); err != nil {
+		return Fig9Result{}, err
+	}
+	// Brief mild congestion on the AWS core: "a few instances occasionally
+	// reaching almost the 10% mark".
+	for i := 0; i < scale.Iterations; i++ {
+		start := env.Net.Now() + time.Duration(i*len(pds))*perPath + perPath/2
+		if err := env.Net.ScheduleEpisode(simnet.Episode{
+			IA: topology.AWSFrankfurt, Start: start, End: start + 2*perPath, DropProb: 0.08,
+		}); err != nil {
+			return Fig9Result{}, err
+		}
+	}
+
+	if _, err := env.Suite.Run(measure.RunOpts{
+		Iterations:    scale.Iterations,
+		Skip:          true,
+		ServerIDs:     []int{id},
+		PingCount:     scale.PingCount,
+		PingInterval:  scale.PingInterval,
+		SkipBandwidth: true,
+	}); err != nil {
+		return Fig9Result{}, err
+	}
+
+	loss := lossByPath(env.DB, id)
+	res := Fig9Result{ServerID: id}
+	shared := map[addr.IA]int{}
+	var fullLossSeqs []measure.PathDoc
+	for _, pd := range pds {
+		samples := loss[pd.ID]
+		res.Series = append(res.Series, plot.DotSeries{Label: pd.ID, Values: samples})
+		full := len(samples) > 0
+		occasional := false
+		for _, v := range samples {
+			if v < 100 {
+				full = false
+			}
+			if v > 0 && v < 100 {
+				occasional = true
+			}
+		}
+		if full {
+			res.FullLossPaths = append(res.FullLossPaths, pd.ID)
+			fullLossSeqs = append(fullLossSeqs, pd)
+		} else if occasional {
+			res.OccasionalLossPaths = append(res.OccasionalLossPaths, pd.ID)
+		}
+	}
+	// Shared transit analysis over the full-loss paths: count AS occurrence
+	// in the first half of each path.
+	for _, pd := range fullLossSeqs {
+		half := (len(pd.Sequence) + 1) / 2
+		for _, pred := range pd.Sequence[:half] {
+			shared[addr.IA{ISD: pred.ISD, AS: pred.AS}]++
+		}
+	}
+	for ia, n := range shared {
+		if n == len(fullLossSeqs) && len(fullLossSeqs) > 0 {
+			res.SharedFirstHalf = append(res.SharedFirstHalf, ia)
+		}
+	}
+	sort.Slice(res.SharedFirstHalf, func(i, j int) bool {
+		return res.SharedFirstHalf[i].String() < res.SharedFirstHalf[j].String()
+	})
+
+	res.Rendered = plot.LossDotPlot(
+		fmt.Sprintf("Fig 9 — Packet loss per path to 16-ffaa:0:1003 (AWS N. Virginia); full-loss paths: %v", res.FullLossPaths),
+		res.Series, 56)
+	return res, nil
+}

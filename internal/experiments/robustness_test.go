@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The figure shapes are claims about the model, not about one lucky seed.
+// These tests sweep several seeds and require every one to reproduce the
+// qualitative result.
+
+func TestFig7ShapeAcrossSeeds(t *testing.T) {
+	for seed := int64(100); seed < 104; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Fig7(env(t, seed), Fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(res.Mean64Up < res.MeanMTUUp && res.Mean64Down < res.MeanMTUDown) {
+				t.Errorf("Fig 7 ordering broken: 64B %.1f/%.1f vs MTU %.1f/%.1f Mbps",
+					res.Mean64Up/1e6, res.Mean64Down/1e6, res.MeanMTUUp/1e6, res.MeanMTUDown/1e6)
+			}
+		})
+	}
+}
+
+func TestFig8ShapeAcrossSeeds(t *testing.T) {
+	for seed := int64(200); seed < 204; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Fig8(env(t, seed), Fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(res.Mean64Up > res.MeanMTUUp && res.Mean64Down > res.MeanMTUDown) {
+				t.Errorf("Fig 8 reversal broken: 64B %.1f/%.1f vs MTU %.1f/%.1f Mbps",
+					res.Mean64Up/1e6, res.Mean64Down/1e6, res.MeanMTUUp/1e6, res.MeanMTUDown/1e6)
+			}
+		})
+	}
+}
+
+func TestFig5LayersAcrossSeeds(t *testing.T) {
+	for seed := int64(300); seed < 304; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Fig5(env(t, seed), Fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eu, us, sg := res.LayerSummary[LayerEurope], res.LayerSummary[LayerOhio], res.LayerSummary[LayerSingapore]
+			if !(eu.Mean < us.Mean && us.Mean < sg.Mean) {
+				t.Errorf("layers disordered: eu=%.1f us=%.1f sg=%.1f", eu.Mean, us.Mean, sg.Mean)
+			}
+		})
+	}
+}
+
+func TestFig9SubsetAcrossSeeds(t *testing.T) {
+	for seed := int64(400); seed < 403; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Fig9(env(t, seed), Fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.FullLossPaths) == 0 || len(res.FullLossPaths) >= len(res.Series) {
+				t.Errorf("full-loss subset %d of %d", len(res.FullLossPaths), len(res.Series))
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// ReachTable reproduces the in-text reachability results of §6: "There are
+// 21 reachable destinations", "the average path length is 5.66 hops and
+// about 70% of paths can be reached within 6 hops".
+type ReachTable struct {
+	ReachableServers int
+	AvgMinHops       float64
+	FracWithin6      float64
+	Rendered         string
+}
+
+// TableReachability computes the §6 headline numbers.
+func TableReachability(env *Env) (ReachTable, error) {
+	fig4, err := Fig4(env)
+	if err != nil {
+		return ReachTable{}, err
+	}
+	servers, err := measure.Servers(env.DB)
+	if err != nil {
+		return ReachTable{}, err
+	}
+	// Count reachable *servers* (the paper's 21), not distinct ASes.
+	reachable := 0
+	for _, s := range servers {
+		if _, ok := fig4.Report.MinHopsByDest[s.Address.IA]; ok {
+			reachable++
+		}
+	}
+	t := ReachTable{
+		ReachableServers: reachable,
+		AvgMinHops:       fig4.AvgMinHops,
+		FracWithin6:      fig4.FracWithin6,
+	}
+	t.Rendered = plot.Table(
+		[]string{"metric", "paper", "measured"},
+		[][]string{
+			{"reachable destinations", "21", fmt.Sprintf("%d", t.ReachableServers)},
+			{"average min path length", "5.66 hops", fmt.Sprintf("%.2f hops", t.AvgMinHops)},
+			{"reachable within 6 hops", "~70%", fmt.Sprintf("%.0f%%", 100*t.FracWithin6)},
+		})
+	return t, nil
+}
+
+// FilterTable reproduces the §5.2 path-retention rule: per destination,
+// how many of the discovered paths survive the hops <= min+1 filter.
+type FilterTable struct {
+	Discovered int
+	Retained   int
+	PerServer  map[int][2]int // server id -> {discovered, retained}
+	Rendered   string
+}
+
+// TableFilter runs a collection pass and reports the filter effect.
+func TableFilter(env *Env) (FilterTable, error) {
+	rep, err := measure.CollectPaths(env.DB, env.Daemon, measure.CollectOpts{})
+	if err != nil {
+		return FilterTable{}, err
+	}
+	t := FilterTable{
+		Discovered: rep.PathsDiscovered,
+		Retained:   rep.PathsRetained,
+		PerServer:  map[int][2]int{},
+	}
+	servers, err := measure.Servers(env.DB)
+	if err != nil {
+		return t, err
+	}
+	rows := make([][]string, 0, len(servers))
+	for _, s := range servers {
+		pds, err := measure.PathsForServer(env.DB, s.ID)
+		if err != nil {
+			return t, err
+		}
+		t.PerServer[s.ID] = [2]int{0, len(pds)}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.ID), s.Address.IA.String(), s.Country, fmt.Sprintf("%d", len(pds)),
+		})
+	}
+	t.Rendered = plot.Table([]string{"server", "ISD-AS", "country", "retained paths"}, rows)
+	return t, nil
+}
+
+// SampleCount reports how many samples a full campaign stored, mirroring
+// the paper's "approximately three thousand samples" over the focus subset.
+func SampleCount(env *Env) int {
+	return env.DB.Collection(measure.ColStats).Count()
+}
+
+// FocusServerIDs resolves the availableServers ids of the paper's
+// 5-destination focus subset (Germany, Ireland, N. Virginia, Singapore,
+// Korea).
+func FocusServerIDs(env *Env) ([]int, error) {
+	var ids []int
+	for _, ia := range topology.FocusDestinations() {
+		id, err := env.ServerID(ia)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

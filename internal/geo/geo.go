@@ -1,0 +1,110 @@
+// Package geo models the geographic placement of SCIONLab ASes and derives
+// physical link properties from it. Propagation delay between two sites is
+// computed from the great-circle distance at the speed of light in fibre
+// (about 2/3 c), which is the dominant latency component the paper observes:
+// "the physical distance between hops confirms to be the predominant
+// component in the latency assessment" (§6.1).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Coordinates is a latitude/longitude pair in degrees.
+type Coordinates struct {
+	Lat float64 // degrees, positive north
+	Lon float64 // degrees, positive east
+}
+
+// String renders coordinates as "lat,lon" with 4 decimal places.
+func (c Coordinates) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+// Valid reports whether the coordinates lie in the usual ranges.
+func (c Coordinates) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180
+}
+
+const (
+	// EarthRadiusKm is the mean Earth radius.
+	EarthRadiusKm = 6371.0
+	// FibreSpeedKmPerMs is the signal speed in optical fibre (~0.67 c).
+	FibreSpeedKmPerMs = 200.0
+	// RouteFactor inflates great-circle distance to account for real cable
+	// routing, which never follows geodesics exactly.
+	RouteFactor = 1.2
+)
+
+// DistanceKm returns the great-circle distance between two coordinates using
+// the haversine formula.
+func DistanceKm(a, b Coordinates) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp for numerical safety near antipodes.
+	if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// PropagationDelay returns the one-way fibre propagation delay between two
+// sites, including the cable-routing inflation factor.
+func PropagationDelay(a, b Coordinates) time.Duration {
+	ms := DistanceKm(a, b) * RouteFactor / FibreSpeedKmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Site is a named geographic location hosting one or more ASes.
+type Site struct {
+	Name    string
+	Country string // ISO-like country name used in sovereignty filters
+	Coords  Coordinates
+}
+
+// Well-known sites of the SCIONLab world topology used in this
+// reproduction. Country names are what the path-selection layer filters on.
+var (
+	Zurich       = Site{"Zurich", "Switzerland", Coordinates{47.3769, 8.5417}}
+	Magdeburg    = Site{"Magdeburg", "Germany", Coordinates{52.1205, 11.6276}}
+	Darmstadt    = Site{"Darmstadt", "Germany", Coordinates{49.8728, 8.6512}}
+	Amsterdam    = Site{"Amsterdam", "Netherlands", Coordinates{52.3676, 4.9041}}
+	London       = Site{"London", "United Kingdom", Coordinates{51.5072, -0.1276}}
+	Dublin       = Site{"Dublin", "Ireland", Coordinates{53.3498, -6.2603}}
+	Paris        = Site{"Paris", "France", Coordinates{48.8566, 2.3522}}
+	Geneva       = Site{"Geneva", "Switzerland", Coordinates{46.2044, 6.1432}}
+	Bern         = Site{"Bern", "Switzerland", Coordinates{46.9480, 7.4474}}
+	Turin        = Site{"Turin", "Italy", Coordinates{45.0703, 7.6869}}
+	Lisbon       = Site{"Lisbon", "Portugal", Coordinates{38.7223, -9.1393}}
+	Ashburn      = Site{"Ashburn", "United States", Coordinates{39.0438, -77.4874}}
+	Columbus     = Site{"Columbus", "United States", Coordinates{39.9612, -82.9988}}
+	NewYork      = Site{"New York", "United States", Coordinates{40.7128, -74.0060}}
+	Oregon       = Site{"Boardman", "United States", Coordinates{45.8399, -119.7006}}
+	SaoPaulo     = Site{"Sao Paulo", "Brazil", Coordinates{-23.5505, -46.6333}}
+	Singapore    = Site{"Singapore", "Singapore", Coordinates{1.3521, 103.8198}}
+	Seoul        = Site{"Seoul", "South Korea", Coordinates{37.5665, 126.9780}}
+	Daejeon      = Site{"Daejeon", "South Korea", Coordinates{36.3504, 127.3845}}
+	Tokyo        = Site{"Tokyo", "Japan", Coordinates{35.6762, 139.6503}}
+	Sydney       = Site{"Sydney", "Australia", Coordinates{-33.8688, 151.2093}}
+	Bangalore    = Site{"Bangalore", "India", Coordinates{12.9716, 77.5946}}
+	TelAviv      = Site{"Tel Aviv", "Israel", Coordinates{32.0853, 34.7818}}
+	Taipei       = Site{"Taipei", "Taiwan", Coordinates{25.0330, 121.5654}}
+	HongKong     = Site{"Hong Kong", "Hong Kong", Coordinates{22.3193, 114.1694}}
+	Frankfurt    = Site{"Frankfurt", "Germany", Coordinates{50.1109, 8.6821}}
+	Stockholm    = Site{"Stockholm", "Sweden", Coordinates{59.3293, 18.0686}}
+	Prague       = Site{"Prague", "Czechia", Coordinates{50.0755, 14.4378}}
+	Vienna       = Site{"Vienna", "Austria", Coordinates{48.2082, 16.3738}}
+	Madrid       = Site{"Madrid", "Spain", Coordinates{40.4168, -3.7038}}
+	Helsinki     = Site{"Helsinki", "Finland", Coordinates{60.1699, 24.9384}}
+	Toronto      = Site{"Toronto", "Canada", Coordinates{43.6532, -79.3832}}
+	LosAngeles   = Site{"Los Angeles", "United States", Coordinates{34.0522, -118.2437}}
+	Mumbai       = Site{"Mumbai", "India", Coordinates{19.0760, 72.8777}}
+	Johannesburg = Site{"Johannesburg", "South Africa", Coordinates{-26.2041, 28.0473}}
+)

@@ -1,0 +1,136 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		a, b        Coordinates
+		wantKm      float64
+		toleranceKm float64
+	}{
+		// Zurich–Dublin is roughly 1230 km.
+		{Zurich.Coords, Dublin.Coords, 1230, 60},
+		// Zurich–Singapore roughly 10300 km.
+		{Zurich.Coords, Singapore.Coords, 10300, 300},
+		// Ashburn–Columbus roughly 480 km.
+		{Ashburn.Coords, Columbus.Coords, 480, 60},
+		// Same point.
+		{Zurich.Coords, Zurich.Coords, 0, 0.001},
+	}
+	for _, c := range cases {
+		got := DistanceKm(c.a, c.b)
+		if math.Abs(got-c.wantKm) > c.toleranceKm {
+			t.Errorf("DistanceKm(%v,%v) = %.1f, want %.1f±%.1f", c.a, c.b, got, c.wantKm, c.toleranceKm)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coordinates{clamp(lat1, -90, 90), clamp(lon1, -180, 180)}
+		b := Coordinates{clamp(lat2, -90, 90), clamp(lon2, -180, 180)}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(l1, o1, l2, o2, l3, o3 float64) bool {
+		a := Coordinates{clamp(l1, -90, 90), clamp(o1, -180, 180)}
+		b := Coordinates{clamp(l2, -90, 90), clamp(o2, -180, 180)}
+		c := Coordinates{clamp(l3, -90, 90), clamp(o3, -180, 180)}
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceBounded(t *testing.T) {
+	// No two points on Earth are farther apart than half the circumference.
+	maxD := math.Pi * EarthRadiusKm
+	f := func(l1, o1, l2, o2 float64) bool {
+		a := Coordinates{clamp(l1, -90, 90), clamp(o1, -180, 180)}
+		b := Coordinates{clamp(l2, -90, 90), clamp(o2, -180, 180)}
+		d := DistanceKm(a, b)
+		return d >= 0 && d <= maxD+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// Zurich–Dublin: ~1230 km * 1.2 / 200 km/ms ≈ 7.4 ms one way.
+	d := PropagationDelay(Zurich.Coords, Dublin.Coords)
+	if d < 6*time.Millisecond || d > 9*time.Millisecond {
+		t.Errorf("Zurich-Dublin propagation %v, want ~7.4ms", d)
+	}
+	// Transpacific should be tens of ms.
+	d2 := PropagationDelay(Zurich.Coords, Singapore.Coords)
+	if d2 < 50*time.Millisecond || d2 > 80*time.Millisecond {
+		t.Errorf("Zurich-Singapore propagation %v, want 50-80ms", d2)
+	}
+	if PropagationDelay(Zurich.Coords, Zurich.Coords) != 0 {
+		t.Error("zero distance should have zero delay")
+	}
+}
+
+func TestCoordinatesValid(t *testing.T) {
+	if !(Coordinates{45, 90}).Valid() {
+		t.Error("45,90 should be valid")
+	}
+	for _, c := range []Coordinates{{91, 0}, {-91, 0}, {0, 181}, {0, -181}} {
+		if c.Valid() {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func TestSitesPlausible(t *testing.T) {
+	sites := []Site{Zurich, Magdeburg, Darmstadt, Amsterdam, London, Dublin,
+		Paris, Geneva, Bern, Turin, Lisbon, Ashburn, Columbus, NewYork, Oregon,
+		SaoPaulo, Singapore, Seoul, Daejeon, Tokyo, Sydney, Bangalore, TelAviv,
+		Taipei, HongKong, Frankfurt, Stockholm, Prague, Vienna, Madrid,
+		Helsinki, Toronto, LosAngeles, Mumbai, Johannesburg}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s.Name == "" || s.Country == "" {
+			t.Errorf("site %+v missing name or country", s)
+		}
+		if !s.Coords.Valid() {
+			t.Errorf("site %s has invalid coords %v", s.Name, s.Coords)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate site name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestCoordinatesString(t *testing.T) {
+	got := Coordinates{47.3769, 8.5417}.String()
+	if got != "47.3769,8.5417" {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	// Fold arbitrary floats into range deterministically.
+	r := math.Mod(v, hi-lo)
+	if r < 0 {
+		r += hi - lo
+	}
+	return lo + r
+}

@@ -1,0 +1,186 @@
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/sciond"
+)
+
+// CollectOpts tunes the paths-collection stage.
+type CollectOpts struct {
+	// MaxPaths is the showpaths -m limit; the paper uses 40.
+	MaxPaths int
+	// HopSlack keeps paths with at most min+HopSlack hops; the paper
+	// "decided to retain only paths with a number of hops at most equal to
+	// the minimum required plus one" (§5.2).
+	HopSlack int
+	// Probe fills path status via SCMP probes.
+	Probe bool
+}
+
+func (o CollectOpts) withDefaults() CollectOpts {
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 40
+	}
+	if o.HopSlack == 0 {
+		o.HopSlack = 1
+	}
+	return o
+}
+
+// CollectReport summarises a collection run.
+type CollectReport struct {
+	ServersQueried  int
+	PathsDiscovered int
+	PathsRetained   int
+	PathsDeleted    int
+	// Errors maps server ids to the error encountered (server failure
+	// tolerance, §4.1.2).
+	Errors map[int]error
+}
+
+// CollectPaths is the collect_paths stage: query availableServers, run
+// showpaths per destination, filter by the hop-slack rule, pre-process into
+// documents, insert, and delete paths that are no longer available (§5.2).
+func CollectPaths(db *docdb.DB, d *sciond.Daemon, opts CollectOpts) (CollectReport, error) {
+	opts = opts.withDefaults()
+	rep := CollectReport{Errors: map[int]error{}}
+
+	servers, err := Servers(db)
+	if err != nil {
+		return rep, err
+	}
+	if len(servers) == 0 {
+		return rep, fmt.Errorf("measure: availableServers is empty; seed it first")
+	}
+
+	col := db.Collection(ColPaths)
+	for _, srv := range servers {
+		rep.ServersQueried++
+		paths, err := d.ShowPaths(srv.Address.IA, sciond.ShowPathsOpts{
+			MaxPaths: opts.MaxPaths, Extended: true, Probe: opts.Probe,
+		})
+		if err != nil {
+			// A failing destination must not stop the run (§4.1.2).
+			rep.Errors[srv.ID] = err
+			continue
+		}
+		rep.PathsDiscovered += len(paths)
+		paths = FilterByHopSlack(paths, opts.HopSlack)
+
+		// Pre-process into documents (§5.2 "Data Pre-processing").
+		docs := make([]docdb.Document, 0, len(paths))
+		liveIDs := map[string]bool{}
+		for i, p := range paths {
+			id := PathID(srv.ID, i)
+			liveIDs[id] = true
+			docs = append(docs, pathDocument(id, srv.ID, i, p))
+		}
+
+		// Replace this destination's paths: delete stale ones, insert new
+		// ("no longer available paths for one destination are deleted").
+		for _, old := range col.Find(docdb.Query{Filter: docdb.Eq(FServerID, srv.ID), Project: []string{FServerID}}) {
+			if !liveIDs[old.ID()] {
+				rep.PathsDeleted++
+			}
+		}
+		col.Delete(docdb.Eq(FServerID, srv.ID))
+		if err := col.InsertMany(docs); err != nil {
+			rep.Errors[srv.ID] = err
+			continue
+		}
+		rep.PathsRetained += len(docs)
+	}
+	if err := db.Flush(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// FilterByHopSlack keeps paths with hops <= min+slack, the paper's
+// "overly lengthy" exclusion rule. The input must be hop-sorted (showpaths
+// order); order is preserved.
+func FilterByHopSlack(paths []*pathmgr.Path, slack int) []*pathmgr.Path {
+	if len(paths) == 0 {
+		return paths
+	}
+	min := paths[0].NumHops()
+	for _, p := range paths[1:] {
+		if p.NumHops() < min {
+			min = p.NumHops()
+		}
+	}
+	out := paths[:0:0]
+	for _, p := range paths {
+		if p.NumHops() <= min+slack {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pathDocument encodes one path for the paths collection (Fig 3).
+func pathDocument(id string, serverID, index int, p *pathmgr.Path) docdb.Document {
+	isds := make([]any, 0, 4)
+	for _, isd := range p.ISDSet() {
+		isds = append(isds, fmt.Sprintf("%d", isd))
+	}
+	return docdb.Document{
+		"_id":        id,
+		FServerID:    serverID,
+		FPathIndex:   index,
+		FHops:        p.NumHops(),
+		FSequence:    pathmgr.PathSequence(p).String(),
+		FISDs:        isds,
+		FMTU:         p.MTU,
+		FMinLatency:  float64(p.MinLatency) / float64(time.Millisecond),
+		FStatus:      p.Status,
+		FFingerprint: p.Fingerprint(),
+	}
+}
+
+// PathDoc is a decoded paths document.
+type PathDoc struct {
+	ID       string
+	ServerID int
+	Index    int
+	Hops     int
+	Sequence pathmgr.Sequence
+	ISDs     []string
+	MTU      int
+}
+
+// PathsForServer decodes the stored paths of one destination in index order.
+func PathsForServer(db *docdb.DB, serverID int) ([]PathDoc, error) {
+	docs := db.Collection(ColPaths).Find(docdb.Query{
+		Filter: docdb.Eq(FServerID, serverID),
+		SortBy: FPathIndex,
+	})
+	out := make([]PathDoc, 0, len(docs))
+	for _, d := range docs {
+		pd := PathDoc{ID: d.ID()}
+		pd.ServerID, _ = asInt(d[FServerID])
+		pd.Index, _ = asInt(d[FPathIndex])
+		pd.Hops, _ = asInt(d[FHops])
+		pd.MTU, _ = asInt(d[FMTU])
+		seqStr, _ := d[FSequence].(string)
+		seq, err := pathmgr.ParseSequence(seqStr)
+		if err != nil {
+			return nil, fmt.Errorf("measure: path %s: %v", pd.ID, err)
+		}
+		pd.Sequence = seq
+		switch arr := d[FISDs].(type) {
+		case []any:
+			for _, v := range arr {
+				pd.ISDs = append(pd.ISDs, fmt.Sprint(v))
+			}
+		case []string:
+			pd.ISDs = append(pd.ISDs, arr...)
+		}
+		out = append(out, pd)
+	}
+	return out, nil
+}

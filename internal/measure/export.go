@@ -1,0 +1,106 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+// ExportStatsCSV writes the paths_stats collection (optionally filtered to
+// one server) as CSV, the interchange format for external analysis tools —
+// the role the paper's own plotting pipeline plays downstream of MongoDB.
+// Columns are stable: the mandatory identity columns first, then the
+// union of all metric fields in sorted order; absent values are empty.
+func ExportStatsCSV(db *docdb.DB, w io.Writer, serverID int) (int, error) {
+	var filter docdb.Filter
+	if serverID > 0 {
+		filter = docdb.Eq(FServerID, serverID)
+	}
+	docs := db.Collection(ColStats).Find(docdb.Query{Filter: filter, SortBy: "_id"})
+
+	identity := []string{"_id", FPathID, FServerID, FTimestamp, FHops}
+	inIdentity := map[string]bool{}
+	for _, c := range identity {
+		inIdentity[c] = true
+	}
+	metricSet := map[string]bool{}
+	for _, d := range docs {
+		for k := range d {
+			if !inIdentity[k] && k != FISDs {
+				metricSet[k] = true
+			}
+		}
+	}
+	metrics := make([]string, 0, len(metricSet))
+	for k := range metricSet {
+		metrics = append(metrics, k)
+	}
+	sort.Strings(metrics)
+	header := append(append([]string{}, identity...), "isds")
+	header = append(header, metrics...)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	rows := 0
+	for _, d := range docs {
+		row := make([]string, 0, len(header))
+		for _, c := range identity {
+			row = append(row, cell(d[c]))
+		}
+		row = append(row, isdCell(d[FISDs]))
+		for _, c := range metrics {
+			if v, ok := d[c]; ok {
+				row = append(row, cell(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}
+
+func cell(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case float64:
+		return fmt.Sprintf("%g", t)
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+func isdCell(v any) string {
+	switch arr := v.(type) {
+	case []any:
+		s := ""
+		for i, e := range arr {
+			if i > 0 {
+				s += "|"
+			}
+			s += fmt.Sprint(e)
+		}
+		return s
+	case []string:
+		s := ""
+		for i, e := range arr {
+			if i > 0 {
+				s += "|"
+			}
+			s += e
+		}
+		return s
+	default:
+		return ""
+	}
+}

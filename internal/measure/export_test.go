@@ -1,0 +1,98 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExportStatsCSV(t *testing.T) {
+	s := suite(t, 70)
+	if _, err := s.Run(RunOpts{
+		Iterations: 2, ServerIDs: []int{1},
+		PingCount: 3, PingInterval: 5 * time.Millisecond,
+		BwDuration: 200 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rows, err := ExportStatsCSV(s.DB, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != s.DB.Collection(ColStats).Count() {
+		t.Errorf("exported %d rows, stored %d", rows, s.DB.Collection(ColStats).Count())
+	}
+
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != rows+1 {
+		t.Fatalf("%d records incl. header, want %d", len(records), rows+1)
+	}
+	header := records[0]
+	want := map[string]bool{"_id": true, FPathID: true, FAvgLatency: true, FBwUpMTU: true, "isds": true}
+	for _, col := range header {
+		delete(want, col)
+	}
+	if len(want) != 0 {
+		t.Errorf("header missing columns %v: %v", want, header)
+	}
+	// All rows have the same width.
+	for i, r := range records[1:] {
+		if len(r) != len(header) {
+			t.Fatalf("row %d has %d cells, header %d", i, len(r), len(header))
+		}
+	}
+	// The ISD set uses the pipe separator.
+	if !strings.Contains(buf.String(), "16|17") {
+		t.Errorf("ISD cell missing:\n%s", firstLines(buf.String(), 3))
+	}
+}
+
+func TestExportStatsCSVFiltered(t *testing.T) {
+	s := suite(t, 71)
+	if _, err := s.Run(RunOpts{
+		Iterations: 1, ServerIDs: []int{1, 2},
+		PingCount: 2, PingInterval: 2 * time.Millisecond, SkipBandwidth: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var all, one bytes.Buffer
+	nAll, err := ExportStatsCSV(s.DB, &all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nOne, err := ExportStatsCSV(s.DB, &one, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nOne == 0 || nOne >= nAll {
+		t.Errorf("filtered export %d of %d rows", nOne, nAll)
+	}
+}
+
+func TestExportStatsCSVEmpty(t *testing.T) {
+	s := suite(t, 72)
+	var buf bytes.Buffer
+	rows, err := ExportStatsCSV(s.DB, &buf, 0)
+	if err != nil || rows != 0 {
+		t.Fatalf("empty export: %d rows, %v", rows, err)
+	}
+	// Header only.
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n"); lines != 0 {
+		t.Errorf("expected header only, got:\n%s", buf.String())
+	}
+}
+
+func firstLines(s string, n int) string {
+	parts := strings.SplitN(s, "\n", n+1)
+	if len(parts) > n {
+		parts = parts[:n]
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,101 @@
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+// MonitorOpts configures continuous operation: the paper's architecture is
+// built for it ("continuous measurements require continuous functioning",
+// §4.1.2) — repeated campaigns with idle gaps, re-collecting paths each
+// round and reporting what changed.
+type MonitorOpts struct {
+	// Campaigns is how many measurement rounds to run.
+	Campaigns int
+	// Gap is the simulated idle time between rounds.
+	Gap time.Duration
+	// Run parameterises each round (Skip is ignored; the monitor owns
+	// collection).
+	Run RunOpts
+	// Recollect re-runs paths collection before every round (default: only
+	// before the first).
+	Recollect bool
+}
+
+// CampaignDelta reports what changed between consecutive rounds.
+type CampaignDelta struct {
+	Campaign    int
+	StatsStored int
+	Failures    int
+	// NewPaths/LostPaths are path ids that appeared/disappeared in this
+	// round's collection relative to the previous one.
+	NewPaths, LostPaths []string
+	// StatusChanged are path ids whose probed liveness flipped.
+	StatusChanged []string
+}
+
+// Monitor runs repeated campaigns and returns one delta per round.
+func (s *Suite) Monitor(opts MonitorOpts) ([]CampaignDelta, error) {
+	if opts.Campaigns < 1 {
+		return nil, fmt.Errorf("measure: monitor needs >= 1 campaign, have %d", opts.Campaigns)
+	}
+	if err := SeedServers(s.DB, s.Daemon.Topology()); err != nil {
+		return nil, err
+	}
+
+	var out []CampaignDelta
+	prev := map[string]string{} // path id -> status
+	for round := 0; round < opts.Campaigns; round++ {
+		if round == 0 || opts.Recollect {
+			collect := opts.Run.Collect
+			collect.Probe = true
+			if _, err := CollectPaths(s.DB, s.Daemon, collect); err != nil {
+				return out, fmt.Errorf("measure: monitor round %d: %w", round, err)
+			}
+		}
+		cur := snapshotPaths(s.DB)
+		delta := CampaignDelta{Campaign: round}
+		for id, status := range cur {
+			old, existed := prev[id]
+			switch {
+			case !existed && round > 0:
+				delta.NewPaths = append(delta.NewPaths, id)
+			case existed && old != status:
+				delta.StatusChanged = append(delta.StatusChanged, id)
+			}
+		}
+		for id := range prev {
+			if _, still := cur[id]; !still {
+				delta.LostPaths = append(delta.LostPaths, id)
+			}
+		}
+		prev = cur
+
+		runOpts := opts.Run
+		runOpts.Skip = true // collection handled above
+		rep, err := s.Run(runOpts)
+		if err != nil {
+			return out, fmt.Errorf("measure: monitor round %d: %w", round, err)
+		}
+		delta.StatsStored = rep.StatsStored
+		delta.Failures = rep.Failures
+		out = append(out, delta)
+
+		if opts.Gap > 0 && round+1 < opts.Campaigns {
+			s.Daemon.Network().Advance(opts.Gap)
+		}
+	}
+	return out, nil
+}
+
+// snapshotPaths maps stored path ids to their probed status.
+func snapshotPaths(db *docdb.DB) map[string]string {
+	out := map[string]string{}
+	for _, d := range db.Collection(ColPaths).Find(docdb.Query{Project: []string{FStatus}}) {
+		status, _ := d[FStatus].(string)
+		out[d.ID()] = status
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func TestMonitorSteadyState(t *testing.T) {
+	s := suite(t, 50)
+	deltas, err := s.Monitor(MonitorOpts{
+		Campaigns: 3,
+		Gap:       time.Second,
+		Recollect: true,
+		Run: RunOpts{
+			Iterations: 1, ServerIDs: []int{1},
+			PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas, want 3", len(deltas))
+	}
+	for i, d := range deltas {
+		if d.Campaign != i {
+			t.Errorf("delta %d numbered %d", i, d.Campaign)
+		}
+		if d.StatsStored == 0 {
+			t.Errorf("round %d stored nothing", i)
+		}
+		// A static healthy network: nothing changes between rounds.
+		if len(d.NewPaths) != 0 || len(d.LostPaths) != 0 || len(d.StatusChanged) != 0 {
+			t.Errorf("round %d reported churn in a static network: %+v", i, d)
+		}
+	}
+}
+
+func TestMonitorDetectsStatusFlip(t *testing.T) {
+	s := suite(t, 51)
+	// The ETHZ--AP link dies before the second collection and stays dead.
+	if err := s.Daemon.Network().ScheduleLinkOutage(simnet.LinkOutage{
+		A: addr.MustParseIA("17-ffaa:0:1102"), B: topology.ETHZAP,
+		Start: 2 * time.Second, End: 48 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := s.Monitor(MonitorOpts{
+		Campaigns: 2,
+		Gap:       30 * time.Second,
+		Recollect: true,
+		Run: RunOpts{
+			Iterations: 1, ServerIDs: []int{1},
+			PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas[0].StatusChanged) != 0 {
+		t.Errorf("first round already reports changes: %v", deltas[0].StatusChanged)
+	}
+	if len(deltas[1].StatusChanged) == 0 {
+		t.Error("outage between rounds not detected as status change")
+	}
+	// Later rounds measure through the outage: failures/loss recorded, the
+	// monitor keeps running (fault tolerance).
+	if deltas[1].StatsStored == 0 {
+		t.Error("second round stored nothing despite fault tolerance")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	s := suite(t, 52)
+	if _, err := s.Monitor(MonitorOpts{Campaigns: 0}); err == nil {
+		t.Error("zero campaigns accepted")
+	}
+}

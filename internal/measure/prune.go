@@ -1,0 +1,45 @@
+package measure
+
+import (
+	"time"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+// PruneStats deletes statistics older than the cutoff (simulated time) and
+// returns how many documents were removed. Long-running monitors pair it
+// with docdb's journal compaction to keep the database proportional to the
+// retention window rather than the full campaign history — the flip side
+// of the paper's scalability requirement ("the amount of data generated
+// grows both with the number of tests performed per destination, as well
+// as the number of destinations tested", §4.1.1).
+func PruneStats(db *docdb.DB, olderThan time.Duration) int {
+	return db.Collection(ColStats).Delete(docdb.Lt(FTimestamp, olderThan.Milliseconds()))
+}
+
+// RetentionPolicy bundles pruning with compaction for monitor loops.
+type RetentionPolicy struct {
+	// Window is how much simulated history to keep.
+	Window time.Duration
+	// CompactEvery triggers journal compaction after this many prune calls
+	// (0 disables compaction).
+	CompactEvery int
+	calls        int
+}
+
+// Apply prunes relative to the current simulated time and compacts the
+// journal on schedule. It reports documents removed and whether a
+// compaction ran.
+func (r *RetentionPolicy) Apply(db *docdb.DB, now time.Duration) (removed int, compacted bool, err error) {
+	if r.Window > 0 && now > r.Window {
+		removed = PruneStats(db, now-r.Window)
+	}
+	r.calls++
+	if r.CompactEvery > 0 && r.calls%r.CompactEvery == 0 {
+		if cerr := db.Compact(); cerr != nil {
+			return removed, false, cerr
+		}
+		compacted = true
+	}
+	return removed, compacted, nil
+}

@@ -1,0 +1,118 @@
+package pathmgr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ACL is a SCION-style path access-control list: an ordered list of allow
+// ("+") and deny ("-") hop predicates. A path is evaluated hop by hop:
+// the first entry whose predicate matches any hop decides (allow keeps the
+// path eligible, deny rejects it); a bare "+" or "-" entry is the default
+// action terminating the list. This mirrors the path-policy ACLs of the
+// scion tools and gives the user-driven exclusions a data-plane-level
+// counterpart to the database-level filters of the selection engine.
+type ACL struct {
+	entries []aclEntry
+}
+
+type aclEntry struct {
+	allow bool
+	pred  *Predicate // nil for the bare default entry
+}
+
+// ParseACL parses entries such as:
+//
+//	"- 16-ffaa:0:1004#0"        deny anything through AWS Ohio
+//	"- 16-0#0"                  deny all of ISD 16
+//	"+ 17-0#0, - 0-0#0"         allow ISD 17 hops, default deny
+//
+// Entries are comma-separated; each is "+"/"-" optionally followed by a
+// hop predicate. A trailing default is appended automatically ("+" if the
+// list ends with a deny predicate, "-" if it ends with an allow), matching
+// the scion ACL convention that the last entry must be a catch-all.
+func ParseACL(s string) (*ACL, error) {
+	parts := strings.Split(s, ",")
+	acl := &ACL{}
+	for _, raw := range parts {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		var allow bool
+		switch raw[0] {
+		case '+':
+			allow = true
+		case '-':
+			allow = false
+		default:
+			return nil, fmt.Errorf("pathmgr: ACL entry %q must start with '+' or '-'", raw)
+		}
+		rest := strings.TrimSpace(raw[1:])
+		if rest == "" {
+			acl.entries = append(acl.entries, aclEntry{allow: allow})
+			continue
+		}
+		pred, err := ParsePredicate(rest)
+		if err != nil {
+			return nil, fmt.Errorf("pathmgr: ACL entry %q: %w", raw, err)
+		}
+		acl.entries = append(acl.entries, aclEntry{allow: allow, pred: &pred})
+	}
+	if len(acl.entries) == 0 {
+		return nil, fmt.Errorf("pathmgr: empty ACL")
+	}
+	// Ensure a terminating default.
+	if last := acl.entries[len(acl.entries)-1]; last.pred != nil {
+		acl.entries = append(acl.entries, aclEntry{allow: !last.allow})
+	}
+	return acl, nil
+}
+
+// String renders the ACL in its parse syntax.
+func (a *ACL) String() string {
+	parts := make([]string, len(a.entries))
+	for i, e := range a.entries {
+		sign := "-"
+		if e.allow {
+			sign = "+"
+		}
+		if e.pred == nil {
+			parts[i] = sign
+		} else {
+			parts[i] = sign + " " + e.pred.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Allow reports whether the path is permitted: every hop must be allowed
+// by its first matching entry.
+func (a *ACL) Allow(p *Path) bool {
+	for _, h := range p.Hops {
+		for _, e := range a.entries {
+			if e.pred == nil || e.pred.MatchHop(h) {
+				if !e.allow {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// FilterPaths returns the paths the ACL permits, preserving order. A nil
+// ACL permits everything.
+func (a *ACL) FilterPaths(paths []*Path) []*Path {
+	if a == nil {
+		return paths
+	}
+	out := make([]*Path, 0, len(paths))
+	for _, p := range paths {
+		if a.Allow(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package pathmgr
+
+import (
+	"testing"
+
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func TestParseACL(t *testing.T) {
+	acl, err := ParseACL("- 16-ffaa:0:1004#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto-appended default allow.
+	if got := acl.String(); got != "- 16-ffaa:0:1004, +" {
+		t.Errorf("String: %q", got)
+	}
+	acl2, err := ParseACL("+ 17-0, -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acl2.String(); got != "+ 17-0, -" {
+		t.Errorf("explicit default: %q", got)
+	}
+}
+
+func TestParseACLErrors(t *testing.T) {
+	for _, s := range []string{"", "  ,  ", "16-0", "* 16-0", "- zz"} {
+		if _, err := ParseACL(s); err == nil {
+			t.Errorf("ParseACL(%q) accepted", s)
+		}
+	}
+}
+
+func TestACLDenyTransit(t *testing.T) {
+	c := worldCombiner(t)
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl, err := ParseACL("- 16-ffaa:0:1004#0, - 16-ffaa:0:1007#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := acl.FilterPaths(paths)
+	if len(kept) == 0 || len(kept) >= len(paths) {
+		t.Fatalf("filter kept %d of %d", len(kept), len(paths))
+	}
+	for _, p := range kept {
+		if p.Contains(topology.AWSOhio) || p.Contains(topology.AWSSingapore) {
+			t.Errorf("denied transit survived: %v", p)
+		}
+	}
+}
+
+func TestACLAllowListSemantics(t *testing.T) {
+	c := worldCombiner(t)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	// Allow only ISDs 16 and 17; everything else default-denied.
+	acl, err := ParseACL("+ 16-0, + 17-0, -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := acl.FilterPaths(paths)
+	if len(kept) == 0 {
+		t.Fatal("allow-list kept nothing")
+	}
+	for _, p := range kept {
+		if p.ISDSetKey() != "16-17" {
+			t.Errorf("path outside the allow-list survived: ISDs %s", p.ISDSetKey())
+		}
+	}
+}
+
+func TestACLFirstMatchWins(t *testing.T) {
+	c := worldCombiner(t)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	// Allow Ohio explicitly before a deny of all of ISD 16: Ohio paths
+	// survive because the allow matches their Ohio hop first... but their
+	// other ISD-16 hops still hit the deny, so they are rejected; only the
+	// ordering of entries per hop matters.
+	aclA, _ := ParseACL("+ 16-ffaa:0:1004, - 16-0, +")
+	keptA := aclA.FilterPaths(paths)
+	for _, p := range keptA {
+		for _, h := range p.Hops {
+			if h.IA.ISD == 16 && h.IA != topology.AWSOhio {
+				t.Errorf("hop %s should have been denied", h.IA)
+			}
+		}
+	}
+	// Reversed order: deny ISD 16 first kills the Ohio allow too.
+	aclB, _ := ParseACL("- 16-0, + 16-ffaa:0:1004, +")
+	for _, p := range aclB.FilterPaths(paths) {
+		for _, h := range p.Hops {
+			if h.IA.ISD == 16 {
+				t.Errorf("ISD 16 hop survived a leading deny: %s", h.IA)
+			}
+		}
+	}
+}
+
+func TestACLNilPermitsAll(t *testing.T) {
+	c := worldCombiner(t)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	var acl *ACL
+	if got := acl.FilterPaths(paths); len(got) != len(paths) {
+		t.Errorf("nil ACL filtered %d of %d", len(got), len(paths))
+	}
+}
+
+func TestACLInterfacePinning(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := NewCombiner(topo, reg)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	// Deny one specific interface of the AP; only paths using that
+	// interface disappear.
+	target := paths[0].Hops[1]
+	pred := Predicate{ISD: target.IA.ISD, AS: target.IA.AS}
+	pred.IfIDs = append(pred.IfIDs, target.Out)
+	acl2, err := ParseACL("- " + pred.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := acl2.FilterPaths(paths)
+	for _, p := range kept {
+		for _, h := range p.Hops {
+			if h.IA == target.IA && (h.In == target.Out || h.Out == target.Out) {
+				t.Errorf("pinned interface survived: %v", p)
+			}
+		}
+	}
+	if len(kept) == len(paths) {
+		t.Error("interface pin filtered nothing")
+	}
+}

@@ -1,0 +1,188 @@
+package pathmgr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Combiner produces end-to-end paths from a segment registry, the role the
+// SCION daemon plays for the scion tools.
+type Combiner struct {
+	topo *topology.Topology
+	reg  *segment.Registry
+}
+
+// NewCombiner returns a combiner over the given topology and registry.
+func NewCombiner(topo *topology.Topology, reg *segment.Registry) *Combiner {
+	return &Combiner{topo: topo, reg: reg}
+}
+
+// Paths returns all loop-free end-to-end paths from src to dst, deduplicated
+// and sorted by hop count (then fingerprint for determinism), the order
+// showpaths uses.
+func (c *Combiner) Paths(src, dst addr.IA) ([]*Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("pathmgr: src and dst are both %s", src)
+	}
+	srcAS, dstAS := c.topo.AS(src), c.topo.AS(dst)
+	if srcAS == nil {
+		return nil, fmt.Errorf("pathmgr: unknown source AS %s", src)
+	}
+	if dstAS == nil {
+		return nil, fmt.Errorf("pathmgr: unknown destination AS %s", dst)
+	}
+
+	srcCore := srcAS.Type == topology.Core
+	dstCore := dstAS.Type == topology.Core
+
+	var candidates [][]Hop
+	switch {
+	case srcCore && dstCore:
+		for _, s := range c.reg.CoreSegments(src, dst) {
+			candidates = append(candidates, coreHops(s))
+		}
+	case srcCore && !dstCore:
+		for _, d := range c.reg.DownSegments(dst) {
+			if d.First() == src {
+				candidates = append(candidates, downHops(d))
+				continue
+			}
+			for _, s := range c.reg.CoreSegments(src, d.First()) {
+				candidates = append(candidates, joinHops(coreHops(s), downHops(d)))
+			}
+		}
+	case !srcCore && dstCore:
+		for _, u := range c.reg.UpSegments(src) {
+			if u.First() == dst {
+				candidates = append(candidates, upHops(u))
+				continue
+			}
+			for _, s := range c.reg.CoreSegments(u.First(), dst) {
+				candidates = append(candidates, joinHops(upHops(u), coreHops(s)))
+			}
+		}
+	default:
+		for _, u := range c.reg.UpSegments(src) {
+			for _, d := range c.reg.DownSegments(dst) {
+				if u.First() == d.First() {
+					if hops, ok := spliceShortcut(u, d); ok {
+						candidates = append(candidates, hops)
+					}
+					continue
+				}
+				for _, s := range c.reg.CoreSegments(u.First(), d.First()) {
+					candidates = append(candidates, joinHops(joinHops(upHops(u), coreHops(s)), downHops(d)))
+				}
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []*Path
+	for _, hops := range candidates {
+		p := &Path{Src: src, Dst: dst, Hops: hops}
+		if p.HasLoop() {
+			continue
+		}
+		if err := p.annotate(c.topo); err != nil {
+			return nil, err
+		}
+		fp := p.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NumHops() != out[j].NumHops() {
+			return out[i].NumHops() < out[j].NumHops()
+		}
+		return out[i].Fingerprint() < out[j].Fingerprint()
+	})
+	return out, nil
+}
+
+// MinHops returns the minimum hop count to dst, or 0 with ok=false when dst
+// is unreachable.
+func (c *Combiner) MinHops(src, dst addr.IA) (int, bool) {
+	paths, err := c.Paths(src, dst)
+	if err != nil || len(paths) == 0 {
+		return 0, false
+	}
+	return paths[0].NumHops(), true
+}
+
+// upHops converts an up segment (stored in core->leaf beacon order) into
+// packet-direction hops leaf->core. The beacon's egress interface becomes
+// the packet's ingress and vice versa.
+func upHops(u *segment.Segment) []Hop {
+	n := len(u.Entries)
+	hops := make([]Hop, n)
+	for i, e := range u.Entries {
+		hops[n-1-i] = Hop{IA: e.IA, In: e.Out, Out: e.In}
+	}
+	return hops
+}
+
+// downHops converts a down segment into packet-direction hops core->leaf,
+// which is the beacon direction itself.
+func downHops(d *segment.Segment) []Hop {
+	hops := make([]Hop, len(d.Entries))
+	for i, e := range d.Entries {
+		hops[i] = Hop{IA: e.IA, In: e.In, Out: e.Out}
+	}
+	return hops
+}
+
+// coreHops converts a core segment registered for the src->dst direction.
+func coreHops(s *segment.Segment) []Hop {
+	return downHops(s)
+}
+
+// joinHops concatenates two hop lists that share their boundary AS, merging
+// the duplicate into a single transit hop.
+func joinHops(a, b []Hop) []Hop {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Hop, 0, len(a)+len(b)-1)
+	out = append(out, a[:len(a)-1]...)
+	out = append(out, Hop{IA: a[len(a)-1].IA, In: a[len(a)-1].In, Out: b[0].Out})
+	out = append(out, b[1:]...)
+	return out
+}
+
+// spliceShortcut joins an up and a down segment anchored at the same core
+// AS, cutting at the last AS the two segments share (the SCION common-AS
+// shortcut). When the only shared AS is the core itself this is the
+// ordinary core join.
+func spliceShortcut(u, d *segment.Segment) ([]Hop, bool) {
+	uIdx := make(map[addr.IA]int, len(u.Entries))
+	for i, e := range u.Entries {
+		uIdx[e.IA] = i
+	}
+	spliceJ := -1
+	for j := len(d.Entries) - 1; j >= 0; j-- {
+		if _, ok := uIdx[d.Entries[j].IA]; ok {
+			spliceJ = j
+			break
+		}
+	}
+	if spliceJ < 0 {
+		return nil, false
+	}
+	i := uIdx[d.Entries[spliceJ].IA]
+	// Up part: entries i..end reversed (leaf -> common AS).
+	up := upHops(&segment.Segment{Type: segment.Up, Entries: u.Entries[i:]})
+	// Down part: entries spliceJ..end (common AS -> leaf).
+	down := downHops(&segment.Segment{Type: segment.Down, Entries: d.Entries[spliceJ:]})
+	return joinHops(up, down), true
+}

@@ -1,0 +1,43 @@
+package pathmgr_test
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func ExampleCombiner_Paths() {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	combiner := pathmgr.NewCombiner(topo, reg)
+	paths, err := combiner.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		panic(err)
+	}
+	p := paths[0]
+	fmt.Printf("%d paths; shortest has %d hops via ISDs {%s}\n",
+		len(paths), p.NumHops(), p.ISDSetKey())
+	// Output: 40 paths; shortest has 6 hops via ISDs {16-17}
+}
+
+func ExampleParseSequence() {
+	// A partial pin: any path from MY_AS that crosses ISD 19.
+	seq, err := pathmgr.ParseSequence("17-ffaa:1:1 * 19-0 *")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(seq)
+	// Output: 17-ffaa:1:1 * 19-0 *
+}
+
+func ExampleParseACL() {
+	// Deny the jittery long-distance transits of the paper's §6.1.
+	acl, err := pathmgr.ParseACL("- 16-ffaa:0:1004#0, - 16-ffaa:0:1007#0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(acl)
+	// Output: - 16-ffaa:0:1004, - 16-ffaa:0:1007, +
+}

@@ -1,0 +1,113 @@
+package pathmgr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// randomWorld generates a random valid SCION topology via the library
+// generator.
+func randomWorld(t *testing.T, rng *rand.Rand, nISD, maxPerISD int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenerateSpec{
+		Seed:             rng.Int63(),
+		ISDs:             nISD,
+		MaxNonCorePerISD: maxPerISD,
+		ExtraCoreLinks:   nISD / 2,
+	})
+	if err != nil {
+		t.Fatalf("generated topology invalid: %v", err)
+	}
+	return topo
+}
+
+// TestCombinerInvariantsOnRandomTopologies asserts, across 30 random
+// worlds, the invariants every produced path must satisfy: correct
+// endpoints, loop-freedom, link contiguity with matching interface ids, no
+// duplicates, hop-count sort order, and sequence self-identification.
+func TestCombinerInvariantsOnRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for world := 0; world < 30; world++ {
+		topo := randomWorld(t, rng, 2+rng.Intn(4), 5)
+		reg := segment.Discover(topo, segment.Options{})
+		c := NewCombiner(topo, reg)
+		var all []*topology.AS = topo.ASes()
+		if len(all) < 2 {
+			continue
+		}
+		// A handful of random src/dst pairs per world.
+		for trial := 0; trial < 6; trial++ {
+			src := all[rng.Intn(len(all))].IA
+			dst := all[rng.Intn(len(all))].IA
+			if src == dst {
+				continue
+			}
+			paths, err := c.Paths(src, dst)
+			if err != nil {
+				t.Fatalf("world %d: paths %s->%s: %v", world, src, dst, err)
+			}
+			seen := map[string]bool{}
+			prevHops := 0
+			for _, p := range paths {
+				if p.Hops[0].IA != src || p.Hops[len(p.Hops)-1].IA != dst {
+					t.Fatalf("world %d: endpoints wrong: %v", world, p)
+				}
+				if p.HasLoop() {
+					t.Fatalf("world %d: loop: %v", world, p)
+				}
+				if p.NumHops() < prevHops {
+					t.Fatalf("world %d: sort order violated", world)
+				}
+				prevHops = p.NumHops()
+				fp := p.Fingerprint()
+				if seen[fp] {
+					t.Fatalf("world %d: duplicate path %v", world, p)
+				}
+				seen[fp] = true
+				for i := 0; i+1 < len(p.Hops); i++ {
+					l := topo.LinkBetween(p.Hops[i].IA, p.Hops[i+1].IA)
+					if l == nil {
+						t.Fatalf("world %d: no link %s--%s in %v", world, p.Hops[i].IA, p.Hops[i+1].IA, p)
+					}
+					wantOut, wantIn := l.AIf, l.BIf
+					if l.A != p.Hops[i].IA {
+						wantOut, wantIn = l.BIf, l.AIf
+					}
+					if p.Hops[i].Out != wantOut || p.Hops[i+1].In != wantIn {
+						t.Fatalf("world %d: interface mismatch in %v", world, p)
+					}
+				}
+				if !PathSequence(p).MatchPath(p) {
+					t.Fatalf("world %d: sequence does not match its path", world)
+				}
+			}
+		}
+	}
+}
+
+// TestCombinerSymmetricReachability: if A reaches B, B reaches A (our links
+// are bidirectional, so reachability must be symmetric).
+func TestCombinerSymmetricReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for world := 0; world < 10; world++ {
+		topo := randomWorld(t, rng, 3, 4)
+		reg := segment.Discover(topo, segment.Options{})
+		c := NewCombiner(topo, reg)
+		all := topo.ASes()
+		for trial := 0; trial < 8; trial++ {
+			a := all[rng.Intn(len(all))].IA
+			b := all[rng.Intn(len(all))].IA
+			if a == b {
+				continue
+			}
+			_, fwd := c.MinHops(a, b)
+			_, rev := c.MinHops(b, a)
+			if fwd != rev {
+				t.Fatalf("world %d: asymmetric reachability %s<->%s (fwd=%v rev=%v)", world, a, b, fwd, rev)
+			}
+		}
+	}
+}

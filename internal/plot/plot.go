@@ -1,0 +1,230 @@
+// Package plot renders the paper's figures as text: horizontal box plots
+// (Fig 5–8), bar charts (Fig 4) and loss dot plots (Fig 9). Plots are pure
+// strings so the report tool and tests can assert on them.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/upin/scionpath/internal/stats"
+)
+
+// Box is one labelled box-plot row.
+type Box struct {
+	Label   string
+	Summary stats.Summary
+	// Tag optionally colours/annotates the row (the paper tags 6- vs
+	// 7-hop groups and 64B vs MTU whiskers).
+	Tag string
+}
+
+// BoxPlot renders horizontal box plots on a shared axis.
+//
+//	label |----[==|==]-----| o  (whisker, box, median, outliers)
+func BoxPlot(title, unit string, boxes []Box, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(boxes) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, box := range boxes {
+		if box.Summary.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, box.Summary.Min)
+		hi = math.Max(hi, box.Summary.Max)
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, box := range boxes {
+		if n := len(rowLabel(box)); n > labelW {
+			labelW = n
+		}
+	}
+	scale := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+
+	for _, box := range boxes {
+		s := box.Summary
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		if s.N > 0 {
+			wl, bl, md, br, wr := scale(s.LowWhisker), scale(s.Q1), scale(s.Median), scale(s.Q3), scale(s.HighWhisker)
+			for i := wl; i <= wr; i++ {
+				row[i] = '-'
+			}
+			for i := bl; i <= br; i++ {
+				row[i] = '='
+			}
+			row[wl], row[wr] = '|', '|'
+			row[md] = '#'
+			for _, o := range s.Outliers {
+				row[scale(o)] = 'o'
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %s\n", labelW, rowLabel(box), string(row))
+	}
+	fmt.Fprintf(&b, "  %-*s %-10.4g%*s\n", labelW, "", lo, width-10, fmt.Sprintf("%.4g %s", hi, unit))
+	return b.String()
+}
+
+func rowLabel(b Box) string {
+	if b.Tag == "" {
+		return b.Label
+	}
+	return b.Label + " (" + b.Tag + ")"
+}
+
+// Bar is one bar-chart row.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart (Fig 4's reachability bars).
+func BarChart(title, unit string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(bars) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	max := math.Inf(-1)
+	labelW := 0
+	for _, bar := range bars {
+		max = math.Max(max, bar.Value)
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, bar := range bars {
+		n := int(math.Round(bar.Value / max * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.4g %s\n", labelW, bar.Label, strings.Repeat("█", n), bar.Value, unit)
+	}
+	return b.String()
+}
+
+// DotSeries is one path's loss measurements for the dot plot.
+type DotSeries struct {
+	Label string
+	// Values are the per-measurement loss percentages.
+	Values []float64
+}
+
+// LossDotPlot renders Fig 9's dot plot: one row per path, dots positioned by
+// loss percentage, dot size (digit 1-9) encoding how many measurements share
+// that loss value.
+func LossDotPlot(title string, series []DotSeries, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 0
+	for _, s := range series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	for _, s := range series {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Count multiplicity per rounded loss value.
+		counts := map[int]int{}
+		for _, v := range s.Values {
+			pos := int(math.Round(v / 100 * float64(width-1)))
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > width-1 {
+				pos = width - 1
+			}
+			counts[pos]++
+		}
+		positions := make([]int, 0, len(counts))
+		for p := range counts {
+			positions = append(positions, p)
+		}
+		sort.Ints(positions)
+		for _, p := range positions {
+			n := counts[p]
+			if n > 9 {
+				n = 9
+			}
+			row[p] = byte('0' + n)
+		}
+		fmt.Fprintf(&b, "  %-*s %s\n", labelW, s.Label, string(row))
+	}
+	fmt.Fprintf(&b, "  %-*s 0%%%*s\n", labelW, "", width-2, "100%")
+	return b.String()
+}
+
+// Table renders rows of cells with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	dashes := make([]string, len(widths))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	line(dashes)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

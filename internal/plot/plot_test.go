@@ -1,0 +1,152 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/upin/scionpath/internal/stats"
+)
+
+func TestBoxPlot(t *testing.T) {
+	boxes := []Box{
+		{Label: "path 0", Tag: "6 hops", Summary: stats.Summarize([]float64{10, 11, 12, 13, 14})},
+		{Label: "path 9", Tag: "7 hops", Summary: stats.Summarize([]float64{200, 210, 220, 230, 500})},
+	}
+	out := BoxPlot("Average latency per path", "ms", boxes, 60)
+	if !strings.Contains(out, "Average latency per path") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "path 0 (6 hops)") || !strings.Contains(out, "path 9 (7 hops)") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	for _, glyph := range []string{"|", "=", "#"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("missing glyph %q:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "ms") {
+		t.Error("missing unit on axis")
+	}
+	// Deterministic.
+	if out != BoxPlot("Average latency per path", "ms", boxes, 60) {
+		t.Error("non-deterministic rendering")
+	}
+}
+
+func TestBoxPlotRelativePositions(t *testing.T) {
+	boxes := []Box{
+		{Label: "fast", Summary: stats.Summarize([]float64{10, 11, 12})},
+		{Label: "slow", Summary: stats.Summarize([]float64{90, 95, 99})},
+	}
+	out := BoxPlot("t", "ms", boxes, 40)
+	lines := strings.Split(out, "\n")
+	fast, slow := lines[1], lines[2]
+	if strings.Index(fast, "#") >= strings.Index(slow, "#") {
+		t.Errorf("fast median not left of slow median:\n%s", out)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	if out := BoxPlot("t", "ms", nil, 0); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	empty := []Box{{Label: "x", Summary: stats.Summary{}}}
+	if out := BoxPlot("t", "ms", empty, 0); !strings.Contains(out, "no data") {
+		t.Errorf("all-empty plot: %q", out)
+	}
+	// Degenerate single value.
+	one := []Box{{Label: "x", Summary: stats.Summarize([]float64{5})}}
+	out := BoxPlot("t", "ms", one, 20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("degenerate plot lost its median:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bars := []Bar{
+		{Label: "3 hops", Value: 2},
+		{Label: "6 hops", Value: 12},
+	}
+	out := BarChart("Server reachability", "destinations", bars, 30)
+	if !strings.Contains(out, "3 hops") || !strings.Contains(out, "6 hops") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	count := func(s string) int { return strings.Count(s, "█") }
+	if count(lines[1]) >= count(lines[2]) {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	if count(lines[2]) != 30 {
+		t.Errorf("max bar %d blocks, want full width 30", count(lines[2]))
+	}
+	if !strings.Contains(BarChart("t", "u", nil, 0), "no data") {
+		t.Error("empty chart")
+	}
+	// All-zero values must not divide by zero.
+	if out := BarChart("t", "u", []Bar{{Label: "z", Value: 0}}, 10); !strings.Contains(out, "z") {
+		t.Errorf("zero chart: %q", out)
+	}
+}
+
+func TestLossDotPlot(t *testing.T) {
+	series := []DotSeries{
+		{Label: "2_15", Values: []float64{0, 0, 0, 0}},
+		{Label: "2_16", Values: []float64{100, 100, 100}},
+		{Label: "2_20", Values: []float64{0, 10, 0}},
+	}
+	out := LossDotPlot("Loss per path", series, 50)
+	lines := strings.Split(out, "\n")
+	// Path 2_15: a single dot of multiplicity 4 at position 0.
+	if !strings.Contains(lines[1], "4") {
+		t.Errorf("multiplicity missing:\n%s", out)
+	}
+	// Path 2_16: multiplicity 3 at the far right.
+	idx16 := strings.LastIndex(lines[2], "3")
+	if idx16 < 40 {
+		t.Errorf("100%% loss dot not at right edge:\n%s", out)
+	}
+	// Path 2_20 has two distinct positions.
+	row := lines[3]
+	nonSpace := 0
+	for _, r := range row[len("  2_20 "):] {
+		if r != ' ' {
+			nonSpace++
+		}
+	}
+	if nonSpace != 2 {
+		t.Errorf("2_20 row has %d dots, want 2:\n%s", nonSpace, out)
+	}
+	if !strings.Contains(out, "0%") || !strings.Contains(out, "100%") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestLossDotPlotClampsAndCaps(t *testing.T) {
+	series := []DotSeries{{Label: "x", Values: []float64{-5, 105, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50}}}
+	out := LossDotPlot("t", series, 20)
+	if strings.Contains(out, ":") || len(strings.Split(out, "\n")) < 2 {
+		t.Errorf("clamp failure: %q", out)
+	}
+	// Multiplicity is capped at 9.
+	if !strings.Contains(out, "9") {
+		t.Errorf("multiplicity cap: %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	header := []string{"id", "value"}
+	out := Table(header, [][]string{{"a", "1"}, {"longer", "2"}})
+	if !strings.Contains(out, "id") || !strings.Contains(out, "longer") {
+		t.Errorf("table content:\n%s", out)
+	}
+	if !strings.Contains(out, "--") {
+		t.Error("missing separator")
+	}
+	if header[0] != "id" {
+		t.Error("Table mutated the caller's header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("%d lines, want 4", len(lines))
+	}
+}

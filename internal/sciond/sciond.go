@@ -1,0 +1,262 @@
+// Package sciond emulates the SCION daemon services the scion command-line
+// tools consume: local address information (scion address), path lookup
+// with the showpaths semantics (-m limit, --extended metadata, liveness
+// probing), and path resolution by hop-predicate sequence for ping,
+// traceroute and the bwtester (§3.3).
+package sciond
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// SegmentLifetime is how long discovered path segments stay valid before
+// the daemon re-runs beaconing, mirroring SCION's segment expiry.
+const SegmentLifetime = 6 * time.Hour
+
+// Daemon bundles the control plane (combiner over the beaconing registry)
+// with the data plane (simulator) for one local AS.
+type Daemon struct {
+	topo     *topology.Topology
+	combiner *pathmgr.Combiner
+	net      *simnet.Network
+	local    addr.IA
+	// discoveredAt is the simulated time of the last beaconing run; paths
+	// combined from that registry expire SegmentLifetime later.
+	discoveredAt time.Duration
+}
+
+// New builds a daemon for the local AS. The segment registry is discovered
+// once at construction, like a warmed-up beacon store, and refreshed
+// automatically when its segments expire.
+func New(topo *topology.Topology, net *simnet.Network, local addr.IA) (*Daemon, error) {
+	if topo.AS(local) == nil {
+		return nil, fmt.Errorf("sciond: local AS %s not in topology", local)
+	}
+	d := &Daemon{topo: topo, net: net, local: local}
+	d.refresh()
+	return d, nil
+}
+
+// refresh re-runs beaconing and stamps the discovery time.
+func (d *Daemon) refresh() {
+	reg := segment.Discover(d.topo, segment.Options{})
+	d.combiner = pathmgr.NewCombiner(d.topo, reg)
+	if d.net != nil {
+		d.discoveredAt = d.net.Now()
+	}
+}
+
+// maybeRefresh re-beacons when the registry's segments have expired.
+func (d *Daemon) maybeRefresh() {
+	if d.net == nil {
+		return
+	}
+	if d.net.Now()-d.discoveredAt >= SegmentLifetime {
+		d.refresh()
+	}
+}
+
+// stampExpiry sets the expiry metadata showpaths prints.
+func (d *Daemon) stampExpiry(paths []*pathmgr.Path) {
+	expiry := time.Unix(0, 0).Add(d.discoveredAt + SegmentLifetime)
+	for _, p := range paths {
+		p.Expiry = expiry
+	}
+}
+
+// LocalIA returns the local ISD-AS, the core of `scion address` output.
+func (d *Daemon) LocalIA() addr.IA { return d.local }
+
+// Address renders the `scion address` output for the local host.
+func (d *Daemon) Address() string {
+	return addr.Host{IA: d.local, Local: "127.0.0.1"}.String()
+}
+
+// Topology returns the underlying topology (for tooling).
+func (d *Daemon) Topology() *topology.Topology { return d.topo }
+
+// Network returns the data-plane simulator.
+func (d *Daemon) Network() *simnet.Network { return d.net }
+
+// ShowPathsOpts mirror the flags of `scion showpaths`.
+type ShowPathsOpts struct {
+	// MaxPaths is the -m flag; showpaths defaults to 10 paths.
+	MaxPaths int
+	// Extended requests the additional metadata block (--extended).
+	Extended bool
+	// Probe sends one SCMP probe per path to fill the Status field.
+	Probe bool
+	// ACL filters paths by hop policy before the MaxPaths cap is applied.
+	ACL *pathmgr.ACL
+}
+
+// DefaultMaxPaths is showpaths' default display limit.
+const DefaultMaxPaths = 10
+
+// ShowPaths lists paths to the destination ordered by hop count, capped at
+// MaxPaths. The paper's collector runs it as `showpaths --extended -m 40`.
+func (d *Daemon) ShowPaths(dst addr.IA, opts ShowPathsOpts) ([]*pathmgr.Path, error) {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = DefaultMaxPaths
+	}
+	if opts.MaxPaths < 0 {
+		return nil, fmt.Errorf("sciond: negative path limit %d", opts.MaxPaths)
+	}
+	d.maybeRefresh()
+	paths, err := d.combiner.Paths(d.local, dst)
+	if err != nil {
+		return nil, err
+	}
+	d.stampExpiry(paths)
+	paths = opts.ACL.FilterPaths(paths)
+	if len(paths) > opts.MaxPaths {
+		paths = paths[:opts.MaxPaths]
+	}
+	if opts.Probe && d.net != nil {
+		for _, p := range paths {
+			res := d.net.Probe(p, 8, 0)
+			if res.Dropped {
+				p.Status = "timeout"
+			} else {
+				p.Status = "alive"
+			}
+		}
+	}
+	return paths, nil
+}
+
+// PathsTo returns the full uncapped path set (internal consumers).
+func (d *Daemon) PathsTo(dst addr.IA) ([]*pathmgr.Path, error) {
+	d.maybeRefresh()
+	paths, err := d.combiner.Paths(d.local, dst)
+	if err != nil {
+		return nil, err
+	}
+	d.stampExpiry(paths)
+	return paths, nil
+}
+
+// ResolveSequence finds the path to dst matching the hop-predicate
+// sequence, the way ping/bwtest resolve their --sequence argument.
+func (d *Daemon) ResolveSequence(dst addr.IA, seq pathmgr.Sequence) (*pathmgr.Path, error) {
+	paths, err := d.PathsTo(dst)
+	if err != nil {
+		return nil, err
+	}
+	p := pathmgr.FindBySequence(paths, seq)
+	if p == nil {
+		return nil, fmt.Errorf("sciond: no path to %s matches sequence %q", dst, seq)
+	}
+	return p, nil
+}
+
+// FormatPaths renders showpaths-style output. With extended metadata it
+// includes MTU, status and the static latency estimate, the fields the
+// paper's collector parses (§5.2).
+func FormatPaths(paths []*pathmgr.Path, extended bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Available paths to %s\n", dstOf(paths))
+	for i, p := range paths {
+		fmt.Fprintf(&b, "[%2d] Hops: %d %s", i, p.NumHops(), hopChain(p))
+		if extended {
+			fmt.Fprintf(&b, " MTU: %d Status: %s MinLatency: %s",
+				p.MTU, statusOr(p), p.MinLatency.Round(10*time.Microsecond))
+			if !p.Expiry.IsZero() {
+				fmt.Fprintf(&b, " Expires: +%s", p.Expiry.Sub(time.Unix(0, 0)).Round(time.Minute))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func dstOf(paths []*pathmgr.Path) string {
+	if len(paths) == 0 {
+		return "(none)"
+	}
+	return paths[0].Dst.String()
+}
+
+func statusOr(p *pathmgr.Path) string {
+	if p.Status == "" {
+		return "unknown"
+	}
+	return p.Status
+}
+
+func hopChain(p *pathmgr.Path) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, h := range p.Hops {
+		if i > 0 {
+			fmt.Fprintf(&b, " %d>%d ", p.Hops[i-1].Out, h.In)
+		}
+		b.WriteString(h.IA.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ReachabilityReport summarises, per destination AS, the minimum hop count —
+// the data behind Fig 4.
+type ReachabilityReport struct {
+	// MinHopsByDest maps each reachable server AS to its minimum hop count.
+	MinHopsByDest map[addr.IA]int
+	// Histogram maps minimum hop count to number of destinations.
+	Histogram map[int]int
+	// AvgMinHops is the mean minimum path length over destinations.
+	AvgMinHops float64
+	// FracWithin is the cumulative fraction of destinations reachable
+	// within each hop count.
+	FracWithin map[int]float64
+}
+
+// Reachability computes the report over the given destinations (typically
+// topology.Servers()); unreachable destinations are skipped.
+func (d *Daemon) Reachability(dests []addr.IA) ReachabilityReport {
+	rep := ReachabilityReport{
+		MinHopsByDest: map[addr.IA]int{},
+		Histogram:     map[int]int{},
+		FracWithin:    map[int]float64{},
+	}
+	total := 0
+	for _, dst := range dests {
+		if dst == d.local {
+			continue
+		}
+		if _, dup := rep.MinHopsByDest[dst]; dup {
+			continue // multi-server ASes count once per AS
+		}
+		min, ok := d.combiner.MinHops(d.local, dst)
+		if !ok {
+			continue
+		}
+		rep.MinHopsByDest[dst] = min
+		rep.Histogram[min]++
+		total += min
+	}
+	n := len(rep.MinHopsByDest)
+	if n > 0 {
+		rep.AvgMinHops = float64(total) / float64(n)
+		hops := make([]int, 0, len(rep.Histogram))
+		for h := range rep.Histogram {
+			hops = append(hops, h)
+		}
+		sort.Ints(hops)
+		cum := 0
+		for _, h := range hops {
+			cum += rep.Histogram[h]
+			rep.FracWithin[h] = float64(cum) / float64(n)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,236 @@
+package sciond
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func daemon(t testing.TB) *Daemon {
+	t.Helper()
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 1})
+	d, err := New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRejectsUnknownLocal(t *testing.T) {
+	topo := topology.DefaultWorld()
+	if _, err := New(topo, nil, addr.MustParseIA("99-ff00:0:1")); err == nil {
+		t.Error("unknown local AS accepted")
+	}
+}
+
+func TestAddress(t *testing.T) {
+	d := daemon(t)
+	if d.LocalIA() != topology.MyAS {
+		t.Errorf("LocalIA %s", d.LocalIA())
+	}
+	if !strings.HasPrefix(d.Address(), "17-ffaa:1:1,") {
+		t.Errorf("Address %q", d.Address())
+	}
+}
+
+func TestShowPathsDefaultLimit(t *testing.T) {
+	d := daemon(t)
+	paths, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "By default, the list is set to display 10 paths only" (§3.3).
+	if len(paths) > DefaultMaxPaths {
+		t.Errorf("%d paths despite default limit", len(paths))
+	}
+	all, err := d.PathsTo(topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) > DefaultMaxPaths && len(paths) != DefaultMaxPaths {
+		t.Errorf("limit not applied: got %d", len(paths))
+	}
+}
+
+func TestShowPathsExtendedLimit(t *testing.T) {
+	d := daemon(t)
+	paths, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 || len(paths) > 40 {
+		t.Fatalf("%d paths", len(paths))
+	}
+	// Sorted by hop count (showpaths ranks by hops).
+	for i := 1; i < len(paths); i++ {
+		if paths[i].NumHops() < paths[i-1].NumHops() {
+			t.Fatal("not sorted by hop count")
+		}
+	}
+	if _, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestShowPathsProbeStatus(t *testing.T) {
+	d := daemon(t)
+	paths, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 5, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if p.Status != "alive" && p.Status != "timeout" {
+			t.Errorf("path status %q after probing", p.Status)
+		}
+	}
+}
+
+func TestResolveSequence(t *testing.T) {
+	d := daemon(t)
+	paths, _ := d.PathsTo(topology.AWSIreland)
+	want := paths[len(paths)-1]
+	got, err := d.ResolveSequence(topology.AWSIreland, pathmgr.PathSequence(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("resolved the wrong path")
+	}
+	bogus, _ := pathmgr.ParseSequence("1-0#0 2-0#0")
+	if _, err := d.ResolveSequence(topology.AWSIreland, bogus); err == nil {
+		t.Error("bogus sequence resolved")
+	}
+}
+
+func TestFormatPaths(t *testing.T) {
+	d := daemon(t)
+	paths, _ := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 3, Probe: true})
+	out := FormatPaths(paths, true)
+	for _, want := range []string{"Available paths to 16-ffaa:0:1002", "Hops: 6", "MTU:", "Status:", "MinLatency:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extended output missing %q:\n%s", want, out)
+		}
+	}
+	plain := FormatPaths(paths, false)
+	if strings.Contains(plain, "MTU:") {
+		t.Error("plain output contains extended fields")
+	}
+	if !strings.Contains(FormatPaths(nil, false), "(none)") {
+		t.Error("empty path list rendering")
+	}
+}
+
+func TestReachabilityReport(t *testing.T) {
+	d := daemon(t)
+	var dests []addr.IA
+	for _, s := range d.Topology().Servers() {
+		dests = append(dests, s.IA)
+	}
+	rep := d.Reachability(dests)
+	// Multi-server ASes count once per AS here; 20 distinct server ASes.
+	if len(rep.MinHopsByDest) < 19 {
+		t.Fatalf("only %d destinations reachable", len(rep.MinHopsByDest))
+	}
+	if rep.AvgMinHops < 5.0 || rep.AvgMinHops > 6.5 {
+		t.Errorf("average min hops %.2f out of band", rep.AvgMinHops)
+	}
+	sum := 0
+	for _, n := range rep.Histogram {
+		sum += n
+	}
+	if sum != len(rep.MinHopsByDest) {
+		t.Errorf("histogram sums to %d, want %d", sum, len(rep.MinHopsByDest))
+	}
+	// Cumulative fraction reaches 1 at the max hop count.
+	maxHops := 0
+	for h := range rep.Histogram {
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	if f := rep.FracWithin[maxHops]; f < 0.999 {
+		t.Errorf("cumulative fraction at max hops %.3f, want 1", f)
+	}
+}
+
+func TestShowPathsStatusReflectsLinkOutage(t *testing.T) {
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 35})
+	d, err := New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down the ETHZ--ETHZ-AP link: paths via the ETHZ up segment time out,
+	// paths via SWITCH stay alive.
+	if err := net.ScheduleLinkOutage(simnet.LinkOutage{
+		A: addr.MustParseIA("17-ffaa:0:1102"), B: topology.ETHZAP,
+		Start: 0, End: 1 << 40,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 40, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeouts, alive int
+	for _, p := range paths {
+		switch p.Status {
+		case "timeout":
+			timeouts++
+		case "alive":
+			alive++
+		}
+	}
+	if timeouts == 0 || alive == 0 {
+		t.Errorf("status split timeouts=%d alive=%d; want both", timeouts, alive)
+	}
+}
+
+func TestPathExpiryAndRefresh(t *testing.T) {
+	d := daemon(t)
+	paths, err := d.PathsTo(topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paths[0]
+	if p.Expiry.IsZero() {
+		t.Fatal("path expiry not stamped")
+	}
+	if p.Expired(d.Network().Now()) {
+		t.Fatal("fresh path already expired")
+	}
+	// After the segment lifetime the old path object is expired...
+	d.Network().Advance(SegmentLifetime + time.Minute)
+	if !p.Expired(d.Network().Now()) {
+		t.Error("path not expired past the segment lifetime")
+	}
+	// ...and a new query transparently re-beacons with fresh expiry.
+	paths2, err := d.PathsTo(topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths2[0].Expired(d.Network().Now()) {
+		t.Error("refreshed path already expired")
+	}
+	if !paths2[0].Expiry.After(p.Expiry) {
+		t.Errorf("expiry not advanced: %v vs %v", paths2[0].Expiry, p.Expiry)
+	}
+	// The path set itself is stable across the refresh.
+	if len(paths2) != len(paths) || paths2[0].Fingerprint() != p.Fingerprint() {
+		t.Error("refresh changed the path set on a static topology")
+	}
+}
+
+func TestReachabilitySkipsSelf(t *testing.T) {
+	d := daemon(t)
+	rep := d.Reachability([]addr.IA{topology.MyAS})
+	if len(rep.MinHopsByDest) != 0 {
+		t.Error("self counted as destination")
+	}
+}

@@ -1,0 +1,195 @@
+package scmp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func world(t testing.TB, seed int64) (*pathmgr.Combiner, *simnet.Network) {
+	t.Helper()
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	return pathmgr.NewCombiner(topo, reg), simnet.New(topo, simnet.Options{Seed: seed})
+}
+
+func irelandPath(t testing.TB, c *pathmgr.Combiner) *pathmgr.Path {
+	t.Helper()
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no Ireland paths: %v", err)
+	}
+	return paths[0]
+}
+
+func TestPingDefaultsMatchPaper(t *testing.T) {
+	c, net := world(t, 1)
+	p := irelandPath(t, c)
+	before := net.Now()
+	stats, err := Ping(net, p, PingOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §5.3: 30 packets at 0.1 s interval.
+	if stats.Sent != 30 {
+		t.Errorf("sent %d, want 30", stats.Sent)
+	}
+	// Clock advances by the pacing of the run.
+	if got := net.Now() - before; got < 29*100*time.Millisecond {
+		t.Errorf("clock advanced %v, want >= 2.9s", got)
+	}
+}
+
+func TestPingStatsConsistent(t *testing.T) {
+	c, net := world(t, 2)
+	p := irelandPath(t, c)
+	stats, err := Ping(net, p, PingOpts{Count: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Received != len(stats.RTTs) {
+		t.Errorf("received %d but %d samples", stats.Received, len(stats.RTTs))
+	}
+	if stats.Received > stats.Sent {
+		t.Errorf("received %d > sent %d", stats.Received, stats.Sent)
+	}
+	wantLoss := 100 * float64(stats.Sent-stats.Received) / float64(stats.Sent)
+	if stats.Loss != wantLoss {
+		t.Errorf("loss %v, want %v", stats.Loss, wantLoss)
+	}
+	if stats.Received > 0 {
+		if stats.Min > stats.Avg || stats.Avg > stats.Max {
+			t.Errorf("min/avg/max ordering violated: %v/%v/%v", stats.Min, stats.Avg, stats.Max)
+		}
+		if stats.Min <= 0 {
+			t.Errorf("non-positive min RTT %v", stats.Min)
+		}
+	}
+	if !strings.Contains(stats.String(), "packet loss") {
+		t.Errorf("summary %q missing fields", stats.String())
+	}
+}
+
+func TestPingErrors(t *testing.T) {
+	c, net := world(t, 3)
+	p := irelandPath(t, c)
+	if _, err := Ping(net, nil, PingOpts{}); err == nil {
+		t.Error("nil path accepted")
+	}
+	if _, err := Ping(net, &pathmgr.Path{}, PingOpts{}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Ping(net, p, PingOpts{Count: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestPing100PercentLossDuringEpisode(t *testing.T) {
+	c, net := world(t, 4)
+	p := irelandPath(t, c)
+	if err := net.ScheduleEpisode(simnet.Episode{
+		IA: p.Hops[1].IA, Start: 0, End: time.Hour, DropProb: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Ping(net, p, PingOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loss != 100 {
+		t.Errorf("loss %v%%, want 100%%", stats.Loss)
+	}
+	if stats.Received != 0 || stats.Avg != 0 {
+		t.Errorf("stats for fully lost run: %+v", stats)
+	}
+}
+
+func TestPingPartialEpisodeLoss(t *testing.T) {
+	c, net := world(t, 5)
+	p := irelandPath(t, c)
+	// Episode covering only the second half of a 30-probe run.
+	if err := net.ScheduleEpisode(simnet.Episode{
+		IA: p.Hops[1].IA, Start: 1500 * time.Millisecond, End: time.Hour, DropProb: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Ping(net, p, PingOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loss < 30 || stats.Loss > 70 {
+		t.Errorf("loss %v%%, want roughly half", stats.Loss)
+	}
+}
+
+func TestPingJitterReflectedInMdev(t *testing.T) {
+	c, net := world(t, 6)
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, viaOhio *pathmgr.Path
+	for _, p := range paths {
+		if p.NumHops() == 6 && direct == nil {
+			direct = p
+		}
+		if p.Contains(topology.AWSOhio) && viaOhio == nil {
+			viaOhio = p
+		}
+	}
+	if direct == nil || viaOhio == nil {
+		t.Fatal("paths missing")
+	}
+	ds, err := Ping(net, direct, PingOpts{Count: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := Ping(net, viaOhio, PingOpts{Count: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Mdev <= ds.Mdev {
+		t.Errorf("Ohio-path mdev %v not above direct %v", os.Mdev, ds.Mdev)
+	}
+}
+
+func TestTraceroute(t *testing.T) {
+	c, net := world(t, 7)
+	p := irelandPath(t, c)
+	hops, err := Traceroute(net, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != p.NumHops() {
+		t.Fatalf("%d traceroute lines, want %d", len(hops), p.NumHops())
+	}
+	for i, h := range hops {
+		if h.Index != i {
+			t.Errorf("hop %d has index %d", i, h.Index)
+		}
+		if h.Hop.IA != p.Hops[i].IA {
+			t.Errorf("hop %d IA %s, want %s", i, h.Hop.IA, p.Hops[i].IA)
+		}
+		if !h.Timeout && len(h.RTTs) == 0 {
+			t.Errorf("hop %d has no samples and no timeout", i)
+		}
+	}
+	// Median per-hop latency should grow toward the destination overall:
+	// the last hop must exceed the first by the geographic distance.
+	first, last := hops[1].RTTs[0], hops[len(hops)-1].RTTs[0]
+	if last <= first {
+		t.Errorf("last-hop RTT %v <= first-hop %v", last, first)
+	}
+}
+
+func TestTracerouteErrors(t *testing.T) {
+	_, net := world(t, 8)
+	if _, err := Traceroute(net, nil, 3); err == nil {
+		t.Error("nil path accepted")
+	}
+}

@@ -1,0 +1,281 @@
+// Package segment implements SCION path-segment construction. Core ASes
+// originate path-construction beacons (PCBs); beacons propagate over core
+// links (core beaconing) and down ISD-internal parent-child links (intra-ISD
+// beaconing). The resulting up-, core- and down-segments are what the path
+// manager combines into end-to-end paths, mirroring how SCIONLab offers "a
+// variety of paths between different ASes to support multipath operations"
+// (paper §3.1).
+package segment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Type classifies a segment by its role in path construction.
+type Type int
+
+const (
+	// Up segments lead from a non-core AS up to a core AS of its ISD.
+	Up Type = iota
+	// Core segments connect two core ASes (possibly across ISDs).
+	CoreSeg
+	// Down segments lead from a core AS down to a non-core AS.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Up:
+		return "up"
+	case CoreSeg:
+		return "core"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ASEntry is one AS traversed by a beacon. Interfaces are relative to beacon
+// travel direction: In is the interface the beacon entered through (0 at the
+// origin), Out the interface it left through (0 at the terminal AS).
+type ASEntry struct {
+	IA  addr.IA
+	In  addr.IfID
+	Out addr.IfID
+	MTU int // MTU of the link the beacon entered through (0 at origin)
+}
+
+// Segment is a registered path segment. Entries are ordered in beacon travel
+// direction: a core segment from its origin core AS to the registering core
+// AS; a down segment from the core AS to the leaf. Up segments are down
+// segments interpreted in reverse (leaf to core), as in SCION.
+type Segment struct {
+	Type    Type
+	Entries []ASEntry
+}
+
+// First returns the origin AS (a core AS for core/down segments).
+func (s *Segment) First() addr.IA { return s.Entries[0].IA }
+
+// Last returns the terminal AS.
+func (s *Segment) Last() addr.IA { return s.Entries[len(s.Entries)-1].IA }
+
+// Len returns the number of AS entries.
+func (s *Segment) Len() int { return len(s.Entries) }
+
+// MTU returns the minimum MTU along the segment (0 when single-AS).
+func (s *Segment) MTU() int {
+	mtu := 0
+	for _, e := range s.Entries[1:] {
+		if mtu == 0 || (e.MTU > 0 && e.MTU < mtu) {
+			mtu = e.MTU
+		}
+	}
+	return mtu
+}
+
+// ContainsLoop reports whether any AS repeats within the segment.
+func (s *Segment) ContainsLoop() bool {
+	seen := make(map[addr.IA]bool, len(s.Entries))
+	for _, e := range s.Entries {
+		if seen[e.IA] {
+			return true
+		}
+		seen[e.IA] = true
+	}
+	return false
+}
+
+// String renders the segment as "type: AS>AS>AS".
+func (s *Segment) String() string {
+	parts := make([]string, len(s.Entries))
+	for i, e := range s.Entries {
+		parts[i] = e.IA.String()
+	}
+	return s.Type.String() + ": " + strings.Join(parts, ">")
+}
+
+// Registry holds the segments discovered by beaconing, indexed the way the
+// path manager consumes them.
+type Registry struct {
+	// DownByLeaf maps a non-core AS to the down segments terminating at it.
+	// The same segments serve as the AS's up segments (reversed).
+	DownByLeaf map[addr.IA][]*Segment
+	// CoreByPair maps origin core AS then terminal core AS to core segments
+	// usable in the origin->terminal direction.
+	CoreByPair map[addr.IA]map[addr.IA][]*Segment
+}
+
+// Options bounds beaconing. Zero values select the defaults.
+type Options struct {
+	// MaxCoreLen caps the number of ASes in a core segment.
+	MaxCoreLen int
+	// MaxDownLen caps the number of ASes in a down segment.
+	MaxDownLen int
+	// MaxSegmentsPerPair caps how many core segments are kept per ordered
+	// core-AS pair (shortest first), like a registry retention policy.
+	MaxSegmentsPerPair int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCoreLen == 0 {
+		o.MaxCoreLen = 5
+	}
+	if o.MaxDownLen == 0 {
+		o.MaxDownLen = 6
+	}
+	if o.MaxSegmentsPerPair == 0 {
+		o.MaxSegmentsPerPair = 8
+	}
+	return o
+}
+
+// Discover runs core and intra-ISD beaconing over the topology and returns
+// the populated registry.
+func Discover(topo *topology.Topology, opts Options) *Registry {
+	opts = opts.withDefaults()
+	reg := &Registry{
+		DownByLeaf: make(map[addr.IA][]*Segment),
+		CoreByPair: make(map[addr.IA]map[addr.IA][]*Segment),
+	}
+	coreBeaconing(topo, opts, reg)
+	intraISDBeaconing(topo, opts, reg)
+	return reg
+}
+
+// coreBeaconing enumerates simple paths over core links from every core AS,
+// registering a core segment at every core AS reached.
+func coreBeaconing(topo *topology.Topology, opts Options, reg *Registry) {
+	for _, origin := range topo.CoreASes(0) {
+		var walk func(seg []ASEntry, seen map[addr.IA]bool)
+		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
+			cur := seg[len(seg)-1].IA
+			if len(seg) > 1 {
+				registerCore(reg, origin.IA, cur, cloneEntries(seg), opts)
+			}
+			if len(seg) >= opts.MaxCoreLen {
+				return
+			}
+			for _, l := range topo.LinksOf(cur) {
+				if l.Type != topology.CoreLink {
+					continue
+				}
+				next, outIf, inIf := l.B, l.AIf, l.BIf
+				if l.B == cur {
+					next, outIf, inIf = l.A, l.BIf, l.AIf
+				}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				seg[len(seg)-1].Out = outIf
+				seg = append(seg, ASEntry{IA: next, In: inIf, MTU: l.MTU})
+				walk(seg, seen)
+				seg = seg[:len(seg)-1]
+				seg[len(seg)-1].Out = 0
+				delete(seen, next)
+			}
+		}
+		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
+	}
+	// Retention: keep the shortest MaxSegmentsPerPair segments per pair.
+	for src, m := range reg.CoreByPair {
+		for dst, segs := range m {
+			sortSegsByLen(segs)
+			if len(segs) > opts.MaxSegmentsPerPair {
+				m[dst] = segs[:opts.MaxSegmentsPerPair]
+			}
+			_ = src
+		}
+	}
+}
+
+// intraISDBeaconing propagates beacons from each ISD's core ASes along
+// parent->child links, registering down segments at every AS reached.
+func intraISDBeaconing(topo *topology.Topology, opts Options, reg *Registry) {
+	for _, origin := range topo.CoreASes(0) {
+		var walk func(seg []ASEntry, seen map[addr.IA]bool)
+		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
+			cur := seg[len(seg)-1].IA
+			if len(seg) > 1 {
+				leaf := cur
+				reg.DownByLeaf[leaf] = append(reg.DownByLeaf[leaf], &Segment{
+					Type: Down, Entries: cloneEntries(seg),
+				})
+			}
+			if len(seg) >= opts.MaxDownLen {
+				return
+			}
+			for _, l := range topo.LinksOf(cur) {
+				// Follow only parent->child direction within the origin ISD.
+				if l.Type != topology.ParentChild || l.A != cur {
+					continue
+				}
+				if l.B.ISD != origin.IA.ISD || seen[l.B] {
+					continue
+				}
+				seen[l.B] = true
+				seg[len(seg)-1].Out = l.AIf
+				seg = append(seg, ASEntry{IA: l.B, In: l.BIf, MTU: l.MTU})
+				walk(seg, seen)
+				seg = seg[:len(seg)-1]
+				seg[len(seg)-1].Out = 0
+				delete(seen, l.B)
+			}
+		}
+		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
+	}
+	for _, segs := range reg.DownByLeaf {
+		sortSegsByLen(segs)
+	}
+}
+
+func registerCore(reg *Registry, origin, terminal addr.IA, entries []ASEntry, opts Options) {
+	// A core segment registered at `terminal`, originated by `origin`,
+	// supports forwarding terminal->origin in SCION; for simplicity our
+	// links are symmetric, so we register it for the origin->terminal
+	// direction and the reverse direction is discovered by the beacon
+	// originated at the other end.
+	m := reg.CoreByPair[origin]
+	if m == nil {
+		m = make(map[addr.IA][]*Segment)
+		reg.CoreByPair[origin] = m
+	}
+	m[terminal] = append(m[terminal], &Segment{Type: CoreSeg, Entries: entries})
+}
+
+// UpSegments returns the up segments of a non-core AS: its down segments,
+// to be traversed in reverse. The caller must not mutate the result.
+func (r *Registry) UpSegments(ia addr.IA) []*Segment { return r.DownByLeaf[ia] }
+
+// DownSegments returns the down segments terminating at a non-core AS.
+func (r *Registry) DownSegments(ia addr.IA) []*Segment { return r.DownByLeaf[ia] }
+
+// CoreSegments returns core segments from src core AS to dst core AS.
+func (r *Registry) CoreSegments(src, dst addr.IA) []*Segment {
+	if m := r.CoreByPair[src]; m != nil {
+		return m[dst]
+	}
+	return nil
+}
+
+func cloneEntries(in []ASEntry) []ASEntry {
+	out := make([]ASEntry, len(in))
+	copy(out, in)
+	return out
+}
+
+func sortSegsByLen(segs []*Segment) {
+	// Insertion sort: segment lists are short and mostly ordered.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].Len() < segs[j-1].Len(); j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package segment
+
+import (
+	"testing"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// miniWorld builds a 2-ISD topology:
+//
+//	ISD 1: core C1; C1->A->B, C1->B (two down segments to B)
+//	ISD 2: core C2; C2->D
+//	core mesh: C1--C2
+func miniWorld(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	add := func(ia string, typ topology.ASType) {
+		topo.MustAddAS(&topology.AS{
+			IA: addr.MustParseIA(ia), Name: ia, Type: typ, Site: geo.Zurich,
+		})
+	}
+	add("1-ff00:0:110", topology.Core)    // C1
+	add("1-ff00:0:111", topology.NonCore) // A
+	add("1-ff00:0:112", topology.NonCore) // B
+	add("2-ff00:0:210", topology.Core)    // C2
+	add("2-ff00:0:211", topology.NonCore) // D
+	ia := addr.MustParseIA
+	topo.MustConnect(topology.ParentChild, ia("1-ff00:0:110"), ia("1-ff00:0:111"), topology.LinkSpec{})
+	topo.MustConnect(topology.ParentChild, ia("1-ff00:0:111"), ia("1-ff00:0:112"), topology.LinkSpec{})
+	topo.MustConnect(topology.ParentChild, ia("1-ff00:0:110"), ia("1-ff00:0:112"), topology.LinkSpec{})
+	topo.MustConnect(topology.CoreLink, ia("1-ff00:0:110"), ia("2-ff00:0:210"), topology.LinkSpec{})
+	topo.MustConnect(topology.ParentChild, ia("2-ff00:0:210"), ia("2-ff00:0:211"), topology.LinkSpec{})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDiscoverDownSegments(t *testing.T) {
+	reg := Discover(miniWorld(t), Options{})
+	b := addr.MustParseIA("1-ff00:0:112")
+	segs := reg.DownSegments(b)
+	if len(segs) != 2 {
+		t.Fatalf("B has %d down segments, want 2", len(segs))
+	}
+	// Sorted by length: direct (2 entries) then via A (3 entries).
+	if segs[0].Len() != 2 || segs[1].Len() != 3 {
+		t.Errorf("segment lengths %d,%d want 2,3", segs[0].Len(), segs[1].Len())
+	}
+	for _, s := range segs {
+		if s.Type != Down {
+			t.Errorf("segment type %v, want down", s.Type)
+		}
+		if s.First() != addr.MustParseIA("1-ff00:0:110") {
+			t.Errorf("down segment origin %s, want core C1", s.First())
+		}
+		if s.Last() != b {
+			t.Errorf("down segment terminal %s, want B", s.Last())
+		}
+		if s.ContainsLoop() {
+			t.Errorf("segment %v has a loop", s)
+		}
+	}
+}
+
+func TestDiscoverCoreSegments(t *testing.T) {
+	reg := Discover(miniWorld(t), Options{})
+	c1, c2 := addr.MustParseIA("1-ff00:0:110"), addr.MustParseIA("2-ff00:0:210")
+	fwd := reg.CoreSegments(c1, c2)
+	rev := reg.CoreSegments(c2, c1)
+	if len(fwd) != 1 || len(rev) != 1 {
+		t.Fatalf("core segments fwd=%d rev=%d, want 1 each", len(fwd), len(rev))
+	}
+	if fwd[0].First() != c1 || fwd[0].Last() != c2 {
+		t.Errorf("forward core segment endpoints wrong: %v", fwd[0])
+	}
+	if reg.CoreSegments(c1, c1) != nil {
+		t.Error("self core segment registered")
+	}
+}
+
+func TestSegmentInterfaceConsistency(t *testing.T) {
+	topo := miniWorld(t)
+	reg := Discover(topo, Options{})
+	for _, segs := range reg.DownByLeaf {
+		for _, s := range segs {
+			checkInterfaces(t, topo, s)
+		}
+	}
+	for _, m := range reg.CoreByPair {
+		for _, segs := range m {
+			for _, s := range segs {
+				checkInterfaces(t, topo, s)
+			}
+		}
+	}
+}
+
+// checkInterfaces verifies that consecutive entries are joined by a real
+// link and the recorded interface ids belong to that link.
+func checkInterfaces(t *testing.T, topo *topology.Topology, s *Segment) {
+	t.Helper()
+	if s.Entries[0].In != 0 {
+		t.Errorf("%v: origin has nonzero ingress", s)
+	}
+	if s.Entries[len(s.Entries)-1].Out != 0 {
+		t.Errorf("%v: terminal has nonzero egress", s)
+	}
+	for i := 0; i+1 < len(s.Entries); i++ {
+		a, b := s.Entries[i], s.Entries[i+1]
+		l := topo.LinkBetween(a.IA, b.IA)
+		if l == nil {
+			t.Fatalf("%v: no link %s--%s", s, a.IA, b.IA)
+		}
+		wantOut, wantIn := l.AIf, l.BIf
+		if l.A != a.IA {
+			wantOut, wantIn = l.BIf, l.AIf
+		}
+		if a.Out != wantOut || b.In != wantIn {
+			t.Errorf("%v: hop %s->%s interfaces %d->%d, want %d->%d",
+				s, a.IA, b.IA, a.Out, b.In, wantOut, wantIn)
+		}
+	}
+}
+
+func TestDiscoverRespectsLimits(t *testing.T) {
+	topo := miniWorld(t)
+	reg := Discover(topo, Options{MaxDownLen: 2, MaxCoreLen: 2, MaxSegmentsPerPair: 1})
+	b := addr.MustParseIA("1-ff00:0:112")
+	for _, s := range reg.DownSegments(b) {
+		if s.Len() > 2 {
+			t.Errorf("down segment of length %d despite MaxDownLen=2", s.Len())
+		}
+	}
+	// Only the direct segment should remain.
+	if len(reg.DownSegments(b)) != 1 {
+		t.Errorf("got %d down segments, want 1 under the limit", len(reg.DownSegments(b)))
+	}
+}
+
+func TestUpSegmentsAliasDownSegments(t *testing.T) {
+	reg := Discover(miniWorld(t), Options{})
+	b := addr.MustParseIA("1-ff00:0:112")
+	up, down := reg.UpSegments(b), reg.DownSegments(b)
+	if len(up) != len(down) {
+		t.Fatalf("up/down segment counts differ: %d vs %d", len(up), len(down))
+	}
+}
+
+func TestSegmentMTU(t *testing.T) {
+	s := &Segment{Type: Down, Entries: []ASEntry{
+		{IA: addr.MustParseIA("1-ff00:0:110")},
+		{IA: addr.MustParseIA("1-ff00:0:111"), MTU: 1500},
+		{IA: addr.MustParseIA("1-ff00:0:112"), MTU: 1400},
+	}}
+	if got := s.MTU(); got != 1400 {
+		t.Errorf("MTU = %d, want 1400", got)
+	}
+	single := &Segment{Type: Down, Entries: []ASEntry{{IA: addr.MustParseIA("1-ff00:0:110")}}}
+	if got := single.MTU(); got != 0 {
+		t.Errorf("single-AS MTU = %d, want 0", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Up.String() != "up" || CoreSeg.String() != "core" || Down.String() != "down" {
+		t.Error("Type strings wrong")
+	}
+	if Type(9).String() == "" {
+		t.Error("unknown type should render a marker")
+	}
+}
+
+func TestDiscoverWorldNoLoopsAndBounded(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := Discover(topo, Options{})
+	total := 0
+	for leaf, segs := range reg.DownByLeaf {
+		for _, s := range segs {
+			total++
+			if s.ContainsLoop() {
+				t.Errorf("down segment to %s loops: %v", leaf, s)
+			}
+			if topo.AS(s.First()).Type != topology.Core {
+				t.Errorf("down segment to %s does not start at a core AS: %v", leaf, s)
+			}
+			if s.First().ISD != s.Last().ISD {
+				t.Errorf("down segment crosses ISDs: %v", s)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no down segments discovered in world topology")
+	}
+	for src, m := range reg.CoreByPair {
+		for dst, segs := range m {
+			if len(segs) > 8 {
+				t.Errorf("core pair %s->%s holds %d segments, want <= 8", src, dst, len(segs))
+			}
+			for _, s := range segs {
+				if s.ContainsLoop() {
+					t.Errorf("core segment loops: %v", s)
+				}
+			}
+		}
+	}
+	// MY_AS must have at least two up segments (via ETHZ and via SWITCH).
+	if got := len(reg.UpSegments(topology.MyAS)); got < 2 {
+		t.Errorf("MY_AS has %d up segments, want >= 2", got)
+	}
+}

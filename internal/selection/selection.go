@@ -1,0 +1,364 @@
+// Package selection implements the paper's user-facing path selection: the
+// database of measured paths is "queried to provide users with the best
+// possible path they can choose for reaching a specific destination, based
+// on performance, geographic placement of devices traversed, and operators
+// that run them" (§1). It corresponds to the UPIN Path Controller role
+// (§2.1) applied to a SCION network.
+package selection
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// Objective is what the user optimises for.
+type Objective int
+
+const (
+	// LowestLatency picks the path with the smallest mean RTT.
+	LowestLatency Objective = iota
+	// HighestBandwidth picks the path with the largest mean of the
+	// up/down MTU bandwidths.
+	HighestBandwidth
+	// LowestLoss picks the path with the smallest mean loss.
+	LowestLoss
+	// MostStable picks the path with the smallest latency jitter (mdev),
+	// the paper's streaming/VoIP criterion: "latency consistency is more
+	// important than low latency values" (§6.1).
+	MostStable
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case LowestLatency:
+		return "lowest-latency"
+	case HighestBandwidth:
+		return "highest-bandwidth"
+	case LowestLoss:
+		return "lowest-loss"
+	case MostStable:
+		return "most-stable"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective parses the CLI spelling of an objective.
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "latency", "lowest-latency":
+		return LowestLatency, nil
+	case "bandwidth", "highest-bandwidth":
+		return HighestBandwidth, nil
+	case "loss", "lowest-loss":
+		return LowestLoss, nil
+	case "stable", "jitter", "most-stable":
+		return MostStable, nil
+	default:
+		return 0, fmt.Errorf("selection: unknown objective %q", s)
+	}
+}
+
+// Request is a user's path request: hard performance bounds, exclusions for
+// geographic or sovereignty reasons, and an optimisation objective.
+type Request struct {
+	Objective Objective
+
+	// Hard performance constraints; zero values mean unconstrained.
+	MaxLatencyMs    float64
+	MaxLossPct      float64
+	MinBandwidthBps float64
+	// MinUpBps/MinDownBps constrain one direction only (an uploader cares
+	// about client->server, a media consumer about server->client).
+	MinUpBps    float64
+	MinDownBps  float64
+	MaxJitterMs float64
+	// MinSamples requires at least this many measurements per path before
+	// trusting it (default 1).
+	MinSamples int
+
+	// Exclusions: a path is rejected if ANY traversed AS matches.
+	ExcludeISDs      []string
+	ExcludeASes      []string
+	ExcludeCountries []string
+	ExcludeOperators []string
+}
+
+// Candidate is one measured path with aggregated statistics and its rank.
+type Candidate struct {
+	PathID   string
+	ServerID int
+	Hops     int
+	ISDs     []string
+	Sequence pathmgr.Sequence
+
+	Samples      int
+	AvgLatencyMs float64
+	JitterMs     float64
+	AvgLossPct   float64
+	// UpBps/DownBps are the mean achieved MTU-packet bandwidths.
+	UpBps, DownBps float64
+
+	// Score is the objective value used for ranking (lower is better).
+	Score float64
+	// Countries/Operators traversed (for explanation output).
+	Countries []string
+	Operators []string
+}
+
+// Engine answers path requests from the measurement database.
+type Engine struct {
+	db   *docdb.DB
+	topo *topology.Topology
+}
+
+// New returns an engine over the given database and topology.
+func New(db *docdb.DB, topo *topology.Topology) *Engine {
+	return &Engine{db: db, topo: topo}
+}
+
+// Select returns the candidate paths to a destination server satisfying the
+// request, best first. Paths without measurements are skipped.
+func (e *Engine) Select(serverID int, req Request) ([]Candidate, error) {
+	if req.MinSamples == 0 {
+		req.MinSamples = 1
+	}
+	pathDocs, err := measure.PathsForServer(e.db, serverID)
+	if err != nil {
+		return nil, err
+	}
+	if len(pathDocs) == 0 {
+		return nil, fmt.Errorf("selection: no collected paths for server %d", serverID)
+	}
+
+	var out []Candidate
+	for _, pd := range pathDocs {
+		cand, ok := e.aggregate(pd)
+		if !ok || cand.Samples < req.MinSamples {
+			continue
+		}
+		if !e.passesExclusions(&cand, req) {
+			continue
+		}
+		if !passesPerformance(&cand, req) {
+			continue
+		}
+		cand.Score = score(&cand, req.Objective)
+		out = append(out, cand)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return out, nil
+}
+
+// Best returns the single best candidate, or an error when no path
+// satisfies the request.
+func (e *Engine) Best(serverID int, req Request) (Candidate, error) {
+	cands, err := e.Select(serverID, req)
+	if err != nil {
+		return Candidate{}, err
+	}
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("selection: no path to server %d satisfies the request", serverID)
+	}
+	return cands[0], nil
+}
+
+// aggregate folds the paths_stats documents of one path into a candidate.
+func (e *Engine) aggregate(pd measure.PathDoc) (Candidate, bool) {
+	stats := e.db.Collection(measure.ColStats).Find(docdb.Query{
+		Filter: docdb.Eq(measure.FPathID, pd.ID),
+	})
+	cand := Candidate{
+		PathID:   pd.ID,
+		ServerID: pd.ServerID,
+		Hops:     pd.Hops,
+		ISDs:     pd.ISDs,
+		Sequence: pd.Sequence,
+	}
+	var latSum, mdevSum, lossSum, upSum, downSum float64
+	var latN, mdevN, lossN, upN, downN int
+	for _, d := range stats {
+		if v, ok := num(d[measure.FAvgLatency]); ok {
+			latSum += v
+			latN++
+		}
+		if v, ok := num(d[measure.FMdev]); ok {
+			mdevSum += v
+			mdevN++
+		}
+		if v, ok := num(d[measure.FLoss]); ok {
+			lossSum += v
+			lossN++
+		}
+		if v, ok := num(d[measure.FBwUpMTU]); ok {
+			upSum += v
+			upN++
+		}
+		if v, ok := num(d[measure.FBwDownMTU]); ok {
+			downSum += v
+			downN++
+		}
+	}
+	cand.Samples = len(stats)
+	if cand.Samples == 0 {
+		return cand, false
+	}
+	if latN > 0 {
+		cand.AvgLatencyMs = latSum / float64(latN)
+	} else {
+		cand.AvgLatencyMs = math.Inf(1) // never answered: infinitely slow
+	}
+	if mdevN > 0 {
+		cand.JitterMs = mdevSum / float64(mdevN)
+	} else {
+		cand.JitterMs = math.Inf(1)
+	}
+	if lossN > 0 {
+		cand.AvgLossPct = lossSum / float64(lossN)
+	}
+	if upN > 0 {
+		cand.UpBps = upSum / float64(upN)
+	}
+	if downN > 0 {
+		cand.DownBps = downSum / float64(downN)
+	}
+	e.annotateGeo(&cand)
+	return cand, true
+}
+
+// annotateGeo fills the traversed countries/operators from the topology.
+func (e *Engine) annotateGeo(c *Candidate) {
+	seenC, seenO := map[string]bool{}, map[string]bool{}
+	for _, pred := range c.Sequence {
+		ia := addr.IA{ISD: pred.ISD, AS: pred.AS}
+		as := e.topo.AS(ia)
+		if as == nil {
+			continue
+		}
+		if !seenC[as.Site.Country] {
+			seenC[as.Site.Country] = true
+			c.Countries = append(c.Countries, as.Site.Country)
+		}
+		if !seenO[as.Operator] {
+			seenO[as.Operator] = true
+			c.Operators = append(c.Operators, as.Operator)
+		}
+	}
+}
+
+// passesExclusions applies the sovereignty/geography filters hop by hop.
+func (e *Engine) passesExclusions(c *Candidate, req Request) bool {
+	for _, isd := range req.ExcludeISDs {
+		for _, traversed := range c.ISDs {
+			if traversed == isd {
+				return false
+			}
+		}
+	}
+	if len(req.ExcludeASes) == 0 && len(req.ExcludeCountries) == 0 && len(req.ExcludeOperators) == 0 {
+		return true
+	}
+	badAS := map[string]bool{}
+	for _, a := range req.ExcludeASes {
+		badAS[a] = true
+	}
+	badCountry := map[string]bool{}
+	for _, cn := range req.ExcludeCountries {
+		badCountry[strings.ToLower(cn)] = true
+	}
+	badOp := map[string]bool{}
+	for _, op := range req.ExcludeOperators {
+		badOp[strings.ToLower(op)] = true
+	}
+	for _, pred := range c.Sequence {
+		ia := addr.IA{ISD: pred.ISD, AS: pred.AS}
+		if badAS[ia.String()] {
+			return false
+		}
+		as := e.topo.AS(ia)
+		if as == nil {
+			continue
+		}
+		if badCountry[strings.ToLower(as.Site.Country)] || badOp[strings.ToLower(as.Operator)] {
+			return false
+		}
+	}
+	return true
+}
+
+func passesPerformance(c *Candidate, req Request) bool {
+	if req.MaxLatencyMs > 0 && !(c.AvgLatencyMs <= req.MaxLatencyMs) {
+		return false
+	}
+	if req.MaxLossPct > 0 && c.AvgLossPct > req.MaxLossPct {
+		return false
+	}
+	if req.MaxJitterMs > 0 && !(c.JitterMs <= req.MaxJitterMs) {
+		return false
+	}
+	if req.MinBandwidthBps > 0 {
+		if math.Min(c.UpBps, c.DownBps) < req.MinBandwidthBps {
+			return false
+		}
+	}
+	if req.MinUpBps > 0 && c.UpBps < req.MinUpBps {
+		return false
+	}
+	if req.MinDownBps > 0 && c.DownBps < req.MinDownBps {
+		return false
+	}
+	return true
+}
+
+// score maps a candidate to its ranking value (lower is better).
+func score(c *Candidate, o Objective) float64 {
+	switch o {
+	case HighestBandwidth:
+		return -(c.UpBps + c.DownBps) / 2
+	case LowestLoss:
+		// Loss first, latency as tie-breaker.
+		return c.AvgLossPct*1e6 + c.AvgLatencyMs
+	case MostStable:
+		return c.JitterMs*1e3 + c.AvgLatencyMs
+	default: // LowestLatency
+		return c.AvgLatencyMs
+	}
+}
+
+// Explain renders a human-readable justification for a candidate.
+func Explain(c Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path %s: %d hops, ISDs {%s}", c.PathID, c.Hops, strings.Join(c.ISDs, ","))
+	if !math.IsInf(c.AvgLatencyMs, 1) {
+		fmt.Fprintf(&b, ", avg latency %.1f ms (jitter %.2f ms)", c.AvgLatencyMs, c.JitterMs)
+	}
+	fmt.Fprintf(&b, ", loss %.1f%%", c.AvgLossPct)
+	if c.UpBps > 0 || c.DownBps > 0 {
+		fmt.Fprintf(&b, ", bw up/down %.1f/%.1f Mbps", c.UpBps/1e6, c.DownBps/1e6)
+	}
+	fmt.Fprintf(&b, ", via %s (%s), %d samples",
+		strings.Join(c.Countries, ">"), strings.Join(c.Operators, ","), c.Samples)
+	return b.String()
+}
+
+func num(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,326 @@
+package selection
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// measuredWorld runs a fast suite over the Ireland destination so the
+// selection engine has real data to chew on.
+func measuredWorld(t testing.TB, seed int64) (*Engine, *measure.Suite, int) {
+	t.Helper()
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: seed})
+	d, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &measure.Suite{DB: docdb.Open(), Daemon: d}
+	if err := measure.SeedServers(s.DB, topo); err != nil {
+		t.Fatal(err)
+	}
+	irelandID := serverIDFor(t, s.DB, topology.AWSIreland.String())
+	if _, err := s.Run(measure.RunOpts{
+		Iterations: 3, ServerIDs: []int{irelandID},
+		PingCount: 10, PingInterval: 10 * time.Millisecond,
+		BwDuration: 500 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return New(s.DB, topo), s, irelandID
+}
+
+func serverIDFor(t testing.TB, db *docdb.DB, ia string) int {
+	t.Helper()
+	doc := db.Collection(measure.ColServers).FindOne(docdb.Query{
+		Filter: docdb.Eq(measure.FIA, ia),
+	})
+	if doc == nil {
+		t.Fatalf("no server for %s", ia)
+	}
+	id, _ := doc[measure.FServerID].(int)
+	if id == 0 {
+		if f, ok := doc[measure.FServerID].(float64); ok {
+			id = int(f)
+		}
+	}
+	return id
+}
+
+func TestSelectLowestLatency(t *testing.T) {
+	e, _, id := measuredWorld(t, 1)
+	cands, err := e.Select(id, Request{Objective: LowestLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score < cands[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+	// The winner must not be a Singapore/Ohio detour: those are the slow
+	// paths the paper's latency selection discards (§6.1).
+	best := cands[0]
+	for _, pred := range best.Sequence {
+		ia := pred.AS.String()
+		if ia == "ffaa:0:1004" || ia == "ffaa:0:1007" {
+			t.Errorf("lowest-latency winner goes through long-distance transit %s", ia)
+		}
+	}
+	if best.AvgLatencyMs > 60 {
+		t.Errorf("best latency %.1f ms implausibly high", best.AvgLatencyMs)
+	}
+}
+
+func TestSelectMostStableAvoidsJitteryASes(t *testing.T) {
+	e, _, id := measuredWorld(t, 2)
+	best, err := e.Best(id, Request{Objective: MostStable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "This assessment helps us to exclude routes passing through these
+	// ASes [1004/1007] for streaming audio and video services" (§6.1).
+	for _, pred := range best.Sequence {
+		as := pred.AS.String()
+		if as == "ffaa:0:1004" || as == "ffaa:0:1007" {
+			t.Errorf("most-stable winner traverses jittery AS %s", as)
+		}
+	}
+}
+
+func TestSelectExcludeCountry(t *testing.T) {
+	e, _, id := measuredWorld(t, 3)
+	all, err := e.Select(id, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noUS, err := e.Select(id, Request{ExcludeCountries: []string{"United States"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noUS) >= len(all) {
+		t.Errorf("US exclusion did not shrink the set: %d vs %d", len(noUS), len(all))
+	}
+	for _, c := range noUS {
+		for _, country := range c.Countries {
+			if country == "United States" {
+				t.Errorf("path %s traverses the US despite exclusion", c.PathID)
+			}
+		}
+	}
+	// Case-insensitive.
+	noUS2, _ := e.Select(id, Request{ExcludeCountries: []string{"united states"}})
+	if len(noUS2) != len(noUS) {
+		t.Error("country exclusion is case sensitive")
+	}
+}
+
+func TestSelectExcludeISD(t *testing.T) {
+	e, _, id := measuredWorld(t, 4)
+	cands, err := e.Select(id, Request{ExcludeISDs: []string{"19"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		for _, isd := range c.ISDs {
+			if isd == "19" {
+				t.Errorf("path %s traverses ISD 19 despite exclusion", c.PathID)
+			}
+		}
+	}
+	// Excluding the destination's own ISD leaves nothing.
+	none, err := e.Select(id, Request{ExcludeISDs: []string{"16"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("excluding the destination ISD still yielded %d paths", len(none))
+	}
+}
+
+func TestSelectExcludeASAndOperator(t *testing.T) {
+	e, _, id := measuredWorld(t, 5)
+	all, _ := e.Select(id, Request{})
+	noOhio, err := e.Select(id, Request{ExcludeASes: []string{"16-ffaa:0:1004"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range noOhio {
+		for _, pred := range c.Sequence {
+			if pred.AS.String() == "ffaa:0:1004" {
+				t.Errorf("path %s traverses excluded AS", c.PathID)
+			}
+		}
+	}
+	if len(noOhio) >= len(all) {
+		t.Error("AS exclusion had no effect")
+	}
+	// Every path crosses an Amazon AS (the destination), so excluding the
+	// operator leaves nothing.
+	noAmazon, err := e.Select(id, Request{ExcludeOperators: []string{"Amazon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noAmazon) != 0 {
+		t.Errorf("Amazon exclusion yielded %d paths to an AWS destination", len(noAmazon))
+	}
+}
+
+func TestSelectPerformanceConstraints(t *testing.T) {
+	e, _, id := measuredWorld(t, 6)
+	all, _ := e.Select(id, Request{})
+	var worst float64
+	for _, c := range all {
+		if !math.IsInf(c.AvgLatencyMs, 1) && c.AvgLatencyMs > worst {
+			worst = c.AvgLatencyMs
+		}
+	}
+	bounded, err := e.Select(id, Request{MaxLatencyMs: worst / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded) == 0 || len(bounded) >= len(all) {
+		t.Errorf("latency bound kept %d of %d", len(bounded), len(all))
+	}
+	for _, c := range bounded {
+		if c.AvgLatencyMs > worst/2 {
+			t.Errorf("path %s violates latency bound", c.PathID)
+		}
+	}
+	// Bandwidth floor.
+	banded, err := e.Select(id, Request{MinBandwidthBps: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range banded {
+		if math.Min(c.UpBps, c.DownBps) < 5e6 {
+			t.Errorf("path %s below bandwidth floor", c.PathID)
+		}
+	}
+	// Impossible constraint.
+	none, _ := e.Select(id, Request{MaxLatencyMs: 0.001})
+	if len(none) != 0 {
+		t.Error("impossible latency satisfied")
+	}
+}
+
+func TestSelectDirectionalBandwidth(t *testing.T) {
+	e, _, id := measuredWorld(t, 11)
+	all, err := e.Select(id, Request{})
+	if err != nil || len(all) == 0 {
+		t.Fatalf("%v", err)
+	}
+	// The access link is asymmetric: a downstream floor between the
+	// typical up and down rates keeps paths a symmetric floor would drop.
+	var maxUp float64
+	for _, c := range all {
+		if c.UpBps > maxUp {
+			maxUp = c.UpBps
+		}
+	}
+	floor := maxUp * 1.5 // above anything upstream can do
+	down, err := e.Select(id, Request{MinDownBps: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := e.Select(id, Request{MinBandwidthBps: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym) != 0 {
+		t.Errorf("symmetric floor above upstream capacity kept %d paths", len(sym))
+	}
+	for _, c := range down {
+		if c.DownBps < floor {
+			t.Errorf("path %s below the downstream floor", c.PathID)
+		}
+	}
+	// Upstream floor above capability filters everything.
+	up, err := e.Select(id, Request{MinUpBps: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 0 {
+		t.Errorf("upstream floor above capacity kept %d paths", len(up))
+	}
+}
+
+func TestBestErrors(t *testing.T) {
+	e, _, id := measuredWorld(t, 7)
+	if _, err := e.Best(id, Request{MaxLatencyMs: 0.0001}); err == nil {
+		t.Error("impossible request yielded a best path")
+	}
+	if _, err := e.Best(9999, Request{}); err == nil {
+		t.Error("unknown server yielded a best path")
+	}
+}
+
+func TestHighestBandwidthObjective(t *testing.T) {
+	e, _, id := measuredWorld(t, 8)
+	cands, err := e.Select(id, Request{Objective: HighestBandwidth})
+	if err != nil || len(cands) < 2 {
+		t.Fatalf("%v (%d)", err, len(cands))
+	}
+	first := (cands[0].UpBps + cands[0].DownBps) / 2
+	last := (cands[len(cands)-1].UpBps + cands[len(cands)-1].DownBps) / 2
+	if first < last {
+		t.Errorf("bandwidth ranking inverted: %.1f < %.1f", first, last)
+	}
+}
+
+func TestMinSamples(t *testing.T) {
+	e, _, id := measuredWorld(t, 9)
+	// 3 iterations ran, so MinSamples 4 filters everything.
+	cands, err := e.Select(id, Request{MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("MinSamples ignored: %d candidates", len(cands))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e, _, id := measuredWorld(t, 10)
+	best, err := e.Best(id, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Explain(best)
+	for _, want := range []string{"path ", "hops", "ISDs", "latency", "samples"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	good := map[string]Objective{
+		"latency": LowestLatency, "Bandwidth": HighestBandwidth,
+		"loss": LowestLoss, "stable": MostStable, "jitter": MostStable,
+		"lowest-latency": LowestLatency,
+	}
+	for in, want := range good {
+		got, err := ParseObjective(in)
+		if err != nil || got != want {
+			t.Errorf("ParseObjective(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseObjective("fastest"); err == nil {
+		t.Error("bogus objective accepted")
+	}
+	if LowestLatency.String() != "lowest-latency" || Objective(99).String() == "" {
+		t.Error("objective strings")
+	}
+}

@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func magdeburgPath(t testing.TB, c *pathmgr.Combiner) *pathmgr.Path {
+	t.Helper()
+	paths, err := c.Paths(topology.MyAS, topology.MagdeburgAP)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("paths to Magdeburg: %v (%d)", err, len(paths))
+	}
+	return paths[0]
+}
+
+func runFlow(t testing.TB, net *Network, p *pathmgr.Path, size int, target float64, reverse bool) FlowResult {
+	t.Helper()
+	res, err := net.BandwidthTest(p, FlowSpec{
+		Duration: 3 * time.Second, PacketBytes: size, TargetBps: target, Reverse: reverse,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// avgFlow averages the achieved bandwidth over several runs to smooth the
+// cross-traffic stochasticity, like the paper's repeated iterations.
+func avgFlow(t testing.TB, net *Network, p *pathmgr.Path, size int, target float64, reverse bool) float64 {
+	t.Helper()
+	var sum float64
+	const k = 8
+	for i := 0; i < k; i++ {
+		sum += runFlow(t, net, p, size, target, reverse).AchievedBps
+	}
+	return sum / k
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	_, c, net := testWorld(t, 10)
+	p := magdeburgPath(t, c)
+	bad := []FlowSpec{
+		{Duration: 3 * time.Second, PacketBytes: 2, TargetBps: 1e6},   // size < 4
+		{Duration: 0, PacketBytes: 64, TargetBps: 1e6},                // no duration
+		{Duration: 11 * time.Second, PacketBytes: 64, TargetBps: 1e6}, // > 10s (bwtester cap)
+		{Duration: 3 * time.Second, PacketBytes: 64, TargetBps: 0},    // no target
+		{Duration: 3 * time.Second, PacketBytes: 64, TargetBps: -5},   // negative
+	}
+	for _, spec := range bad {
+		if _, err := net.BandwidthTest(p, spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestBandwidthAdvancesClock(t *testing.T) {
+	_, c, net := testWorld(t, 11)
+	p := magdeburgPath(t, c)
+	before := net.Now()
+	runFlow(t, net, p, 1000, 12e6, false)
+	if got := net.Now() - before; got != 3*time.Second {
+		t.Errorf("clock advanced %v, want 3s", got)
+	}
+}
+
+func TestBandwidthAt12MbpsNearTarget(t *testing.T) {
+	_, c, net := testWorld(t, 12)
+	p := magdeburgPath(t, c)
+	mtu := p.MTU
+	down := avgFlow(t, net, p, mtu, 12e6, false)
+	// MTU packets at 12 Mbps fit comfortably: achieved close to target.
+	if down < 9e6 || down > 12.1e6 {
+		t.Errorf("MTU downstream at 12Mbps achieved %.1f Mbps, want ~12", down/1e6)
+	}
+}
+
+// Fig 7: at a 12 Mbps target, 64-byte packets achieve less than MTU packets
+// ("using smaller packets increases the total packet count, subsequently
+// amplifying the overhead of packet headers").
+func TestFig7SmallPacketsLoseAt12Mbps(t *testing.T) {
+	_, c, net := testWorld(t, 13)
+	p := magdeburgPath(t, c)
+	for _, reverse := range []bool{false, true} {
+		small := avgFlow(t, net, p, 64, 12e6, reverse)
+		big := avgFlow(t, net, p, p.MTU, 12e6, reverse)
+		if small >= big {
+			t.Errorf("reverse=%v: 64B achieved %.1f Mbps >= MTU %.1f Mbps at 12Mbps target",
+				reverse, small/1e6, big/1e6)
+		}
+	}
+}
+
+// Fig 8: at a 150 Mbps target the trend reverses; 64-byte packets achieve
+// more than MTU packets because the overloaded bottleneck drops MTU traffic
+// disproportionately.
+func TestFig8SmallPacketsWinAt150Mbps(t *testing.T) {
+	_, c, net := testWorld(t, 14)
+	p := magdeburgPath(t, c)
+	for _, reverse := range []bool{false, true} {
+		small := avgFlow(t, net, p, 64, 150e6, reverse)
+		big := avgFlow(t, net, p, p.MTU, 150e6, reverse)
+		if small <= big {
+			t.Errorf("reverse=%v: 64B achieved %.1f Mbps <= MTU %.1f Mbps at 150Mbps target",
+				reverse, small/1e6, big/1e6)
+		}
+	}
+}
+
+// §6.2: upstream achieves less than downstream, "in line with the
+// internet's inherent asymmetry".
+func TestUpstreamBelowDownstream(t *testing.T) {
+	_, c, net := testWorld(t, 15)
+	p := magdeburgPath(t, c)
+	// The asymmetry is visible on the MY_AS access link: the reverse
+	// direction of the test is server->client (downstream for the client).
+	up := avgFlow(t, net, p, 64, 150e6, false)  // client -> server
+	down := avgFlow(t, net, p, 64, 150e6, true) // server -> client
+	if up >= down {
+		t.Errorf("upstream %.1f Mbps >= downstream %.1f Mbps", up/1e6, down/1e6)
+	}
+}
+
+func TestBandwidthSenderCap(t *testing.T) {
+	_, c, net := testWorld(t, 16)
+	p := magdeburgPath(t, c)
+	res := runFlow(t, net, p, 64, 150e6, false)
+	// 150 Mbps of 64-byte packets would need ~293 kpps; the sender cap
+	// keeps the attempted rate far below the target.
+	if res.AttemptedBps >= 150e6/2 {
+		t.Errorf("attempted %.1f Mbps, want sender-capped far below 150", res.AttemptedBps/1e6)
+	}
+	if res.AchievedBps > res.AttemptedBps {
+		t.Errorf("achieved %.1f > attempted %.1f", res.AchievedBps/1e6, res.AttemptedBps/1e6)
+	}
+}
+
+func TestBandwidthLossFractionConsistent(t *testing.T) {
+	_, c, net := testWorld(t, 17)
+	p := magdeburgPath(t, c)
+	res := runFlow(t, net, p, p.MTU, 150e6, false)
+	if res.LossFraction < 0 || res.LossFraction > 1 {
+		t.Fatalf("loss fraction %v out of range", res.LossFraction)
+	}
+	if res.PacketsReceived > res.PacketsSent {
+		t.Errorf("received %d > sent %d", res.PacketsReceived, res.PacketsSent)
+	}
+	// Deep overload must actually lose packets.
+	if res.LossFraction < 0.2 {
+		t.Errorf("loss fraction %.2f at 150Mbps MTU, want substantial loss", res.LossFraction)
+	}
+}
+
+func TestBandwidthEpisodeKillsFlow(t *testing.T) {
+	_, c, net := testWorld(t, 18)
+	p := magdeburgPath(t, c)
+	if err := net.ScheduleEpisode(Episode{
+		IA: p.Hops[1].IA, Start: 0, End: time.Hour, DropProb: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := runFlow(t, net, p, 1000, 12e6, false)
+	if res.AchievedBps > 1e3 {
+		t.Errorf("achieved %.1f bps through a total outage", res.AchievedBps)
+	}
+	if res.LossFraction < 0.99 {
+		t.Errorf("loss fraction %.2f, want ~1", res.LossFraction)
+	}
+}
+
+// Property: under no overload, achieved bandwidth is monotone in the target.
+func TestBandwidthMonotoneInTargetWhenUnderloaded(t *testing.T) {
+	_, c, net := testWorld(t, 19)
+	p := magdeburgPath(t, c)
+	prev := 0.0
+	for _, target := range []float64{1e6, 2e6, 4e6, 8e6} {
+		got := avgFlow(t, net, p, p.MTU, target, false)
+		if got+0.2e6 < prev {
+			t.Errorf("achieved %.2f Mbps at target %.0f dropped below previous %.2f",
+				got/1e6, target/1e6, prev/1e6)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,119 @@
+// Package simnet is a deterministic discrete-event network simulator over a
+// SCION topology. It stands in for the live SCIONLab data plane: packets
+// experience geographic propagation delay, per-AS processing and jitter,
+// cross-traffic queueing, tail-drop under overload, and scheduled congestion
+// episodes. The SCMP tools (ping, traceroute) and the bwtester are built on
+// top of it.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event kernel: schedule callbacks at absolute
+// simulated times and run them in order. It is single-goroutine by design;
+// determinism matters more than parallel dispatch here.
+type Engine struct {
+	now time.Duration
+	seq uint64
+	pq  eventQueue
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule registers fn to run at absolute simulated time at. Times in the
+// past run immediately on the next Run (clock never goes backwards).
+func (e *Engine) Schedule(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter registers fn to run delay after the current time.
+func (e *Engine) ScheduleAfter(delay time.Duration, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() time.Duration {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with at <= deadline, then advances the clock to
+// the deadline. Later events stay queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Step pops the next event, advances the clock to it, and returns its
+// callback without running it. ok is false when the queue is empty. It lets
+// a caller holding an outer lock release that lock around the callback.
+func (e *Engine) Step() (fn func(), ok bool) {
+	if len(e.pq) == 0 {
+		return nil, false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	return ev.fn, true
+}
+
+// AdvanceTo moves the clock forward without running events scheduled later.
+// It panics if events before t are still pending, which would break
+// causality.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	if len(e.pq) > 0 && e.pq[0].at < t {
+		panic("simnet: AdvanceTo would skip pending events")
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

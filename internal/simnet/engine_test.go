@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30*time.Millisecond {
+		t.Errorf("final time %v, want 30ms", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order %v", order)
+	}
+}
+
+func TestEngineTieBreakPreservesScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(10*time.Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.ScheduleAfter(5*time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Errorf("fired at %v", fired)
+	}
+}
+
+func TestEnginePastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*time.Millisecond, func() {
+		e.Schedule(time.Millisecond, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("past event ran at %v, want clamped to 10ms", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10*time.Millisecond, func() { ran++ })
+	e.Schedule(50*time.Millisecond, func() { ran++ })
+	e.RunUntil(20 * time.Millisecond)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1", ran)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Errorf("clock %v, want 20ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran %d events after Run, want 2", ran)
+	}
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(time.Second)
+	if e.Now() != time.Second {
+		t.Errorf("clock %v", e.Now())
+	}
+	// Moving backwards is a no-op.
+	e.AdvanceTo(time.Millisecond)
+	if e.Now() != time.Second {
+		t.Errorf("clock moved backwards to %v", e.Now())
+	}
+	e.Schedule(2*time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo past pending events should panic")
+		}
+	}()
+	e.AdvanceTo(3 * time.Second)
+}

@@ -1,0 +1,267 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// testWorld returns the world topology, a combiner, and a simulator.
+func testWorld(t testing.TB, seed int64) (*topology.Topology, *pathmgr.Combiner, *Network) {
+	t.Helper()
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	return topo, pathmgr.NewCombiner(topo, reg), New(topo, Options{Seed: seed})
+}
+
+func TestProbeRTTPlausible(t *testing.T) {
+	_, c, net := testWorld(t, 1)
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := paths[0]
+	res := net.Probe(direct, 8, 0)
+	if res.Dropped {
+		t.Fatal("direct probe dropped")
+	}
+	// Zurich -> Frankfurt -> Dublin and back: roughly 15-40 ms RTT.
+	if res.RTT < 10*time.Millisecond || res.RTT > 60*time.Millisecond {
+		t.Errorf("direct-path RTT %v, want 10-60ms", res.RTT)
+	}
+}
+
+func TestProbeGeographyDominatesHopCount(t *testing.T) {
+	_, c, net := testWorld(t, 2)
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, viaSingapore *pathmgr.Path
+	for _, p := range paths {
+		if p.Contains(topology.AWSSingapore) && viaSingapore == nil {
+			viaSingapore = p
+		}
+		if p.NumHops() == 6 && direct == nil {
+			direct = p
+		}
+	}
+	if direct == nil || viaSingapore == nil {
+		t.Fatal("missing direct or Singapore-detour path")
+	}
+	avg := func(p *pathmgr.Path) time.Duration {
+		var sum time.Duration
+		n := 0
+		for i := 0; i < 20; i++ {
+			r := net.Probe(p, 8, 0)
+			if !r.Dropped {
+				sum += r.RTT
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("all probes dropped on %v", p)
+		}
+		return sum / time.Duration(n)
+	}
+	dRTT, sRTT := avg(direct), avg(viaSingapore)
+	// The Singapore detour must cost far more than the extra hop count
+	// suggests: "paths with geographically diverse hops have a more
+	// significant impact on latency than the sheer number of hops" (§6.1).
+	if sRTT < 3*dRTT {
+		t.Errorf("Singapore detour RTT %v not >> direct %v", sRTT, dRTT)
+	}
+}
+
+func TestProbeDeterministicPerSeed(t *testing.T) {
+	_, c1, net1 := testWorld(t, 42)
+	_, _, net2 := testWorld(t, 42)
+	paths, _ := c1.Paths(topology.MyAS, topology.AWSIreland)
+	for i := 0; i < 10; i++ {
+		r1 := net1.Probe(paths[0], 8, 0)
+		r2 := net2.Probe(paths[0], 8, 0)
+		if r1 != r2 {
+			t.Fatalf("probe %d differs across equal seeds: %v vs %v", i, r1, r2)
+		}
+	}
+}
+
+func TestEpisodeDropsEverything(t *testing.T) {
+	_, c, net := testWorld(t, 3)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSVirginia)
+	p := paths[0]
+	// Episode on the second hop (ETHZ-AP), first half of the path.
+	if err := net.ScheduleEpisode(Episode{
+		IA: p.Hops[1].IA, Start: 0, End: time.Hour, DropProb: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r := net.Probe(p, 8, 0)
+		if !r.Dropped {
+			t.Fatal("probe survived a 100% episode")
+		}
+		if r.DropHop != 1 {
+			t.Errorf("dropped at hop %d, want 1", r.DropHop)
+		}
+	}
+}
+
+func TestEpisodeWindowRespected(t *testing.T) {
+	_, c, net := testWorld(t, 4)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSVirginia)
+	p := paths[0]
+	if err := net.ScheduleEpisode(Episode{
+		IA: p.Hops[1].IA, Start: 10 * time.Second, End: 20 * time.Second, DropProb: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := net.Probe(p, 8, 0); r.Dropped {
+		t.Error("probe before the window dropped")
+	}
+	net.Advance(15 * time.Second)
+	if r := net.Probe(p, 8, 0); !r.Dropped {
+		t.Error("probe inside the window survived")
+	}
+	net.Advance(10 * time.Second)
+	if r := net.Probe(p, 8, 0); r.Dropped {
+		t.Error("probe after the window dropped")
+	}
+}
+
+func TestEpisodeValidation(t *testing.T) {
+	_, _, net := testWorld(t, 5)
+	bad := []Episode{
+		{IA: topology.MyAS, Start: 10, End: 5, DropProb: 1},
+		{IA: topology.MyAS, Start: 0, End: 10, DropProb: 1.5},
+		{IA: topology.MyAS, Start: 0, End: 10, DropProb: -0.1},
+	}
+	for _, ep := range bad {
+		if err := net.ScheduleEpisode(ep); err == nil {
+			t.Errorf("episode %+v accepted", ep)
+		}
+	}
+	unknown := Episode{Start: 0, End: 10, DropProb: 1}
+	unknown.IA.ISD = 99
+	if err := net.ScheduleEpisode(unknown); err == nil {
+		t.Error("episode on unknown AS accepted")
+	}
+}
+
+func TestProbePartial(t *testing.T) {
+	_, c, net := testWorld(t, 6)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	p := paths[0]
+	var prev time.Duration
+	for k := 1; k < p.NumHops(); k++ {
+		var sum time.Duration
+		n := 0
+		for i := 0; i < 10; i++ {
+			r, err := net.ProbePartial(p, k, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Dropped {
+				sum += r.RTT
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("all partial probes to hop %d dropped", k)
+		}
+		avg := sum / time.Duration(n)
+		if avg+5*time.Millisecond < prev {
+			t.Errorf("hop %d RTT %v well below previous hop %v", k, avg, prev)
+		}
+		prev = avg
+	}
+	if _, err := net.ProbePartial(p, -1, 8, 0); err == nil {
+		t.Error("negative hop index accepted")
+	}
+	if _, err := net.ProbePartial(p, p.NumHops(), 8, 0); err == nil {
+		t.Error("out-of-range hop index accepted")
+	}
+}
+
+func TestJitteryASWidensSpread(t *testing.T) {
+	_, c, net := testWorld(t, 7)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	var direct, viaOhio *pathmgr.Path
+	for _, p := range paths {
+		if p.NumHops() == 6 && direct == nil {
+			direct = p
+		}
+		if p.Contains(topology.AWSOhio) && viaOhio == nil {
+			viaOhio = p
+		}
+	}
+	if direct == nil || viaOhio == nil {
+		t.Fatal("missing paths")
+	}
+	spread := func(p *pathmgr.Path) time.Duration {
+		min, max := time.Hour, time.Duration(0)
+		for i := 0; i < 30; i++ {
+			r := net.Probe(p, 8, 0)
+			if r.Dropped {
+				continue
+			}
+			if r.RTT < min {
+				min = r.RTT
+			}
+			if r.RTT > max {
+				max = r.RTT
+			}
+		}
+		return max - min
+	}
+	if spread(viaOhio) <= spread(direct) {
+		t.Errorf("Ohio path spread %v not wider than direct %v (paper: 1004/1007 add wide jitter)",
+			spread(viaOhio), spread(direct))
+	}
+}
+
+func TestProbeRespectsMTU(t *testing.T) {
+	_, c, net := testWorld(t, 36)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	p := paths[0]
+	// Payload at the path MTU passes; beyond it, the packet dies at the
+	// first link.
+	if r := net.Probe(p, p.MTU, 0); r.Dropped {
+		t.Error("MTU-sized probe dropped")
+	}
+	r := net.Probe(p, p.MTU+1, 0)
+	if !r.Dropped {
+		t.Fatal("oversized probe delivered")
+	}
+	if r.DropHop != 0 {
+		t.Errorf("oversized probe died at hop %d, want 0", r.DropHop)
+	}
+}
+
+func TestAdvanceMovesClock(t *testing.T) {
+	_, _, net := testWorld(t, 8)
+	if net.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+	net.Advance(3 * time.Second)
+	if net.Now() != 3*time.Second {
+		t.Errorf("clock %v, want 3s", net.Now())
+	}
+}
+
+func TestScheduleAndRunPending(t *testing.T) {
+	_, _, net := testWorld(t, 9)
+	fired := 0
+	net.Schedule(100*time.Millisecond, func() { fired++ })
+	net.Schedule(200*time.Millisecond, func() { fired++ })
+	net.RunPending()
+	if fired != 2 {
+		t.Errorf("fired %d, want 2", fired)
+	}
+	if net.Now() != 200*time.Millisecond {
+		t.Errorf("clock %v, want 200ms", net.Now())
+	}
+}

@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+)
+
+// LinkOutage takes a specific link down for a time window; packets
+// traversing it in either direction are dropped. Together with AS-level
+// congestion episodes this models the "dynamic and fallible network" the
+// test-suite must tolerate (§4.2.2: "nodes can be up and down and sometimes
+// they might be unreachable").
+type LinkOutage struct {
+	A, B  addr.IA
+	Start time.Duration
+	End   time.Duration
+}
+
+// Active reports whether the outage covers simulated time t.
+func (o LinkOutage) Active(t time.Duration) bool { return t >= o.Start && t < o.End }
+
+// Covers reports whether the outage applies to the link between x and y.
+func (o LinkOutage) Covers(x, y addr.IA) bool {
+	return (o.A == x && o.B == y) || (o.A == y && o.B == x)
+}
+
+// ScheduleLinkOutage registers a link outage.
+func (n *Network) ScheduleLinkOutage(o LinkOutage) error {
+	if o.End <= o.Start {
+		return fmt.Errorf("simnet: outage end %v <= start %v", o.End, o.Start)
+	}
+	if n.topo.LinkBetween(o.A, o.B) == nil {
+		return fmt.Errorf("simnet: outage on nonexistent link %s--%s", o.A, o.B)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.outages = append(n.outages, o)
+	return nil
+}
+
+// linkDown reports whether the link between a and b is down at time t.
+func (n *Network) linkDown(a, b addr.IA, t time.Duration) bool {
+	for _, o := range n.outages {
+		if o.Covers(a, b) && o.Active(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func TestLinkOutageDropsTraffic(t *testing.T) {
+	_, c, net := testWorld(t, 30)
+	paths, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paths[0]
+	// Take the first link of the path down.
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: p.Hops[0].IA, B: p.Hops[1].IA, Start: 0, End: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := net.Probe(p, 8, 0); !r.Dropped {
+		t.Error("probe crossed a downed link")
+	}
+	res, err := net.BandwidthTest(p, FlowSpec{
+		Duration: 300 * time.Millisecond, PacketBytes: 1000, TargetBps: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedBps > 0 {
+		t.Errorf("bandwidth %v through a downed link", res.AchievedBps)
+	}
+}
+
+func TestLinkOutageIsDirectionless(t *testing.T) {
+	_, c, net := testWorld(t, 31)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	p := paths[0]
+	// Register with reversed endpoints; the return direction is affected too.
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: p.Hops[1].IA, B: p.Hops[0].IA, Start: 0, End: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := net.Probe(p, 8, 0); !r.Dropped {
+		t.Error("reversed-endpoint outage not applied")
+	}
+}
+
+func TestLinkOutageWindow(t *testing.T) {
+	_, c, net := testWorld(t, 32)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	p := paths[0]
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: p.Hops[0].IA, B: p.Hops[1].IA,
+		Start: 10 * time.Second, End: 20 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := net.Probe(p, 8, 0); r.Dropped {
+		t.Error("probe before the outage dropped")
+	}
+	net.Advance(15 * time.Second)
+	if r := net.Probe(p, 8, 0); !r.Dropped {
+		t.Error("probe during the outage survived")
+	}
+	net.Advance(10 * time.Second)
+	if r := net.Probe(p, 8, 0); r.Dropped {
+		t.Error("probe after the outage dropped")
+	}
+}
+
+func TestLinkOutageOnlyAffectsItsLink(t *testing.T) {
+	_, c, net := testWorld(t, 33)
+	paths, _ := c.Paths(topology.MyAS, topology.AWSIreland)
+	// Find two paths that differ in their second hop (via ETHZ vs SWITCH).
+	var viaETHZ, viaSWITCH = -1, -1
+	for i, p := range paths {
+		switch p.Hops[2].IA.AS.String() {
+		case "ffaa:0:1102":
+			if viaETHZ == -1 {
+				viaETHZ = i
+			}
+		case "ffaa:0:1108":
+			if viaSWITCH == -1 {
+				viaSWITCH = i
+			}
+		}
+	}
+	if viaETHZ == -1 || viaSWITCH == -1 {
+		t.Fatal("missing up-segment diversity")
+	}
+	pE, pS := paths[viaETHZ], paths[viaSWITCH]
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: pE.Hops[1].IA, B: pE.Hops[2].IA, Start: 0, End: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := net.Probe(pE, 8, 0); !r.Dropped {
+		t.Error("path over the downed link survived")
+	}
+	if r := net.Probe(pS, 8, 0); r.Dropped {
+		t.Error("disjoint path affected by the outage")
+	}
+}
+
+func TestLinkOutageValidation(t *testing.T) {
+	_, _, net := testWorld(t, 34)
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: topology.MyAS, B: topology.AWSIreland, Start: 0, End: time.Hour,
+	}); err == nil {
+		t.Error("outage on nonexistent link accepted")
+	}
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: topology.ETHZAP, B: topology.MyAS, Start: 10, End: 5,
+	}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}

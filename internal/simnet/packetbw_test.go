@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The packet-level and fluid models must agree in the underloaded regime:
+// an MTU flow at a few Mbps through tens-of-Mbps links loses (almost)
+// nothing under either model.
+func TestPacketLevelAgreesWithFluidWhenUnderloaded(t *testing.T) {
+	_, c, net := testWorld(t, 80)
+	p := magdeburgPath(t, c)
+	for _, target := range []float64{1e6, 2e6, 4e6} {
+		spec := FlowSpec{Duration: time.Second, PacketBytes: p.MTU, TargetBps: target}
+		fluid, err := net.BandwidthTest(p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := net.BandwidthTestPacketLevel(p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(fluid.AchievedBps-pkt.AchievedBps) / target
+		if rel > 0.10 {
+			t.Errorf("target %.0f Mbps: fluid %.2f vs packet %.2f Mbps (%.0f%% apart)",
+				target/1e6, fluid.AchievedBps/1e6, pkt.AchievedBps/1e6, 100*rel)
+		}
+		if pkt.LossFraction > 0.05 {
+			t.Errorf("target %.0f Mbps: packet-level loss %.2f in underload", target/1e6, pkt.LossFraction)
+		}
+	}
+}
+
+func TestPacketLevelOverloadDrops(t *testing.T) {
+	_, c, net := testWorld(t, 81)
+	p := magdeburgPath(t, c)
+	res, err := net.BandwidthTestPacketLevel(p, FlowSpec{
+		Duration: time.Second, PacketBytes: p.MTU, TargetBps: 150e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossFraction < 0.3 {
+		t.Errorf("loss %.2f at 150 Mbps through a ~22 Mbps uplink", res.LossFraction)
+	}
+	if res.AchievedBps >= res.AttemptedBps {
+		t.Error("achieved >= attempted under overload")
+	}
+	// Tail-drop still forwards roughly the residual capacity.
+	if res.AchievedBps < 2e6 {
+		t.Errorf("achieved %.1f Mbps: queue model starved completely", res.AchievedBps/1e6)
+	}
+}
+
+func TestPacketLevelValidation(t *testing.T) {
+	_, c, net := testWorld(t, 82)
+	p := magdeburgPath(t, c)
+	bad := []FlowSpec{
+		{Duration: time.Second, PacketBytes: 2, TargetBps: 1e6},
+		{Duration: 0, PacketBytes: 64, TargetBps: 1e6},
+		{Duration: 11 * time.Second, PacketBytes: 64, TargetBps: 1e6},
+		{Duration: time.Second, PacketBytes: 64, TargetBps: 0},
+	}
+	for _, spec := range bad {
+		if _, err := net.BandwidthTestPacketLevel(p, spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestPacketLevelAdvancesClockAndRespectsOutage(t *testing.T) {
+	_, c, net := testWorld(t, 83)
+	p := magdeburgPath(t, c)
+	if err := net.ScheduleLinkOutage(LinkOutage{
+		A: p.Hops[0].IA, B: p.Hops[1].IA, Start: 0, End: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Now()
+	res, err := net.BandwidthTestPacketLevel(p, FlowSpec{
+		Duration: 500 * time.Millisecond, PacketBytes: 1000, TargetBps: 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsReceived != 0 {
+		t.Errorf("%d packets crossed a downed link", res.PacketsReceived)
+	}
+	if got := net.Now() - before; got != 500*time.Millisecond {
+		t.Errorf("clock advanced %v", got)
+	}
+}
+
+// magdeburgPath is shared with bandwidth_test.go.

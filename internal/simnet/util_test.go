@@ -1,0 +1,64 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// The cross-traffic utilisation process must stay within its clamp bounds
+// and revert toward the configured mean over long horizons.
+func TestUtilizationProcessBoundsAndReversion(t *testing.T) {
+	topo := topology.DefaultWorld()
+	net := New(topo, Options{Seed: 90, UtilMean: 0.30, UtilSigma: 0.08})
+	l := topo.LinkBetween(topology.ETHZAP, topology.MyAS)
+	if l == nil {
+		t.Fatal("access link missing")
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < 2000; i++ {
+		u := net.utilization(l, true, time.Duration(i)*time.Second)
+		if u < 0.02 || u > 0.75 {
+			t.Fatalf("utilisation %v escaped the clamp", u)
+		}
+		sum += u
+		n++
+	}
+	mean := sum / float64(n)
+	if mean < 0.15 || mean > 0.45 {
+		t.Errorf("long-run mean utilisation %.3f far from configured 0.30", mean)
+	}
+}
+
+// Two directions of the same link evolve independently.
+func TestUtilizationPerDirection(t *testing.T) {
+	topo := topology.DefaultWorld()
+	net := New(topo, Options{Seed: 91})
+	l := topo.LinkBetween(topology.ETHZAP, topology.MyAS)
+	same := 0
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 10 * time.Second
+		if net.utilization(l, true, at) == net.utilization(l, false, at) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("forward/reverse utilisation identical %d/50 times", same)
+	}
+}
+
+// The process is deterministic per seed.
+func TestUtilizationDeterministic(t *testing.T) {
+	topo := topology.DefaultWorld()
+	a := New(topo, Options{Seed: 92})
+	b := New(topo, Options{Seed: 92})
+	l := topo.LinkBetween(topology.ETHZAP, topology.MyAS)
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * time.Second
+		if a.utilization(l, true, at) != b.utilization(l, true, at) {
+			t.Fatal("utilisation differs across equal seeds")
+		}
+	}
+}

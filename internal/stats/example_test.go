@@ -1,0 +1,21 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/upin/scionpath/internal/stats"
+)
+
+func ExampleSummarize() {
+	latencies := []float64{32, 33, 35, 34, 33, 90} // one detour outlier
+	s := stats.Summarize(latencies)
+	fmt.Printf("median=%.1f iqr=%.2f outliers=%v\n", s.Median, s.IQR(), s.Outliers)
+	// Output: median=33.5 iqr=1.75 outliers=[90]
+}
+
+func ExamplePearson() {
+	distance := []float64{500, 1000, 6000, 10000}
+	rtt := []float64{6, 12, 65, 105}
+	fmt.Printf("r=%.2f\n", stats.Pearson(distance, rtt))
+	// Output: r=1.00
+}

@@ -1,0 +1,227 @@
+// Package stats provides the descriptive statistics behind the paper's
+// analysis: five-number whisker (box-plot) summaries for the latency and
+// bandwidth figures, histograms for reachability, and grouping helpers for
+// the per-hop-count and per-ISD-set breakdowns of Fig 5/6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a five-number box-plot summary with Tukey whiskers: whiskers
+// extend to the most extreme points within 1.5*IQR of the quartiles, values
+// beyond are outliers.
+type Summary struct {
+	N              int
+	Mean           float64
+	Min, Max       float64
+	Q1, Median, Q3 float64
+	// LowWhisker/HighWhisker are the whisker endpoints.
+	LowWhisker, HighWhisker float64
+	// Outliers are points beyond the whiskers.
+	Outliers []float64
+	// Stddev is the sample standard deviation.
+	Stddev float64
+}
+
+// Summarize computes a Summary. It returns the zero Summary for no data.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	s := Summary{
+		N:      len(v),
+		Min:    v[0],
+		Max:    v[len(v)-1],
+		Q1:     Quantile(v, 0.25),
+		Median: Quantile(v, 0.5),
+		Q3:     Quantile(v, 0.75),
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	s.Mean = sum / float64(len(v))
+	if len(v) > 1 {
+		var ss float64
+		for _, x := range v {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(v)-1))
+	}
+	iqr := s.Q3 - s.Q1
+	loFence, hiFence := s.Q1-1.5*iqr, s.Q3+1.5*iqr
+	s.LowWhisker, s.HighWhisker = s.Max, s.Min
+	for _, x := range v {
+		if x >= loFence && x < s.LowWhisker {
+			s.LowWhisker = x
+		}
+		if x <= hiFence && x > s.HighWhisker {
+			s.HighWhisker = x
+		}
+		if x < loFence || x > hiFence {
+			s.Outliers = append(s.Outliers, x)
+		}
+	}
+	return s
+}
+
+// IQR returns the interquartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f mean=%.2f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of sorted values using linear
+// interpolation between order statistics (the common "type 7" estimator).
+// The input must be sorted ascending.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples (NaN for fewer than two points or zero variance). The paper's
+// §6.1 argument — "the physical distance between hops confirms to be the
+// predominant component in the latency assessment", not hop count — is a
+// statement about correlations, which the correlation experiment verifies.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram counts values into integer bins (for Fig 4's hop-count bars).
+type Histogram struct {
+	Counts map[int]int
+	Total  int
+}
+
+// NewHistogram builds a histogram over integer keys.
+func NewHistogram() *Histogram { return &Histogram{Counts: map[int]int{}} }
+
+// Add increments a bin.
+func (h *Histogram) Add(bin int) {
+	h.Counts[bin]++
+	h.Total++
+}
+
+// Bins returns the sorted bin keys.
+func (h *Histogram) Bins() []int {
+	out := make([]int, 0, len(h.Counts))
+	for b := range h.Counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CumulativeFraction returns the fraction of observations with bin <= b.
+func (h *Histogram) CumulativeFraction(b int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	cum := 0
+	for bin, n := range h.Counts {
+		if bin <= b {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(h.Total)
+}
+
+// MeanBin returns the observation-weighted mean bin value.
+func (h *Histogram) MeanBin() float64 {
+	if h.Total == 0 {
+		return math.NaN()
+	}
+	sum := 0
+	for bin, n := range h.Counts {
+		sum += bin * n
+	}
+	return float64(sum) / float64(h.Total)
+}
+
+// Group collects values under string keys and summarises each group —
+// Fig 5 groups latency samples by path id, Fig 6 by (ISD set, hop count).
+type Group struct {
+	order []string
+	data  map[string][]float64
+}
+
+// NewGroup returns an empty group collection.
+func NewGroup() *Group { return &Group{data: map[string][]float64{}} }
+
+// Add appends a value under a key, remembering first-seen key order.
+func (g *Group) Add(key string, value float64) {
+	if _, ok := g.data[key]; !ok {
+		g.order = append(g.order, key)
+	}
+	g.data[key] = append(g.data[key], value)
+}
+
+// Keys returns keys in first-seen order.
+func (g *Group) Keys() []string { return append([]string(nil), g.order...) }
+
+// SortedKeys returns keys sorted lexically.
+func (g *Group) SortedKeys() []string {
+	out := append([]string(nil), g.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Values returns the raw samples of a key.
+func (g *Group) Values(key string) []float64 { return g.data[key] }
+
+// Summary summarises one key's samples.
+func (g *Group) Summary(key string) Summary { return Summarize(g.data[key]) }
+
+// Len returns the number of groups.
+func (g *Group) Len() int { return len(g.order) }

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	// 1..9: q1=3, med=5, q3=7, no outliers.
+	var v []float64
+	for i := 1; i <= 9; i++ {
+		v = append(v, float64(i))
+	}
+	s := Summarize(v)
+	if s.N != 9 || s.Min != 1 || s.Max != 9 {
+		t.Errorf("basic fields: %+v", s)
+	}
+	if s.Q1 != 3 || s.Median != 5 || s.Q3 != 7 {
+		t.Errorf("quartiles %v/%v/%v, want 3/5/7", s.Q1, s.Median, s.Q3)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if len(s.Outliers) != 0 {
+		t.Errorf("outliers %v", s.Outliers)
+	}
+	if s.LowWhisker != 1 || s.HighWhisker != 9 {
+		t.Errorf("whiskers %v/%v", s.LowWhisker, s.HighWhisker)
+	}
+}
+
+func TestSummarizeOutliers(t *testing.T) {
+	v := []float64{10, 11, 12, 13, 14, 15, 16, 100}
+	s := Summarize(v)
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers %v, want [100]", s.Outliers)
+	}
+	if s.HighWhisker == 100 {
+		t.Error("whisker extends to outlier")
+	}
+	if s.Max != 100 {
+		t.Error("max must include outlier")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Median != 42 || s.Stddev != 0 {
+		t.Errorf("singleton: %+v", s)
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[2] != 2 {
+		t.Error("Summarize mutated input")
+	}
+}
+
+func TestSummarizeStddev(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.Stddev-2.138) > 0.01 {
+		t.Errorf("stddev %v", s.Stddev)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint8, q1, q2 float64) bool {
+		size := 1 + int(n)%50
+		v := make([]float64, size)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(v)
+		a, b := math.Abs(math.Mod(q1, 1)), math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(v, a), Quantile(v, b)
+		return qa <= qb && qa >= v[0] && qb <= v[len(v)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: summary invariants hold for arbitrary data.
+func TestSummaryInvariantsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(n uint8) bool {
+		size := 1 + int(n)%100
+		v := make([]float64, size)
+		for i := range v {
+			v[i] = rng.NormFloat64()*50 + 10
+		}
+		s := Summarize(v)
+		ordered := s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+		// Whiskers stay within the data range and keep their own order;
+		// they may fall inside the box for tiny skewed samples, exactly
+		// like matplotlib's whiskers.
+		whiskers := s.LowWhisker >= s.Min && s.HighWhisker <= s.Max &&
+			s.LowWhisker <= s.HighWhisker
+		meanBound := s.Mean >= s.Min && s.Mean <= s.Max
+		outliersOutside := true
+		for _, o := range s.Outliers {
+			if o >= s.LowWhisker && o <= s.HighWhisker {
+				outliersOutside = false
+			}
+		}
+		return ordered && whiskers && meanBound && outliersOutside && s.N == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive and negative correlation.
+	x := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(x, []float64{2, 4, 6, 8, 10}); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive r=%v", r)
+	}
+	if r := Pearson(x, []float64{10, 8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative r=%v", r)
+	}
+	// Independence-ish: constant y has no variance.
+	if !math.IsNaN(Pearson(x, []float64{3, 3, 3, 3, 3})) {
+		t.Error("zero-variance r not NaN")
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(Pearson(nil, nil)) || !math.IsNaN(Pearson(x, x[:3])) || !math.IsNaN(Pearson(x[:1], x[:1])) {
+		t.Error("degenerate inputs not NaN")
+	}
+	// Bounded in [-1, 1].
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		if !math.IsNaN(r) && (r < -1-1e-9 || r > 1+1e-9) {
+			t.Fatalf("r=%v out of bounds", r)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, b := range []int{6, 6, 6, 7, 5, 8} {
+		h.Add(b)
+	}
+	if h.Total != 6 {
+		t.Errorf("total %d", h.Total)
+	}
+	if got := h.Bins(); len(got) != 4 || got[0] != 5 || got[3] != 8 {
+		t.Errorf("bins %v", got)
+	}
+	if got := h.CumulativeFraction(6); math.Abs(got-4.0/6) > 1e-9 {
+		t.Errorf("cumfrac(6) = %v", got)
+	}
+	if got := h.CumulativeFraction(99); got != 1 {
+		t.Errorf("cumfrac(99) = %v", got)
+	}
+	if got := h.MeanBin(); math.Abs(got-(6*3+7+5+8.0)/6) > 1e-9 {
+		t.Errorf("mean bin %v", got)
+	}
+	empty := NewHistogram()
+	if empty.CumulativeFraction(1) != 0 || !math.IsNaN(empty.MeanBin()) {
+		t.Error("empty histogram semantics")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup()
+	g.Add("b", 1)
+	g.Add("a", 2)
+	g.Add("b", 3)
+	if g.Len() != 2 {
+		t.Errorf("len %d", g.Len())
+	}
+	if keys := g.Keys(); keys[0] != "b" || keys[1] != "a" {
+		t.Errorf("first-seen order %v", keys)
+	}
+	if keys := g.SortedKeys(); keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("sorted order %v", keys)
+	}
+	if v := g.Values("b"); len(v) != 2 || v[0] != 1 || v[1] != 3 {
+		t.Errorf("values %v", v)
+	}
+	if s := g.Summary("b"); s.N != 2 || s.Mean != 2 {
+		t.Errorf("summary %+v", s)
+	}
+	if s := g.Summary("nope"); s.N != 0 {
+		t.Error("phantom group")
+	}
+}

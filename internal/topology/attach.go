@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+)
+
+// UserASSpec describes an experimenter's AS to attach to the SCIONLab-like
+// world, mirroring the web-interface workflow of §3.2: "we have to define
+// one AS to attach to one endpoint ... We were free to choose any of the
+// access points in the topology."
+type UserASSpec struct {
+	IA   addr.IA
+	Name string
+	Site geo.Site
+	// AP is the attachment point to connect to (must be of type
+	// AttachmentPoint).
+	AP addr.IA
+	// DownBps/UpBps set the asymmetric access capacities; zero selects the
+	// defaults of the ETHZ attachment.
+	DownBps, UpBps float64
+	// JitterScale defaults to 100µs.
+	JitterScale time.Duration
+}
+
+// AttachUserAS adds a user AS behind an attachment point and returns its
+// access link. The new AS must live in the AP's ISD (SCIONLab assigns user
+// ASNs within the AP's ISD).
+func (t *Topology) AttachUserAS(spec UserASSpec) (*Link, error) {
+	ap := t.AS(spec.AP)
+	if ap == nil {
+		return nil, fmt.Errorf("topology: attach: unknown AP %s", spec.AP)
+	}
+	if ap.Type != AttachmentPoint {
+		return nil, fmt.Errorf("topology: attach: %s is %s, not an attachment point", spec.AP, ap.Type)
+	}
+	if spec.IA.ISD != spec.AP.ISD {
+		return nil, fmt.Errorf("topology: attach: user AS %s must join the AP's ISD %d", spec.IA, spec.AP.ISD)
+	}
+	if spec.DownBps == 0 {
+		spec.DownBps = 55e6
+	}
+	if spec.UpBps == 0 {
+		spec.UpBps = 22e6
+	}
+	if spec.JitterScale == 0 {
+		spec.JitterScale = 100 * time.Microsecond
+	}
+	if spec.Name == "" {
+		spec.Name = "USER_" + spec.IA.String()
+	}
+	if spec.Site.Name == "" {
+		spec.Site = ap.Site
+	}
+	if err := t.AddAS(&AS{
+		IA:          spec.IA,
+		Name:        spec.Name,
+		Type:        UserAS,
+		Site:        spec.Site,
+		Operator:    "experimenter",
+		Processing:  120 * time.Microsecond,
+		JitterScale: spec.JitterScale,
+	}); err != nil {
+		return nil, err
+	}
+	return t.Connect(ParentChild, spec.AP, spec.IA, LinkSpec{
+		CapacityAtoB: spec.DownBps,
+		CapacityBtoA: spec.UpBps,
+	})
+}
+
+// AttachmentPoints lists the APs of the topology (the light-green nodes of
+// the paper's Fig 1).
+func (t *Topology) AttachmentPoints() []*AS {
+	var out []*AS
+	for _, as := range t.ASes() {
+		if as.Type == AttachmentPoint {
+			out = append(out, as)
+		}
+	}
+	return out
+}

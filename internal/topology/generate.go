@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+)
+
+// GenerateSpec parameterises random topology generation: experimenters use
+// it to study how the system scales beyond the 35-AS SCIONLab world.
+type GenerateSpec struct {
+	Seed int64
+	// ISDs is the number of isolation domains (each with one core AS).
+	ISDs int
+	// MaxNonCorePerISD bounds the non-core ASes per ISD (the actual count
+	// is uniform in [0, MaxNonCorePerISD]).
+	MaxNonCorePerISD int
+	// ExtraCoreLinks adds this many random core-mesh links beyond the
+	// connecting chain.
+	ExtraCoreLinks int
+	// MultiParentProb is the probability a non-core AS gets a second
+	// parent (creating path diversity).
+	MultiParentProb float64
+}
+
+func (s GenerateSpec) withDefaults() GenerateSpec {
+	if s.ISDs == 0 {
+		s.ISDs = 3
+	}
+	if s.MaxNonCorePerISD == 0 {
+		s.MaxNonCorePerISD = 5
+	}
+	if s.MultiParentProb == 0 {
+		s.MultiParentProb = 0.3
+	}
+	return s
+}
+
+// Generate builds a random valid SCION topology: one core AS per ISD, a
+// random parent-child DAG per ISD, and a connected random core mesh. Every
+// non-core AS houses one server. The result always passes Validate.
+func Generate(spec GenerateSpec) (*Topology, error) {
+	spec = spec.withDefaults()
+	if spec.ISDs < 1 {
+		return nil, fmt.Errorf("topology: generate: need >= 1 ISD")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sites := []geo.Site{geo.Zurich, geo.Dublin, geo.Tokyo, geo.Sydney, geo.Ashburn,
+		geo.Singapore, geo.Stockholm, geo.SaoPaulo, geo.Mumbai, geo.Toronto,
+		geo.Paris, geo.Madrid, geo.Helsinki, geo.TelAviv, geo.HongKong}
+	t := New()
+	var cores []addr.IA
+	for isd := 1; isd <= spec.ISDs; isd++ {
+		core := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(0x10000 + isd)}
+		if err := t.AddAS(&AS{
+			IA: core, Name: fmt.Sprintf("core-%d", isd), Type: Core,
+			Site: sites[rng.Intn(len(sites))],
+		}); err != nil {
+			return nil, err
+		}
+		cores = append(cores, core)
+		members := []addr.IA{core}
+		for j, n := 0, rng.Intn(spec.MaxNonCorePerISD+1); j < n; j++ {
+			ia := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(0x20000 + isd*1000 + j)}
+			if err := t.AddAS(&AS{
+				IA: ia, Name: ia.String(), Type: NonCore,
+				Site: sites[rng.Intn(len(sites))], NumServers: 1,
+			}); err != nil {
+				return nil, err
+			}
+			parent := members[rng.Intn(len(members))]
+			if _, err := t.Connect(ParentChild, parent, ia, LinkSpec{}); err != nil {
+				return nil, err
+			}
+			if rng.Float64() < spec.MultiParentProb && len(members) > 1 {
+				other := members[rng.Intn(len(members))]
+				if other != parent && t.LinkBetween(other, ia) == nil {
+					if _, err := t.Connect(ParentChild, other, ia, LinkSpec{}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			members = append(members, ia)
+		}
+	}
+	for i := 1; i < len(cores); i++ {
+		if _, err := t.Connect(CoreLink, cores[i-1], cores[i], LinkSpec{}); err != nil {
+			return nil, err
+		}
+	}
+	for k := 0; k < spec.ExtraCoreLinks; k++ {
+		a, b := rng.Intn(len(cores)), rng.Intn(len(cores))
+		if a != b && t.LinkBetween(cores[a], cores[b]) == nil {
+			if _, err := t.Connect(CoreLink, cores[a], cores[b], LinkSpec{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: generate: %w", err)
+	}
+	return t, nil
+}

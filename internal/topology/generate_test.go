@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		topo, err := Generate(GenerateSpec{Seed: seed, ISDs: 4, MaxNonCorePerISD: 6, ExtraCoreLinks: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(topo.CoreASes(0)) != 4 {
+			t.Errorf("seed %d: %d cores", seed, len(topo.CoreASes(0)))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenerateSpec{Seed: 7, ISDs: 3, MaxNonCorePerISD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenerateSpec{Seed: 7, ISDs: 3, MaxNonCorePerISD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ASes()) != len(b.ASes()) || len(a.Links()) != len(b.Links()) {
+		t.Fatal("same seed produced different topologies")
+	}
+	for i, as := range a.ASes() {
+		if b.ASes()[i].IA != as.IA {
+			t.Fatal("AS sets differ")
+		}
+	}
+}
+
+func TestGenerateDefaultsAndErrors(t *testing.T) {
+	topo, err := Generate(GenerateSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.ISDs()) != 3 {
+		t.Errorf("default ISDs: %d", len(topo.ISDs()))
+	}
+	if _, err := Generate(GenerateSpec{Seed: 1, ISDs: -2}); err == nil {
+		t.Error("negative ISD count accepted")
+	}
+}
+
+func TestGenerateServersPresent(t *testing.T) {
+	topo, err := Generate(GenerateSpec{Seed: 3, ISDs: 5, MaxNonCorePerISD: 8, ExtraCoreLinks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonCore := 0
+	for _, as := range topo.ASes() {
+		if as.Type == NonCore {
+			nonCore++
+		}
+	}
+	if got := len(topo.Servers()); got != nonCore {
+		t.Errorf("%d servers for %d non-core ASes", got, nonCore)
+	}
+}

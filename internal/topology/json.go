@@ -1,0 +1,170 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+)
+
+// jsonTopology is the on-disk topology description, in the spirit of
+// SCIONLab's generated configuration files (§3.2: "a Vagrant file for our
+// AS was generated to instruct the configuration").
+type jsonTopology struct {
+	ASes  []jsonAS   `json:"ases"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonAS struct {
+	IA           string  `json:"ia"`
+	Name         string  `json:"name"`
+	Type         string  `json:"type"`
+	SiteName     string  `json:"site"`
+	Country      string  `json:"country"`
+	Lat          float64 `json:"lat"`
+	Lon          float64 `json:"lon"`
+	Operator     string  `json:"operator"`
+	ProcessingUs int64   `json:"processing_us"`
+	JitterUs     int64   `json:"jitter_us"`
+	Servers      int     `json:"servers"`
+}
+
+type jsonLink struct {
+	Type       string  `json:"type"`
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	CapAtoB    float64 `json:"cap_a_to_b_bps"`
+	CapBtoA    float64 `json:"cap_b_to_a_bps"`
+	QueueBytes int     `json:"queue_bytes"`
+	BaseLoss   float64 `json:"base_loss"`
+	MTU        int     `json:"mtu"`
+}
+
+// WriteJSON serialises the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	var out jsonTopology
+	for _, as := range t.ASes() {
+		out.ASes = append(out.ASes, jsonAS{
+			IA:           as.IA.String(),
+			Name:         as.Name,
+			Type:         as.Type.String(),
+			SiteName:     as.Site.Name,
+			Country:      as.Site.Country,
+			Lat:          as.Site.Coords.Lat,
+			Lon:          as.Site.Coords.Lon,
+			Operator:     as.Operator,
+			ProcessingUs: as.Processing.Microseconds(),
+			JitterUs:     as.JitterScale.Microseconds(),
+			Servers:      as.NumServers,
+		})
+	}
+	for _, l := range t.Links() {
+		out.Links = append(out.Links, jsonLink{
+			Type:       l.Type.String(),
+			A:          l.A.String(),
+			B:          l.B.String(),
+			CapAtoB:    l.CapacityAtoB,
+			CapBtoA:    l.CapacityBtoA,
+			QueueBytes: l.QueueBytes,
+			BaseLoss:   l.BaseLoss,
+			MTU:        l.MTU,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a topology description and validates it. Interface ids
+// are re-assigned in link order, so a round trip preserves paths.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var in jsonTopology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: parse: %w", err)
+	}
+	t := New()
+	for _, ja := range in.ASes {
+		ia, err := addr.ParseIA(ja.IA)
+		if err != nil {
+			return nil, fmt.Errorf("topology: AS %q: %w", ja.IA, err)
+		}
+		typ, err := parseASType(ja.Type)
+		if err != nil {
+			return nil, fmt.Errorf("topology: AS %s: %w", ja.IA, err)
+		}
+		if err := t.AddAS(&AS{
+			IA:   ia,
+			Name: ja.Name,
+			Type: typ,
+			Site: geo.Site{
+				Name:    ja.SiteName,
+				Country: ja.Country,
+				Coords:  geo.Coordinates{Lat: ja.Lat, Lon: ja.Lon},
+			},
+			Operator:    ja.Operator,
+			Processing:  time.Duration(ja.ProcessingUs) * time.Microsecond,
+			JitterScale: time.Duration(ja.JitterUs) * time.Microsecond,
+			NumServers:  ja.Servers,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, jl := range in.Links {
+		a, err := addr.ParseIA(jl.A)
+		if err != nil {
+			return nil, fmt.Errorf("topology: link endpoint %q: %w", jl.A, err)
+		}
+		b, err := addr.ParseIA(jl.B)
+		if err != nil {
+			return nil, fmt.Errorf("topology: link endpoint %q: %w", jl.B, err)
+		}
+		typ, err := parseLinkType(jl.Type)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.Connect(typ, a, b, LinkSpec{
+			CapacityAtoB: jl.CapAtoB,
+			CapacityBtoA: jl.CapBtoA,
+			QueueBytes:   jl.QueueBytes,
+			BaseLoss:     jl.BaseLoss,
+			MTU:          jl.MTU,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseASType(s string) (ASType, error) {
+	switch s {
+	case "core":
+		return Core, nil
+	case "non-core":
+		return NonCore, nil
+	case "attachment-point":
+		return AttachmentPoint, nil
+	case "user":
+		return UserAS, nil
+	default:
+		return 0, fmt.Errorf("unknown AS type %q", s)
+	}
+}
+
+func parseLinkType(s string) (LinkType, error) {
+	switch s {
+	case "core":
+		return CoreLink, nil
+	case "parent-child":
+		return ParentChild, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown link type %q", s)
+	}
+}

@@ -1,0 +1,221 @@
+// SCIONLab-like world topology. This is the synthetic stand-in for the live
+// SCIONLab testbed of the paper (Fig 1): 35 ASes across ISDs, with core ASes,
+// attachment points, and the experimenters' own AS (MY_AS) attached to
+// ETHZ-AP. Entities named in the paper keep their identifiers:
+//
+//	16-ffaa:0:1002  AWS Ireland            (Fig 5/6 destination)
+//	16-ffaa:0:1003  AWS US N. Virginia     (Fig 9 destination)
+//	16-ffaa:0:1004  AWS US Ohio            (jittery long-distance transit, §6.1)
+//	16-ffaa:0:1007  AWS Singapore          (jittery long-distance transit, §6.1)
+//	19-ffaa:0:1303  Magdeburg AP, Germany  (Fig 7/8 destination)
+//	20-ffaa:0:1404  Korea University       (Korea destination)
+//	17-ffaa:0:1107  ETHZ-AP                (our attachment point, §3.2)
+package topology
+
+import (
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+)
+
+// Well-known identifiers used across the repository.
+var (
+	MyAS         = addr.MustParseIA("17-ffaa:1:1")
+	ETHZAP       = addr.MustParseIA("17-ffaa:0:1107")
+	AWSFrankfurt = addr.MustParseIA("16-ffaa:0:1001")
+	AWSIreland   = addr.MustParseIA("16-ffaa:0:1002")
+	AWSVirginia  = addr.MustParseIA("16-ffaa:0:1003")
+	AWSOhio      = addr.MustParseIA("16-ffaa:0:1004")
+	AWSOregon    = addr.MustParseIA("16-ffaa:0:1005")
+	AWSTokyo     = addr.MustParseIA("16-ffaa:0:1006")
+	AWSSingapore = addr.MustParseIA("16-ffaa:0:1007")
+	MagdeburgAP  = addr.MustParseIA("19-ffaa:0:1303")
+	KoreaUniv    = addr.MustParseIA("20-ffaa:0:1404")
+)
+
+// FocusDestinations is the 5-destination subset the paper analyses in depth
+// (§6): Germany, Ireland, North Virginia, Singapore and Korea.
+func FocusDestinations() []addr.IA {
+	return []addr.IA{MagdeburgAP, AWSIreland, AWSVirginia, AWSSingapore, KoreaUniv}
+}
+
+// link capacity presets (bits per second).
+const (
+	backbone  = 1e9  // core and research backbone links
+	awsShare  = 60e6 // usable per-flow share on AWS inter-region links
+	awsAccess = 45e6 // usable share on AWS down-segments (region access)
+	apDown    = 55e6 // attachment point -> user AS
+	apUp      = 22e6 // user AS -> attachment point (asymmetric, §6.2)
+	campus    = 90e6 // university campus links
+)
+
+// DefaultWorld builds the SCIONLab-like evaluation topology: 35 ASes plus
+// MY_AS, organised exactly as described in the paper's §3.1 and carrying the
+// physical attributes (geography, capacity, jitter) that drive its figures.
+func DefaultWorld() *Topology {
+	t := New()
+
+	type asDef struct {
+		ia       string
+		name     string
+		typ      ASType
+		site     geo.Site
+		operator string
+		jitter   time.Duration
+		servers  int
+	}
+	defs := []asDef{
+		// ISD 16 — AWS (7 ASes).
+		{"16-ffaa:0:1001", "AWS Frankfurt (core)", Core, geo.Frankfurt, "Amazon", 200 * time.Microsecond, 0},
+		{"16-ffaa:0:1002", "AWS Ireland", NonCore, geo.Dublin, "Amazon", 300 * time.Microsecond, 1},
+		{"16-ffaa:0:1003", "AWS US N. Virginia", NonCore, geo.Ashburn, "Amazon", 300 * time.Microsecond, 1},
+		// The paper singles out 16-ffaa:0:1004 and 16-ffaa:0:1007 as
+		// introducing "a wide jitter other than high latency peeks" (§6.1).
+		{"16-ffaa:0:1004", "AWS US Ohio", NonCore, geo.Columbus, "Amazon", 6 * time.Millisecond, 0},
+		{"16-ffaa:0:1005", "AWS US Oregon", NonCore, geo.Oregon, "Amazon", 400 * time.Microsecond, 1},
+		{"16-ffaa:0:1006", "AWS Tokyo", NonCore, geo.Tokyo, "Amazon", 400 * time.Microsecond, 1},
+		{"16-ffaa:0:1007", "AWS Singapore", NonCore, geo.Singapore, "Amazon", 8 * time.Millisecond, 1},
+		{"16-ffaa:0:1008", "AWS Paris", NonCore, geo.Paris, "Amazon", 400 * time.Microsecond, 0},
+
+		// ISD 17 — Switzerland (5 ASes + MY_AS).
+		{"17-ffaa:0:1101", "SCIONLab Core Zurich", Core, geo.Zurich, "ETH Zurich", 100 * time.Microsecond, 0},
+		{"17-ffaa:0:1102", "ETHZ", NonCore, geo.Zurich, "ETH Zurich", 150 * time.Microsecond, 1},
+		{"17-ffaa:0:1107", "ETHZ-AP", AttachmentPoint, geo.Zurich, "ETH Zurich", 150 * time.Microsecond, 0},
+		{"17-ffaa:0:1108", "SWITCH", NonCore, geo.Geneva, "SWITCH", 200 * time.Microsecond, 1},
+		{"17-ffaa:0:1110", "Anapaya", NonCore, geo.Bern, "Anapaya", 200 * time.Microsecond, 1},
+
+		// ISD 18 — North America (4 ASes).
+		{"18-ffaa:0:1201", "CMU (core)", Core, geo.NewYork, "CMU", 200 * time.Microsecond, 0},
+		{"18-ffaa:0:1202", "CMU AP", AttachmentPoint, geo.NewYork, "CMU", 250 * time.Microsecond, 1},
+		{"18-ffaa:0:1203", "Univ. Toronto", NonCore, geo.Toronto, "UofT", 250 * time.Microsecond, 1},
+		{"18-ffaa:0:1204", "UCLA", NonCore, geo.LosAngeles, "UCLA", 300 * time.Microsecond, 1},
+
+		// ISD 19 — Europe (7 ASes).
+		{"19-ffaa:0:1301", "Magdeburg (core)", Core, geo.Magdeburg, "OVGU", 150 * time.Microsecond, 0},
+		{"19-ffaa:0:1302", "GEANT", AttachmentPoint, geo.Amsterdam, "GEANT", 200 * time.Microsecond, 1},
+		{"19-ffaa:0:1303", "Magdeburg AP", AttachmentPoint, geo.Magdeburg, "OVGU", 200 * time.Microsecond, 2},
+		{"19-ffaa:0:1304", "FU Berlin", NonCore, geo.Frankfurt, "FU Berlin", 250 * time.Microsecond, 0},
+		{"19-ffaa:0:1305", "TU Darmstadt", NonCore, geo.Darmstadt, "TU Darmstadt", 250 * time.Microsecond, 1},
+		{"19-ffaa:0:1306", "KTH Stockholm", NonCore, geo.Stockholm, "KTH", 250 * time.Microsecond, 1},
+		{"19-ffaa:0:1307", "CESNET Prague", NonCore, geo.Prague, "CESNET", 250 * time.Microsecond, 1},
+
+		// ISD 20 — Korea (3 ASes).
+		{"20-ffaa:0:1401", "KISTI Daejeon (core)", Core, geo.Daejeon, "KISTI", 200 * time.Microsecond, 0},
+		{"20-ffaa:0:1402", "KAIST AP", AttachmentPoint, geo.Daejeon, "KAIST", 250 * time.Microsecond, 1},
+		{"20-ffaa:0:1404", "Korea University", NonCore, geo.Seoul, "Korea Univ", 250 * time.Microsecond, 1},
+
+		// ISD 21 — Japan (2 ASes).
+		{"21-ffaa:0:1501", "WIDE Tokyo (core)", Core, geo.Tokyo, "WIDE", 200 * time.Microsecond, 0},
+		{"21-ffaa:0:1502", "Keio University", NonCore, geo.Tokyo, "Keio", 250 * time.Microsecond, 1},
+
+		// ISD 22 — Taiwan (2 ASes).
+		{"22-ffaa:0:1601", "NTU Taipei (core)", Core, geo.Taipei, "NTU", 200 * time.Microsecond, 0},
+		{"22-ffaa:0:1602", "Academia Sinica", NonCore, geo.Taipei, "Academia Sinica", 250 * time.Microsecond, 0},
+
+		// ISD 23 — Singapore (2 ASes).
+		{"23-ffaa:0:1701", "NUS (core)", Core, geo.Singapore, "NUS", 200 * time.Microsecond, 0},
+		{"23-ffaa:0:1702", "SingAREN", NonCore, geo.Singapore, "SingAREN", 250 * time.Microsecond, 1},
+
+		// ISD 24 — Australia (1 AS).
+		{"24-ffaa:0:1801", "AARNet Sydney (core)", Core, geo.Sydney, "AARNet", 200 * time.Microsecond, 0},
+
+		// ISD 25 — India (1 AS).
+		{"25-ffaa:0:1901", "IISc Bangalore (core)", Core, geo.Bangalore, "IISc", 200 * time.Microsecond, 0},
+
+		// The experimenters' AS, attached to ETHZ-AP (§3.2).
+		{"17-ffaa:1:1", "MY_AS", UserAS, geo.Zurich, "UPIN", 100 * time.Microsecond, 0},
+	}
+	for _, d := range defs {
+		t.MustAddAS(&AS{
+			IA:          addr.MustParseIA(d.ia),
+			Name:        d.name,
+			Type:        d.typ,
+			Site:        d.site,
+			Operator:    d.operator,
+			Processing:  120 * time.Microsecond,
+			JitterScale: d.jitter,
+			NumServers:  d.servers,
+		})
+	}
+
+	ia := addr.MustParseIA
+	core := func(a, b string, cap float64) {
+		t.MustConnect(CoreLink, ia(a), ia(b), LinkSpec{CapacityAtoB: cap, CapacityBtoA: cap})
+	}
+	child := func(parent, kid string, down, up float64) {
+		t.MustConnect(ParentChild, ia(parent), ia(kid), LinkSpec{CapacityAtoB: down, CapacityBtoA: up})
+	}
+
+	// Core mesh.
+	core("17-ffaa:0:1101", "19-ffaa:0:1301", backbone) // Zurich–Magdeburg
+	core("17-ffaa:0:1101", "16-ffaa:0:1001", backbone) // Zurich–AWS Frankfurt
+	core("19-ffaa:0:1301", "16-ffaa:0:1001", backbone) // Magdeburg–AWS Frankfurt
+	core("17-ffaa:0:1101", "18-ffaa:0:1201", backbone) // Zurich–CMU
+	core("16-ffaa:0:1001", "18-ffaa:0:1201", backbone) // AWS–CMU
+	core("17-ffaa:0:1101", "20-ffaa:0:1401", backbone) // Zurich–KISTI (EU–KR research link)
+	core("18-ffaa:0:1201", "21-ffaa:0:1501", backbone) // CMU–WIDE (transpacific)
+	core("20-ffaa:0:1401", "21-ffaa:0:1501", backbone) // KISTI–WIDE
+	core("21-ffaa:0:1501", "22-ffaa:0:1601", backbone) // WIDE–NTU
+	core("22-ffaa:0:1601", "23-ffaa:0:1701", backbone) // NTU–NUS
+	core("16-ffaa:0:1001", "23-ffaa:0:1701", awsShare) // AWS Frankfurt–NUS (via AWS SG presence)
+	core("23-ffaa:0:1701", "24-ffaa:0:1801", backbone) // NUS–AARNet
+	core("23-ffaa:0:1701", "25-ffaa:0:1901", backbone) // NUS–IISc
+
+	// ISD 16: AWS regional down-structure. Cross parent-child links create
+	// the alternative down-segments the paper observes: Ireland is reachable
+	// directly from the Frankfurt core or via the long-distance Ohio and
+	// Singapore transits (Fig 5's three latency layers).
+	child("16-ffaa:0:1001", "16-ffaa:0:1002", awsAccess, awsAccess)
+	child("16-ffaa:0:1001", "16-ffaa:0:1003", awsAccess, awsAccess)
+	child("16-ffaa:0:1001", "16-ffaa:0:1004", awsShare, awsShare)
+	child("16-ffaa:0:1001", "16-ffaa:0:1005", awsShare, awsShare)
+	child("16-ffaa:0:1001", "16-ffaa:0:1006", awsShare, awsShare)
+	child("16-ffaa:0:1001", "16-ffaa:0:1007", awsShare, awsShare)
+	child("16-ffaa:0:1004", "16-ffaa:0:1002", awsShare, awsShare) // Ohio -> Ireland
+	child("16-ffaa:0:1007", "16-ffaa:0:1002", awsShare, awsShare) // Singapore -> Ireland
+	child("16-ffaa:0:1004", "16-ffaa:0:1003", awsShare, awsShare) // Ohio -> N. Virginia
+	child("16-ffaa:0:1005", "16-ffaa:0:1003", awsShare, awsShare) // Oregon -> N. Virginia
+	child("16-ffaa:0:1006", "16-ffaa:0:1007", awsShare, awsShare) // Tokyo -> Singapore
+	child("16-ffaa:0:1001", "16-ffaa:0:1008", awsShare, awsShare)
+	child("16-ffaa:0:1008", "16-ffaa:0:1002", awsShare, awsShare) // Paris -> Ireland (EU transit)
+
+	// ISD 17: the AP hangs off both ETHZ and SWITCH, giving MY_AS two up
+	// segments; MY_AS itself sits behind an asymmetric access link.
+	child("17-ffaa:0:1101", "17-ffaa:0:1102", campus, campus)
+	child("17-ffaa:0:1101", "17-ffaa:0:1108", campus, campus)
+	child("17-ffaa:0:1102", "17-ffaa:0:1107", campus, campus)
+	child("17-ffaa:0:1108", "17-ffaa:0:1107", campus, campus)
+	child("17-ffaa:0:1102", "17-ffaa:0:1110", campus, campus)
+	child("17-ffaa:0:1107", "17-ffaa:1:1", apDown, apUp)
+
+	// ISD 18.
+	child("18-ffaa:0:1201", "18-ffaa:0:1202", campus, campus)
+	child("18-ffaa:0:1201", "18-ffaa:0:1203", campus, campus)
+	child("18-ffaa:0:1203", "18-ffaa:0:1204", campus, campus)
+
+	// ISD 19.
+	child("19-ffaa:0:1301", "19-ffaa:0:1302", campus, campus)
+	child("19-ffaa:0:1301", "19-ffaa:0:1303", awsAccess, 45e6) // Magdeburg AP access
+	child("19-ffaa:0:1301", "19-ffaa:0:1304", campus, campus)
+	child("19-ffaa:0:1301", "19-ffaa:0:1305", campus, campus)
+	child("19-ffaa:0:1302", "19-ffaa:0:1303", awsAccess, 45e6) // second parent for the AP
+	child("19-ffaa:0:1302", "19-ffaa:0:1306", campus, campus)
+	child("19-ffaa:0:1302", "19-ffaa:0:1307", campus, campus)
+	child("19-ffaa:0:1304", "19-ffaa:0:1305", campus, campus)
+
+	// ISD 20.
+	child("20-ffaa:0:1401", "20-ffaa:0:1402", campus, campus)
+	child("20-ffaa:0:1402", "20-ffaa:0:1404", campus, campus)
+
+	// ISD 21.
+	child("21-ffaa:0:1501", "21-ffaa:0:1502", campus, campus)
+
+	// ISD 22.
+	child("22-ffaa:0:1601", "22-ffaa:0:1602", campus, campus)
+
+	// ISD 23.
+	child("23-ffaa:0:1701", "23-ffaa:0:1702", campus, campus)
+
+	return t
+}

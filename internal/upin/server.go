@@ -1,0 +1,324 @@
+package upin
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/simnet"
+)
+
+// Server is the UPIN Front-end of §2.1: "a method of communication between
+// the user and the domain". It exposes the catalogue, the measured path
+// candidates, and an intent endpoint that runs the full controller ->
+// tracer -> verifier pipeline and returns recommendations.
+type Server struct {
+	db       *docdb.DB
+	daemon   *sciond.Daemon
+	net      *simnet.Network
+	engine   *selection.Engine
+	explorer *DomainExplorer
+	mux      *http.ServeMux
+}
+
+// NewServer wires the front-end.
+func NewServer(db *docdb.DB, daemon *sciond.Daemon, net *simnet.Network,
+	engine *selection.Engine, explorer *DomainExplorer) *Server {
+	s := &Server{
+		db: db, daemon: daemon, net: net, engine: engine, explorer: explorer,
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/servers", s.handleServers)
+	s.mux.HandleFunc("GET /api/nodes", s.handleNodes)
+	s.mux.HandleFunc("GET /api/paths", s.handlePaths)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("POST /api/intent", s.handleIntent)
+	return s
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	pathID := r.URL.Query().Get("path")
+	if pathID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?path=<id>"))
+		return
+	}
+	traces, err := LoadTraces(s.db, pathID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type row struct {
+		ID       string   `json:"id"`
+		Observed []string `json:"observed_hops"`
+		TimeMs   int64    `json:"timestamp_ms"`
+	}
+	out := make([]row, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, row{tr.ID, tr.Observed, tr.TimeMs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"local_ia":      s.daemon.LocalIA().String(),
+		"simulated_ms":  s.net.Now().Milliseconds(),
+		"stats_stored":  s.db.Collection(measure.ColStats).Count(),
+		"paths_stored":  s.db.Collection(measure.ColPaths).Count(),
+		"servers_known": s.db.Collection(measure.ColServers).Count(),
+	})
+}
+
+func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
+	servers, err := measure.Servers(s.db)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type row struct {
+		ID       int    `json:"id"`
+		Address  string `json:"address"`
+		Name     string `json:"name"`
+		Country  string `json:"country"`
+		Operator string `json:"operator"`
+	}
+	out := make([]row, 0, len(servers))
+	for _, srv := range servers {
+		out = append(out, row{srv.ID, srv.Address.String(), srv.Name, srv.Country, srv.Operator})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		IA       string `json:"ia"`
+		Name     string `json:"name"`
+		Type     string `json:"type"`
+		Country  string `json:"country"`
+		Operator string `json:"operator"`
+		InDomain bool   `json:"in_domain"`
+	}
+	nodes := s.explorer.Nodes()
+	out := make([]row, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, row{n.IA.String(), n.Name, n.Type.String(), n.Country, n.Operator, n.InDomain})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("server"))
+	if err != nil || id < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
+		return
+	}
+	cands, err := s.engine.Select(id, selection.Request{})
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, candidatesJSON(cands))
+}
+
+// IntentRequest is the front-end's JSON intent format.
+type IntentRequest struct {
+	ServerID         int      `json:"server_id"`
+	Objective        string   `json:"objective,omitempty"`
+	Profile          string   `json:"profile,omitempty"`
+	MaxLatencyMs     float64  `json:"max_latency_ms,omitempty"`
+	MaxLossPct       float64  `json:"max_loss_pct,omitempty"`
+	MinBandwidthMbps float64  `json:"min_bandwidth_mbps,omitempty"`
+	ExcludeISDs      []string `json:"exclude_isds,omitempty"`
+	ExcludeASes      []string `json:"exclude_ases,omitempty"`
+	ExcludeCountries []string `json:"exclude_countries,omitempty"`
+	ExcludeOperators []string `json:"exclude_operators,omitempty"`
+}
+
+// IntentResponse carries the decision, verification and recommendations.
+type IntentResponse struct {
+	Decision        candidateJSON   `json:"decision"`
+	Sequence        string          `json:"sequence"`
+	Satisfied       bool            `json:"satisfied"`
+	Violations      []string        `json:"violations,omitempty"`
+	Unverifiable    []string        `json:"unverifiable,omitempty"`
+	Recommendations []recommendJSON `json:"recommendations"`
+}
+
+func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
+	var req IntentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad intent: %w", err))
+		return
+	}
+	if req.ServerID < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server_id required"))
+		return
+	}
+	selReq := selection.Request{
+		MaxLatencyMs:     req.MaxLatencyMs,
+		MaxLossPct:       req.MaxLossPct,
+		MinBandwidthBps:  req.MinBandwidthMbps * 1e6,
+		ExcludeISDs:      req.ExcludeISDs,
+		ExcludeASes:      req.ExcludeASes,
+		ExcludeCountries: req.ExcludeCountries,
+		ExcludeOperators: req.ExcludeOperators,
+	}
+	if req.Objective != "" {
+		obj, err := selection.ParseObjective(req.Objective)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		selReq.Objective = obj
+	}
+	intent := Intent{ServerID: req.ServerID, Request: selReq}
+
+	// Resolve the destination AS from the catalogue.
+	dstIA, err := s.serverIA(req.ServerID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	ctrl := NewController(s.daemon, s.engine, s.explorer)
+	dec2, err := ctrl.Decide(dstIA, intent)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	tracer := NewTracer(s.net)
+	trace, err := tracer.Trace(dec2, 2)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The Path Tracer stores every observation for later verification.
+	if _, err := tracer.Record(s.db, trace, dec2.Candidate.PathID); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	verdict := NewVerifier(s.explorer).Verify(intent, trace)
+
+	weights := ProfileBrowsing
+	if req.Profile != "" {
+		switch req.Profile {
+		case "voip":
+			weights = ProfileVoIP
+		case "streaming":
+			weights = ProfileStreaming
+		case "bulk":
+			weights = ProfileBulk
+		case "browsing":
+			weights = ProfileBrowsing
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+			return
+		}
+	}
+	recs, err := Recommend(s.engine, intent, weights, 3)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp := IntentResponse{
+		Decision:  toCandidateJSON(dec2.Candidate),
+		Sequence:  dec2.Path.Sequence(),
+		Satisfied: verdict.Satisfied,
+	}
+	resp.Violations = verdict.Violations
+	for _, ia := range verdict.Unverifiable {
+		resp.Unverifiable = append(resp.Unverifiable, ia.String())
+	}
+	for _, rec := range recs {
+		resp.Recommendations = append(resp.Recommendations, recommendJSON{
+			PathID: rec.Candidate.PathID, Score: rec.Score, Reason: rec.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) serverIA(id int) (addr.IA, error) {
+	servers, err := measure.Servers(s.db)
+	if err != nil {
+		return addr.IA{}, err
+	}
+	for _, srv := range servers {
+		if srv.ID == id {
+			return srv.Address.IA, nil
+		}
+	}
+	return addr.IA{}, fmt.Errorf("upin: no server with id %d", id)
+}
+
+type candidateJSON struct {
+	PathID       string   `json:"path_id"`
+	Hops         int      `json:"hops"`
+	ISDs         []string `json:"isds"`
+	AvgLatencyMs float64  `json:"avg_latency_ms"`
+	JitterMs     float64  `json:"jitter_ms"`
+	AvgLossPct   float64  `json:"avg_loss_pct"`
+	UpMbps       float64  `json:"up_mbps"`
+	DownMbps     float64  `json:"down_mbps"`
+	Samples      int      `json:"samples"`
+	Countries    []string `json:"countries"`
+}
+
+type recommendJSON struct {
+	PathID string  `json:"path_id"`
+	Score  float64 `json:"score"`
+	Reason string  `json:"reason"`
+}
+
+func toCandidateJSON(c selection.Candidate) candidateJSON {
+	return candidateJSON{
+		PathID: c.PathID, Hops: c.Hops, ISDs: c.ISDs,
+		// JSON cannot carry +Inf (paths that never answered); -1 marks
+		// "no data".
+		AvgLatencyMs: finiteOr(c.AvgLatencyMs, -1),
+		JitterMs:     finiteOr(c.JitterMs, -1),
+		AvgLossPct:   finiteOr(c.AvgLossPct, -1),
+		UpMbps:       finiteOr(c.UpBps/1e6, -1),
+		DownMbps:     finiteOr(c.DownBps/1e6, -1),
+		Samples:      c.Samples, Countries: c.Countries,
+	}
+}
+
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}
+
+func candidatesJSON(cands []selection.Candidate) []candidateJSON {
+	out := make([]candidateJSON, len(cands))
+	for i, c := range cands {
+		out[i] = toCandidateJSON(c)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

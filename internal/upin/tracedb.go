@@ -1,0 +1,132 @@
+package upin
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/scmp"
+)
+
+// ColTraces is the collection the Path Tracer records into: "The goal is
+// to store important details for the possible verification" (§2.1).
+const ColTraces = "traces"
+
+// Trace document fields.
+const (
+	FTraceSequence = "hop_predicates"
+	FTracePathID   = "path_id"
+	FTraceObserved = "observed_hops"
+	FTraceRTTsMs   = "hop_rtts_ms"
+	FTraceTime     = "timestamp_ms"
+)
+
+// Record stores a trace in the database, one document per observation,
+// keyed by path fingerprint and simulated timestamp.
+func (t *Tracer) Record(db *docdb.DB, trace *Trace, pathID string) (string, error) {
+	if trace == nil || trace.Path == nil {
+		return "", fmt.Errorf("upin: nil trace")
+	}
+	now := t.net.Now()
+	id := fmt.Sprintf("trace:%s@%d", trace.Path.Fingerprint(), now.Milliseconds())
+	observed := make([]any, 0, len(trace.Hops))
+	rtts := make([]any, 0, len(trace.Hops))
+	for _, h := range trace.Hops {
+		observed = append(observed, h.Hop.IA.String())
+		if len(h.RTTs) > 0 {
+			rtts = append(rtts, float64(h.RTTs[0])/float64(time.Millisecond))
+		} else {
+			rtts = append(rtts, nil)
+		}
+	}
+	doc := docdb.Document{
+		"_id":          id,
+		FTracePathID:   pathID,
+		FTraceSequence: pathmgr.PathSequence(trace.Path).String(),
+		FTraceObserved: observed,
+		FTraceRTTsMs:   rtts,
+		FTraceTime:     now.Milliseconds(),
+	}
+	if err := db.Collection(ColTraces).Insert(doc); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// StoredTrace is a decoded trace document.
+type StoredTrace struct {
+	ID       string
+	PathID   string
+	Sequence pathmgr.Sequence
+	Observed []string
+	TimeMs   int64
+}
+
+// LoadTraces returns the stored traces for a path id in time order.
+func LoadTraces(db *docdb.DB, pathID string) ([]StoredTrace, error) {
+	docs := db.Collection(ColTraces).Find(docdb.Query{
+		Filter: docdb.Eq(FTracePathID, pathID),
+		SortBy: FTraceTime,
+	})
+	out := make([]StoredTrace, 0, len(docs))
+	for _, d := range docs {
+		st := StoredTrace{ID: d.ID(), PathID: pathID}
+		seqStr, _ := d[FTraceSequence].(string)
+		seq, err := pathmgr.ParseSequence(seqStr)
+		if err != nil {
+			return nil, fmt.Errorf("upin: trace %s: %v", st.ID, err)
+		}
+		st.Sequence = seq
+		if arr, ok := d[FTraceObserved].([]any); ok {
+			for _, v := range arr {
+				st.Observed = append(st.Observed, fmt.Sprint(v))
+			}
+		}
+		switch ts := d[FTraceTime].(type) {
+		case int64:
+			st.TimeMs = ts
+		case float64:
+			st.TimeMs = int64(ts)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// VerifyStored replays verification over a stored trace: the observed hop
+// list is checked against both the pinned sequence (route fidelity — did
+// the traffic follow the installed path?) and the intent's exclusions.
+func (v *Verifier) VerifyStored(intent Intent, st StoredTrace) Verdict {
+	verdict := Verdict{Satisfied: true}
+	// Route fidelity: observed hops must match the pinned sequence.
+	if len(st.Observed) != len(st.Sequence) {
+		verdict.fail("observed %d hops, installed route has %d", len(st.Observed), len(st.Sequence))
+	} else {
+		for i, obs := range st.Observed {
+			want := st.Sequence[i]
+			if fmt.Sprintf("%d-%s", want.ISD, want.AS) != obs {
+				verdict.fail("hop %d observed %s, installed %d-%s", i, obs, want.ISD, want.AS)
+			}
+		}
+	}
+	// Exclusion checks over the observed hops, reusing the live verifier
+	// via a synthetic trace.
+	synthetic := &Trace{Path: &pathmgr.Path{}}
+	for _, obs := range st.Observed {
+		ia, err := addr.ParseIA(obs)
+		if err != nil {
+			verdict.fail("unparseable observed hop %q", obs)
+			continue
+		}
+		synthetic.Hops = append(synthetic.Hops, scmp.TracerouteHop{Hop: pathmgr.Hop{IA: ia}})
+	}
+	live := v.Verify(intent, synthetic)
+	if !live.Satisfied {
+		verdict.Satisfied = false
+		verdict.Violations = append(verdict.Violations, live.Violations...)
+	}
+	verdict.Unverifiable = append(verdict.Unverifiable, live.Unverifiable...)
+	return verdict
+}

@@ -1,0 +1,119 @@
+package upin
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func recordedTrace(t *testing.T, f *fixture, req selection.Request) (*Decision, StoredTrace) {
+	t.Helper()
+	ctrl := NewController(f.daemon, f.engine, f.explorer)
+	intent := Intent{ServerID: f.serverID, Request: req}
+	dec, err := ctrl.Decide(topology.AWSIreland, intent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := NewTracer(f.net)
+	trace, err := tracer.Trace(dec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := tracer.Record(f.db, trace, dec.Candidate.PathID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := LoadTraces(f.db, dec.Candidate.PathID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 || stored[0].ID != id {
+		t.Fatalf("stored traces: %+v", stored)
+	}
+	return dec, stored[0]
+}
+
+func TestTraceRecordAndLoad(t *testing.T) {
+	f := setup(t, 90)
+	dec, st := recordedTrace(t, f, selection.Request{})
+	if len(st.Observed) != dec.Path.NumHops() {
+		t.Errorf("observed %d hops, path has %d", len(st.Observed), dec.Path.NumHops())
+	}
+	if st.Observed[0] != "17-ffaa:1:1" {
+		t.Errorf("first observed hop %s", st.Observed[0])
+	}
+	if len(st.Sequence) != dec.Path.NumHops() {
+		t.Errorf("stored sequence length %d", len(st.Sequence))
+	}
+}
+
+func TestVerifyStoredSatisfied(t *testing.T) {
+	f := setup(t, 91)
+	intentReq := selection.Request{ExcludeCountries: []string{"United States", "Singapore"}}
+	_, st := recordedTrace(t, f, intentReq)
+	verdict := NewVerifier(f.explorer).VerifyStored(Intent{ServerID: f.serverID, Request: intentReq}, st)
+	if !verdict.Satisfied {
+		t.Errorf("stored verification failed: %v", verdict.Violations)
+	}
+}
+
+func TestVerifyStoredDetectsRouteDeviation(t *testing.T) {
+	f := setup(t, 92)
+	_, st := recordedTrace(t, f, selection.Request{})
+	// Tamper: the traffic "actually" crossed a different AS.
+	st.Observed[2] = "16-ffaa:0:1004"
+	verdict := NewVerifier(f.explorer).VerifyStored(Intent{ServerID: f.serverID}, st)
+	if verdict.Satisfied {
+		t.Error("route deviation not detected")
+	}
+	found := false
+	for _, v := range verdict.Violations {
+		if strings.Contains(v, "installed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v do not mention the installed route", verdict.Violations)
+	}
+}
+
+func TestVerifyStoredDetectsExclusionViolation(t *testing.T) {
+	f := setup(t, 93)
+	// Decide without exclusions, then verify against an intent that
+	// excludes Switzerland — which every path crosses at the source side.
+	_, st := recordedTrace(t, f, selection.Request{})
+	verdict := NewVerifier(f.explorer).VerifyStored(Intent{
+		ServerID: f.serverID,
+		Request:  selection.Request{ExcludeCountries: []string{"Switzerland"}},
+	}, st)
+	if verdict.Satisfied {
+		t.Error("exclusion violation not detected in stored trace")
+	}
+}
+
+func TestVerifyStoredLengthMismatch(t *testing.T) {
+	f := setup(t, 94)
+	_, st := recordedTrace(t, f, selection.Request{})
+	st.Observed = st.Observed[:len(st.Observed)-1]
+	verdict := NewVerifier(f.explorer).VerifyStored(Intent{ServerID: f.serverID}, st)
+	if verdict.Satisfied {
+		t.Error("truncated observation not detected")
+	}
+}
+
+func TestRecordNilTrace(t *testing.T) {
+	f := setup(t, 95)
+	if _, err := NewTracer(f.net).Record(f.db, nil, "x"); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestLoadTracesEmpty(t *testing.T) {
+	f := setup(t, 96)
+	got, err := LoadTraces(f.db, "nope")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty load: %v %v", got, err)
+	}
+}

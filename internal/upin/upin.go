@@ -1,0 +1,230 @@
+// Package upin implements the UPIN framework components of the paper's
+// §2.1 on top of the SCION reproduction: the Domain Explorer (metadata
+// about network nodes), the Path Controller (sets the forwarding path
+// according to the user's desires — the component this paper's work maps
+// to), the Path Tracer (gathers measurements on the traffic), and the Path
+// Verifier (examines whether the user's desires are satisfied, with the
+// caveat that hops outside the UPIN domain cannot be certified). The
+// Recommender implements the paper's stated future work, "a path
+// recommendation feature" (§7).
+package upin
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/scmp"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// NodeInfo is the Domain Explorer's metadata for one node: "detailed
+// knowledge on the nodes in the network", including security and
+// environmental details (§2.1).
+type NodeInfo struct {
+	IA       addr.IA
+	Name     string
+	Type     topology.ASType
+	Country  string
+	Operator string
+	Coords   geo.Coordinates
+	ISD      addr.ISD
+	// InDomain marks nodes inside the UPIN-enabled domain; properties of
+	// nodes outside it cannot be verified (§2.1).
+	InDomain bool
+}
+
+// DomainExplorer exposes node metadata for a UPIN domain. The domain is
+// the set of ISDs the operator controls or federates with.
+type DomainExplorer struct {
+	topo   *topology.Topology
+	domain map[addr.ISD]bool
+}
+
+// NewDomainExplorer builds an explorer whose domain covers the given ISDs.
+func NewDomainExplorer(topo *topology.Topology, domainISDs []addr.ISD) *DomainExplorer {
+	d := &DomainExplorer{topo: topo, domain: map[addr.ISD]bool{}}
+	for _, isd := range domainISDs {
+		d.domain[isd] = true
+	}
+	return d
+}
+
+// Node returns metadata for one AS, or an error for unknown nodes.
+func (d *DomainExplorer) Node(ia addr.IA) (NodeInfo, error) {
+	as := d.topo.AS(ia)
+	if as == nil {
+		return NodeInfo{}, fmt.Errorf("upin: unknown node %s", ia)
+	}
+	return NodeInfo{
+		IA:       ia,
+		Name:     as.Name,
+		Type:     as.Type,
+		Country:  as.Site.Country,
+		Operator: as.Operator,
+		Coords:   as.Site.Coords,
+		ISD:      ia.ISD,
+		InDomain: d.domain[ia.ISD],
+	}, nil
+}
+
+// Nodes lists metadata for every AS of the topology.
+func (d *DomainExplorer) Nodes() []NodeInfo {
+	ases := d.topo.ASes()
+	out := make([]NodeInfo, 0, len(ases))
+	for _, as := range ases {
+		n, _ := d.Node(as.IA)
+		out = append(out, n)
+	}
+	return out
+}
+
+// InDomain reports whether an AS belongs to the UPIN domain.
+func (d *DomainExplorer) InDomain(ia addr.IA) bool { return d.domain[ia.ISD] }
+
+// Intent is a user's desire: reach a destination under the constraints of
+// a selection request.
+type Intent struct {
+	ServerID int
+	Request  selection.Request
+}
+
+// Controller is the UPIN Path Controller: it turns an intent into a
+// concrete forwarding decision (a pinned SCION path). "The Path Controller
+// is in charge of setting the forwarding rules based on the desires of the
+// user" (§2.1).
+type Controller struct {
+	daemon   *sciond.Daemon
+	selector *selection.Engine
+	explorer *DomainExplorer
+}
+
+// NewController wires the controller.
+func NewController(daemon *sciond.Daemon, selector *selection.Engine, explorer *DomainExplorer) *Controller {
+	return &Controller{daemon: daemon, selector: selector, explorer: explorer}
+}
+
+// Decision is an installed forwarding choice.
+type Decision struct {
+	Intent    Intent
+	Candidate selection.Candidate
+	Path      *pathmgr.Path
+}
+
+// Decide selects the best measured path satisfying the intent and resolves
+// it to a live path (the "forwarding rule").
+func (c *Controller) Decide(dst addr.IA, intent Intent) (*Decision, error) {
+	cand, err := c.selector.Best(intent.ServerID, intent.Request)
+	if err != nil {
+		return nil, fmt.Errorf("upin: controller: %w", err)
+	}
+	path, err := c.daemon.ResolveSequence(dst, cand.Sequence)
+	if err != nil {
+		return nil, fmt.Errorf("upin: controller: stored path no longer live: %w", err)
+	}
+	return &Decision{Intent: intent, Candidate: cand, Path: path}, nil
+}
+
+// Trace is the Path Tracer's record of one traffic observation: the hops
+// the traffic actually visited with per-hop round-trip times.
+type Trace struct {
+	Path *pathmgr.Path
+	Hops []scmp.TracerouteHop
+}
+
+// Tracer is the UPIN Path Tracer: it "gathers measurements on the traffic
+// in the UPIN domain ... to store important details for the possible
+// verification" (§2.1).
+type Tracer struct {
+	net *simnet.Network
+}
+
+// NewTracer builds a tracer over the data plane.
+func NewTracer(net *simnet.Network) *Tracer { return &Tracer{net: net} }
+
+// Trace observes the decision's path with SCMP traceroute probes.
+func (t *Tracer) Trace(d *Decision, probesPerHop int) (*Trace, error) {
+	hops, err := scmp.Traceroute(t.net, d.Path, probesPerHop)
+	if err != nil {
+		return nil, fmt.Errorf("upin: tracer: %w", err)
+	}
+	return &Trace{Path: d.Path, Hops: hops}, nil
+}
+
+// Verdict is the Path Verifier's outcome for one intent.
+type Verdict struct {
+	// Satisfied is true when no violation was observed on verifiable hops.
+	Satisfied bool
+	// Violations lists broken constraints with the offending hop.
+	Violations []string
+	// Unverifiable lists hops outside the UPIN domain: "if the path
+	// traverses a non-UPIN enabled domain, the Path Verifier cannot be
+	// certain whether the intent is satisfied over the full path" (§2.1).
+	Unverifiable []addr.IA
+}
+
+// Verifier is the UPIN Path Verifier.
+type Verifier struct {
+	explorer *DomainExplorer
+}
+
+// NewVerifier builds a verifier over the explorer's metadata.
+func NewVerifier(explorer *DomainExplorer) *Verifier { return &Verifier{explorer: explorer} }
+
+// Verify checks a traced path against the intent's exclusions.
+func (v *Verifier) Verify(intent Intent, trace *Trace) Verdict {
+	verdict := Verdict{Satisfied: true}
+	req := intent.Request
+	badISD := toSet(req.ExcludeISDs)
+	badAS := toSet(req.ExcludeASes)
+	badCountry := toLowerSet(req.ExcludeCountries)
+	badOp := toLowerSet(req.ExcludeOperators)
+
+	for _, th := range trace.Hops {
+		ia := th.Hop.IA
+		node, err := v.explorer.Node(ia)
+		if err != nil || !node.InDomain {
+			verdict.Unverifiable = append(verdict.Unverifiable, ia)
+			continue
+		}
+		if badISD[fmt.Sprintf("%d", ia.ISD)] {
+			verdict.fail("hop %s is in excluded ISD %d", ia, ia.ISD)
+		}
+		if badAS[ia.String()] {
+			verdict.fail("hop %s is an excluded AS", ia)
+		}
+		if badCountry[strings.ToLower(node.Country)] {
+			verdict.fail("hop %s is in excluded country %s", ia, node.Country)
+		}
+		if badOp[strings.ToLower(node.Operator)] {
+			verdict.fail("hop %s is run by excluded operator %s", ia, node.Operator)
+		}
+	}
+	return verdict
+}
+
+func (v *Verdict) fail(format string, args ...any) {
+	v.Satisfied = false
+	v.Violations = append(v.Violations, fmt.Sprintf(format, args...))
+}
+
+func toSet(ss []string) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func toLowerSet(ss []string) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range ss {
+		m[strings.ToLower(s)] = true
+	}
+	return m
+}

@@ -1,0 +1,100 @@
+package upin
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/scmp"
+)
+
+// Watchdog keeps a user's intent satisfied over time: it periodically
+// re-measures the installed path, re-verifies the intent, and switches
+// paths when the decision degrades — the operational loop behind the UPIN
+// Path Controller ("continuous measurements require continuous
+// functioning", §4.1.2, applied to the §2.1 controller role).
+type Watchdog struct {
+	Controller *Controller
+	Tracer     *Tracer
+	Suite      *measure.Suite
+	// CheckPing parameterises the liveness check of each round.
+	CheckPing scmp.PingOpts
+	// MaxLossPct is the health threshold that triggers a re-decision.
+	MaxLossPct float64
+}
+
+// WatchEvent is one round's outcome.
+type WatchEvent struct {
+	Round int
+	// PathID is the path installed during this round.
+	PathID string
+	// LossPct is the health-check loss on the installed path.
+	LossPct float64
+	// Switched reports that the watchdog re-decided onto a new path.
+	Switched bool
+	// Reason explains a switch ("loss 100.0% above threshold", ...).
+	Reason string
+}
+
+// Watch runs `rounds` health-check cycles spaced `interval` apart on the
+// simulated clock, starting from an initial decision for the intent. It
+// returns the per-round events and the final decision.
+func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.Duration) ([]WatchEvent, *Decision, error) {
+	if rounds < 1 {
+		return nil, nil, fmt.Errorf("upin: watchdog needs >= 1 round")
+	}
+	if w.MaxLossPct <= 0 {
+		w.MaxLossPct = 20
+	}
+	// The health threshold becomes a hard constraint of the intent, so a
+	// re-decision actually excludes paths whose measured loss crossed it.
+	if intent.Request.MaxLossPct == 0 {
+		intent.Request.MaxLossPct = w.MaxLossPct
+	}
+	dec, err := w.Controller.Decide(dst, intent)
+	if err != nil {
+		return nil, nil, fmt.Errorf("upin: watchdog: initial decision: %w", err)
+	}
+
+	net := w.Suite.Daemon.Network()
+	var events []WatchEvent
+	for round := 0; round < rounds; round++ {
+		stats, err := scmp.Ping(net, dec.Path, w.CheckPing)
+		if err != nil {
+			return events, dec, fmt.Errorf("upin: watchdog round %d: %w", round, err)
+		}
+		ev := WatchEvent{Round: round, PathID: dec.Candidate.PathID, LossPct: stats.Loss}
+		if stats.Loss > w.MaxLossPct {
+			// Degraded: refresh measurements for this destination and
+			// re-decide. The failing path's fresh stats push it down the
+			// ranking; the selection engine does the rest.
+			if _, err := w.Suite.Run(measure.RunOpts{
+				Iterations:    1,
+				Skip:          true,
+				ServerIDs:     []int{intent.ServerID},
+				PingCount:     w.CheckPing.Count,
+				PingInterval:  w.CheckPing.Interval,
+				SkipBandwidth: true,
+			}); err != nil {
+				return events, dec, fmt.Errorf("upin: watchdog round %d: remeasure: %w", round, err)
+			}
+			newDec, err := w.Controller.Decide(dst, intent)
+			switch {
+			case err != nil:
+				ev.Reason = fmt.Sprintf("loss %.1f%% above threshold; no alternative (%v)", stats.Loss, err)
+			case newDec.Candidate.PathID != dec.Candidate.PathID:
+				ev.Switched = true
+				ev.Reason = fmt.Sprintf("loss %.1f%% above threshold; switched to %s", stats.Loss, newDec.Candidate.PathID)
+				dec = newDec
+			default:
+				ev.Reason = fmt.Sprintf("loss %.1f%% above threshold; best path unchanged", stats.Loss)
+			}
+		}
+		events = append(events, ev)
+		if round+1 < rounds {
+			net.Advance(interval)
+		}
+	}
+	return events, dec, nil
+}

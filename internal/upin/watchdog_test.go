@@ -1,0 +1,100 @@
+package upin
+
+import (
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/scmp"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func watchdog(f *fixture) *Watchdog {
+	return &Watchdog{
+		Controller: NewController(f.daemon, f.engine, f.explorer),
+		Tracer:     NewTracer(f.net),
+		Suite:      &measure.Suite{DB: f.db, Daemon: f.daemon},
+		CheckPing:  scmp.PingOpts{Count: 5, Interval: 5 * time.Millisecond},
+		MaxLossPct: 20,
+	}
+}
+
+func TestWatchdogHealthySteadyState(t *testing.T) {
+	f := setup(t, 100)
+	w := watchdog(f)
+	events, final, err := w.Watch(topology.AWSIreland,
+		Intent{ServerID: f.serverID}, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	for _, ev := range events {
+		if ev.Switched {
+			t.Errorf("round %d switched on a healthy network: %s", ev.Round, ev.Reason)
+		}
+		if ev.LossPct != 0 {
+			t.Errorf("round %d loss %.1f on a healthy network", ev.Round, ev.LossPct)
+		}
+	}
+	if final == nil || final.Candidate.PathID != events[0].PathID {
+		t.Error("final decision drifted without cause")
+	}
+}
+
+func TestWatchdogSwitchesOnOutage(t *testing.T) {
+	f := setup(t, 101)
+	w := watchdog(f)
+	// Initial decision, then its second link dies mid-watch.
+	dec, err := w.Controller.Decide(topology.AWSIreland, Intent{ServerID: f.serverID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := f.net.Now()
+	if err := f.net.ScheduleLinkOutage(simnet.LinkOutage{
+		A: dec.Path.Hops[1].IA, B: dec.Path.Hops[2].IA,
+		Start: start + 2*time.Second, End: start + 24*time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events, final, err := w.Watch(topology.AWSIreland,
+		Intent{ServerID: f.serverID}, 4, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switched := false
+	for _, ev := range events {
+		if ev.Switched {
+			switched = true
+		}
+	}
+	if !switched {
+		t.Fatalf("watchdog never switched: %+v", events)
+	}
+	if final.Candidate.PathID == dec.Candidate.PathID {
+		t.Error("final decision still the dead path")
+	}
+	// The new path must avoid the downed link.
+	for i := 0; i+1 < len(final.Path.Hops); i++ {
+		if final.Path.Hops[i].IA == dec.Path.Hops[1].IA && final.Path.Hops[i+1].IA == dec.Path.Hops[2].IA {
+			t.Error("replacement path crosses the downed link")
+		}
+	}
+	// And the last round must be healthy again.
+	if last := events[len(events)-1]; last.LossPct > 20 {
+		t.Errorf("last round still lossy: %.1f%%", last.LossPct)
+	}
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	f := setup(t, 102)
+	w := watchdog(f)
+	if _, _, err := w.Watch(topology.AWSIreland, Intent{ServerID: f.serverID}, 0, time.Second); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, _, err := w.Watch(topology.AWSIreland, Intent{ServerID: 999}, 1, time.Second); err == nil {
+		t.Error("unknown server accepted")
+	}
+}
