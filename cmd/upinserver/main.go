@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -70,8 +71,7 @@ func buildHandler(seed int64, dbPath, domain, measureList string) (http.Handler,
 		for _, part := range strings.Split(measureList, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				w.Close()
-				return nil, nil, fmt.Errorf("bad server id %q", part)
+				return nil, nil, errors.Join(fmt.Errorf("bad server id %q", part), w.Close())
 			}
 			ids = append(ids, id)
 		}
@@ -81,8 +81,7 @@ func buildHandler(seed int64, dbPath, domain, measureList string) (http.Handler,
 			PingCount: 10, PingInterval: 20 * time.Millisecond,
 			BwDuration: 500 * time.Millisecond,
 		}); err != nil {
-			w.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, w.Close())
 		}
 	}
 	var isds []addr.ISD

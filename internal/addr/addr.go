@@ -73,7 +73,7 @@ func ParseAS(s string) (AS, error) {
 			}
 			g, err := strconv.ParseUint(p, 16, 16)
 			if err != nil {
-				return 0, fmt.Errorf("addr: AS %q: %v", s, err)
+				return 0, fmt.Errorf("addr: AS %q: %w", s, err)
 			}
 			v = v<<16 | g
 		}
@@ -81,7 +81,7 @@ func ParseAS(s string) (AS, error) {
 	}
 	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("addr: AS %q: %v", s, err)
+		return 0, fmt.Errorf("addr: AS %q: %w", s, err)
 	}
 	if AS(v) > MaxAS {
 		return 0, fmt.Errorf("addr: AS %q exceeds 48 bits", s)
@@ -107,11 +107,11 @@ func ParseIA(s string) (IA, error) {
 	}
 	isd, err := strconv.ParseUint(isdStr, 10, 16)
 	if err != nil {
-		return IA{}, fmt.Errorf("addr: ISD-AS %q: bad ISD: %v", s, err)
+		return IA{}, fmt.Errorf("addr: ISD-AS %q: bad ISD: %w", s, err)
 	}
 	as, err := ParseAS(asStr)
 	if err != nil {
-		return IA{}, fmt.Errorf("addr: ISD-AS %q: bad AS: %v", s, err)
+		return IA{}, fmt.Errorf("addr: ISD-AS %q: bad AS: %w", s, err)
 	}
 	return IA{ISD: ISD(isd), AS: as}, nil
 }

@@ -161,7 +161,7 @@ func VerifyDocument(doc docdb.Document, cert *Certificate, trc *TRC, now time.Du
 	}
 	ia, err := addr.ParseIA(signer)
 	if err != nil {
-		return fmt.Errorf("auth: document %q: bad signer: %v", doc.ID(), err)
+		return fmt.Errorf("auth: document %q: bad signer: %w", doc.ID(), err)
 	}
 	if err := trc.Verify(cert, now); err != nil {
 		return err

@@ -87,7 +87,7 @@ func ParseParams(s string, mtu int) (Params, error) {
 	if parts[3] != "?" {
 		pr.TargetBps, err = parseBandwidth(parts[3])
 		if err != nil {
-			return Params{}, fmt.Errorf("bwtest: %q: %v", s, err)
+			return Params{}, fmt.Errorf("bwtest: %q: %w", s, err)
 		}
 	}
 

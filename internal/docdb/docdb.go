@@ -141,13 +141,16 @@ func (db *DB) Drop(name string) {
 	}
 }
 
-// Collection is a named set of documents with an "_id" unique key.
+// Collection is a named set of documents with an "_id" unique key. The
+// fields above mu are immutable after creation; mu guards everything below
+// it (the layout lockcheck enforces).
 type Collection struct {
+	name string
+	db   *DB
+
 	mu      sync.RWMutex
-	name    string
 	docs    []Document
 	byID    map[string]int
-	db      *DB
 	seq     int64 // auto-id counter
 	indexes map[string]*index
 }
@@ -172,6 +175,14 @@ func (c *Collection) Insert(doc Document) error {
 // or none. This is the paper's "multiple insertions of path statistics"
 // I/O-overhead optimisation (§4.2.2).
 func (c *Collection) InsertMany(docs []Document) error {
+	// The DB read-lock is held across the whole operation so Compact's
+	// journal swap (which holds the write lock for snapshot + swap) can
+	// never interleave between the in-memory mutation and its journal
+	// append — a committed batch is always captured by either the snapshot
+	// or the journal, never dropped between them.
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	j := c.db.journal
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Validate the whole batch first (atomicity).
@@ -202,9 +213,9 @@ func (c *Collection) InsertMany(docs []Document) error {
 		stored["_id"] = ids[i]
 		c.byID[ids[i]] = len(c.docs)
 		c.docs = append(c.docs, stored)
-		c.indexAdd(stored)
-		if c.db.journal != nil {
-			c.db.journal.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
+		c.indexAddLocked(stored)
+		if j != nil {
+			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
 		}
 	}
 	return nil
@@ -222,6 +233,9 @@ func (c *Collection) Get(id string) Document {
 
 // Delete removes documents matching the filter and returns how many.
 func (c *Collection) Delete(f Filter) int {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	j := c.db.journal
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	kept := c.docs[:0]
@@ -229,9 +243,9 @@ func (c *Collection) Delete(f Filter) int {
 	for _, d := range c.docs {
 		if f != nil && f.Match(d) {
 			removed++
-			c.indexRemove(d)
-			if c.db.journal != nil {
-				c.db.journal.append(journalEntry{Op: "delete", Collection: c.name, ID: d.ID()})
+			c.indexRemoveLocked(d)
+			if j != nil {
+				j.append(journalEntry{Op: "delete", Collection: c.name, ID: d.ID()})
 			}
 			continue
 		}
@@ -248,6 +262,9 @@ func (c *Collection) Delete(f Filter) int {
 // Update replaces the non-_id fields of matching documents with the merge
 // of the existing document and set, returning how many changed.
 func (c *Collection) Update(f Filter, set Document) int {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	j := c.db.journal
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
@@ -255,7 +272,7 @@ func (c *Collection) Update(f Filter, set Document) int {
 		if f != nil && !f.Match(d) {
 			continue
 		}
-		c.indexRemove(d)
+		c.indexRemoveLocked(d)
 		for k, v := range set {
 			if k == "_id" {
 				continue
@@ -263,10 +280,10 @@ func (c *Collection) Update(f Filter, set Document) int {
 			d[k] = cloneValue(v)
 		}
 		c.docs[i] = d
-		c.indexAdd(d)
+		c.indexAddLocked(d)
 		n++
-		if c.db.journal != nil {
-			c.db.journal.append(journalEntry{Op: "insert", Collection: c.name, Doc: d, Replace: true})
+		if j != nil {
+			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: d, Replace: true})
 		}
 	}
 	return n
@@ -276,7 +293,7 @@ func (c *Collection) Update(f Filter, set Document) int {
 func (c *Collection) Find(q Query) []Document {
 	c.mu.RLock()
 	matched := make([]Document, 0, 16)
-	if candidates, ok := c.lookupIndexed(q.Filter); ok {
+	if candidates, ok := c.lookupIndexedLocked(q.Filter); ok {
 		// Index narrowed the scan; re-check the full filter (the index may
 		// cover only one conjunct of an And).
 		for _, d := range candidates {

@@ -59,8 +59,9 @@ func (c *Collection) Indexes() []string {
 	return out
 }
 
-// indexAdd/indexRemove maintain indexes; callers hold c.mu.
-func (c *Collection) indexAdd(d Document) {
+// indexAddLocked/indexRemoveLocked maintain indexes; callers hold c.mu
+// (the Locked suffix is the lockcheck calling convention).
+func (c *Collection) indexAddLocked(d Document) {
 	for _, idx := range c.indexes {
 		if v, ok := d.lookup(idx.field); ok {
 			k := indexKey(v)
@@ -69,7 +70,7 @@ func (c *Collection) indexAdd(d Document) {
 	}
 }
 
-func (c *Collection) indexRemove(d Document) {
+func (c *Collection) indexRemoveLocked(d Document) {
 	for _, idx := range c.indexes {
 		v, ok := d.lookup(idx.field)
 		if !ok {
@@ -89,10 +90,11 @@ func (c *Collection) indexRemove(d Document) {
 	}
 }
 
-// lookupIndexed returns candidate documents via an index when the filter is
-// (or begins with) an equality on an indexed field. The second result is
-// false when no index applies and the caller must scan.
-func (c *Collection) lookupIndexed(f Filter) ([]Document, bool) {
+// lookupIndexedLocked returns candidate documents via an index when the
+// filter is (or begins with) an equality on an indexed field. The second
+// result is false when no index applies and the caller must scan. Callers
+// hold c.mu.
+func (c *Collection) lookupIndexedLocked(f Filter) ([]Document, bool) {
 	eq, ok := extractEq(f)
 	if !ok {
 		return nil, false

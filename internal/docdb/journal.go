@@ -3,6 +3,7 @@ package docdb
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -45,6 +46,10 @@ func (j *journal) append(e journalEntry) {
 func (j *journal) flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *journal) flushLocked() error {
 	if j.err != nil {
 		return j.err
 	}
@@ -56,7 +61,9 @@ func (j *journal) flush() error {
 }
 
 func (j *journal) close() error {
-	ferr := j.flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ferr := j.flushLocked()
 	cerr := j.f.Close()
 	if ferr != nil {
 		return ferr
@@ -64,42 +71,62 @@ func (j *journal) close() error {
 	return cerr
 }
 
+// path returns the journal's backing file path.
+func (j *journal) path() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Name()
+}
+
 // OpenFile opens (or creates) a journal-backed database at path, replaying
 // any existing journal so a restarted test-suite continues with its data —
 // the fault-tolerance requirement of §4.1.2.
 func OpenFile(path string) (*DB, error) {
 	db := Open()
-	// Replay existing journal, tolerating a truncated final line (crash
-	// mid-append loses at most the unflushed batch, by design).
-	if f, err := os.Open(path); err == nil {
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(line) == 0 {
-				continue
-			}
-			var e journalEntry
-			if err := json.Unmarshal(line, &e); err != nil {
-				break // truncated tail: stop replay, keep what we have
-			}
-			db.applyReplay(e)
-		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("docdb: replay %s: %w", path, err)
-		}
-		f.Close()
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("docdb: open %s: %w", path, err)
+	if err := db.replay(path); err != nil {
+		return nil, err
 	}
-
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("docdb: open journal %s: %w", path, err)
 	}
 	db.journal = &journal{f: f, w: bufio.NewWriterSize(f, 1<<16)}
 	return db, nil
+}
+
+// replay loads an existing journal file into the in-memory state,
+// tolerating a truncated final line (a crash mid-append loses at most the
+// unflushed batch, by design). A missing file is a fresh database.
+func (db *DB) replay(path string) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("docdb: open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("docdb: replay %s: %w", path, cerr)
+		}
+	}()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // truncated tail: stop replay, keep what we have
+		}
+		db.applyReplay(e)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("docdb: replay %s: %w", path, err)
+	}
+	return nil
 }
 
 // applyReplay applies a journal entry without re-journaling it.
@@ -137,23 +164,36 @@ func (db *DB) applyReplay(e journalEntry) {
 	}
 }
 
+// journalRef snapshots the journal pointer under the DB lock. Concurrent
+// Close/Compact swap the pointer; the journal's own mutex then serializes
+// appends against flush and close, so a holder of a stale reference appends
+// into a closed journal's error state rather than racing on the pointer.
+func (db *DB) journalRef() *journal {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.journal
+}
+
 // Flush forces buffered journal writes to disk. The measurement runner
 // calls it after each per-destination batch insert.
 func (db *DB) Flush() error {
-	if db.journal == nil {
+	j := db.journalRef()
+	if j == nil {
 		return nil
 	}
-	return db.journal.flush()
+	return j.flush()
 }
 
 // Close flushes and closes the journal (no-op for in-memory databases).
 func (db *DB) Close() error {
-	if db.journal == nil {
+	db.mu.Lock()
+	j := db.journal
+	db.journal = nil
+	db.mu.Unlock()
+	if j == nil {
 		return nil
 	}
-	err := db.journal.close()
-	db.journal = nil
-	return err
+	return j.close()
 }
 
 // Compact rewrites the journal to contain exactly the current state: one
@@ -163,62 +203,24 @@ func (db *DB) Close() error {
 // rewrite goes through a temporary file and an atomic rename, so a crash
 // during compaction leaves either the old or the new journal intact.
 func (db *DB) Compact() error {
-	if db.journal == nil {
+	// The DB write-lock is held for the whole snapshot + swap. Writers hold
+	// the read-lock across mutation + append (see InsertMany), so every
+	// committed operation is either in the snapshot or in the new journal.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	j := db.journal
+	if j == nil {
 		return fmt.Errorf("docdb: compact: in-memory database has no journal")
 	}
-	if err := db.journal.flush(); err != nil {
+	if err := j.flush(); err != nil {
 		return err
 	}
-	path := db.journal.f.Name()
+	path := j.path()
 	tmp := path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("docdb: compact: %w", err)
+	if err := db.writeSnapshotLocked(tmp); err != nil {
+		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	db.mu.RLock()
-	names := make([]string, 0, len(db.collections))
-	for n := range db.collections {
-		names = append(names, n)
-	}
-	db.mu.RUnlock()
-	sort.Strings(names)
-	for _, name := range names {
-		c := db.Collection(name)
-		c.mu.RLock()
-		for _, d := range c.docs {
-			b, err := json.Marshal(journalEntry{Op: "insert", Collection: name, Doc: d})
-			if err != nil {
-				c.mu.RUnlock()
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("docdb: compact: %w", err)
-			}
-			if _, err := w.Write(append(b, '\n')); err != nil {
-				c.mu.RUnlock()
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("docdb: compact: %w", err)
-			}
-		}
-		c.mu.RUnlock()
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("docdb: compact: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("docdb: compact: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("docdb: compact: %w", err)
-	}
-	// Swap: close the old journal, rename, reopen for append.
-	if err := db.journal.close(); err != nil {
+	if err := j.close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -229,5 +231,54 @@ func (db *DB) Compact() error {
 		return fmt.Errorf("docdb: compact: reopen: %w", err)
 	}
 	db.journal = &journal{f: nf, w: bufio.NewWriterSize(nf, 1<<16)}
+	return nil
+}
+
+// writeSnapshotLocked writes one insert entry per live document to tmp,
+// synced to disk. On any failure the partial file is removed. Callers hold
+// db.mu.
+func (db *DB) writeSnapshotLocked(tmp string) (err error) {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("docdb: compact: %w", cerr)
+		}
+		if err != nil {
+			if rmErr := os.Remove(tmp); rmErr != nil && !os.IsNotExist(rmErr) {
+				err = errors.Join(err, rmErr)
+			}
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := db.collections[name]
+		c.mu.RLock()
+		for _, d := range c.docs {
+			b, err := json.Marshal(journalEntry{Op: "insert", Collection: name, Doc: d})
+			if err != nil {
+				c.mu.RUnlock()
+				return fmt.Errorf("docdb: compact: %w", err)
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				c.mu.RUnlock()
+				return fmt.Errorf("docdb: compact: %w", err)
+			}
+		}
+		c.mu.RUnlock()
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
 	return nil
 }

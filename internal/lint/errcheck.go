@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck reports call statements whose error result is silently dropped.
+// The §4.2.2 batch-insertion path is exactly where a swallowed error turns
+// into hours of lost measurements, so the default posture is strict:
+//
+//   - a call used as a bare statement whose (only or last) result is error
+//     is a finding;
+//   - explicitly discarding with `_ =` is visible in review and exempt;
+//   - `defer` and `go` statements are exempt (idiomatic defer f.Close());
+//   - a small exempt list covers stdlib writers that cannot usefully fail
+//     (fmt.Print* to stdout, strings.Builder, bytes.Buffer).
+var ErrCheck = &Analyzer{
+	Name:       "errcheck",
+	Doc:        "error return values discarded by bare call statements",
+	Severity:   SeverityError,
+	NeedsTypes: true,
+	Run:        runErrCheck,
+}
+
+// errCheckExempt lists callees (types.Func.FullName form) whose errors are
+// conventionally ignored.
+var errCheckExempt = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	// These Write/WriteString/WriteByte/WriteRune variants always return a
+	// nil error by contract.
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[call]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if !resultEndsInError(tv.Type) {
+				return true
+			}
+			name := calleeName(info, call)
+			if errCheckExempt[name] {
+				return true
+			}
+			if name == "" {
+				name = "call"
+			}
+			pass.Reportf(es.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly", name)
+			return true
+		})
+	}
+}
+
+// resultEndsInError reports whether a call's result type is error or a
+// tuple ending in error.
+func resultEndsInError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// calleeName resolves the called function to a stable display name:
+// "fmt.Fprintf", "(*os.File).Close", "(journal).append".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	full := fn.FullName()
+	// Trim the module prefix for readability in diagnostics.
+	return strings.ReplaceAll(full, "github.com/upin/scionpath/", "")
+}

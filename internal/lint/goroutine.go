@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture inspects `go func() {...}` (and deferred closures) for
+// the two capture hazards that bite event-driven measurement code like the
+// simnet engine:
+//
+//  1. A closure launched from inside a loop that captures the loop
+//     variable. Go 1.22 gave loop variables per-iteration scope, but this
+//     module's analysis fixtures and any code vendored into pre-1.22
+//     toolchains keep the classic footgun; passing the value as an
+//     argument is also simply clearer. Reported as a warning.
+//
+//  2. A goroutine closure that captures a variable the enclosing function
+//     writes *after* the go statement. That is a data race at any language
+//     version — the goroutine reads while the spawner writes. Reported as
+//     an error.
+var GoroutineCapture = &Analyzer{
+	Name:       "goroutinecapture",
+	Doc:        "loop variables and later-written locals captured by goroutine closures",
+	Severity:   SeverityWarning,
+	NeedsTypes: true,
+	Run:        runGoroutineCapture,
+}
+
+func runGoroutineCapture(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncCaptures(pass, fd.Body)
+		}
+	}
+}
+
+// checkFuncCaptures walks one function body tracking the stack of enclosing
+// loop variables.
+func checkFuncCaptures(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var loopVars []map[types.Object]bool
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			vars := make(map[types.Object]bool)
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			}
+			loopVars = append(loopVars, vars)
+			ast.Inspect(s.Body, walk)
+			loopVars = loopVars[:len(loopVars)-1]
+			return false
+		case *ast.RangeStmt:
+			vars := make(map[types.Object]bool)
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+			loopVars = append(loopVars, vars)
+			ast.Inspect(s.Body, walk)
+			loopVars = loopVars[:len(loopVars)-1]
+			return false
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				reportLoopCaptures(pass, lit, loopVars, "goroutine")
+				reportLateWrites(pass, body, s, lit)
+			}
+			return true
+		case *ast.DeferStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				reportLoopCaptures(pass, lit, loopVars, "deferred closure")
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// reportLoopCaptures flags references inside the closure to any enclosing
+// loop's iteration variables.
+func reportLoopCaptures(pass *Pass, lit *ast.FuncLit, loopVars []map[types.Object]bool, kind string) {
+	if len(loopVars) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, scope := range loopVars {
+			if scope[obj] {
+				seen[obj] = true
+				pass.ReportSeverityf(id.Pos(), SeverityWarning,
+					"%s captures loop variable %q; pass it as an argument (pre-Go-1.22 shared-variable semantics, and clearer either way)",
+					kind, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// reportLateWrites flags captured variables assigned in the enclosing
+// function after the go statement: the spawned goroutine races with those
+// writes.
+func reportLateWrites(pass *Pass, body *ast.BlockStmt, goStmt *ast.GoStmt, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+
+	// Variables the closure reads, declared outside it.
+	captured := make(map[types.Object]*ast.Ident)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if v, isVar := obj.(*types.Var); isVar && !v.IsField() &&
+			v.Pos() < lit.Pos() && v.Pos() > body.Pos() {
+			if _, dup := captured[obj]; !dup {
+				captured[obj] = id
+			}
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+
+	reported := make(map[types.Object]bool)
+	flag := func(target ast.Expr, pos token.Pos) {
+		id, ok := target.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if use, isCaptured := captured[obj]; isCaptured && !reported[obj] {
+			reported[obj] = true
+			pass.ReportSeverityf(use.Pos(), SeverityError,
+				"goroutine captures %q which is written at %s after the goroutine starts; this is a data race — pass the value as an argument or synchronize",
+				id.Name, pass.Fset.Position(pos))
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.Pos() <= goStmt.End() {
+			return true
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flag(lhs, s.Pos())
+			}
+		case *ast.IncDecStmt:
+			flag(s.X, s.Pos())
+		}
+		return true
+	})
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Hygiene keeps library packages free of debugging residue and trojan
+// sources:
+//
+//   - fmt.Print/Printf/Println and the builtin print/println in non-main
+//     packages are almost always forgotten debug output — library code
+//     reports through return values or an injected io.Writer;
+//   - panic in a non-main package is reported unless the enclosing function
+//     is a Must*/must* constructor or init (the established convention for
+//     programmer-error-only paths); everything else returns an error;
+//   - Unicode bidirectional control characters in string literals or
+//     comments (the "trojan source" class, CVE-2021-42574) are always an
+//     error;
+//   - TODO/FIXME comments must carry an owner or issue reference in
+//     parentheses — "TODO(roadmap): …" — so stale intentions stay
+//     traceable.
+var Hygiene = &Analyzer{
+	Name:     "hygiene",
+	Doc:      "stray fmt.Print debugging, panics in library packages, bidi control characters, unattributed TODOs",
+	Severity: SeverityError,
+	Run:      runHygiene,
+}
+
+// bidiControls are the Unicode bidirectional formatting characters that can
+// reorder displayed source (trojan-source vectors).
+var bidiControls = []rune{
+	'\u202A', '\u202B', '\u202C', '\u202D', '\u202E', // LRE RLE PDF LRO RLO
+	'\u2066', '\u2067', '\u2068', '\u2069', // LRI RLI FSI PDI
+	'\u200E', '\u200F', '\u061C', // LRM RLM ALM
+}
+
+func runHygiene(pass *Pass) {
+	isLibrary := pass.Pkg.Name != "main"
+	for _, f := range pass.Pkg.Files {
+		checkBidiAndTodos(pass, f)
+		if !isLibrary {
+			continue
+		}
+		checkPrints(pass, f)
+		checkPanics(pass, f)
+	}
+}
+
+func checkPrints(pass *Pass, f *ast.File) {
+	fmtName, fmtImported := importName(f, "fmt")
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			if id.Name == "print" || id.Name == "println" {
+				pass.Reportf(call.Pos(), "builtin %s is debug residue; remove it or write to an io.Writer", id.Name)
+			}
+			return true
+		}
+		if !fmtImported {
+			return true
+		}
+		if name, isFmt := pkgCall(call, fmtName); isFmt {
+			switch name {
+			case "Print", "Printf", "Println":
+				pass.Reportf(call.Pos(), "fmt.%s writes to stdout from a library package; return the value or take an io.Writer", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkPanics(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return true // closures inherit the enclosing exemption check
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				pass.Reportf(call.Pos(), "panic in library package (func %s); return an error, or rename to Must* if this is a programmer-error guard", name)
+			}
+			return true
+		})
+	}
+}
+
+func checkBidiAndTodos(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || (lit.Kind != token.STRING && lit.Kind != token.CHAR) {
+			return true
+		}
+		if r, found := findBidi(lit.Value); found {
+			pass.Reportf(lit.Pos(), "string literal contains Unicode bidi control character U+%04X (trojan-source hazard); spell it as an escape sequence", r)
+		}
+		return true
+	})
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if r, found := findBidi(c.Text); found {
+				pass.Reportf(c.Pos(), "comment contains Unicode bidi control character U+%04X (trojan-source hazard)", r)
+			}
+			checkTodo(pass, c)
+		}
+	}
+}
+
+func findBidi(s string) (rune, bool) {
+	for _, r := range s {
+		for _, b := range bidiControls {
+			if r == b {
+				return r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// checkTodo flags TODO/FIXME markers with no parenthesized owner.
+func checkTodo(pass *Pass, c *ast.Comment) {
+	text := c.Text
+	for _, marker := range []string{"TODO", "FIXME"} {
+		idx := strings.Index(text, marker)
+		if idx < 0 {
+			continue
+		}
+		rest := text[idx+len(marker):]
+		if strings.HasPrefix(rest, "(") {
+			continue
+		}
+		// Only flag marker-like usage (followed by :, space-colon or end),
+		// not prose that merely contains the letters.
+		if rest == "" || strings.HasPrefix(rest, ":") || strings.HasPrefix(rest, " ") {
+			pass.ReportSeverityf(c.Pos(), SeverityWarning,
+				"%s without an owner; write %s(name-or-issue): so it stays traceable", marker, marker)
+		}
+		return
+	}
+}

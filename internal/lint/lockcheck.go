@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// LockCheck enforces the two mutex conventions the docdb store and the
+// simnet engine rely on:
+//
+//  1. A struct field declared after a sync.Mutex/sync.RWMutex sibling is
+//     guarded by it (the standard "mu protects the fields below" layout,
+//     e.g. docdb.DB and docdb.Collection). A method that reads or writes a
+//     guarded field through its receiver without ever locking, unlocking or
+//     deferring the mutex is reported. Methods whose name ends in "Locked"
+//     are assumed to be called with the lock held and are exempt; helpers
+//     with other calling conventions document themselves with
+//     //lint:ignore lockcheck <why>.
+//
+//  2. A Lock/RLock call that is not immediately followed by the matching
+//     defer Unlock must release the lock before every return statement
+//     that follows it; a return with no earlier unlock in the function is
+//     reported (lock held across return). The check is position-based, not
+//     path-sensitive — a deliberate approximation that catches the leaks
+//     long measurement campaigns die from without dragging in a CFG.
+var LockCheck = &Analyzer{
+	Name:     "lockcheck",
+	Doc:      "mutex-guarded fields accessed without the lock, and locks held across returns without defer",
+	Severity: SeverityError,
+	Run:      runLockCheck,
+}
+
+// guardedStruct records a struct's mutex field and the sibling fields it
+// guards.
+type guardedStruct struct {
+	mutexField string
+	guarded    map[string]bool
+}
+
+func runLockCheck(pass *Pass) {
+	structs := findGuardedStructs(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccess(pass, fd, structs)
+			checkLockAcrossReturn(pass, fd)
+		}
+	}
+}
+
+// findGuardedStructs scans type declarations for the mutex-above-fields
+// layout. Fields declared before the mutex are intentionally unguarded
+// (immutable configuration goes above the lock by convention).
+func findGuardedStructs(pass *Pass) map[string]guardedStruct {
+	out := make(map[string]guardedStruct)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				gs := guardedStruct{guarded: make(map[string]bool)}
+				for _, field := range st.Fields.List {
+					if gs.mutexField == "" && isMutexType(field.Type) && len(field.Names) == 1 {
+						gs.mutexField = field.Names[0].Name
+						continue
+					}
+					if gs.mutexField != "" {
+						for _, n := range field.Names {
+							gs.guarded[n.Name] = true
+						}
+					}
+				}
+				if gs.mutexField != "" && len(gs.guarded) > 0 {
+					out[ts.Name.Name] = gs
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isMutexType matches sync.Mutex, sync.RWMutex and pointers to them.
+func isMutexType(expr ast.Expr) bool {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// receiverInfo extracts the receiver ident name and base type name.
+func receiverInfo(fd *ast.FuncDecl) (recvName, typeName string, ok bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) != 1 {
+		return "", "", false
+	}
+	t := field.Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		t = star.X
+	}
+	if gen, isGen := t.(*ast.IndexExpr); isGen { // generic receiver T[P]
+		t = gen.X
+	}
+	id, isIdent := t.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	return field.Names[0].Name, id.Name, true
+}
+
+// checkGuardedAccess reports methods that touch guarded fields without
+// using the struct's mutex at all.
+func checkGuardedAccess(pass *Pass, fd *ast.FuncDecl, structs map[string]guardedStruct) {
+	recvName, typeName, ok := receiverInfo(fd)
+	if !ok || recvName == "_" {
+		return
+	}
+	gs, ok := structs[typeName]
+	if !ok {
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	usesMutex := false
+	var firstAccess *ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		x, isIdent := sel.X.(*ast.Ident)
+		if !isIdent || x.Name != recvName {
+			return true
+		}
+		if sel.Sel.Name == gs.mutexField {
+			usesMutex = true
+		}
+		if gs.guarded[sel.Sel.Name] && firstAccess == nil {
+			firstAccess = sel
+		}
+		return true
+	})
+	if firstAccess != nil && !usesMutex {
+		pass.Reportf(firstAccess.Pos(),
+			"%s.%s accesses %s.%s (guarded by %s.%s) without locking; lock the mutex, rename the method to ...Locked, or document the calling convention with //lint:ignore",
+			typeName, fd.Name.Name, recvName, firstAccess.Sel.Name, recvName, gs.mutexField)
+	}
+}
+
+// lockCall matches x.Lock / x.RLock / x.Unlock / x.RUnlock statements and
+// returns the printed receiver expression ("c.mu") plus whether it is a
+// reader-side call.
+func lockCall(pass *Pass, stmt ast.Stmt) (expr, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	return callTarget(pass, es.X)
+}
+
+func callTarget(pass *Pass, e ast.Expr) (expr, method string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	return exprString(pass.Fset, sel.X), sel.Sel.Name, true
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// checkLockAcrossReturn flags Lock/RLock calls whose lock can still be held
+// at a later return: no defer-unlock for the same expression exists, and
+// some return statement after the lock has no unlock before it.
+func checkLockAcrossReturn(pass *Pass, fd *ast.FuncDecl) {
+	// Gather per-mutex-expression event positions in one walk.
+	type events struct {
+		locks    []token.Pos
+		unlocks  []token.Pos
+		deferred bool
+	}
+	mutexes := make(map[string]*events)
+	var returns []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope; deferred closures unlock elsewhere
+		case *ast.ReturnStmt:
+			returns = append(returns, s.Pos())
+		case *ast.DeferStmt:
+			if expr, method, ok := callTarget(pass, s.Call); ok && strings.HasSuffix(method, "Unlock") {
+				ev := mutexes[expr]
+				if ev == nil {
+					ev = &events{}
+					mutexes[expr] = ev
+				}
+				ev.deferred = true
+			}
+		case *ast.ExprStmt:
+			if expr, method, ok := callTarget(pass, s.X); ok {
+				ev := mutexes[expr]
+				if ev == nil {
+					ev = &events{}
+					mutexes[expr] = ev
+				}
+				if strings.HasSuffix(method, "Unlock") {
+					ev.unlocks = append(ev.unlocks, s.Pos())
+				} else {
+					ev.locks = append(ev.locks, s.Pos())
+				}
+			}
+		}
+		return true
+	})
+	for expr, ev := range mutexes {
+		if ev.deferred || len(ev.locks) == 0 {
+			continue
+		}
+		if len(ev.unlocks) == 0 {
+			pass.Reportf(ev.locks[0], "%s is locked but never unlocked in %s; add defer %s.Unlock()", expr, fd.Name.Name, expr)
+			continue
+		}
+		for _, ret := range returns {
+			for _, lock := range ev.locks {
+				if ret <= lock {
+					continue
+				}
+				released := false
+				for _, unlock := range ev.unlocks {
+					if unlock > lock && unlock < ret {
+						released = true
+						break
+					}
+				}
+				if !released {
+					pass.Reportf(ret, "return while %s may still be locked (locked at %s without defer)",
+						expr, pass.Fset.Position(lock))
+					break // one report per return statement is enough
+				}
+			}
+		}
+	}
+}

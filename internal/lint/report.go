@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Summary aggregates a run for CI logs and the JSON report.
+type Summary struct {
+	Findings   int `json:"findings"`
+	Warnings   int `json:"warnings"`
+	Errors     int `json:"errors"`
+	Suppressed int `json:"suppressed"`
+	Packages   int `json:"packages"`
+	Files      int `json:"files"`
+}
+
+// Line renders the one-line summary scionlint prints for CI logs.
+func (s Summary) Line() string {
+	return fmt.Sprintf("scionlint: %d findings in %d packages (%d files, %d suppressed)",
+		s.Findings, s.Packages, s.Files, s.Suppressed)
+}
+
+// Summarize computes run totals over the analyzed packages.
+func Summarize(pkgs []*Package, diags []Diagnostic, suppressed int) Summary {
+	s := Summary{Findings: len(diags), Suppressed: suppressed, Packages: len(pkgs)}
+	for _, p := range pkgs {
+		s.Files += len(p.Files)
+	}
+	for _, d := range diags {
+		if d.Severity == SeverityWarning {
+			s.Warnings++
+		} else {
+			s.Errors++
+		}
+	}
+	return s
+}
+
+// WriteText prints diagnostics one per line, grouped in position order,
+// with paths relative to dir when possible (stable CI output regardless of
+// checkout location).
+func WriteText(w io.Writer, dir string, diags []Diagnostic, sum Summary) error {
+	for _, d := range diags {
+		file := d.File
+		if rel, err := filepath.Rel(dir, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", file, d.Line, d.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, sum.Line())
+	return err
+}
+
+// jsonReport is the machine-readable shape of a run (-json flag).
+type jsonReport struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Summary     Summary      `json:"summary"`
+}
+
+// WriteJSON emits the diagnostics and summary as one JSON object. File
+// paths are relativized to dir like WriteText.
+func WriteJSON(w io.Writer, dir string, diags []Diagnostic, sum Summary) error {
+	rel := make([]Diagnostic, len(diags))
+	copy(rel, diags)
+	for i := range rel {
+		if r, err := filepath.Rel(dir, rel[i].File); err == nil && !filepath.IsAbs(r) {
+			rel[i].File = r
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Diagnostics: rel, Summary: sum})
+}
+
+// CountByAnalyzer returns "name: n" lines for the verbose summary, sorted
+// by descending count then name.
+func CountByAnalyzer(diags []Diagnostic) []string {
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s: %d", n, counts[n])
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package clean contains no violations; the CLI test asserts exit 0 here.
+package clean
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Counter is a correctly locked counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Value reads the count.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Describe renders the counter.
+func (c *Counter) Describe() string {
+	return fmt.Sprintf("count=%d", c.Value())
+}

@@ -1,0 +1,38 @@
+// Package errcheck seeds dropped-error violations and every exemption the
+// analyzer grants.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drop() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func f(w *os.File) {
+	drop()   // want "error returned by fixtures/errcheck.drop is discarded"
+	pair()   // want "error returned by fixtures/errcheck.pair is discarded"
+	w.Sync() // want "error returned by ..os.File..Sync is discarded"
+
+	_ = drop()      // explicit discard: ok
+	_, _ = pair()   // explicit discard: ok
+	defer w.Close() // defer: ok
+	go fullSend(w)  // go statement: ok
+	if err := drop(); err != nil {
+		_ = err
+	}
+
+	// Exempt list: stdout printing and never-failing writers.
+	fmt.Println("hello")
+	var sb strings.Builder
+	sb.WriteString("x")
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	fmt.Fprintf(&sb, "%d", 1)
+}
+
+func fullSend(w *os.File) { _ = w.Sync() }

@@ -1,0 +1,61 @@
+// Package goroutine seeds closure-capture hazards.
+package goroutine
+
+import "sync"
+
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for _, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = v // want "goroutine captures loop variable .v."
+		}()
+	}
+	wg.Wait()
+}
+
+func indexCapture(items []int) {
+	done := make(chan struct{}, len(items))
+	for i := 0; i < len(items); i++ {
+		go func() {
+			_ = items[i] // want "goroutine captures loop variable .i."
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+}
+
+func deferCapture(items []int) {
+	for _, v := range items {
+		defer func() {
+			_ = v // want "deferred closure captures loop variable .v."
+		}()
+	}
+}
+
+func lateWrite() int {
+	x := 1
+	done := make(chan struct{})
+	go func() {
+		_ = x // want "captures .x. which is written at .* after the goroutine starts"
+		close(done)
+	}()
+	x = 2
+	<-done
+	return x
+}
+
+func passedAsArg(items []int) {
+	var wg sync.WaitGroup
+	for _, v := range items {
+		wg.Add(1)
+		go func(v int) { // shadowing parameter: ok
+			defer wg.Done()
+			_ = v
+		}(v)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+package hygiene
+
+// bidi.go is generated with a live U+202E RIGHT-TO-LEFT OVERRIDE inside
+// the string literal; editors render it invisibly, which is the point.
+func trojan() string {
+	return "acc‮ess" // want "bidi control character U.202E"
+}

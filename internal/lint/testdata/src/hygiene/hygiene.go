@@ -1,0 +1,37 @@
+// Package hygiene seeds debug residue, library panics and unattributed
+// task markers. The bidi fixture lives in bidi.go (generated with a real
+// control character embedded).
+package hygiene
+
+import "fmt"
+
+func debug(x int) {
+	fmt.Println("value", x) // want "fmt.Println writes to stdout from a library package"
+	println(x)              // want "builtin println is debug residue"
+}
+
+func parse(s string) int {
+	if s == "" {
+		panic("empty input") // want "panic in library package .func parse."
+	}
+	return len(s)
+}
+
+// MustParse is exempt by the Must convention.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// reportTo writes to an injected writer: ok.
+func reportTo(w interface{ Write([]byte) (int, error) }, x int) {
+	_, _ = fmt.Fprintln(w, x)
+}
+
+// TODO: drop this once the selection engine lands // want "TODO without an owner"
+func todoCarrier() {}
+
+// TODO(roadmap): attributed, ok.
+func ownedTodo() {}

@@ -1,0 +1,51 @@
+// Package lockcheck seeds one violation per lockcheck rule; the golden
+// test diffs the analyzer's diagnostics against the want comments.
+package lockcheck
+
+import "sync"
+
+// Store follows the mutex-above-guarded-fields layout: name is immutable
+// (above mu), items and n are guarded (below mu).
+type Store struct {
+	name string
+
+	mu    sync.Mutex
+	items map[string]int
+	n     int
+}
+
+// Name reads only the unguarded field: no finding.
+func (s *Store) Name() string { return s.name }
+
+// Add locks correctly: no finding.
+func (s *Store) Add(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k]++
+	s.n++
+}
+
+// Peek touches a guarded field without ever locking.
+func (s *Store) Peek(k string) int {
+	return s.items[k] // want "accesses s.items .guarded by s.mu. without locking"
+}
+
+// sizeLocked is exempt by the Locked-suffix calling convention.
+func (s *Store) sizeLocked() int { return s.n }
+
+// Bad releases on only one of two return paths.
+func (s *Store) Bad(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false // want "return while s.mu may still be locked"
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// Leak never unlocks at all.
+func (s *Store) Leak() {
+	s.mu.Lock() // want "locked but never unlocked"
+	s.n++
+}

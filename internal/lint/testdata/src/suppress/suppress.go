@@ -1,0 +1,22 @@
+// Package suppress exercises the suppression machinery itself: same-line
+// and declaration-span directives must silence findings, and a directive
+// missing its mandatory reason must suppress nothing and be reported by
+// ignorecheck.
+package suppress
+
+import "time"
+
+func suppressedSameLine() <-chan time.Time {
+	//lint:ignore timeafter fixture: proves line-level suppression works
+	return time.Tick(time.Second)
+}
+
+//lint:ignore hygiene fixture: proves decl-span suppression covers the body
+func suppressedDecl(x int) {
+	println(x)
+}
+
+//lint:ignore timeafter
+func missingReason() <-chan time.Time { // directive above lacks a reason
+	return time.Tick(time.Second) // want "time.Tick leaks the underlying ticker"
+}

@@ -1,0 +1,45 @@
+// Package timeafter seeds the timer-leak patterns long measurement
+// campaigns die from.
+package timeafter
+
+import "time"
+
+func tick() <-chan time.Time {
+	return time.Tick(time.Second) // want "time.Tick leaks the underlying ticker"
+}
+
+func pollLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Minute): // want "time.After in a loop"
+		case <-stop:
+			return
+		}
+	}
+}
+
+func rangeLoop(work []int, out chan<- int) {
+	for _, w := range work {
+		select {
+		case out <- w:
+		case <-time.After(time.Second): // want "time.After in a loop"
+			return
+		}
+	}
+}
+
+func singleShot() {
+	<-time.After(time.Millisecond) // outside a loop: ok
+}
+
+func properTicker(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// TimeAfter targets the timer leaks that only show up in long-horizon
+// measurement campaigns (the multi-day SCIONLab runs the related
+// path-dynamics studies describe): time.Tick leaks its ticker forever, and
+// time.After inside a loop allocates a timer per iteration that is not
+// collected until it fires — in a tight receive loop with a long timeout
+// that is an unbounded queue of live timers.
+var TimeAfter = &Analyzer{
+	Name:     "timeafter",
+	Doc:      "time.Tick anywhere, and time.After inside loops (leaked timers in long campaigns)",
+	Severity: SeverityError,
+	Run:      runTimeAfter,
+}
+
+func runTimeAfter(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		timeName, imported := importName(f, "time")
+		if !imported {
+			continue
+		}
+		var walk func(n ast.Node, loopDepth int) bool
+		walk = func(n ast.Node, loopDepth int) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				var body *ast.BlockStmt
+				if fs, ok := s.(*ast.ForStmt); ok {
+					body = fs.Body
+				} else {
+					body = s.(*ast.RangeStmt).Body
+				}
+				inspectDepth(body, loopDepth+1, walk)
+				return false
+			case *ast.CallExpr:
+				if name, ok := pkgCall(s, timeName); ok {
+					switch name {
+					case "Tick":
+						pass.Reportf(s.Pos(), "time.Tick leaks the underlying ticker; use time.NewTicker and defer Stop")
+					case "After":
+						if loopDepth > 0 {
+							pass.Reportf(s.Pos(), "time.After in a loop allocates a timer every iteration that lives until it fires; hoist a time.NewTimer and Reset it")
+						}
+					}
+				}
+			}
+			return true
+		}
+		inspectDepth(f, 0, walk)
+	}
+}
+
+// inspectDepth is ast.Inspect threading a loop-nesting depth through the
+// walk.
+func inspectDepth(root ast.Node, depth int, walk func(ast.Node, int) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		return walk(n, depth)
+	})
+}
+
+// pkgCall matches pkgName.Fn(...) and returns Fn.
+func pkgCall(call *ast.CallExpr, pkgName string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != pkgName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// importName returns the local name a file imports path under, and whether
+// it imports it at all.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false // unusable for selector matching
+			}
+			return imp.Name.Name, true
+		}
+		// Last path element is the default name; for "time" they coincide.
+		return path[lastSlash(path)+1:], true
+	}
+	return "", false
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

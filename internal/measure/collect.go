@@ -169,7 +169,7 @@ func PathsForServer(db *docdb.DB, serverID int) ([]PathDoc, error) {
 		seqStr, _ := d[FSequence].(string)
 		seq, err := pathmgr.ParseSequence(seqStr)
 		if err != nil {
-			return nil, fmt.Errorf("measure: path %s: %v", pd.ID, err)
+			return nil, fmt.Errorf("measure: path %s: %w", pd.ID, err)
 		}
 		pd.Sequence = seq
 		switch arr := d[FISDs].(type) {

@@ -117,7 +117,7 @@ func Servers(db *docdb.DB) ([]Server, error) {
 		rawAddr, _ := d[FAddress].(string)
 		host, err := addr.ParseHost(rawAddr)
 		if err != nil {
-			return nil, fmt.Errorf("measure: server %d: %v", id, err)
+			return nil, fmt.Errorf("measure: server %d: %w", id, err)
 		}
 		s := Server{ID: id, Address: host}
 		s.Name, _ = d[FName].(string)

@@ -29,19 +29,19 @@ func ParsePredicate(s string) (Predicate, error) {
 	}
 	isd, err := strconv.ParseUint(isdStr, 10, 16)
 	if err != nil {
-		return p, fmt.Errorf("pathmgr: predicate %q: bad ISD: %v", s, err)
+		return p, fmt.Errorf("pathmgr: predicate %q: bad ISD: %w", s, err)
 	}
 	p.ISD = addr.ISD(isd)
 	as, err := addr.ParseAS(asStr)
 	if err != nil {
-		return p, fmt.Errorf("pathmgr: predicate %q: %v", s, err)
+		return p, fmt.Errorf("pathmgr: predicate %q: %w", s, err)
 	}
 	p.AS = as
 	if hasIf && ifPart != "" {
 		for _, part := range strings.Split(ifPart, ",") {
 			ifid, err := strconv.ParseUint(strings.TrimSpace(part), 10, 16)
 			if err != nil {
-				return p, fmt.Errorf("pathmgr: predicate %q: bad interface: %v", s, err)
+				return p, fmt.Errorf("pathmgr: predicate %q: bad interface: %w", s, err)
 			}
 			if ifid != 0 {
 				p.IfIDs = append(p.IfIDs, addr.IfID(ifid))

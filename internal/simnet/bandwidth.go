@@ -98,11 +98,11 @@ func (n *Network) BandwidthTest(p *pathmgr.Path, spec FlowSpec) (FlowResult, err
 			if err != nil {
 				return FlowResult{}, err
 			}
-			if n.linkDown(hops[i].IA, hops[i+1].IA, now) {
+			if n.linkDownLocked(hops[i].IA, hops[i+1].IA, now) {
 				pps = 0
 				continue
 			}
-			u := n.utilization(l, fwd, now)
+			u := n.utilizationLocked(l, fwd, now)
 			usable := capacity * (1 - u)
 			offeredWire := pps * wirePerPkt
 			if offeredWire > usable {

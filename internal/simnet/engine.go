@@ -109,6 +109,8 @@ func (e *Engine) Step() (fn func(), ok bool) {
 // AdvanceTo moves the clock forward without running events scheduled later.
 // It panics if events before t are still pending, which would break
 // causality.
+//
+//lint:ignore hygiene skipping pending events breaks simulation causality; this is a programmer-error guard like Must*
 func (e *Engine) AdvanceTo(t time.Duration) {
 	if len(e.pq) > 0 && e.pq[0].at < t {
 		panic("simnet: AdvanceTo would skip pending events")

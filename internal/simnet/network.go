@@ -89,11 +89,13 @@ type utilState struct {
 	last time.Duration
 }
 
-// Network simulates the data plane over a topology.
+// Network simulates the data plane over a topology. topo and opts are
+// immutable after New; mu guards the mutable simulation state below it.
 type Network struct {
+	topo *topology.Topology
+	opts Options
+
 	mu       sync.Mutex
-	topo     *topology.Topology
-	opts     Options
 	rng      *rand.Rand
 	engine   *Engine
 	episodes []Episode
@@ -145,9 +147,9 @@ func (n *Network) ScheduleEpisode(ep Episode) error {
 	return nil
 }
 
-// episodeDrop samples whether a packet at AS ia at time t is dropped by an
-// active congestion episode.
-func (n *Network) episodeDrop(ia addr.IA, t time.Duration) bool {
+// episodeDropLocked samples whether a packet at AS ia at time t is dropped
+// by an active congestion episode. Callers hold n.mu.
+func (n *Network) episodeDropLocked(ia addr.IA, t time.Duration) bool {
 	for _, ep := range n.episodes {
 		if ep.IA == ia && ep.Active(t) {
 			if ep.DropProb >= 1 || n.rng.Float64() < ep.DropProb {
@@ -158,9 +160,10 @@ func (n *Network) episodeDrop(ia addr.IA, t time.Duration) bool {
 	return false
 }
 
-// utilization returns the cross-traffic utilisation of a link direction at
-// time t, evolving the mean-reverting walk since the last sample.
-func (n *Network) utilization(l *topology.Link, fwd bool, t time.Duration) float64 {
+// utilizationLocked returns the cross-traffic utilisation of a link
+// direction at time t, evolving the mean-reverting walk since the last
+// sample. Callers hold n.mu (the walk state and rng are guarded).
+func (n *Network) utilizationLocked(l *topology.Link, fwd bool, t time.Duration) float64 {
 	k := dirKey{link: l, fwd: fwd}
 	s := n.util[k]
 	if s == nil {
@@ -211,10 +214,10 @@ type traverseResult struct {
 	dropHop int // index of the AS where the packet died (when dropped)
 }
 
-// traverse sends one packet of wireBytes along the hops starting at time t.
-// hops must be in travel direction (the reverse direction of a path is its
-// reversed hop list).
-func (n *Network) traverse(hops []pathmgr.Hop, wireBytes int, t time.Duration) traverseResult {
+// traverseLocked sends one packet of wireBytes along the hops starting at
+// time t. hops must be in travel direction (the reverse direction of a path
+// is its reversed hop list). Callers hold n.mu.
+func (n *Network) traverseLocked(hops []pathmgr.Hop, wireBytes int, t time.Duration) traverseResult {
 	var delay time.Duration
 	for i, h := range hops {
 		as := n.topo.AS(h.IA)
@@ -222,7 +225,7 @@ func (n *Network) traverse(hops []pathmgr.Hop, wireBytes int, t time.Duration) t
 			return traverseResult{dropped: true, dropHop: i}
 		}
 		now := t + delay
-		if n.episodeDrop(h.IA, now) {
+		if n.episodeDropLocked(h.IA, now) {
 			return traverseResult{delay: delay, dropped: true, dropHop: i}
 		}
 		delay += as.Processing
@@ -236,7 +239,7 @@ func (n *Network) traverse(hops []pathmgr.Hop, wireBytes int, t time.Duration) t
 		if err != nil {
 			return traverseResult{delay: delay, dropped: true, dropHop: i}
 		}
-		if n.linkDown(h.IA, hops[i+1].IA, now) {
+		if n.linkDownLocked(h.IA, hops[i+1].IA, now) {
 			return traverseResult{delay: delay, dropped: true, dropHop: i}
 		}
 		// Oversized packets are dropped at the first link they do not fit
@@ -247,7 +250,7 @@ func (n *Network) traverse(hops []pathmgr.Hop, wireBytes int, t time.Duration) t
 		if l.BaseLoss > 0 && n.rng.Float64() < l.BaseLoss {
 			return traverseResult{delay: delay, dropped: true, dropHop: i}
 		}
-		u := n.utilization(l, fwd, now)
+		u := n.utilizationLocked(l, fwd, now)
 		// Serialization of this packet plus expected queueing behind
 		// cross-traffic occupancy.
 		ser := time.Duration(float64(wireBytes*8) / capacity * float64(time.Second))

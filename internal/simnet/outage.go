@@ -40,8 +40,9 @@ func (n *Network) ScheduleLinkOutage(o LinkOutage) error {
 	return nil
 }
 
-// linkDown reports whether the link between a and b is down at time t.
-func (n *Network) linkDown(a, b addr.IA, t time.Duration) bool {
+// linkDownLocked reports whether the link between a and b is down at time
+// t. Callers hold n.mu.
+func (n *Network) linkDownLocked(a, b addr.IA, t time.Duration) bool {
 	for _, o := range n.outages {
 		if o.Covers(a, b) && o.Active(t) {
 			return true

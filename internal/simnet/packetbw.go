@@ -64,7 +64,7 @@ func (n *Network) BandwidthTestPacketLevel(p *pathmgr.Path, spec FlowSpec) (Flow
 		if err != nil {
 			return FlowResult{}, err
 		}
-		u := n.utilization(l, fwd, start)
+		u := n.utilizationLocked(l, fwd, start)
 		states[i] = &linkState{
 			occupancy: u * float64(l.QueueBytes),
 			last:      start,
@@ -78,7 +78,7 @@ func (n *Network) BandwidthTestPacketLevel(p *pathmgr.Path, spec FlowSpec) (Flow
 		now := start + time.Duration(k)*interval
 		delivered := true
 		for i := 0; i+1 < len(hops); i++ {
-			if n.linkDown(hops[i].IA, hops[i+1].IA, now) {
+			if n.linkDownLocked(hops[i].IA, hops[i+1].IA, now) {
 				delivered = false
 				break
 			}

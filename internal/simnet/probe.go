@@ -39,11 +39,11 @@ func (n *Network) ProbePartial(p *pathmgr.Path, k int, payloadBytes int, offset 
 func (n *Network) probeLocked(hops []pathmgr.Hop, payloadBytes int, offset time.Duration) ProbeResult {
 	wire := payloadBytes + n.opts.HeaderBytes
 	start := n.engine.Now() + offset
-	fwd := n.traverse(hops, wire, start)
+	fwd := n.traverseLocked(hops, wire, start)
 	if fwd.dropped {
 		return ProbeResult{Dropped: true, DropHop: fwd.dropHop}
 	}
-	back := n.traverse(reverseHops(hops), wire, start+fwd.delay)
+	back := n.traverseLocked(reverseHops(hops), wire, start+fwd.delay)
 	if back.dropped {
 		return ProbeResult{Dropped: true, DropHop: len(hops) + back.dropHop}
 	}

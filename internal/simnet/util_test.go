@@ -19,7 +19,7 @@ func TestUtilizationProcessBoundsAndReversion(t *testing.T) {
 	var sum float64
 	n := 0
 	for i := 0; i < 2000; i++ {
-		u := net.utilization(l, true, time.Duration(i)*time.Second)
+		u := net.utilizationLocked(l, true, time.Duration(i)*time.Second)
 		if u < 0.02 || u > 0.75 {
 			t.Fatalf("utilisation %v escaped the clamp", u)
 		}
@@ -40,7 +40,7 @@ func TestUtilizationPerDirection(t *testing.T) {
 	same := 0
 	for i := 0; i < 50; i++ {
 		at := time.Duration(i) * 10 * time.Second
-		if net.utilization(l, true, at) == net.utilization(l, false, at) {
+		if net.utilizationLocked(l, true, at) == net.utilizationLocked(l, false, at) {
 			same++
 		}
 	}
@@ -57,7 +57,7 @@ func TestUtilizationDeterministic(t *testing.T) {
 	l := topo.LinkBetween(topology.ETHZAP, topology.MyAS)
 	for i := 0; i < 100; i++ {
 		at := time.Duration(i) * time.Second
-		if a.utilization(l, true, at) != b.utilization(l, true, at) {
+		if a.utilizationLocked(l, true, at) != b.utilizationLocked(l, true, at) {
 			t.Fatal("utilisation differs across equal seeds")
 		}
 	}

@@ -76,7 +76,7 @@ func LoadTraces(db *docdb.DB, pathID string) ([]StoredTrace, error) {
 		seqStr, _ := d[FTraceSequence].(string)
 		seq, err := pathmgr.ParseSequence(seqStr)
 		if err != nil {
-			return nil, fmt.Errorf("upin: trace %s: %v", st.ID, err)
+			return nil, fmt.Errorf("upin: trace %s: %w", st.ID, err)
 		}
 		st.Sequence = seq
 		if arr, ok := d[FTraceObserved].([]any); ok {

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# verify.sh — the full verification gate, run from the repo root.
+#
+# Tier 1: build + tests (must stay green on every PR).
+# Tier 2: go vet, scionlint (the module's own static-analysis pass, see
+#         docs/STATIC_ANALYSIS.md), and the race detector over the
+#         concurrency-heavy packages.
+#
+# Exits non-zero on the first failing tier. scionlint prints its own
+# "scionlint: N findings in M packages (...)" summary line.
+set -e
+
+echo "== tier 1: go build ./..."
+go build ./...
+
+echo "== tier 2: go vet ./..."
+go vet ./...
+
+echo "== tier 2: scionlint ./..."
+go run ./cmd/scionlint ./...
+
+echo "== tier 1: go test ./..."
+go test ./...
+
+echo "== tier 2: go test -race (concurrency-heavy packages)"
+go test -race ./internal/docdb ./internal/simnet
+
+echo "verify.sh: all tiers passed"
