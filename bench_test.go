@@ -5,6 +5,7 @@
 package scionpath
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -327,7 +328,7 @@ func BenchmarkSelection(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := env.Suite.Run(measure.RunOpts{
+	if _, err := env.Suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, ServerIDs: []int{id},
 		PingCount: 5, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -340,7 +341,7 @@ func BenchmarkSelection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Select(id, req); err != nil {
+		if _, err := engine.Select(context.Background(), id, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -349,7 +350,7 @@ func BenchmarkSelection(b *testing.B) {
 func BenchmarkCollectPaths(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		if _, err := measure.CollectPaths(env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
+		if _, err := measure.CollectPaths(context.Background(), env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -360,7 +361,26 @@ func BenchmarkCollectPaths(b *testing.B) {
 func BenchmarkFullCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.FullCampaign(env, experiments.Fast)
+		res, err := experiments.FullCampaign(context.Background(), env, experiments.Fast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkFullCampaignParallel runs the same campaign on the sharded
+// engine with 4 workers; compare against BenchmarkFullCampaign to see the
+// wall-clock speedup (the merged stats database is identical either way).
+// The cells are CPU-bound simulated measurements, so the speedup tracks
+// GOMAXPROCS: expect ~parity on a single-core runner and close to 4x on
+// four or more cores.
+func BenchmarkFullCampaignParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := mustEnv(b, int64(i))
+		res, err := experiments.FullCampaignParallel(context.Background(), env, experiments.Fast, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -457,7 +477,7 @@ func BenchmarkRecommend(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := env.Suite.Run(measure.RunOpts{
+	if _, err := env.Suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, ServerIDs: []int{id},
 		PingCount: 5, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -467,7 +487,7 @@ func BenchmarkRecommend(b *testing.B) {
 	intent := upin.Intent{ServerID: id}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := upin.Recommend(engine, intent, upin.ProfileVoIP, 3); err != nil {
+		if _, err := upin.Recommend(context.Background(), engine, intent, upin.ProfileVoIP, 3); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +77,7 @@ func run(args []string) int {
 		ExcludeOperators: splitList(*exOperator),
 	}
 	engine := selection.New(w.DB, w.Topo)
-	cands, err := engine.Select(serverID, req)
+	cands, err := engine.Select(context.Background(), serverID, req)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "pathselect", "%v", err)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func measuredDB(t *testing.T) string {
 		t.Fatal(err)
 	}
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, ServerIDs: []int{1},
 		PingCount: 4, PingInterval: 5_000_000, // 5ms
 		SkipBandwidth: true,

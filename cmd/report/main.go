@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -138,7 +139,7 @@ func run(args []string) int {
 		ran++
 	}
 	if all || want["campaign"] {
-		res, err := experiments.FullCampaign(newEnv(), scale)
+		res, err := experiments.FullCampaign(context.Background(), newEnv(), scale)
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "campaign: %v", err)
 		}

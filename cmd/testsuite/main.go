@@ -1,21 +1,30 @@
 // Command testsuite is the Go port of the paper's test_suite.sh wrapper
 // (§5.1): it collects paths to every destination in availableServers and
-// runs the three-nested-loop measurement campaign, storing one stats
-// document per path per iteration in the database.
+// runs the measurement campaign, storing one stats document per path per
+// iteration in the database. The campaign runs on the parallel, resumable
+// engine (docs/CAMPAIGN.md): work is sharded across -workers, completed
+// cells are checkpointed, and an interrupted run (Ctrl-C) can be resumed
+// with -resume without re-measuring or duplicating data.
 //
 // Usage (mirrors "./test_suite.sh 100 --skip"):
 //
 //	testsuite 100 --skip
 //	testsuite 20 --some-only --db stats.jsonl
 //	testsuite 5 --servers 2,5,9 --target 150Mbps
+//	testsuite 20 --db stats.jsonl --workers 4       # parallel campaign
+//	testsuite 20 --db stats.jsonl --resume          # continue after Ctrl-C
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/upin/scionpath/internal/bwtest"
@@ -39,6 +48,8 @@ func run(args []string) int {
 		noBw     = fs.Bool("no-bandwidth", false, "skip the bandwidth measurements")
 		csvPath  = fs.String("csv", "", "export the stored statistics to this CSV file afterwards")
 		seed     = fs.Int64("seed", 1, "simulation seed")
+		workers  = fs.Int("workers", 1, "campaign workers (0 = legacy strictly sequential runner)")
+		resume   = fs.Bool("resume", false, "resume an interrupted campaign from its checkpoints (needs --db)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: testsuite <iterations> [flags]\n")
@@ -70,6 +81,9 @@ func run(args []string) int {
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
 	}
+	if *resume && *dbPath == "" {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "--resume needs --db (checkpoints live in the database)")
+	}
 
 	w, err := cliutil.NewWorld(*seed, *dbPath)
 	if err != nil {
@@ -88,8 +102,13 @@ func run(args []string) int {
 		}
 	}
 
+	// Ctrl-C cancels the context; the campaign engine finishes in-flight
+	// cells, checkpoints them, and returns so --resume can pick up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-	rep, err := suite.Run(measure.RunOpts{
+	opts := measure.RunOpts{
 		Iterations:    iterations,
 		Skip:          *skip,
 		SomeOnly:      *someOnly,
@@ -99,8 +118,16 @@ func run(args []string) int {
 		BwDuration:    *bwDur,
 		BwTargetBps:   targetBps,
 		SkipBandwidth: *noBw,
-	})
+	}
+	opts.Campaign.Workers = *workers
+	opts.Campaign.Resume = *resume
+	rep, err := suite.Run(ctx, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("test-suite interrupted: %d stats stored so far; rerun with --resume to continue\n",
+				rep.StatsStored)
+			return 130
+		}
 		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
 	}
 	fmt.Printf("test-suite finished: %d iterations x %d destinations\n", rep.Iterations, rep.Destinations)
@@ -108,7 +135,10 @@ func run(args []string) int {
 	fmt.Printf("  stats stored:      %d\n", rep.StatsStored)
 	fmt.Printf("  failures:          %d\n", rep.Failures)
 	fmt.Printf("  unresolved paths:  %d\n", rep.UnresolvedPaths)
-	fmt.Printf("  simulated time:    %v\n", w.Net.Now().Round(time.Second))
+	fmt.Printf("  simulated time:    %v\n", rep.SimulatedTime.Round(time.Second))
+	if rep.SkippedCells > 0 {
+		fmt.Printf("  resumed cells:     %d (already checkpointed)\n", rep.SkippedCells)
+	}
 	if *dbPath != "" {
 		fmt.Printf("  database:          %s\n", *dbPath)
 	}

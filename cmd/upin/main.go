@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func run(args []string) int {
 	if len(existing) == 0 {
 		fmt.Printf("no measurements for server %d yet; running a %d-iteration campaign...\n", serverID, *iters)
 		suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-		if _, err := suite.Run(measure.RunOpts{
+		if _, err := suite.Run(context.Background(), measure.RunOpts{
 			Iterations: *iters, ServerIDs: []int{serverID},
 			PingCount: 10, PingInterval: 20 * time.Millisecond,
 			BwDuration: 500 * time.Millisecond,
@@ -93,7 +94,7 @@ func run(args []string) int {
 
 	// 1. Controller: decide.
 	ctrl := upin.NewController(w.Daemon, engine, explorer)
-	dec, err := ctrl.Decide(ia, intent)
+	dec, err := ctrl.Decide(context.Background(), ia, intent)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upin", "%v", err)
 	}
@@ -118,7 +119,7 @@ func run(args []string) int {
 	}
 
 	// 4. Recommendations.
-	recs, err := upin.Recommend(engine, intent, weights, 3)
+	recs, err := upin.Recommend(context.Background(), engine, intent, weights, 3)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upin", "%v", err)
 	}

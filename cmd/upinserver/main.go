@@ -14,16 +14,22 @@
 //
 //	upinserver -addr :8080 -db stats.jsonl
 //	upinserver -addr :8080 -measure 1,13      # measure those servers at boot
+//
+// Ctrl-C (or SIGTERM) shuts the server down gracefully: in-flight requests
+// finish, then the database journal is flushed and closed.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/upin/scionpath/internal/addr"
@@ -47,21 +53,40 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	handler, cleanup, err := buildHandler(*seed, *dbPath, *domain, *measureS)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	handler, cleanup, err := buildHandler(ctx, *seed, *dbPath, *domain, *measureS)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
 	}
-	defer cleanup()
+	defer func() {
+		if cerr := cleanup(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "upinserver: close: %v\n", cerr)
+		}
+	}()
 	fmt.Printf("upinserver listening on %s\n", *addrFlag)
-	if err := http.ListenAndServe(*addrFlag, handler); err != nil {
+
+	srv := &http.Server{Addr: *addrFlag, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return cliutil.Fatalf(os.Stderr, "upinserver", "shutdown: %v", err)
+		}
+		fmt.Println("upinserver stopped")
 	}
 	return 0
 }
 
 // buildHandler wires the world, optional boot-time measurements, and the
 // front-end handler. The returned cleanup closes the database journal.
-func buildHandler(seed int64, dbPath, domain, measureList string) (http.Handler, func() error, error) {
+func buildHandler(ctx context.Context, seed int64, dbPath, domain, measureList string) (http.Handler, func() error, error) {
 	w, err := cliutil.NewWorld(seed, dbPath)
 	if err != nil {
 		return nil, nil, err
@@ -76,7 +101,7 @@ func buildHandler(seed int64, dbPath, domain, measureList string) (http.Handler,
 			ids = append(ids, id)
 		}
 		suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-		if _, err := suite.Run(measure.RunOpts{
+		if _, err := suite.Run(ctx, measure.RunOpts{
 			Iterations: 3, ServerIDs: ids,
 			PingCount: 10, PingInterval: 20 * time.Millisecond,
 			BwDuration: 500 * time.Millisecond,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,7 +47,7 @@ func main() {
 		}
 	}
 	fmt.Println("measuring paths to AWS Ireland...")
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 3, ServerIDs: []int{irelandID},
 		PingCount: 8, PingInterval: 10 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -67,7 +68,7 @@ func main() {
 	}}
 
 	// Peek at the initial decision so the outage can target it.
-	dec, err := w.Controller.Decide(topology.AWSIreland, intent)
+	dec, err := w.Controller.Decide(context.Background(), topology.AWSIreland, intent)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func main() {
 	fmt.Printf("scheduled outage on %s--%s in 5s of simulated time\n\n",
 		dec.Path.Hops[1].IA, dec.Path.Hops[2].IA)
 
-	events, final, err := w.Watch(topology.AWSIreland, intent, 5, 3*time.Second)
+	events, final, err := w.Watch(context.Background(), topology.AWSIreland, intent, 5, 3*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	fmt.Println("measuring all paths to AWS Ireland (5 iterations, latency only)...")
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations:    5,
 		ServerIDs:     []int{irelandID},
 		PingCount:     20,
@@ -62,14 +63,14 @@ func main() {
 	engine := selection.New(db, topo)
 
 	fmt.Println("\n1) video call — most stable path (latency consistency first):")
-	stable, err := engine.Best(irelandID, selection.Request{Objective: selection.MostStable})
+	stable, err := engine.Best(context.Background(), irelandID, selection.Request{Objective: selection.MostStable})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("  ", selection.Explain(stable))
 
 	fmt.Println("\n2) online gaming — hard 50 ms budget, lowest latency wins:")
-	gaming, err := engine.Best(irelandID, selection.Request{
+	gaming, err := engine.Best(context.Background(), irelandID, selection.Request{
 		Objective:    selection.LowestLatency,
 		MaxLatencyMs: 50,
 	})
@@ -79,7 +80,7 @@ func main() {
 	fmt.Println("  ", selection.Explain(gaming))
 
 	fmt.Println("\n3) the same request with the jittery long-distance ASes excluded explicitly:")
-	expl, err := engine.Select(irelandID, selection.Request{
+	expl, err := engine.Select(context.Background(), irelandID, selection.Request{
 		Objective:   selection.LowestLatency,
 		ExcludeASes: []string{"16-ffaa:0:1004", "16-ffaa:0:1007"},
 	})
@@ -94,7 +95,7 @@ func main() {
 	}
 
 	fmt.Println("\nfull ranking by jitter (mdev), showing why 1004/1007 paths lose:")
-	byJitter, _ := engine.Select(irelandID, selection.Request{Objective: selection.MostStable})
+	byJitter, _ := engine.Select(context.Background(), irelandID, selection.Request{Objective: selection.MostStable})
 	for _, c := range byJitter {
 		fmt.Printf("   %-6s jitter %6.2f ms  latency %7.1f ms  ISDs {%s}\n",
 			c.PathID, c.JitterMs, c.AvgLatencyMs, strings.Join(c.ISDs, ","))

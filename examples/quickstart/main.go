@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,7 +43,7 @@ func main() {
 	// 3. Paths collection: showpaths --extended -m 40 to each server,
 	//    keeping paths with hops <= min+1.
 	suite := &measure.Suite{DB: db, Daemon: daemon}
-	colRep, err := measure.CollectPaths(db, daemon, measure.CollectOpts{})
+	colRep, err := measure.CollectPaths(context.Background(), db, daemon, measure.CollectOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func main() {
 			irelandID = s.ID
 		}
 	}
-	runRep, err := suite.Run(measure.RunOpts{
+	runRep, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations:   3,
 		Skip:         true, // paths already collected above
 		ServerIDs:    []int{irelandID},
@@ -76,7 +77,7 @@ func main() {
 
 	// 5. User-driven path control: ask for the best low-latency path.
 	engine := selection.New(db, topo)
-	best, err := engine.Best(irelandID, selection.Request{Objective: selection.LowestLatency})
+	best, err := engine.Best(context.Background(), irelandID, selection.Request{Objective: selection.LowestLatency})
 	if err != nil {
 		log.Fatal(err)
 	}

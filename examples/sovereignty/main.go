@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,7 @@ func main() {
 			irelandID = s.ID
 		}
 	}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations:    4,
 		ServerIDs:     []int{irelandID},
 		PingCount:     12,
@@ -57,7 +58,7 @@ func main() {
 
 	engine := selection.New(db, topo)
 	show := func(title string, req selection.Request) {
-		cands, err := engine.Select(irelandID, req)
+		cands, err := engine.Select(context.Background(), irelandID, req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func main() {
 	})
 
 	// An impossible request: the destination itself is in Ireland.
-	_, err = engine.Best(irelandID, selection.Request{
+	_, err = engine.Best(context.Background(), irelandID, selection.Request{
 		ExcludeCountries: []string{"Ireland"},
 	})
 	fmt.Printf("exclude country: Ireland -> %v (the destination lives there)\n", err)

@@ -5,6 +5,7 @@
 package scionpath
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +34,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	suite := &measure.Suite{DB: w1.DB, Daemon: w1.Daemon}
-	rep, err := suite.Run(measure.RunOpts{
+	rep, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, ServerIDs: []int{1},
 		PingCount: 5, PingInterval: 10 * time.Millisecond,
 		BwDuration: 300 * time.Millisecond,
@@ -58,7 +59,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 		t.Fatalf("replayed %d stats, stored %d", got, rep.StatsStored)
 	}
 	engine := selection.New(w2.DB, w2.Topo)
-	best, err := engine.Best(1, selection.Request{Objective: selection.LowestLatency})
+	best, err := engine.Best(context.Background(), 1, selection.Request{Objective: selection.LowestLatency})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 
 	// Session 2 continues measuring; ids must not collide with session 1.
 	suite2 := &measure.Suite{DB: w2.DB, Daemon: w2.Daemon}
-	if _, err := suite2.Run(measure.RunOpts{
+	if _, err := suite2.Run(context.Background(), measure.RunOpts{
 		Iterations: 1, Skip: true, ServerIDs: []int{1},
 		PingCount: 5, PingInterval: 10 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -85,7 +86,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 1, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -128,7 +129,7 @@ func TestUPINPipelineOverMeasuredDB(t *testing.T) {
 	}
 	defer w.Close()
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, ServerIDs: []int{1},
 		PingCount: 5, PingInterval: 10 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -139,7 +140,7 @@ func TestUPINPipelineOverMeasuredDB(t *testing.T) {
 	intent := upin.Intent{ServerID: 1, Request: selection.Request{
 		ExcludeCountries: []string{"United States", "Singapore"},
 	}}
-	dec, err := upin.NewController(w.Daemon, engine, explorer).Decide(topology.AWSIreland, intent)
+	dec, err := upin.NewController(w.Daemon, engine, explorer).Decide(context.Background(), topology.AWSIreland, intent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestConcurrentReadersDuringCampaign(t *testing.T) {
 	defer w.Close()
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
 	// Prime the paths so readers have something to join against.
-	if _, err := measure.CollectPaths(w.DB, w.Daemon, measure.CollectOpts{}); err != nil {
+	if _, err := measure.CollectPaths(context.Background(), w.DB, w.Daemon, measure.CollectOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	engine := selection.New(w.DB, w.Topo)
@@ -182,7 +183,7 @@ func TestConcurrentReadersDuringCampaign(t *testing.T) {
 				}
 				// Selection may find zero candidates early on; only hard
 				// errors matter here.
-				if _, err := engine.Select(1, selection.Request{}); err != nil &&
+				if _, err := engine.Select(context.Background(), 1, selection.Request{}); err != nil &&
 					!strings.Contains(err.Error(), "no collected paths") {
 					t.Errorf("reader: %v", err)
 					return
@@ -190,7 +191,7 @@ func TestConcurrentReadersDuringCampaign(t *testing.T) {
 			}
 		}()
 	}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 2, Skip: true, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 2 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -210,7 +211,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		}
 		defer w.Close()
 		suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-		if _, err := suite.Run(measure.RunOpts{
+		if _, err := suite.Run(context.Background(), measure.RunOpts{
 			Iterations: 1, ServerIDs: []int{1},
 			PingCount: 5, PingInterval: 10 * time.Millisecond,
 			BwDuration: 200 * time.Millisecond,
@@ -246,7 +247,7 @@ func TestEpisodeVisibleEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	suite := &measure.Suite{DB: w.DB, Daemon: w.Daemon}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 1, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {

@@ -1,6 +1,7 @@
 package auth_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestSignedCampaign(t *testing.T) {
 			return auth.SignDocument(d, topology.MyAS, key)
 		},
 	}
-	rep, err := suite.Run(measure.RunOpts{
+	rep, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 1, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	})
@@ -92,7 +93,7 @@ func TestSignedCampaignSignerFailureAborts(t *testing.T) {
 		Daemon:    daemon,
 		SignStats: func(docdb.Document) error { return errors.New("hsm offline") },
 	}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 1, ServerIDs: []int{1},
 		PingCount: 2, PingInterval: 2 * time.Millisecond, SkipBandwidth: true,
 	}); err == nil {

@@ -221,6 +221,58 @@ func (c *Collection) InsertMany(docs []Document) error {
 	return nil
 }
 
+// UpsertMany stores a batch atomically, replacing any existing document
+// with the same _id. Unlike InsertMany it requires every document to carry
+// an explicit string _id (replacement is meaningless for generated ids).
+// It returns how many documents replaced an existing one. This is the
+// idempotent batch path the campaign engine uses when resuming: a cell
+// re-measured after a crash writes byte-identical documents over the
+// partial batch instead of failing on ErrDuplicateID.
+func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
+	// Same lock discipline as InsertMany: the DB read-lock spans mutation +
+	// journal append so Compact can never drop a committed batch.
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	j := c.db.journal
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]bool, len(docs))
+	for _, doc := range docs {
+		if doc == nil {
+			return 0, fmt.Errorf("docdb: %s: nil document in batch: %w", c.name, ErrBadDocument)
+		}
+		id := doc.ID()
+		if id == "" {
+			return 0, fmt.Errorf("docdb: %s: upsert requires an explicit _id: %w", c.name, ErrBadDocument)
+		}
+		if seen[id] {
+			return 0, fmt.Errorf("docdb: %s: %w %q within batch", c.name, ErrDuplicateID, id)
+		}
+		seen[id] = true
+	}
+	for _, doc := range docs {
+		stored := doc.Clone()
+		id := stored.ID()
+		if i, ok := c.byID[id]; ok {
+			c.indexRemoveLocked(c.docs[i])
+			c.docs[i] = stored
+			c.indexAddLocked(stored)
+			replaced++
+			if j != nil {
+				j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored, Replace: true})
+			}
+			continue
+		}
+		c.byID[id] = len(c.docs)
+		c.docs = append(c.docs, stored)
+		c.indexAddLocked(stored)
+		if j != nil {
+			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
+		}
+	}
+	return replaced, nil
+}
+
 // Get returns the document with the given _id, or nil.
 func (c *Collection) Get(id string) Document {
 	c.mu.RLock()

@@ -357,3 +357,45 @@ func TestSortTotalOverMixedKinds(t *testing.T) {
 		t.Errorf("sorted %d of %d docs", len(got), len(docs))
 	}
 }
+
+func TestUpsertMany(t *testing.T) {
+	db := Open()
+	c := db.Collection("stats")
+	if err := c.Insert(Document{"_id": "a", "v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := c.UpsertMany([]Document{
+		{"_id": "a", "v": 2},
+		{"_id": "b", "v": 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced != 1 {
+		t.Errorf("replaced %d, want 1", replaced)
+	}
+	if c.Count() != 2 {
+		t.Errorf("count %d, want 2", c.Count())
+	}
+	if d := c.Get("a"); d["v"] != 2 {
+		t.Errorf("upsert did not replace: %v", d)
+	}
+	// Idempotent: a second identical batch replaces everything, adds nothing.
+	replaced, err = c.UpsertMany([]Document{{"_id": "a", "v": 2}, {"_id": "b", "v": 3}})
+	if err != nil || replaced != 2 || c.Count() != 2 {
+		t.Errorf("re-upsert: replaced %d count %d err %v", replaced, c.Count(), err)
+	}
+	// Rejected batches leave the collection untouched.
+	for _, batch := range [][]Document{
+		{{"_id": "c", "v": 1}, nil},
+		{{"v": 1}},
+		{{"_id": "dup"}, {"_id": "dup"}},
+	} {
+		if _, err := c.UpsertMany(batch); err == nil {
+			t.Errorf("bad batch %v accepted", batch)
+		}
+	}
+	if c.Count() != 2 {
+		t.Errorf("failed batch mutated the collection: %d docs", c.Count())
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,19 +24,32 @@ type CampaignResult struct {
 
 // FullCampaign runs the paper's §6 campaign at the given scale against the
 // focus destinations and reports the dataset size.
-func FullCampaign(env *Env, scale Scale) (CampaignResult, error) {
+func FullCampaign(ctx context.Context, env *Env, scale Scale) (CampaignResult, error) {
+	return fullCampaign(ctx, env, scale, 0)
+}
+
+// FullCampaignParallel runs the same campaign on the measure package's
+// campaign engine with the given worker count. The stored dataset is
+// identical to FullCampaign's for the same environment seed; only the
+// wall-clock time changes.
+func FullCampaignParallel(ctx context.Context, env *Env, scale Scale, workers int) (CampaignResult, error) {
+	return fullCampaign(ctx, env, scale, workers)
+}
+
+func fullCampaign(ctx context.Context, env *Env, scale Scale, workers int) (CampaignResult, error) {
 	ids, err := FocusServerIDs(env)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	start := env.Net.Now()
-	rep, err := env.Suite.Run(measure.RunOpts{
+	opts := measure.RunOpts{
 		Iterations:   scale.Iterations,
 		ServerIDs:    ids,
 		PingCount:    scale.PingCount,
 		PingInterval: scale.PingInterval,
 		BwDuration:   scale.BwDuration,
-	})
+	}
+	opts.Campaign.Workers = workers
+	rep, err := env.Suite.Run(ctx, opts)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -44,7 +58,7 @@ func FullCampaign(env *Env, scale Scale) (CampaignResult, error) {
 		PathsTested:   rep.PathsTested,
 		Samples:       rep.StatsStored,
 		Failures:      rep.Failures,
-		SimulatedTime: env.Net.Now() - start,
+		SimulatedTime: rep.SimulatedTime,
 	}
 	res.Rendered = fmt.Sprintf(
 		"Full campaign over the 5 focus destinations (%d iterations):\n"+

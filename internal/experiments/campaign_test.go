@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestFullCampaignFastScale(t *testing.T) {
-	res, err := FullCampaign(env(t, 80), Fast)
+	res, err := FullCampaign(context.Background(), env(t, 80), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func TestFullCampaignFastScale(t *testing.T) {
 func TestFullCampaignSampleScaling(t *testing.T) {
 	scale1, scale2 := Fast, Fast
 	scale1.Iterations, scale2.Iterations = 1, 3
-	r1, err := FullCampaign(env(t, 81), scale1)
+	r1, err := FullCampaign(context.Background(), env(t, 81), scale1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := FullCampaign(env(t, 82), scale2)
+	r2, err := FullCampaign(context.Background(), env(t, 82), scale2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/upin/scionpath/internal/addr"
@@ -37,7 +39,7 @@ func Correlation(env *Env, scale Scale, dests []addr.IA) (CorrelationResult, err
 		}
 		ids = append(ids, id)
 	}
-	if _, err := env.Suite.Run(scale.runOpts(ids, true, 0)); err != nil {
+	if _, err := env.Suite.Run(context.Background(), scale.runOpts(ids, true, 0)); err != nil {
 		return CorrelationResult{}, err
 	}
 

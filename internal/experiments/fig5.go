@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -47,7 +49,7 @@ func Fig5(env *Env, scale Scale) (Fig5Result, error) {
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	if _, err := env.Suite.Run(scale.runOpts([]int{id}, true, 0)); err != nil {
+	if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, true, 0)); err != nil {
 		return Fig5Result{}, err
 	}
 	return fig5FromDB(env, id)

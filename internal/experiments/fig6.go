@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -37,7 +39,7 @@ func Fig6(env *Env, scale Scale) (Fig6Result, error) {
 	}
 	// Measure only when the database has no campaign for this server yet.
 	if len(latencyByPath(env.DB, id)) == 0 {
-		if _, err := env.Suite.Run(scale.runOpts([]int{id}, true, 0)); err != nil {
+		if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, true, 0)); err != nil {
 			return Fig6Result{}, err
 		}
 	}

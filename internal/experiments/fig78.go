@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/upin/scionpath/internal/measure"
@@ -40,7 +42,7 @@ func bandwidthFig(env *Env, scale Scale, target float64, tag string) (BandwidthF
 	if err != nil {
 		return BandwidthFigResult{}, err
 	}
-	if _, err := env.Suite.Run(scale.runOpts([]int{id}, false, target)); err != nil {
+	if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, false, target)); err != nil {
 		return BandwidthFigResult{}, err
 	}
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"time"
@@ -43,7 +45,7 @@ func Fig9(env *Env, scale Scale) (Fig9Result, error) {
 		return Fig9Result{}, err
 	}
 	// Collect first so the campaign length is known for episode planning.
-	if _, err := measure.CollectPaths(env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
+	if _, err := measure.CollectPaths(context.Background(), env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
 		return Fig9Result{}, err
 	}
 	pds, err := measure.PathsForServer(env.DB, id)
@@ -73,7 +75,7 @@ func Fig9(env *Env, scale Scale) (Fig9Result, error) {
 		}
 	}
 
-	if _, err := env.Suite.Run(measure.RunOpts{
+	if _, err := env.Suite.Run(context.Background(), measure.RunOpts{
 		Iterations:    scale.Iterations,
 		Skip:          true,
 		ServerIDs:     []int{id},

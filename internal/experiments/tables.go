@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/upin/scionpath/internal/measure"
@@ -61,7 +63,7 @@ type FilterTable struct {
 
 // TableFilter runs a collection pass and reports the filter effect.
 func TableFilter(env *Env) (FilterTable, error) {
-	rep, err := measure.CollectPaths(env.DB, env.Daemon, measure.CollectOpts{})
+	rep, err := measure.CollectPaths(context.Background(), env.DB, env.Daemon, measure.CollectOpts{})
 	if err != nil {
 		return FilterTable{}, err
 	}

@@ -1,0 +1,255 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+// fastCampaignOpts keeps campaign tests quick: latency-only measurements
+// over a 3-destination subset with sub-millisecond retry backoffs.
+func fastCampaignOpts(workers int) RunOpts {
+	opts := RunOpts{
+		Iterations:    2,
+		ServerIDs:     []int{1, 2, 3},
+		PingCount:     5,
+		PingInterval:  time.Millisecond,
+		SkipBandwidth: true,
+	}
+	opts.Campaign.Workers = workers
+	opts.Campaign.Retry.BaseBackoff = 100 * time.Microsecond
+	opts.Campaign.Retry.MaxBackoff = time.Millisecond
+	return opts
+}
+
+// statsByID returns every paths_stats document sorted by _id, the
+// schedule-independent view two equivalent runs must agree on.
+func statsByID(t *testing.T, db *docdb.DB) []docdb.Document {
+	t.Helper()
+	docs := db.Collection(ColStats).Find(docdb.Query{SortBy: "_id"})
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID() < docs[j].ID() })
+	return docs
+}
+
+func TestCampaignDeterminismAcrossWorkerCounts(t *testing.T) {
+	const seed = 7
+	reports := map[int]RunReport{}
+	stats := map[int][]docdb.Document{}
+	for _, workers := range []int{1, 4} {
+		s := suite(t, seed)
+		rep, err := s.Run(context.Background(), fastCampaignOpts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.StatsStored == 0 {
+			t.Fatalf("workers=%d stored no stats", workers)
+		}
+		reports[workers] = rep
+		stats[workers] = statsByID(t, s.DB)
+	}
+	if !reflect.DeepEqual(reports[1], reports[4]) {
+		t.Errorf("reports differ:\n  1 worker:  %+v\n  4 workers: %+v", reports[1], reports[4])
+	}
+	if len(stats[1]) != len(stats[4]) {
+		t.Fatalf("stats count differs: %d vs %d", len(stats[1]), len(stats[4]))
+	}
+	for i := range stats[1] {
+		if !reflect.DeepEqual(stats[1][i], stats[4][i]) {
+			t.Fatalf("stats doc %d differs:\n  1 worker:  %v\n  4 workers: %v",
+				i, stats[1][i], stats[4][i])
+		}
+	}
+}
+
+func TestCampaignResumeAfterInterrupt(t *testing.T) {
+	const seed = 11
+
+	// Reference: the same campaign, uninterrupted.
+	ref := suite(t, seed)
+	refRep, err := ref.Run(context.Background(), fastCampaignOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := statsByID(t, ref.DB)
+
+	// Interrupted run: a SignStats hook cancels the context while the first
+	// cell is being stored; in-flight cells finish and checkpoint, queued
+	// cells are skipped.
+	s := suite(t, seed)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var signed atomic.Int64
+	s.SignStats = func(docdb.Document) error {
+		if signed.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	}
+	_, err = s.Run(ctx, fastCampaignOpts(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	partial := len(statsByID(t, s.DB))
+	if partial == 0 || partial >= len(want) {
+		t.Fatalf("interrupt stored %d stats, want partial progress (full run stores %d)", partial, len(want))
+	}
+	checkpointed := s.DB.Collection(ColProgress).Count() - 1 // minus the meta doc
+	if checkpointed == 0 {
+		t.Fatal("no cells checkpointed before interrupt")
+	}
+
+	// Resume: remaining cells only, no re-measuring, no duplicates.
+	s.SignStats = func(docdb.Document) error { signed.Add(1); return nil }
+	opts := fastCampaignOpts(2)
+	opts.Campaign.Resume = true
+	rep, err := s.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rep.SkippedCells != checkpointed {
+		t.Errorf("resume skipped %d cells, want the %d checkpointed ones", rep.SkippedCells, checkpointed)
+	}
+	rep.SkippedCells = 0 // the one field that records the interruption itself
+	if !reflect.DeepEqual(rep, refRep) {
+		t.Errorf("resumed report differs from uninterrupted:\n  resumed:       %+v\n  uninterrupted: %+v", rep, refRep)
+	}
+	got := statsByID(t, s.DB)
+	if len(got) != len(want) {
+		t.Fatalf("resumed DB has %d stats, uninterrupted has %d (duplicates or gaps)", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("stats doc %d differs after resume:\n  resumed:       %v\n  uninterrupted: %v",
+				i, got[i], want[i])
+		}
+	}
+}
+
+func TestCampaignResumeRejectsChangedConfig(t *testing.T) {
+	s := suite(t, 13)
+	opts := fastCampaignOpts(2)
+	opts.Campaign.Name = "stable-name"
+	if _, err := s.Run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.PingCount++ // changes the fingerprint
+	opts.Campaign.Resume = true
+	if _, err := s.Run(context.Background(), opts); err == nil {
+		t.Error("resume with changed config accepted")
+	}
+	if _, err := s.Run(context.Background(), func() RunOpts {
+		o := fastCampaignOpts(2)
+		o.Campaign.Name = "never-ran"
+		o.Campaign.Resume = true
+		return o
+	}()); err == nil {
+		t.Error("resume of unknown campaign accepted")
+	}
+}
+
+func TestCampaignRetryExhaustion(t *testing.T) {
+	s := suite(t, 17)
+	// Collect paths once, then corrupt destination 1's stored sequences so
+	// every measurement attempt for it fails at the cell level.
+	seedOpts := fastCampaignOpts(1)
+	seedOpts.Iterations = 1
+	if _, err := s.Run(context.Background(), seedOpts); err != nil {
+		t.Fatal(err)
+	}
+	all := docdb.FilterFunc(func(docdb.Document) bool { return true })
+	s.DB.Collection(ColPaths).Update(docdb.Eq(FServerID, 1), docdb.Document{FSequence: "not a sequence"})
+	s.DB.Collection(ColStats).Delete(all)
+	s.DB.Collection(ColProgress).Delete(all)
+
+	opts := fastCampaignOpts(2)
+	opts.Skip = true
+	opts.Campaign.Retry.MaxAttempts = 2
+	rep, err := s.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("campaign with failing destination errored instead of tolerating: %v", err)
+	}
+	if rep.Failures != opts.Iterations {
+		t.Errorf("failures = %d, want one per iteration of the broken destination (%d)",
+			rep.Failures, opts.Iterations)
+	}
+	if rep.StatsStored == 0 {
+		t.Error("healthy destinations stored no stats")
+	}
+	ckpt := s.DB.Collection(ColProgress).Get(CellID("c17-2x3", 0, 1))
+	if ckpt == nil {
+		t.Fatal("failed cell was not checkpointed")
+	}
+	if attempts, _ := asInt(ckpt[FAttempts]); attempts != 2 {
+		t.Errorf("failed cell recorded %v attempts, want MaxAttempts (2)", ckpt[FAttempts])
+	}
+}
+
+func TestRunOptsValidate(t *testing.T) {
+	bad := []func(*RunOpts){
+		func(o *RunOpts) { o.Iterations = -1 },
+		func(o *RunOpts) { o.PingCount = -1 },
+		func(o *RunOpts) { o.BwDuration = -time.Second },
+		func(o *RunOpts) { o.ServerIDs = []int{0} },
+		func(o *RunOpts) { o.Campaign.Workers = -1 },
+		func(o *RunOpts) { o.Campaign.Resume = true }, // workers 0
+		func(o *RunOpts) { o.Campaign.IterationStride = -time.Hour },
+		func(o *RunOpts) { o.Campaign.Retry.MaxAttempts = -1 },
+		func(o *RunOpts) { o.Campaign.Retry.JitterFrac = 2 },
+		func(o *RunOpts) { o.Campaign.Retry.BaseBackoff = time.Second; o.Campaign.Retry.MaxBackoff = time.Millisecond },
+		func(o *RunOpts) { o.Collect.MaxPaths = -1 },
+	}
+	s := suite(t, 1)
+	for i, mutate := range bad {
+		opts := RunOpts{}
+		opts = opts.withDefaults()
+		mutate(&opts)
+		if err := opts.Validate(); err == nil {
+			t.Errorf("case %d: bad options validated", i)
+		}
+		if _, err := s.Run(context.Background(), opts); err == nil {
+			t.Errorf("case %d: Run accepted bad options", i)
+		}
+	}
+}
+
+func TestSequentialRunHonorsCancellation(t *testing.T) {
+	s := suite(t, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Run(ctx, fastCampaignOpts(0))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential run with cancelled ctx returned %v, want context.Canceled", err)
+	}
+	if _, err := CollectPaths(ctx, s.DB, s.Daemon, CollectOpts{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CollectPaths with cancelled ctx returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSequentialMatchesLegacyBehaviour(t *testing.T) {
+	// Workers 0 must keep the pre-engine semantics: measurements advance the
+	// suite's own clock and the report mirrors what was stored.
+	s := suite(t, 23)
+	opts := fastCampaignOpts(0)
+	rep, err := s.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatsStored == 0 || rep.PathsTested == 0 {
+		t.Fatalf("sequential run stored nothing: %+v", rep)
+	}
+	if got := s.Daemon.Network().Now(); got < rep.SimulatedTime {
+		t.Errorf("shared clock at %v, want >= the run's simulated time %v", got, rep.SimulatedTime)
+	}
+	if n := s.DB.Collection(ColStats).Count(); n != rep.StatsStored {
+		t.Errorf("collection has %d stats, report says %d", n, rep.StatsStored)
+	}
+	if s.DB.Collection(ColProgress).Count() != 0 {
+		t.Error("sequential run wrote campaign checkpoints")
+	}
+}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,17 @@ func (o CollectOpts) withDefaults() CollectOpts {
 	return o
 }
 
+// Validate implements the package's option convention.
+func (o CollectOpts) Validate() error {
+	if o.MaxPaths < 1 {
+		return fmt.Errorf("collect needs MaxPaths >= 1, have %d", o.MaxPaths)
+	}
+	if o.HopSlack < 0 {
+		return fmt.Errorf("collect HopSlack %d is negative", o.HopSlack)
+	}
+	return nil
+}
+
 // CollectReport summarises a collection run.
 type CollectReport struct {
 	ServersQueried  int
@@ -45,9 +57,14 @@ type CollectReport struct {
 // CollectPaths is the collect_paths stage: query availableServers, run
 // showpaths per destination, filter by the hop-slack rule, pre-process into
 // documents, insert, and delete paths that are no longer available (§5.2).
-func CollectPaths(db *docdb.DB, d *sciond.Daemon, opts CollectOpts) (CollectReport, error) {
+// Cancellation is honored between destinations: already-collected paths are
+// kept and ctx's error is returned.
+func CollectPaths(ctx context.Context, db *docdb.DB, d *sciond.Daemon, opts CollectOpts) (CollectReport, error) {
 	opts = opts.withDefaults()
 	rep := CollectReport{Errors: map[int]error{}}
+	if err := opts.Validate(); err != nil {
+		return rep, fmt.Errorf("measure: %w", err)
+	}
 
 	servers, err := Servers(db)
 	if err != nil {
@@ -59,6 +76,12 @@ func CollectPaths(db *docdb.DB, d *sciond.Daemon, opts CollectOpts) (CollectRepo
 
 	col := db.Collection(ColPaths)
 	for _, srv := range servers {
+		if err := ctx.Err(); err != nil {
+			if ferr := db.Flush(); ferr != nil {
+				return rep, ferr
+			}
+			return rep, fmt.Errorf("measure: collect cancelled: %w", err)
+		}
 		rep.ServersQueried++
 		paths, err := d.ShowPaths(srv.Address.IA, sciond.ShowPathsOpts{
 			MaxPaths: opts.MaxPaths, Extended: true, Probe: opts.Probe,

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestExportStatsCSV(t *testing.T) {
 	s := suite(t, 70)
-	if _, err := s.Run(RunOpts{
+	if _, err := s.Run(context.Background(), RunOpts{
 		Iterations: 2, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 5 * time.Millisecond,
 		BwDuration: 200 * time.Millisecond,
@@ -56,7 +57,7 @@ func TestExportStatsCSV(t *testing.T) {
 
 func TestExportStatsCSVFiltered(t *testing.T) {
 	s := suite(t, 71)
-	if _, err := s.Run(RunOpts{
+	if _, err := s.Run(context.Background(), RunOpts{
 		Iterations: 1, ServerIDs: []int{1, 2},
 		PingCount: 2, PingInterval: 2 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {

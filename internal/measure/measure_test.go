@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -98,7 +99,7 @@ func TestCollectPaths(t *testing.T) {
 	if err := SeedServers(s.DB, s.Daemon.Topology()); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := CollectPaths(s.DB, s.Daemon, CollectOpts{})
+	rep, err := CollectPaths(context.Background(), s.DB, s.Daemon, CollectOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCollectPaths(t *testing.T) {
 
 func TestCollectPathsRequiresSeed(t *testing.T) {
 	s := suite(t, 3)
-	if _, err := CollectPaths(s.DB, s.Daemon, CollectOpts{}); err == nil {
+	if _, err := CollectPaths(context.Background(), s.DB, s.Daemon, CollectOpts{}); err == nil {
 		t.Error("collection without seeded servers accepted")
 	}
 }
@@ -153,7 +154,7 @@ func TestCollectPathsRequiresSeed(t *testing.T) {
 func TestCollectPathsIdempotentAndCleansStale(t *testing.T) {
 	s := suite(t, 4)
 	SeedServers(s.DB, s.Daemon.Topology())
-	if _, err := CollectPaths(s.DB, s.Daemon, CollectOpts{}); err != nil {
+	if _, err := CollectPaths(context.Background(), s.DB, s.Daemon, CollectOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	n1 := s.DB.Collection(ColPaths).Count()
@@ -162,7 +163,7 @@ func TestCollectPathsIdempotentAndCleansStale(t *testing.T) {
 		"_id": PathID(1, 999), FServerID: 1, FPathIndex: 999, FHops: 99,
 		FSequence: "", FISDs: []any{}, FMTU: 0,
 	})
-	rep, err := CollectPaths(s.DB, s.Daemon, CollectOpts{})
+	rep, err := CollectPaths(context.Background(), s.DB, s.Daemon, CollectOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestCollectPathsIdempotentAndCleansStale(t *testing.T) {
 
 func TestRunSomeOnly(t *testing.T) {
 	s := suite(t, 5)
-	rep, err := s.Run(RunOpts{
+	rep, err := s.Run(context.Background(), RunOpts{
 		Iterations: 2, SomeOnly: true,
 		PingCount: 5, PingInterval: 10 * time.Millisecond,
 		BwDuration: 500 * time.Millisecond,
@@ -222,7 +223,7 @@ func TestRunSomeOnly(t *testing.T) {
 
 func TestRunSkipRequiresCollectedPaths(t *testing.T) {
 	s := suite(t, 6)
-	rep, err := s.Run(RunOpts{
+	rep, err := s.Run(context.Background(), RunOpts{
 		Iterations: 1, Skip: true, SomeOnly: true,
 		PingCount: 2, PingInterval: time.Millisecond,
 		SkipBandwidth: true,
@@ -238,7 +239,7 @@ func TestRunSkipRequiresCollectedPaths(t *testing.T) {
 
 func TestRunServerSubset(t *testing.T) {
 	s := suite(t, 7)
-	rep, err := s.Run(RunOpts{
+	rep, err := s.Run(context.Background(), RunOpts{
 		Iterations: 1, ServerIDs: []int{2, 5},
 		PingCount: 3, PingInterval: 5 * time.Millisecond,
 		SkipBandwidth: true,
@@ -263,7 +264,7 @@ func TestRunRecordsLossDuringEpisode(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(RunOpts{
+	if _, err := s.Run(context.Background(), RunOpts{
 		Iterations: 1, SomeOnly: true,
 		PingCount: 3, PingInterval: 5 * time.Millisecond,
 		SkipBandwidth: true,
@@ -284,7 +285,7 @@ func TestRunRecordsLossDuringEpisode(t *testing.T) {
 func TestRunClockAdvancesSequentially(t *testing.T) {
 	s := suite(t, 9)
 	before := s.Daemon.Network().Now()
-	if _, err := s.Run(RunOpts{
+	if _, err := s.Run(context.Background(), RunOpts{
 		Iterations: 1, SomeOnly: true,
 		PingCount: 2, PingInterval: 10 * time.Millisecond,
 		BwDuration: 200 * time.Millisecond,

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,28 @@ type MonitorOpts struct {
 	Recollect bool
 }
 
+func (o MonitorOpts) withDefaults() MonitorOpts {
+	o.Run = o.Run.withDefaults()
+	return o
+}
+
+// Validate implements the package's option convention. The monitor owns
+// the suite's live clock (rounds advance it and deltas compare against it),
+// which is incompatible with the campaign engine's per-cell forked worlds —
+// so monitoring requires the sequential runner.
+func (o MonitorOpts) Validate() error {
+	if o.Campaigns < 1 {
+		return fmt.Errorf("measure: monitor needs >= 1 campaign, have %d", o.Campaigns)
+	}
+	if o.Gap < 0 {
+		return fmt.Errorf("measure: monitor Gap %v is negative", o.Gap)
+	}
+	if o.Run.Campaign.Workers != 0 || o.Run.Campaign.Resume {
+		return fmt.Errorf("measure: monitor rounds run sequentially; set Run.Campaign to its zero value")
+	}
+	return o.Run.Validate()
+}
+
 // CampaignDelta reports what changed between consecutive rounds.
 type CampaignDelta struct {
 	Campaign    int
@@ -37,9 +60,12 @@ type CampaignDelta struct {
 }
 
 // Monitor runs repeated campaigns and returns one delta per round.
-func (s *Suite) Monitor(opts MonitorOpts) ([]CampaignDelta, error) {
-	if opts.Campaigns < 1 {
-		return nil, fmt.Errorf("measure: monitor needs >= 1 campaign, have %d", opts.Campaigns)
+// Cancellation is honored at round boundaries: completed rounds' deltas are
+// returned alongside ctx's error.
+func (s *Suite) Monitor(ctx context.Context, opts MonitorOpts) ([]CampaignDelta, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if err := SeedServers(s.DB, s.Daemon.Topology()); err != nil {
 		return nil, err
@@ -48,10 +74,13 @@ func (s *Suite) Monitor(opts MonitorOpts) ([]CampaignDelta, error) {
 	var out []CampaignDelta
 	prev := map[string]string{} // path id -> status
 	for round := 0; round < opts.Campaigns; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("measure: monitor cancelled before round %d: %w", round, err)
+		}
 		if round == 0 || opts.Recollect {
 			collect := opts.Run.Collect
 			collect.Probe = true
-			if _, err := CollectPaths(s.DB, s.Daemon, collect); err != nil {
+			if _, err := CollectPaths(ctx, s.DB, s.Daemon, collect); err != nil {
 				return out, fmt.Errorf("measure: monitor round %d: %w", round, err)
 			}
 		}
@@ -75,7 +104,7 @@ func (s *Suite) Monitor(opts MonitorOpts) ([]CampaignDelta, error) {
 
 		runOpts := opts.Run
 		runOpts.Skip = true // collection handled above
-		rep, err := s.Run(runOpts)
+		rep, err := s.Run(ctx, runOpts)
 		if err != nil {
 			return out, fmt.Errorf("measure: monitor round %d: %w", round, err)
 		}

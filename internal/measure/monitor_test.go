@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 
 func TestMonitorSteadyState(t *testing.T) {
 	s := suite(t, 50)
-	deltas, err := s.Monitor(MonitorOpts{
+	deltas, err := s.Monitor(context.Background(), MonitorOpts{
 		Campaigns: 3,
 		Gap:       time.Second,
 		Recollect: true,
@@ -49,7 +50,7 @@ func TestMonitorDetectsStatusFlip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	deltas, err := s.Monitor(MonitorOpts{
+	deltas, err := s.Monitor(context.Background(), MonitorOpts{
 		Campaigns: 2,
 		Gap:       30 * time.Second,
 		Recollect: true,
@@ -76,7 +77,7 @@ func TestMonitorDetectsStatusFlip(t *testing.T) {
 
 func TestMonitorValidation(t *testing.T) {
 	s := suite(t, 52)
-	if _, err := s.Monitor(MonitorOpts{Campaigns: 0}); err == nil {
+	if _, err := s.Monitor(context.Background(), MonitorOpts{Campaigns: 0}); err == nil {
 		t.Error("zero campaigns accepted")
 	}
 }

@@ -12,9 +12,12 @@ import (
 // retention window rather than the full campaign history — the flip side
 // of the paper's scalability requirement ("the amount of data generated
 // grows both with the number of tests performed per destination, as well
-// as the number of destinations tested", §4.1.1).
-func PruneStats(db *docdb.DB, olderThan time.Duration) int {
-	return db.Collection(ColStats).Delete(docdb.Lt(FTimestamp, olderThan.Milliseconds()))
+// as the number of destinations tested", §4.1.1). The deletions are
+// flushed to the journal before returning, so a reported count is durable;
+// a flush failure is returned alongside the in-memory count.
+func PruneStats(db *docdb.DB, olderThan time.Duration) (int, error) {
+	removed := db.Collection(ColStats).Delete(docdb.Lt(FTimestamp, olderThan.Milliseconds()))
+	return removed, db.Flush()
 }
 
 // RetentionPolicy bundles pruning with compaction for monitor loops.
@@ -32,7 +35,10 @@ type RetentionPolicy struct {
 // compaction ran.
 func (r *RetentionPolicy) Apply(db *docdb.DB, now time.Duration) (removed int, compacted bool, err error) {
 	if r.Window > 0 && now > r.Window {
-		removed = PruneStats(db, now-r.Window)
+		removed, err = PruneStats(db, now-r.Window)
+		if err != nil {
+			return removed, false, err
+		}
 	}
 	r.calls++
 	if r.CompactEvery > 0 && r.calls%r.CompactEvery == 0 {

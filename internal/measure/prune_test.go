@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,7 +15,7 @@ import (
 
 func TestPruneStats(t *testing.T) {
 	s := suite(t, 60)
-	if _, err := s.Run(RunOpts{
+	if _, err := s.Run(context.Background(), RunOpts{
 		Iterations: 3, ServerIDs: []int{1},
 		PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 	}); err != nil {
@@ -34,7 +35,10 @@ func TestPruneStats(t *testing.T) {
 	} else {
 		cutoff = time.Duration(mid[FTimestamp].(float64)) * time.Millisecond
 	}
-	removed := PruneStats(s.DB, cutoff)
+	removed, err := PruneStats(s.DB, cutoff)
+	if err != nil {
+		t.Fatalf("PruneStats: %v", err)
+	}
 	if removed == 0 || removed >= total {
 		t.Fatalf("pruned %d of %d", removed, total)
 	}
@@ -65,7 +69,7 @@ func TestRetentionPolicy(t *testing.T) {
 	var removedTotal int
 	var compactions int
 	for round := 0; round < 4; round++ {
-		if _, err := s.Run(RunOpts{
+		if _, err := s.Run(context.Background(), RunOpts{
 			Iterations: 1, ServerIDs: []int{1}, Skip: round > 0,
 			PingCount: 3, PingInterval: 5 * time.Millisecond, SkipBandwidth: true,
 		}); err != nil {

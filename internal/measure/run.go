@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,10 +10,118 @@ import (
 	"github.com/upin/scionpath/internal/pathmgr"
 	"github.com/upin/scionpath/internal/sciond"
 	"github.com/upin/scionpath/internal/scmp"
+	"github.com/upin/scionpath/internal/simnet"
 )
 
+// Every option struct in this package follows one convention: an
+// unexported withDefaults() fills zero values, an exported Validate()
+// rejects inconsistent input, and every public entry point applies both
+// before doing any work — so Run, Monitor and CollectPaths all reject bad
+// input the same way instead of each rolling its own checks.
+
+// RetryPolicy bounds the per-cell retry loop of the campaign engine:
+// transient cell-level measurement failures (server unreachable, corrupt
+// stored paths) are retried with exponential backoff plus jitter before
+// the cell is counted as failed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per cell (>= 1).
+	MaxAttempts int
+	// BaseBackoff is the wall-clock delay before the first retry; each
+	// further retry doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac in [0,1] randomises each delay by up to that fraction, so
+	// retrying cells do not thundering-herd a recovering destination.
+	JitterFrac float64
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseBackoff == 0 {
+		r.BaseBackoff = 10 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = time.Second
+	}
+	if r.JitterFrac == 0 {
+		r.JitterFrac = 0.5
+	}
+	return r
+}
+
+// Validate implements the package's option convention.
+func (r RetryPolicy) Validate() error {
+	if r.MaxAttempts < 1 {
+		return fmt.Errorf("retry needs MaxAttempts >= 1, have %d", r.MaxAttempts)
+	}
+	if r.BaseBackoff < 0 || r.MaxBackoff < 0 {
+		return fmt.Errorf("retry backoffs must be >= 0, have base %v max %v", r.BaseBackoff, r.MaxBackoff)
+	}
+	if r.MaxBackoff < r.BaseBackoff {
+		return fmt.Errorf("retry MaxBackoff %v < BaseBackoff %v", r.MaxBackoff, r.BaseBackoff)
+	}
+	if r.JitterFrac < 0 || r.JitterFrac > 1 {
+		return fmt.Errorf("retry JitterFrac %v outside [0,1]", r.JitterFrac)
+	}
+	return nil
+}
+
+// Campaign is the shared fault-tolerance configuration of a measurement
+// campaign — the one config block RunOpts (and, through it, MonitorOpts)
+// carries for the parallel, resumable engine of docs/CAMPAIGN.md.
+type Campaign struct {
+	// Workers selects the execution engine. 0 (the default) runs the classic
+	// strictly sequential loop on the suite's own world. >= 1 runs the
+	// sharded campaign engine: the (iteration x destination) cell grid is
+	// fanned out across that many workers, each cell measured on a private
+	// forked world whose seed derives from Seed, so the merged stats
+	// database is identical for every worker count.
+	Workers int
+	// Name identifies the campaign in the checkpoint journal. Empty derives
+	// a name from the seed and iteration count.
+	Name string
+	// Seed is the campaign seed every per-cell world seed derives from.
+	// 0 uses the suite network's own seed.
+	Seed int64
+	// Resume skips cells already checkpointed in campaign_progress instead
+	// of re-measuring them. It implies Skip (paths were collected by the
+	// interrupted run) and requires Workers >= 1.
+	Resume bool
+	// Retry bounds per-cell retries of transient failures.
+	Retry RetryPolicy
+	// IterationStride spaces the simulated start times of consecutive
+	// iterations of one destination, keeping stats identifiers (path id +
+	// timestamp) unique across cells. It must exceed the simulated duration
+	// of one cell; the 2h default covers the paper-scale parameters.
+	IterationStride time.Duration
+}
+
+func (c Campaign) withDefaults() Campaign {
+	c.Retry = c.Retry.withDefaults()
+	if c.IterationStride == 0 {
+		c.IterationStride = 2 * time.Hour
+	}
+	return c
+}
+
+// Validate implements the package's option convention.
+func (c Campaign) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("campaign Workers %d is negative", c.Workers)
+	}
+	if c.Resume && c.Workers < 1 {
+		return fmt.Errorf("campaign Resume requires the campaign engine (Workers >= 1)")
+	}
+	if c.IterationStride <= 0 {
+		return fmt.Errorf("campaign IterationStride %v must be positive", c.IterationStride)
+	}
+	return c.Retry.Validate()
+}
+
 // RunOpts mirrors the test_suite.sh command line (§5.1) plus the
-// measurement parameters of §5.3.
+// measurement parameters of §5.3 and the campaign-engine configuration.
 type RunOpts struct {
 	// Iterations is the mandatory <iterations> argument: how many times
 	// each path is tested.
@@ -38,6 +147,9 @@ type RunOpts struct {
 	SkipBandwidth bool
 
 	Collect CollectOpts
+	// Campaign configures the parallel, resumable campaign engine; the
+	// zero value keeps the classic sequential runner.
+	Campaign Campaign
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -56,7 +168,37 @@ func (o RunOpts) withDefaults() RunOpts {
 	if o.BwTargetBps == 0 {
 		o.BwTargetBps = 12e6
 	}
+	o.Collect = o.Collect.withDefaults()
+	o.Campaign = o.Campaign.withDefaults()
 	return o
+}
+
+// Validate implements the package's option convention. It assumes defaults
+// have been applied (Run does both).
+func (o RunOpts) Validate() error {
+	if o.Iterations < 1 {
+		return fmt.Errorf("measure: run needs Iterations >= 1, have %d", o.Iterations)
+	}
+	if o.PingCount < 1 || o.PingInterval <= 0 {
+		return fmt.Errorf("measure: run needs PingCount >= 1 and a positive PingInterval, have %d / %v",
+			o.PingCount, o.PingInterval)
+	}
+	if o.BwDuration <= 0 || o.BwTargetBps <= 0 {
+		return fmt.Errorf("measure: run needs positive BwDuration and BwTargetBps, have %v / %v",
+			o.BwDuration, o.BwTargetBps)
+	}
+	for _, id := range o.ServerIDs {
+		if id < 1 {
+			return fmt.Errorf("measure: run got non-positive server id %d", id)
+		}
+	}
+	if err := o.Collect.Validate(); err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	if err := o.Campaign.Validate(); err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	return nil
 }
 
 // RunReport summarises a test-suite run.
@@ -71,6 +213,13 @@ type RunReport struct {
 	// UnresolvedPaths counts stored paths whose hop-predicate sequence no
 	// longer resolves to a live path.
 	UnresolvedPaths int
+	// SimulatedTime is the total simulated measurement time: the clock
+	// advance of a sequential run, or the sum of per-cell advances of a
+	// campaign-engine run (both deterministic per seed).
+	SimulatedTime time.Duration
+	// SkippedCells counts cells a resumed campaign found already
+	// checkpointed and did not re-measure.
+	SkippedCells int
 }
 
 // Suite bundles what a run needs.
@@ -83,27 +232,105 @@ type Suite struct {
 	SignStats func(docdb.Document) error
 }
 
-// Run executes the test-suite: optional collection, then the three nested
-// loops of run_test.py — for each iteration, for each destination, for each
-// path: ping (latency + loss), bwtest with 64-byte packets, bwtest with
-// MTU-sized packets, both directions. Statistics for a destination are
-// batch-inserted only after all its paths were tested once, the
-// fault-tolerance/I/O trade-off of §4.2.2.
-func (s *Suite) Run(opts RunOpts) (RunReport, error) {
+// Run executes the test-suite: optional collection, then the (iteration x
+// destination x path) measurement grid — for each cell: ping (latency +
+// loss), bwtest with 64-byte packets, bwtest with MTU-sized packets, both
+// directions. Statistics for a cell are batch-inserted only after all its
+// paths were tested once, the fault-tolerance/I/O trade-off of §4.2.2.
+//
+// With opts.Campaign.Workers == 0 the grid runs strictly sequentially on
+// the suite's own world. With Workers >= 1 it runs on the sharded,
+// resumable campaign engine (see docs/CAMPAIGN.md): cells are measured on
+// private forked worlds, completed cells are checkpointed in the
+// campaign_progress collection, and the stored statistics are identical
+// for every worker count given the same campaign seed.
+//
+// Cancellation is honored at cell boundaries: when ctx is cancelled,
+// in-flight cells finish and checkpoint, remaining cells are skipped, and
+// Run returns ctx's error alongside the partial report.
+func (s *Suite) Run(ctx context.Context, opts RunOpts) (RunReport, error) {
 	opts = opts.withDefaults()
+	rep := RunReport{Iterations: opts.Iterations}
+	if err := opts.Validate(); err != nil {
+		return rep, err
+	}
+	if opts.Campaign.Workers >= 1 {
+		return s.runCampaign(ctx, opts)
+	}
+	return s.runSequential(ctx, opts)
+}
+
+// runSequential is the classic strictly ordered runner on the suite's own
+// shared world; its output is byte-compatible with the pre-engine suite.
+func (s *Suite) runSequential(ctx context.Context, opts RunOpts) (RunReport, error) {
 	rep := RunReport{Iterations: opts.Iterations}
 
 	if err := SeedServers(s.DB, s.Daemon.Topology()); err != nil {
 		return rep, err
 	}
 	if !opts.Skip {
-		if _, err := CollectPaths(s.DB, s.Daemon, opts.Collect); err != nil {
+		if _, err := CollectPaths(ctx, s.DB, s.Daemon, opts.Collect); err != nil {
 			return rep, err
 		}
 	}
-	servers, err := Servers(s.DB)
+	servers, err := s.campaignServers(opts)
 	if err != nil {
 		return rep, err
+	}
+	rep.Destinations = len(servers)
+
+	statsCol := s.DB.Collection(ColStats)
+	// A fresh process starts the simulated clock at zero; when resuming a
+	// persisted database, move past the newest stored measurement so stats
+	// identifiers (path id + timestamp) stay unique.
+	if newest, ok := newestStatsTime(statsCol); ok {
+		if s.Daemon.Network().Now() <= newest {
+			s.Daemon.Network().Advance(newest - s.Daemon.Network().Now() + time.Millisecond)
+		}
+	}
+	start := s.Daemon.Network().Now()
+	for it := 0; it < opts.Iterations; it++ {
+		for _, srv := range servers {
+			// Cancellation boundary: one (iteration, destination) cell.
+			if err := ctx.Err(); err != nil {
+				rep.SimulatedTime = s.Daemon.Network().Now() - start
+				return rep, fmt.Errorf("measure: run cancelled: %w", err)
+			}
+			docs, counts, err := measureDestination(s.Daemon, s.DB, srv, opts)
+			if err != nil {
+				// Destination unusable right now: record nothing for it,
+				// keep going (server failure tolerance, §4.1.2).
+				rep.Failures++
+				continue
+			}
+			rep.PathsTested += counts.tested
+			rep.Failures += counts.failures
+			rep.UnresolvedPaths += counts.unresolved
+			if len(docs) == 0 {
+				continue
+			}
+			if err := s.signAll(docs); err != nil {
+				return rep, err
+			}
+			// Batch insertion per destination (§4.2.2).
+			if err := statsCol.InsertMany(docs); err != nil {
+				return rep, fmt.Errorf("measure: storing stats for server %d: %w", srv.ID, err)
+			}
+			rep.StatsStored += len(docs)
+			if err := s.DB.Flush(); err != nil {
+				return rep, err
+			}
+		}
+	}
+	rep.SimulatedTime = s.Daemon.Network().Now() - start
+	return rep, nil
+}
+
+// campaignServers resolves and filters the destination set of a run.
+func (s *Suite) campaignServers(opts RunOpts) ([]Server, error) {
+	servers, err := Servers(s.DB)
+	if err != nil {
+		return nil, err
 	}
 	if opts.SomeOnly && len(servers) > 1 {
 		servers = servers[:1]
@@ -121,68 +348,67 @@ func (s *Suite) Run(opts RunOpts) (RunReport, error) {
 		}
 		servers = kept
 	}
-	rep.Destinations = len(servers)
-
-	statsCol := s.DB.Collection(ColStats)
-	// A fresh process starts the simulated clock at zero; when resuming a
-	// persisted database, move past the newest stored measurement so stats
-	// identifiers (path id + timestamp) stay unique.
-	if last := statsCol.FindOne(docdb.Query{SortBy: FTimestamp, SortDesc: true}); last != nil {
-		if ms, ok := asInt(last[FTimestamp]); ok {
-			if newest := time.Duration(ms) * time.Millisecond; s.Daemon.Network().Now() <= newest {
-				s.Daemon.Network().Advance(newest - s.Daemon.Network().Now() + time.Millisecond)
-			}
-		}
-	}
-	for it := 0; it < opts.Iterations; it++ {
-		for _, srv := range servers {
-			docs, tested, failures, unresolved := s.testDestination(srv, opts)
-			rep.PathsTested += tested
-			rep.Failures += failures
-			rep.UnresolvedPaths += unresolved
-			if len(docs) == 0 {
-				continue
-			}
-			if s.SignStats != nil {
-				for _, d := range docs {
-					if err := s.SignStats(d); err != nil {
-						return rep, fmt.Errorf("measure: signing stats: %w", err)
-					}
-				}
-			}
-			// Batch insertion per destination (§4.2.2).
-			if err := statsCol.InsertMany(docs); err != nil {
-				return rep, fmt.Errorf("measure: storing stats for server %d: %w", srv.ID, err)
-			}
-			rep.StatsStored += len(docs)
-			if err := s.DB.Flush(); err != nil {
-				return rep, err
-			}
-		}
-	}
-	return rep, nil
+	return servers, nil
 }
 
-// testDestination measures every stored path of one destination once and
-// returns the stats documents to batch-insert.
-func (s *Suite) testDestination(srv Server, opts RunOpts) (docs []docdb.Document, tested, failures, unresolved int) {
-	pathDocs, err := PathsForServer(s.DB, srv.ID)
-	if err != nil {
-		return nil, 0, 1, 0
+// signAll applies the SignStats hook to a stats batch.
+func (s *Suite) signAll(docs []docdb.Document) error {
+	if s.SignStats == nil {
+		return nil
 	}
-	live, err := s.Daemon.PathsTo(srv.Address.IA)
-	if err != nil {
-		// Server unreachable right now: record nothing for it, keep going.
-		return nil, 0, 1, 0
+	for _, d := range docs {
+		if err := s.SignStats(d); err != nil {
+			return fmt.Errorf("measure: signing stats: %w", err)
+		}
 	}
-	net := s.Daemon.Network()
+	return nil
+}
+
+// newestStatsTime returns the timestamp of the newest stored measurement.
+func newestStatsTime(statsCol *docdb.Collection) (time.Duration, bool) {
+	last := statsCol.FindOne(docdb.Query{SortBy: FTimestamp, SortDesc: true})
+	if last == nil {
+		return 0, false
+	}
+	ms, ok := asInt(last[FTimestamp])
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// cellCounts aggregates one cell's per-path outcomes.
+type cellCounts struct {
+	tested     int
+	failures   int
+	unresolved int
+}
+
+// measureDestination measures every stored path of one destination once on
+// the given daemon's world and returns the stats documents to
+// batch-insert. A returned error is a cell-level failure (stored paths
+// unreadable, destination unreachable) — the transient class the campaign
+// engine retries; per-path measurement errors are recorded as data in the
+// documents instead.
+func measureDestination(daemon *sciond.Daemon, db *docdb.DB, srv Server, opts RunOpts) ([]docdb.Document, cellCounts, error) {
+	var counts cellCounts
+	pathDocs, err := PathsForServer(db, srv.ID)
+	if err != nil {
+		return nil, counts, fmt.Errorf("measure: stored paths for server %d: %w", srv.ID, err)
+	}
+	live, err := daemon.PathsTo(srv.Address.IA)
+	if err != nil {
+		return nil, counts, fmt.Errorf("measure: server %d unreachable: %w", srv.ID, err)
+	}
+	net := daemon.Network()
+	var docs []docdb.Document
 	for _, pd := range pathDocs {
 		p := pathmgr.FindBySequence(live, pd.Sequence)
 		if p == nil {
-			unresolved++
+			counts.unresolved++
 			continue
 		}
-		tested++
+		counts.tested++
 		ts := net.Now()
 		doc := docdb.Document{
 			"_id":      StatsID(pd.ID, ts),
@@ -199,7 +425,7 @@ func (s *Suite) testDestination(srv Server, opts RunOpts) (docs []docdb.Document
 			Count: opts.PingCount, Interval: opts.PingInterval,
 		})
 		if err != nil {
-			failures++
+			counts.failures++
 			doc[FError] = err.Error()
 			docs = append(docs, doc)
 			continue
@@ -212,16 +438,16 @@ func (s *Suite) testDestination(srv Server, opts RunOpts) (docs []docdb.Document
 
 		if !opts.SkipBandwidth {
 			// Bandwidth with 64-byte packets, both directions (§5.3).
-			if res, err := s.bandwidth(p, 64, opts); err != nil {
-				failures++
+			if res, err := bandwidth(net, p, 64, opts); err != nil {
+				counts.failures++
 				doc[FError] = err.Error()
 			} else {
 				doc[FBwUp64] = res.CS.AchievedBps
 				doc[FBwDown64] = res.SC.AchievedBps
 			}
 			// Bandwidth with MTU-sized packets.
-			if res, err := s.bandwidth(p, p.MTU, opts); err != nil {
-				failures++
+			if res, err := bandwidth(net, p, p.MTU, opts); err != nil {
+				counts.failures++
 				doc[FError] = err.Error()
 			} else {
 				doc[FBwUpMTU] = res.CS.AchievedBps
@@ -230,10 +456,10 @@ func (s *Suite) testDestination(srv Server, opts RunOpts) (docs []docdb.Document
 		}
 		docs = append(docs, doc)
 	}
-	return docs, tested, failures, unresolved
+	return docs, counts, nil
 }
 
-func (s *Suite) bandwidth(p *pathmgr.Path, size int, opts RunOpts) (bwtest.Result, error) {
+func bandwidth(net *simnet.Network, p *pathmgr.Path, size int, opts RunOpts) (bwtest.Result, error) {
 	count := int(opts.BwTargetBps * opts.BwDuration.Seconds() / float64(size*8))
 	if count < 1 {
 		count = 1
@@ -244,7 +470,7 @@ func (s *Suite) bandwidth(p *pathmgr.Path, size int, opts RunOpts) (bwtest.Resul
 		PacketCount: count,
 		TargetBps:   opts.BwTargetBps,
 	}
-	return bwtest.Run(s.Daemon.Network(), p, params, bwtest.Params{})
+	return bwtest.Run(net, p, params, bwtest.Params{})
 }
 
 func anySlice(ss []string) []any {

@@ -13,11 +13,15 @@ import (
 	"github.com/upin/scionpath/internal/topology"
 )
 
-// Collection names, matching the paper's database schema (Fig 3).
+// Collection names. The first three match the paper's database schema
+// (Fig 3); campaign_progress is the campaign engine's checkpoint journal
+// (one document per completed measurement cell, plus one metadata document
+// per campaign) that makes interrupted campaigns resumable.
 const (
-	ColServers = "availableServers"
-	ColPaths   = "paths"
-	ColStats   = "paths_stats"
+	ColServers  = "availableServers"
+	ColPaths    = "paths"
+	ColStats    = "paths_stats"
+	ColProgress = "campaign_progress"
 )
 
 // Server document fields.
@@ -58,6 +62,33 @@ const (
 	FTargetBps  = "target_bps"
 	FError      = "error"
 )
+
+// Campaign-progress document fields (see docs/CAMPAIGN.md for the schema).
+const (
+	FCampaign   = "campaign"
+	FIteration  = "iteration"
+	FSeed       = "seed"
+	FBaseMs     = "base_ms"
+	FStrideMs   = "stride_ms"
+	FConfig     = "config"
+	FAttempts   = "attempts"
+	FCellTested = "paths_tested"
+	FCellStored = "stats_stored"
+	FCellFail   = "failures"
+	FCellUnres  = "unresolved"
+	FCellSimMs  = "sim_ms"
+)
+
+// CampaignMetaID is the _id of a campaign's metadata document.
+func CampaignMetaID(campaign string) string {
+	return fmt.Sprintf("meta:%s", campaign)
+}
+
+// CellID is the _id of a completed-cell checkpoint: one cell is the
+// (iteration, destination) grid point of a campaign.
+func CellID(campaign string, iteration, serverID int) string {
+	return fmt.Sprintf("cell:%s:%d:%d", campaign, iteration, serverID)
+}
 
 // PathID builds the paper's path identifier: "a path whose id is 2_15
 // identifies the path 15 of the destination 2" (§4.2.1).

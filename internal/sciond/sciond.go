@@ -46,6 +46,21 @@ func New(topo *topology.Topology, net *simnet.Network, local addr.IA) (*Daemon, 
 	return d, nil
 }
 
+// Fork returns a daemon for the same local AS bound to a different
+// data-plane network, sharing the already-discovered segment registry (the
+// combiner is immutable, so sharing it across forks is safe for concurrent
+// reads). The campaign engine forks one daemon per measurement cell so
+// cells can run on private worlds without re-running beaconing; the fork
+// re-beacons on its own only when the shared registry's segments expire
+// relative to the fork's clock.
+func (d *Daemon) Fork(net *simnet.Network) *Daemon {
+	f := &Daemon{topo: d.topo, combiner: d.combiner, net: net, local: d.local}
+	if net != nil {
+		f.discoveredAt = net.Now()
+	}
+	return f
+}
+
 // refresh re-runs beaconing and stamps the discovery time.
 func (d *Daemon) refresh() {
 	reg := segment.Discover(d.topo, segment.Options{})

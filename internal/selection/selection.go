@@ -7,6 +7,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -127,8 +128,10 @@ func New(db *docdb.DB, topo *topology.Topology) *Engine {
 }
 
 // Select returns the candidate paths to a destination server satisfying the
-// request, best first. Paths without measurements are skipped.
-func (e *Engine) Select(serverID int, req Request) ([]Candidate, error) {
+// request, best first. Paths without measurements are skipped. Aggregating
+// a destination's full measurement history can be slow on large databases,
+// so cancellation is honored between candidates.
+func (e *Engine) Select(ctx context.Context, serverID int, req Request) ([]Candidate, error) {
 	if req.MinSamples == 0 {
 		req.MinSamples = 1
 	}
@@ -142,6 +145,9 @@ func (e *Engine) Select(serverID int, req Request) ([]Candidate, error) {
 
 	var out []Candidate
 	for _, pd := range pathDocs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("selection: select cancelled: %w", err)
+		}
 		cand, ok := e.aggregate(pd)
 		if !ok || cand.Samples < req.MinSamples {
 			continue
@@ -161,8 +167,8 @@ func (e *Engine) Select(serverID int, req Request) ([]Candidate, error) {
 
 // Best returns the single best candidate, or an error when no path
 // satisfies the request.
-func (e *Engine) Best(serverID int, req Request) (Candidate, error) {
-	cands, err := e.Select(serverID, req)
+func (e *Engine) Best(ctx context.Context, serverID int, req Request) (Candidate, error) {
+	cands, err := e.Select(ctx, serverID, req)
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func measuredWorld(t testing.TB, seed int64) (*Engine, *measure.Suite, int) {
 		t.Fatal(err)
 	}
 	irelandID := serverIDFor(t, s.DB, topology.AWSIreland.String())
-	if _, err := s.Run(measure.RunOpts{
+	if _, err := s.Run(context.Background(), measure.RunOpts{
 		Iterations: 3, ServerIDs: []int{irelandID},
 		PingCount: 10, PingInterval: 10 * time.Millisecond,
 		BwDuration: 500 * time.Millisecond,
@@ -57,7 +58,7 @@ func serverIDFor(t testing.TB, db *docdb.DB, ia string) int {
 
 func TestSelectLowestLatency(t *testing.T) {
 	e, _, id := measuredWorld(t, 1)
-	cands, err := e.Select(id, Request{Objective: LowestLatency})
+	cands, err := e.Select(context.Background(), id, Request{Objective: LowestLatency})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSelectLowestLatency(t *testing.T) {
 
 func TestSelectMostStableAvoidsJitteryASes(t *testing.T) {
 	e, _, id := measuredWorld(t, 2)
-	best, err := e.Best(id, Request{Objective: MostStable})
+	best, err := e.Best(context.Background(), id, Request{Objective: MostStable})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestSelectMostStableAvoidsJitteryASes(t *testing.T) {
 
 func TestSelectExcludeCountry(t *testing.T) {
 	e, _, id := measuredWorld(t, 3)
-	all, err := e.Select(id, Request{})
+	all, err := e.Select(context.Background(), id, Request{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noUS, err := e.Select(id, Request{ExcludeCountries: []string{"United States"}})
+	noUS, err := e.Select(context.Background(), id, Request{ExcludeCountries: []string{"United States"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSelectExcludeCountry(t *testing.T) {
 		}
 	}
 	// Case-insensitive.
-	noUS2, _ := e.Select(id, Request{ExcludeCountries: []string{"united states"}})
+	noUS2, _ := e.Select(context.Background(), id, Request{ExcludeCountries: []string{"united states"}})
 	if len(noUS2) != len(noUS) {
 		t.Error("country exclusion is case sensitive")
 	}
@@ -128,7 +129,7 @@ func TestSelectExcludeCountry(t *testing.T) {
 
 func TestSelectExcludeISD(t *testing.T) {
 	e, _, id := measuredWorld(t, 4)
-	cands, err := e.Select(id, Request{ExcludeISDs: []string{"19"}})
+	cands, err := e.Select(context.Background(), id, Request{ExcludeISDs: []string{"19"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSelectExcludeISD(t *testing.T) {
 		}
 	}
 	// Excluding the destination's own ISD leaves nothing.
-	none, err := e.Select(id, Request{ExcludeISDs: []string{"16"}})
+	none, err := e.Select(context.Background(), id, Request{ExcludeISDs: []string{"16"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,8 +152,8 @@ func TestSelectExcludeISD(t *testing.T) {
 
 func TestSelectExcludeASAndOperator(t *testing.T) {
 	e, _, id := measuredWorld(t, 5)
-	all, _ := e.Select(id, Request{})
-	noOhio, err := e.Select(id, Request{ExcludeASes: []string{"16-ffaa:0:1004"}})
+	all, _ := e.Select(context.Background(), id, Request{})
+	noOhio, err := e.Select(context.Background(), id, Request{ExcludeASes: []string{"16-ffaa:0:1004"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestSelectExcludeASAndOperator(t *testing.T) {
 	}
 	// Every path crosses an Amazon AS (the destination), so excluding the
 	// operator leaves nothing.
-	noAmazon, err := e.Select(id, Request{ExcludeOperators: []string{"Amazon"}})
+	noAmazon, err := e.Select(context.Background(), id, Request{ExcludeOperators: []string{"Amazon"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,14 +180,14 @@ func TestSelectExcludeASAndOperator(t *testing.T) {
 
 func TestSelectPerformanceConstraints(t *testing.T) {
 	e, _, id := measuredWorld(t, 6)
-	all, _ := e.Select(id, Request{})
+	all, _ := e.Select(context.Background(), id, Request{})
 	var worst float64
 	for _, c := range all {
 		if !math.IsInf(c.AvgLatencyMs, 1) && c.AvgLatencyMs > worst {
 			worst = c.AvgLatencyMs
 		}
 	}
-	bounded, err := e.Select(id, Request{MaxLatencyMs: worst / 2})
+	bounded, err := e.Select(context.Background(), id, Request{MaxLatencyMs: worst / 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestSelectPerformanceConstraints(t *testing.T) {
 		}
 	}
 	// Bandwidth floor.
-	banded, err := e.Select(id, Request{MinBandwidthBps: 5e6})
+	banded, err := e.Select(context.Background(), id, Request{MinBandwidthBps: 5e6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestSelectPerformanceConstraints(t *testing.T) {
 		}
 	}
 	// Impossible constraint.
-	none, _ := e.Select(id, Request{MaxLatencyMs: 0.001})
+	none, _ := e.Select(context.Background(), id, Request{MaxLatencyMs: 0.001})
 	if len(none) != 0 {
 		t.Error("impossible latency satisfied")
 	}
@@ -217,7 +218,7 @@ func TestSelectPerformanceConstraints(t *testing.T) {
 
 func TestSelectDirectionalBandwidth(t *testing.T) {
 	e, _, id := measuredWorld(t, 11)
-	all, err := e.Select(id, Request{})
+	all, err := e.Select(context.Background(), id, Request{})
 	if err != nil || len(all) == 0 {
 		t.Fatalf("%v", err)
 	}
@@ -230,11 +231,11 @@ func TestSelectDirectionalBandwidth(t *testing.T) {
 		}
 	}
 	floor := maxUp * 1.5 // above anything upstream can do
-	down, err := e.Select(id, Request{MinDownBps: floor})
+	down, err := e.Select(context.Background(), id, Request{MinDownBps: floor})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sym, err := e.Select(id, Request{MinBandwidthBps: floor})
+	sym, err := e.Select(context.Background(), id, Request{MinBandwidthBps: floor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestSelectDirectionalBandwidth(t *testing.T) {
 		}
 	}
 	// Upstream floor above capability filters everything.
-	up, err := e.Select(id, Request{MinUpBps: floor})
+	up, err := e.Select(context.Background(), id, Request{MinUpBps: floor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,17 +259,17 @@ func TestSelectDirectionalBandwidth(t *testing.T) {
 
 func TestBestErrors(t *testing.T) {
 	e, _, id := measuredWorld(t, 7)
-	if _, err := e.Best(id, Request{MaxLatencyMs: 0.0001}); err == nil {
+	if _, err := e.Best(context.Background(), id, Request{MaxLatencyMs: 0.0001}); err == nil {
 		t.Error("impossible request yielded a best path")
 	}
-	if _, err := e.Best(9999, Request{}); err == nil {
+	if _, err := e.Best(context.Background(), 9999, Request{}); err == nil {
 		t.Error("unknown server yielded a best path")
 	}
 }
 
 func TestHighestBandwidthObjective(t *testing.T) {
 	e, _, id := measuredWorld(t, 8)
-	cands, err := e.Select(id, Request{Objective: HighestBandwidth})
+	cands, err := e.Select(context.Background(), id, Request{Objective: HighestBandwidth})
 	if err != nil || len(cands) < 2 {
 		t.Fatalf("%v (%d)", err, len(cands))
 	}
@@ -282,7 +283,7 @@ func TestHighestBandwidthObjective(t *testing.T) {
 func TestMinSamples(t *testing.T) {
 	e, _, id := measuredWorld(t, 9)
 	// 3 iterations ran, so MinSamples 4 filters everything.
-	cands, err := e.Select(id, Request{MinSamples: 4})
+	cands, err := e.Select(context.Background(), id, Request{MinSamples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestMinSamples(t *testing.T) {
 
 func TestExplain(t *testing.T) {
 	e, _, id := measuredWorld(t, 10)
-	best, err := e.Best(id, Request{})
+	best, err := e.Best(context.Background(), id, Request{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -115,6 +115,34 @@ func New(topo *topology.Topology, opts Options) *Network {
 	}
 }
 
+// Seed returns the seed driving this world's randomness (opts are immutable
+// after New, so no lock is needed).
+func (n *Network) Seed() int64 { return n.opts.Seed }
+
+// Fork returns an independent simulation world over the same immutable
+// topology and physical-model options, but with its own event engine (clock
+// at zero), its own rng stream driven by seed, and fresh cross-traffic
+// state. Scheduled congestion episodes and link outages are copied, so a
+// fork sees the same scheduled network weather at a given simulated time.
+// Forks are how the campaign engine gives each measurement cell a private,
+// deterministic world: a fork never shares mutable state with its parent,
+// so forks are safe to drive from concurrent goroutines.
+func (n *Network) Fork(seed int64) *Network {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	opts := n.opts
+	opts.Seed = seed
+	return &Network{
+		topo:     n.topo,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(seed)),
+		engine:   NewEngine(),
+		episodes: append([]Episode(nil), n.episodes...),
+		outages:  append([]LinkOutage(nil), n.outages...),
+		util:     make(map[dirKey]*utilState),
+	}
+}
+
 // Now returns the simulated clock.
 func (n *Network) Now() time.Duration {
 	n.mu.Lock()

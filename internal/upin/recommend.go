@@ -1,6 +1,7 @@
 package upin
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,11 +43,11 @@ type Recommendation struct {
 // profile. Candidates are fetched through the selection engine with the
 // intent's hard constraints applied first; the weights then order the
 // survivors by normalised multi-criteria score.
-func Recommend(engine *selection.Engine, intent Intent, w Weights, topK int) ([]Recommendation, error) {
+func Recommend(ctx context.Context, engine *selection.Engine, intent Intent, w Weights, topK int) ([]Recommendation, error) {
 	if err := validateWeights(w); err != nil {
 		return nil, err
 	}
-	cands, err := engine.Select(intent.ServerID, intent.Request)
+	cands, err := engine.Select(ctx, intent.ServerID, intent.Request)
 	if err != nil {
 		return nil, err
 	}

@@ -124,7 +124,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
 		return
 	}
-	cands, err := s.engine.Select(id, selection.Request{})
+	cands, err := s.engine.Select(r.Context(), id, selection.Request{})
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -195,7 +195,7 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctrl := NewController(s.daemon, s.engine, s.explorer)
-	dec2, err := ctrl.Decide(dstIA, intent)
+	dec2, err := ctrl.Decide(r.Context(), dstIA, intent)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -229,7 +229,7 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	recs, err := Recommend(s.engine, intent, weights, 3)
+	recs, err := Recommend(r.Context(), s.engine, intent, weights, 3)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -1,6 +1,7 @@
 package upin
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func recordedTrace(t *testing.T, f *fixture, req selection.Request) (*Decision, 
 	t.Helper()
 	ctrl := NewController(f.daemon, f.engine, f.explorer)
 	intent := Intent{ServerID: f.serverID, Request: req}
-	dec, err := ctrl.Decide(topology.AWSIreland, intent)
+	dec, err := ctrl.Decide(context.Background(), topology.AWSIreland, intent)
 	if err != nil {
 		t.Fatal(err)
 	}

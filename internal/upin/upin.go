@@ -10,6 +10,7 @@
 package upin
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -118,8 +119,8 @@ type Decision struct {
 
 // Decide selects the best measured path satisfying the intent and resolves
 // it to a live path (the "forwarding rule").
-func (c *Controller) Decide(dst addr.IA, intent Intent) (*Decision, error) {
-	cand, err := c.selector.Best(intent.ServerID, intent.Request)
+func (c *Controller) Decide(ctx context.Context, dst addr.IA, intent Intent) (*Decision, error) {
+	cand, err := c.selector.Best(ctx, intent.ServerID, intent.Request)
 	if err != nil {
 		return nil, fmt.Errorf("upin: controller: %w", err)
 	}

@@ -1,6 +1,7 @@
 package upin
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func setup(t testing.TB, seed int64) *fixture {
 			serverID = s.ID
 		}
 	}
-	if _, err := suite.Run(measure.RunOpts{
+	if _, err := suite.Run(context.Background(), measure.RunOpts{
 		Iterations: 3, ServerIDs: []int{serverID},
 		PingCount: 8, PingInterval: 5 * time.Millisecond,
 		BwDuration: 300 * time.Millisecond,
@@ -89,7 +90,7 @@ func TestControllerDecide(t *testing.T) {
 	intent := Intent{ServerID: f.serverID, Request: selection.Request{
 		Objective: selection.LowestLatency,
 	}}
-	dec, err := ctrl.Decide(topology.AWSIreland, intent)
+	dec, err := ctrl.Decide(context.Background(), topology.AWSIreland, intent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestControllerDecide(t *testing.T) {
 func TestControllerImpossibleIntent(t *testing.T) {
 	f := setup(t, 3)
 	ctrl := NewController(f.daemon, f.engine, f.explorer)
-	_, err := ctrl.Decide(topology.AWSIreland, Intent{
+	_, err := ctrl.Decide(context.Background(), topology.AWSIreland, Intent{
 		ServerID: f.serverID,
 		Request:  selection.Request{MaxLatencyMs: 0.001},
 	})
@@ -124,7 +125,7 @@ func TestTracerAndVerifierSatisfied(t *testing.T) {
 		Objective:        selection.LowestLatency,
 		ExcludeCountries: []string{"United States", "Singapore"},
 	}}
-	dec, err := ctrl.Decide(topology.AWSIreland, intent)
+	dec, err := ctrl.Decide(context.Background(), topology.AWSIreland, intent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestVerifierDetectsViolation(t *testing.T) {
 	ctrl := NewController(f.daemon, f.engine, f.explorer)
 	// Decide WITHOUT the exclusion, then verify against an intent WITH it:
 	// pick a path known to cross the US (highest latency tends to detour).
-	all, err := f.engine.Select(f.serverID, selection.Request{})
+	all, err := f.engine.Select(context.Background(), f.serverID, selection.Request{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestVerifierMarksOutOfDomainHops(t *testing.T) {
 	f := setup(t, 6)
 	// Shrink the domain to ISD 17 only: the AWS hops become unverifiable.
 	narrow := NewDomainExplorer(f.topo, []addr.ISD{17})
-	all, _ := f.engine.Select(f.serverID, selection.Request{})
+	all, _ := f.engine.Select(context.Background(), f.serverID, selection.Request{})
 	path, err := f.daemon.ResolveSequence(topology.AWSIreland, all[0].Sequence)
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +221,7 @@ func TestRecommendProfiles(t *testing.T) {
 	f := setup(t, 7)
 	intent := Intent{ServerID: f.serverID, Request: selection.Request{}}
 
-	voip, err := Recommend(f.engine, intent, ProfileVoIP, 5)
+	voip, err := Recommend(context.Background(), f.engine, intent, ProfileVoIP, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestRecommendProfiles(t *testing.T) {
 
 	// Bulk profile ranks by bandwidth: its winner's mean bandwidth is the
 	// maximum among candidates.
-	bulk, err := Recommend(f.engine, intent, ProfileBulk, 0)
+	bulk, err := Recommend(context.Background(), f.engine, intent, ProfileBulk, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,14 +266,14 @@ func TestRecommendProfiles(t *testing.T) {
 func TestRecommendValidation(t *testing.T) {
 	f := setup(t, 8)
 	intent := Intent{ServerID: f.serverID}
-	if _, err := Recommend(f.engine, intent, Weights{Latency: -1}, 3); err == nil {
+	if _, err := Recommend(context.Background(), f.engine, intent, Weights{Latency: -1}, 3); err == nil {
 		t.Error("negative weight accepted")
 	}
-	if _, err := Recommend(f.engine, intent, Weights{}, 3); err == nil {
+	if _, err := Recommend(context.Background(), f.engine, intent, Weights{}, 3); err == nil {
 		t.Error("all-zero weights accepted")
 	}
 	impossible := Intent{ServerID: f.serverID, Request: selection.Request{MaxLatencyMs: 0.001}}
-	if _, err := Recommend(f.engine, impossible, ProfileBrowsing, 3); err == nil {
+	if _, err := Recommend(context.Background(), f.engine, impossible, ProfileBrowsing, 3); err == nil {
 		t.Error("impossible intent recommended")
 	}
 }
@@ -280,7 +281,7 @@ func TestRecommendValidation(t *testing.T) {
 func TestRecommendTopK(t *testing.T) {
 	f := setup(t, 9)
 	intent := Intent{ServerID: f.serverID}
-	recs, err := Recommend(f.engine, intent, ProfileBrowsing, 2)
+	recs, err := Recommend(context.Background(), f.engine, intent, ProfileBrowsing, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

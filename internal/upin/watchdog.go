@@ -1,6 +1,7 @@
 package upin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,8 +40,10 @@ type WatchEvent struct {
 
 // Watch runs `rounds` health-check cycles spaced `interval` apart on the
 // simulated clock, starting from an initial decision for the intent. It
-// returns the per-round events and the final decision.
-func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.Duration) ([]WatchEvent, *Decision, error) {
+// returns the per-round events and the final decision. Cancellation is
+// honored at round boundaries: completed rounds' events and the last
+// decision are returned alongside ctx's error.
+func (w *Watchdog) Watch(ctx context.Context, dst addr.IA, intent Intent, rounds int, interval time.Duration) ([]WatchEvent, *Decision, error) {
 	if rounds < 1 {
 		return nil, nil, fmt.Errorf("upin: watchdog needs >= 1 round")
 	}
@@ -52,7 +55,7 @@ func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.D
 	if intent.Request.MaxLossPct == 0 {
 		intent.Request.MaxLossPct = w.MaxLossPct
 	}
-	dec, err := w.Controller.Decide(dst, intent)
+	dec, err := w.Controller.Decide(ctx, dst, intent)
 	if err != nil {
 		return nil, nil, fmt.Errorf("upin: watchdog: initial decision: %w", err)
 	}
@@ -60,6 +63,9 @@ func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.D
 	net := w.Suite.Daemon.Network()
 	var events []WatchEvent
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return events, dec, fmt.Errorf("upin: watchdog cancelled before round %d: %w", round, err)
+		}
 		stats, err := scmp.Ping(net, dec.Path, w.CheckPing)
 		if err != nil {
 			return events, dec, fmt.Errorf("upin: watchdog round %d: %w", round, err)
@@ -69,7 +75,7 @@ func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.D
 			// Degraded: refresh measurements for this destination and
 			// re-decide. The failing path's fresh stats push it down the
 			// ranking; the selection engine does the rest.
-			if _, err := w.Suite.Run(measure.RunOpts{
+			if _, err := w.Suite.Run(ctx, measure.RunOpts{
 				Iterations:    1,
 				Skip:          true,
 				ServerIDs:     []int{intent.ServerID},
@@ -79,7 +85,7 @@ func (w *Watchdog) Watch(dst addr.IA, intent Intent, rounds int, interval time.D
 			}); err != nil {
 				return events, dec, fmt.Errorf("upin: watchdog round %d: remeasure: %w", round, err)
 			}
-			newDec, err := w.Controller.Decide(dst, intent)
+			newDec, err := w.Controller.Decide(ctx, dst, intent)
 			switch {
 			case err != nil:
 				ev.Reason = fmt.Sprintf("loss %.1f%% above threshold; no alternative (%v)", stats.Loss, err)

@@ -1,6 +1,7 @@
 package upin
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func watchdog(f *fixture) *Watchdog {
 func TestWatchdogHealthySteadyState(t *testing.T) {
 	f := setup(t, 100)
 	w := watchdog(f)
-	events, final, err := w.Watch(topology.AWSIreland,
+	events, final, err := w.Watch(context.Background(), topology.AWSIreland,
 		Intent{ServerID: f.serverID}, 3, time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +49,7 @@ func TestWatchdogSwitchesOnOutage(t *testing.T) {
 	f := setup(t, 101)
 	w := watchdog(f)
 	// Initial decision, then its second link dies mid-watch.
-	dec, err := w.Controller.Decide(topology.AWSIreland, Intent{ServerID: f.serverID})
+	dec, err := w.Controller.Decide(context.Background(), topology.AWSIreland, Intent{ServerID: f.serverID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestWatchdogSwitchesOnOutage(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	events, final, err := w.Watch(topology.AWSIreland,
+	events, final, err := w.Watch(context.Background(), topology.AWSIreland,
 		Intent{ServerID: f.serverID}, 4, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -91,10 +92,10 @@ func TestWatchdogSwitchesOnOutage(t *testing.T) {
 func TestWatchdogValidation(t *testing.T) {
 	f := setup(t, 102)
 	w := watchdog(f)
-	if _, _, err := w.Watch(topology.AWSIreland, Intent{ServerID: f.serverID}, 0, time.Second); err == nil {
+	if _, _, err := w.Watch(context.Background(), topology.AWSIreland, Intent{ServerID: f.serverID}, 0, time.Second); err == nil {
 		t.Error("zero rounds accepted")
 	}
-	if _, _, err := w.Watch(topology.AWSIreland, Intent{ServerID: 999}, 1, time.Second); err == nil {
+	if _, _, err := w.Watch(context.Background(), topology.AWSIreland, Intent{ServerID: 999}, 1, time.Second); err == nil {
 		t.Error("unknown server accepted")
 	}
 }

@@ -23,6 +23,10 @@ echo "== tier 1: go test ./..."
 go test ./...
 
 echo "== tier 2: go test -race (concurrency-heavy packages)"
-go test -race ./internal/docdb ./internal/simnet
+go test -race ./internal/docdb ./internal/simnet ./internal/measure
+
+echo "== tier 2: parallel campaign smoke (testsuite --workers 4)"
+go run ./cmd/testsuite 2 --servers 1,2,3 --workers 4 --no-bandwidth \
+	--ping-count 5 --ping-interval 1ms >/dev/null
 
 echo "verify.sh: all tiers passed"
