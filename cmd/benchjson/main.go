@@ -1,0 +1,156 @@
+// Command benchjson runs the docdb query-engine benchmarks and records the
+// results in a JSON trajectory file, so successive PRs can show measured
+// deltas instead of asserted ones (see docs/DOCDB.md, "Benchmark
+// methodology").
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -label after            # run + record
+//	go run ./cmd/benchjson -label pr4 -benchtime 2s
+//	go run ./cmd/benchjson -parse out.txt -label x # record a saved run
+//
+// Each invocation replaces the named label in BENCH_docdb.json and leaves
+// every other label untouched, so "before" numbers captured at the start of
+// a PR survive the "after" run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed "BenchmarkX-8  N  ns/op ..." line.
+type benchResult struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// trajectory is the whole BENCH_docdb.json file: labelled benchmark runs,
+// typically "before"/"after" per PR.
+type trajectory struct {
+	Command string                   `json:"command"`
+	Runs    map[string][]benchResult `json:"runs"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		label     = fs.String("label", "", "label for this run (required), e.g. before, after, pr4")
+		out       = fs.String("out", "BENCH_docdb.json", "trajectory file to update")
+		bench     = fs.String("bench", "BenchmarkDocDB", "benchmark name regex passed to go test")
+		pkg       = fs.String("pkg", "./internal/docdb", "package holding the benchmarks")
+		benchtime = fs.String("benchtime", "1s", "go test -benchtime value")
+		parse     = fs.String("parse", "", "parse a saved 'go test -bench' output file instead of running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *label == "" {
+		fmt.Fprintln(stderr, "benchjson: -label is required")
+		return 2
+	}
+
+	var rawOut []byte
+	cmdline := fmt.Sprintf("go test -run ^$ -bench %s -benchtime %s -benchmem %s", *bench, *benchtime, *pkg)
+	if *parse != "" {
+		b, err := os.ReadFile(*parse)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		rawOut = b
+	} else {
+		fmt.Fprintf(stdout, "benchjson: %s\n", cmdline)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchtime", *benchtime, "-benchmem", *pkg)
+		cmd.Stderr = stderr
+		b, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: go test: %v\n%s", err, b)
+			return 1
+		}
+		rawOut = b
+	}
+
+	results := parseBench(string(rawOut))
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found")
+		return 1
+	}
+
+	traj := trajectory{Runs: map[string][]benchResult{}}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &traj); err != nil {
+			fmt.Fprintf(stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			return 1
+		}
+		if traj.Runs == nil {
+			traj.Runs = map[string][]benchResult{}
+		}
+	}
+	traj.Command = cmdline
+	traj.Runs[*label] = results
+
+	b, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: recorded %d benchmarks under label %q in %s (labels: %s)\n",
+		len(results), *label, *out, strings.Join(labels(traj), ", "))
+	return 0
+}
+
+// benchLine matches standard testing package benchmark output, with or
+// without -benchmem columns.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// parseBench extracts benchmark results from go test -bench output.
+func parseBench(out string) []benchResult {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := benchResult{Name: m[1]}
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func labels(t trajectory) []string {
+	out := make([]string, 0, len(t.Runs))
+	for l := range t.Runs {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/upin/scionpath/internal/docdb
+BenchmarkDocDBFindEq/n=10k-8         	   12345	     97531 ns/op	   20480 B/op	     210 allocs/op
+BenchmarkDocDBTopK/n=100k-8          	      50	  22334455.5 ns/op
+PASS
+ok  	github.com/upin/scionpath/internal/docdb	3.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleOutput)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	first := got[0]
+	if first.Name != "BenchmarkDocDBFindEq/n=10k-8" || first.Iters != 12345 ||
+		first.NsPerOp != 97531 || first.BPerOp != 20480 || first.AllocsOp != 210 {
+		t.Errorf("first result: %+v", first)
+	}
+	second := got[1]
+	if second.Name != "BenchmarkDocDBTopK/n=100k-8" || second.NsPerOp != 22334455.5 || second.BPerOp != 0 {
+		t.Errorf("second result: %+v", second)
+	}
+}
+
+func TestRunParseModeMergesLabels(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_docdb.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-label", "before", "-parse", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	// A second label must not clobber the first.
+	if code := run([]string{"-label", "after", "-parse", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(b, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 || len(traj.Runs["before"]) != 2 || len(traj.Runs["after"]) != 2 {
+		t.Fatalf("trajectory runs: %+v", traj.Runs)
+	}
+}
+
+func TestRunRequiresLabel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunRejectsNoResults(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-label", "x", "-parse", in, "-out", filepath.Join(dir, "o.json")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,117 @@
+package docdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression: Aggregate used fmt.Sprint for group keys, so numerically
+// equal values with different Go renderings (float64 1e6 prints "1e+06",
+// int 1000000 prints "1000000") landed in different groups even though the
+// hash index — and every comparison operator — treats them as equal. Group
+// keys now share indexKey's canonical numeric rendering.
+func TestAggregateGroupsNumericallyEqualKeys(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	err := col.InsertMany([]Document{
+		{"_id": "a", "g": float64(1e6), "v": 1.0},
+		{"_id": "b", "g": int(1000000), "v": 2.0},
+		{"_id": "c", "g": int64(1000000), "v": 3.0},
+		{"_id": "d", "g": 6, "v": 10.0},
+		{"_id": "e", "g": 6.0, "v": 20.0},
+		// Grouping is by rendered key, so the *string* "6" shares the
+		// numeric 6 group — the seed engine's fmt.Sprint behaved the same.
+		{"_id": "f", "g": "6", "v": 100.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.Aggregate(nil, "g", "v")
+	if len(got) != 2 {
+		t.Fatalf("got %d groups (%+v), want 2", len(got), got)
+	}
+	byKey := map[string]AggResult{}
+	for _, g := range got {
+		byKey[g.Key] = g
+	}
+	if g := byKey["1e+06"]; g.Count != 3 || g.Sum != 6.0 {
+		t.Errorf("group 1e+06: %+v, want Count 3 Sum 6", g)
+	}
+	if g := byKey["6"]; g.Count != 3 || g.Sum != 130.0 {
+		t.Errorf("group 6: %+v, want Count 3 Sum 130", g)
+	}
+}
+
+// Aggregate must agree with an equivalent Find-based reduction (it now
+// streams zero-copy under the read lock instead of cloning every document).
+func TestAggregateMatchesFindReduction(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	var docs []Document
+	for i := 0; i < 200; i++ {
+		docs = append(docs, Document{
+			"_id": fmt.Sprintf("d%d", i),
+			"g":   fmt.Sprintf("p%d", i%7),
+			"v":   float64(i%13) * 1.5,
+		})
+	}
+	if err := col.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	f := Gt("v", 3.0)
+	got := col.Aggregate(f, "g", "v")
+
+	type agg struct {
+		n   int
+		sum float64
+	}
+	want := map[string]*agg{}
+	for _, d := range col.Find(Query{Filter: f}) {
+		key := fmt.Sprint(d["g"])
+		a := want[key]
+		if a == nil {
+			a = &agg{}
+			want[key] = a
+		}
+		a.n++
+		a.sum += d["v"].(float64)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for _, g := range got {
+		w := want[g.Key]
+		if w == nil || g.Count != w.n || g.Sum != w.sum {
+			t.Errorf("group %s: %+v, want %+v", g.Key, g, w)
+		}
+	}
+}
+
+// Satellite regression: Delete with no matches must report 0 and leave the
+// collection fully intact (it used to rebuild byID unconditionally).
+func TestDeleteNoMatchLeavesCollectionIntact(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	col.EnsureIndex("tag")
+	col.EnsureSortedIndex("v")
+	for i := 0; i < 20; i++ {
+		if err := col.Insert(Document{"_id": fmt.Sprintf("d%d", i), "tag": "t", "v": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := col.Delete(Eq("tag", "missing")); n != 0 {
+		t.Fatalf("Delete reported %d, want 0", n)
+	}
+	if n := col.Delete(nil); n != 0 {
+		t.Fatalf("Delete(nil) reported %d, want 0", n)
+	}
+	if col.Count() != 20 {
+		t.Fatalf("Count = %d after no-op deletes, want 20", col.Count())
+	}
+	if d := col.Get("d7"); d == nil || d["v"] != 7 {
+		t.Fatalf("Get(d7) = %v after no-op deletes", d)
+	}
+	if got := col.Find(Query{Filter: Eq("tag", "t"), SortBy: "v", Limit: 3}); len(got) != 3 || got[0].ID() != "d0" {
+		t.Fatalf("indexed query after no-op deletes: %v", idsOf(got))
+	}
+}

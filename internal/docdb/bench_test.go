@@ -1,0 +1,195 @@
+package docdb
+
+// BenchmarkDocDB* is the query-engine benchmark suite behind the repo's
+// benchmark trajectory (BENCH_docdb.json, written by cmd/benchjson). The
+// workload mirrors the paths_stats collection the paper's architecture
+// accumulates: one document per (path, iteration) measurement with a
+// monotonically increasing timestamp, a per-path identifier, and numeric
+// latency/loss statistics. Sizes: 10k documents is one long campaign on the
+// 35-AS SCIONLab world; 100k is the production-scale regime the ROADMAP
+// targets.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSizes are the collection sizes every benchmark runs at.
+var benchSizes = []int{10_000, 100_000}
+
+// ensureBenchIndexes installs the indexes the measurement layer maintains
+// on paths_stats (kept in one place so the before/after trajectory runs the
+// same setup).
+func ensureBenchIndexes(col *Collection) {
+	col.EnsureIndex("path_id")
+	col.EnsureSortedIndex("avg_latency_ms")
+	col.EnsureSortedIndex("timestamp_ms")
+}
+
+// benchDocs builds a deterministic measurement-shaped workload: n stats
+// documents over n/200 distinct paths across 25 servers.
+func benchDocs(n int) []Document {
+	docs := make([]Document, 0, n)
+	paths := n / 200
+	if paths < 10 {
+		paths = 10
+	}
+	for i := 0; i < n; i++ {
+		docs = append(docs, Document{
+			"_id":            fmt.Sprintf("s%d", i),
+			"path_id":        fmt.Sprintf("2_%d", i%paths),
+			"server_id":      i%25 + 1,
+			"hops":           i%5 + 4,
+			"timestamp_ms":   int64(i * 100),
+			"avg_latency_ms": float64((i*7919)%2000)/10 + 5,
+			"loss_pct":       float64(i % 101),
+		})
+	}
+	return docs
+}
+
+// benchCollection loads n documents and installs the indexes the
+// measurement layer maintains on paths_stats.
+func benchCollection(b *testing.B, n int) *Collection {
+	b.Helper()
+	db := Open()
+	col := db.Collection("paths_stats")
+	docs := benchDocs(n)
+	for lo := 0; lo < len(docs); lo += 1000 {
+		hi := lo + 1000
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		if err := col.InsertMany(docs[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ensureBenchIndexes(col)
+	return col
+}
+
+func sizeName(n int) string { return fmt.Sprintf("n=%dk", n/1000) }
+
+// BenchmarkDocDBInsert measures batched insertion (the §4.2.2 multi-insert
+// path) of 1000-document batches into an indexed collection.
+func BenchmarkDocDBInsert(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			docs := benchDocs(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := Open()
+				col := db.Collection("paths_stats")
+				ensureBenchIndexes(col)
+				b.StartTimer()
+				for lo := 0; lo < len(docs); lo += 1000 {
+					if err := col.InsertMany(docs[lo : lo+1000]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBFindEq measures an indexed equality query: all samples of
+// one path (the selection engine's per-path aggregation fetch).
+func BenchmarkDocDBFindEq(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			col := benchCollection(b, n)
+			f := Eq("path_id", "2_7")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := col.Find(Query{Filter: f}); len(got) != 200 {
+					b.Fatalf("got %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBFindRange measures a numeric range query on the latency
+// field (an SLA-style filter: every measurement under 25 ms).
+func BenchmarkDocDBFindRange(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			col := benchCollection(b, n)
+			f := And(Gte("avg_latency_ms", 5.0), Lt("avg_latency_ms", 25.0))
+			want := 0
+			for _, d := range benchDocs(n) {
+				v := d["avg_latency_ms"].(float64)
+				if v >= 5.0 && v < 25.0 {
+					want++
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := col.Find(Query{Filter: f}); len(got) != want {
+					b.Fatalf("got %d, want %d", len(got), want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBTopK measures the sorted+limited query every latency
+// dashboard runs: the 10 best (lowest mean latency) recent measurements.
+func BenchmarkDocDBTopK(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			col := benchCollection(b, n)
+			q := Query{SortBy: "avg_latency_ms", Limit: 10}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := col.Find(q); len(got) != 10 {
+					b.Fatalf("got %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBTopKFiltered measures top-K under a server filter, the
+// "best paths to this destination" query of the selection engine.
+func BenchmarkDocDBTopKFiltered(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			col := benchCollection(b, n)
+			q := Query{
+				Filter: Eq("server_id", 3),
+				SortBy: "avg_latency_ms", SortDesc: true, Limit: 10,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := col.Find(q); len(got) != 10 {
+					b.Fatalf("got %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBAggregate measures the mean-per-path aggregation the
+// selection engine and the figure pipelines are built on.
+func BenchmarkDocDBAggregate(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			col := benchCollection(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := col.Aggregate(nil, "path_id", "avg_latency_ms")
+				if len(res) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}

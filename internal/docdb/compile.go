@@ -1,0 +1,351 @@
+package docdb
+
+// Query compilation: the hot-path machinery that lets Find, Delete, Update,
+// ForEach, sort comparators and Aggregate evaluate a query without
+// re-splitting dotted field paths or re-dispatching on `any` per document.
+//
+// Three layers:
+//
+//   - fieldPath: a dotted path pre-split into segments, interned in a
+//     process-wide cache (paths come from a small schema vocabulary, so the
+//     cache stays tiny and every collection shares the compiled form).
+//   - sortKey: a value mapped into the engine's total order (the order
+//     compareValues defines), so sorting and range scans compare flat
+//     structs instead of re-inspecting interface values.
+//   - compileMatch: a filter tree compiled into a closure tree with
+//     pre-resolved paths and type-specialised comparators.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// fieldPath is a compiled dotted field path. segs is nil for the common
+// single-segment case, where lookup is one map access.
+type fieldPath struct {
+	raw  string
+	segs []string
+}
+
+// pathCache interns compiled paths process-wide (path -> *fieldPath). The
+// vocabulary is the document schema, a few dozen strings, so the cache is
+// effectively bounded.
+var pathCache sync.Map
+
+// compilePath returns the interned compiled form of a dotted path.
+func compilePath(path string) *fieldPath {
+	if v, ok := pathCache.Load(path); ok {
+		return v.(*fieldPath)
+	}
+	fp := &fieldPath{raw: path}
+	if strings.Contains(path, ".") {
+		fp.segs = strings.Split(path, ".")
+	}
+	v, _ := pathCache.LoadOrStore(path, fp)
+	return v.(*fieldPath)
+}
+
+// lookupFP resolves a compiled field path within the document.
+func (d Document) lookupFP(fp *fieldPath) (any, bool) {
+	if fp.segs == nil {
+		v, ok := d[fp.raw]
+		return v, ok
+	}
+	cur := any(d)
+	for _, part := range fp.segs {
+		switch m := cur.(type) {
+		case Document:
+			v, ok := m[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case map[string]any:
+			v, ok := m[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// Total-order sort keys ------------------------------------------------
+
+// Kind ranks mirror kindName's ordering so compareKeys agrees with
+// compareValues on every pair of values.
+const (
+	kindNil    uint8 = 0
+	kindBool   uint8 = 1
+	kindNumber uint8 = 2
+	kindString uint8 = 3
+	kindOther  uint8 = 9
+)
+
+// sortKey is a document value projected into the engine's total order:
+// ordered by kind rank first, then by the kind's own value. For kindOther
+// the str field holds the Go type name, matching compareValues' fallback
+// (two values of the same non-scalar type compare equal).
+type sortKey struct {
+	kind uint8
+	b    bool
+	num  float64
+	str  string
+}
+
+// keyOf projects a looked-up value into the total order. A missing field
+// (ok == false) keys as nil, which is also how the sort comparators treat
+// it. NaN numbers are unsupported (documents are JSON-compatible).
+func keyOf(v any, ok bool) sortKey {
+	if !ok || v == nil {
+		return sortKey{kind: kindNil}
+	}
+	if f, isNum := toFloat(v); isNum {
+		return sortKey{kind: kindNumber, num: f}
+	}
+	switch t := v.(type) {
+	case string:
+		return sortKey{kind: kindString, str: t}
+	case bool:
+		return sortKey{kind: kindBool, b: t}
+	default:
+		return sortKey{kind: kindOther, str: fmt.Sprintf("%T", v)}
+	}
+}
+
+// compareKeys orders two sort keys; it agrees with compareValues for every
+// pair of document values.
+func compareKeys(a, b sortKey) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case kindNumber:
+		return cmpFloat(a.num, b.num)
+	case kindString, kindOther:
+		return strings.Compare(a.str, b.str)
+	case kindBool:
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// canonicalNumber renders a float with the shortest round-trip form; the
+// hash index and Aggregate share it so 6, 6.0 and int64(6) — and 1e6 vs
+// 1000000 — land in the same bucket/group.
+func canonicalNumber(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Filter compilation ---------------------------------------------------
+
+// matchFn is a compiled filter: one closure call per document.
+type matchFn func(Document) bool
+
+// compiledFilter carries a compiled matcher alongside the source tree (the
+// planner inspects the source to pick indexes).
+type compiledFilter struct {
+	src Filter
+	fn  matchFn
+}
+
+// Match implements Filter.
+func (c *compiledFilter) Match(d Document) bool { return c.fn(d) }
+
+// CompileFilter returns a filter with pre-split field paths and
+// type-specialised comparators. Find, ForEach, Delete, Update and
+// Aggregate compile their filter once per call; callers that reuse one
+// filter across many queries can pre-compile it with this. Compiling an
+// already-compiled filter is a no-op, and nil stays nil.
+func CompileFilter(f Filter) Filter {
+	if f == nil {
+		return nil
+	}
+	if c, ok := f.(*compiledFilter); ok {
+		return c
+	}
+	return &compiledFilter{src: f, fn: compileMatch(f)}
+}
+
+// matchAll is the compiled form of a nil filter.
+func matchAll(Document) bool { return true }
+
+// compileMatch compiles a filter tree into a closure tree. Unknown filter
+// implementations (FilterFunc, user types) fall back to their Match method.
+func compileMatch(f Filter) matchFn {
+	switch t := f.(type) {
+	case nil:
+		return matchAll
+	case *compiledFilter:
+		return t.fn
+	case cmpFilter:
+		return compileCmp(t)
+	case inFilter:
+		return compileIn(t)
+	case existsFilter:
+		fp := compilePath(t.field)
+		want := t.want
+		return func(d Document) bool {
+			_, ok := d.lookupFP(fp)
+			return ok == want
+		}
+	case regexFilter:
+		fp := compilePath(t.field)
+		re := t.re
+		return func(d Document) bool {
+			v, ok := d.lookupFP(fp)
+			if !ok {
+				return false
+			}
+			s, ok := v.(string)
+			if !ok {
+				s = fmt.Sprint(v)
+			}
+			return re.MatchString(s)
+		}
+	case andFilter:
+		subs := make([]matchFn, len(t))
+		for i, sub := range t {
+			subs[i] = compileMatch(sub)
+		}
+		return func(d Document) bool {
+			for _, m := range subs {
+				if !m(d) {
+					return false
+				}
+			}
+			return true
+		}
+	case orFilter:
+		subs := make([]matchFn, len(t))
+		for i, sub := range t {
+			subs[i] = compileMatch(sub)
+		}
+		return func(d Document) bool {
+			for _, m := range subs {
+				if m(d) {
+					return true
+				}
+			}
+			return false
+		}
+	case notFilter:
+		sub := compileMatch(t.f)
+		return func(d Document) bool { return !sub(d) }
+	default:
+		return f.Match
+	}
+}
+
+// compileCmp specialises a comparison filter on its value's type: numeric
+// and string comparisons skip the generic compareValues dispatch entirely
+// for same-kind document values.
+func compileCmp(t cmpFilter) matchFn {
+	fp := compilePath(t.field)
+	op := t.op
+	value := t.value
+	if num, isNum := toFloat(value); isNum {
+		return func(d Document) bool {
+			v, ok := d.lookupFP(fp)
+			if !ok {
+				return op == opNe
+			}
+			if x, xok := toFloat(v); xok {
+				return evalOp(op, cmpFloat(x, num))
+			}
+			return evalOp(op, compareValues(v, value))
+		}
+	}
+	if str, isStr := value.(string); isStr {
+		return func(d Document) bool {
+			v, ok := d.lookupFP(fp)
+			if !ok {
+				return op == opNe
+			}
+			if s, sok := v.(string); sok {
+				return evalOp(op, strings.Compare(s, str))
+			}
+			return evalOp(op, compareValues(v, value))
+		}
+	}
+	return func(d Document) bool {
+		v, ok := d.lookupFP(fp)
+		if !ok {
+			return op == opNe
+		}
+		return evalOp(op, compareValues(v, value))
+	}
+}
+
+// compileIn pre-keys the value set: membership becomes one keyOf plus a
+// map probe instead of len(values) compareValues calls.
+func compileIn(t inFilter) matchFn {
+	fp := compilePath(t.field)
+	negate := t.negate
+	keys := make(map[sortKey]bool, len(t.values))
+	for _, w := range t.values {
+		keys[keyOf(w, true)] = true
+	}
+	return func(d Document) bool {
+		v, ok := d.lookupFP(fp)
+		if !ok {
+			return negate
+		}
+		if keys[keyOf(v, true)] {
+			return !negate
+		}
+		return negate
+	}
+}
+
+// evalOp applies a comparison operator to a three-way comparison result.
+func evalOp(op cmpOp, c int) bool {
+	switch op {
+	case opEq:
+		return c == 0
+	case opNe:
+		return c != 0
+	case opGt:
+		return c > 0
+	case opGte:
+		return c >= 0
+	case opLt:
+		return c < 0
+	case opLte:
+		return c <= 0
+	}
+	return false
+}
+
+// unwrapFilter strips the compiled wrapper so the planner sees the source
+// tree.
+func unwrapFilter(f Filter) Filter {
+	if c, ok := f.(*compiledFilter); ok {
+		return c.src
+	}
+	return f
+}

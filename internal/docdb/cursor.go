@@ -1,0 +1,32 @@
+package docdb
+
+// Zero-copy iteration. Find clones every result because its callers hold on
+// to the documents; aggregation-style consumers (Aggregate, the selection
+// engine, the experiments layer) only *read* a few fields per document, so
+// cloning is pure allocation overhead. ForEach gives them a cursor over the
+// stored documents under the read lock instead.
+
+// ForEach streams matching documents to fn in query order (the same planner
+// and ordering as Find) until fn returns false, and reports how many
+// documents fn saw. It runs under the collection's read lock and passes the
+// *stored* documents without cloning, so fn must treat them as frozen:
+//
+//   - fn must not mutate the document or anything reachable from it;
+//   - fn must not retain the document (or nested maps/slices) after
+//     returning — copy the fields it needs instead;
+//   - fn must not call back into the collection or its DB (the read lock is
+//     held; Insert/Update/Delete would deadlock and Find would re-enter).
+//
+// Query.Project is ignored: fn reads fields straight from the document.
+func (c *Collection) ForEach(q Query, fn func(Document) bool) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := 0
+	for _, d := range c.collectLocked(q) {
+		seen++
+		if !fn(d) {
+			break
+		}
+	}
+	return seen
+}

@@ -4,8 +4,11 @@
 // heterogeneous JSON-like documents, flexible addition of new metrics,
 // batched multi-document insertion (the fault-tolerance/scalability
 // trade-off of §4.2.2), and a query surface with filters, sorting,
-// projection and indexes. Persistence is an append-only JSONL journal that
-// can be replayed on open, so a crash costs at most the unflushed batch.
+// projection, hash and ordered indexes. Queries are compiled — field paths
+// pre-split and comparators type-specialised — and planned against the
+// collection's indexes (see docs/DOCDB.md). Persistence is an append-only
+// JSONL journal that can be replayed on open, so a crash costs at most the
+// unflushed batch.
 package docdb
 
 import (
@@ -62,28 +65,10 @@ func cloneValue(v any) any {
 	}
 }
 
-// lookup resolves a dotted field path within the document.
+// lookup resolves a dotted field path within the document via the compiled
+// path cache.
 func (d Document) lookup(path string) (any, bool) {
-	cur := any(d)
-	for _, part := range strings.Split(path, ".") {
-		switch m := cur.(type) {
-		case Document:
-			v, ok := m[part]
-			if !ok {
-				return nil, false
-			}
-			cur = v
-		case map[string]any:
-			v, ok := m[part]
-			if !ok {
-				return nil, false
-			}
-			cur = v
-		default:
-			return nil, false
-		}
-	}
-	return cur, true
+	return d.lookupFP(compilePath(path))
 }
 
 // ID returns the document's "_id" field as a string, or "".
@@ -153,6 +138,7 @@ type Collection struct {
 	byID    map[string]int
 	seq     int64 // auto-id counter
 	indexes map[string]*index
+	sorted  map[string]*sortedIndex
 }
 
 // Name returns the collection name.
@@ -218,6 +204,7 @@ func (c *Collection) InsertMany(docs []Document) error {
 			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
 		}
 	}
+	c.maybeMergeSortedLocked()
 	return nil
 }
 
@@ -270,6 +257,7 @@ func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
 		}
 	}
+	c.maybeMergeSortedLocked()
 	return replaced, nil
 }
 
@@ -283,18 +271,42 @@ func (c *Collection) Get(id string) Document {
 	return nil
 }
 
-// Delete removes documents matching the filter and returns how many.
+// Delete removes documents matching the filter and returns how many. A nil
+// filter deletes nothing.
 func (c *Collection) Delete(f Filter) int {
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
 	j := c.db.journal
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	// Plan: narrow to index candidates when possible (candidates are a
+	// superset of matches, so documents outside them need no check).
+	match := compileMatch(f)
+	src := unwrapFilter(f)
+	doomed := make(map[string]bool)
+	cands, planned := c.lookupIndexedLocked(src)
+	if !planned {
+		cands, planned = c.lookupRangeLocked(src)
+	}
+	if !planned {
+		cands = c.docs
+	}
+	for _, d := range cands {
+		if match(d) {
+			doomed[d.ID()] = true
+		}
+	}
+	if len(doomed) == 0 {
+		// Nothing matched: leave docs and the byID map untouched instead
+		// of rebuilding them.
+		return 0
+	}
 	kept := c.docs[:0]
-	removed := 0
 	for _, d := range c.docs {
-		if f != nil && f.Match(d) {
-			removed++
+		if doomed[d.ID()] {
 			c.indexRemoveLocked(d)
 			if j != nil {
 				j.append(journalEntry{Op: "delete", Collection: c.name, ID: d.ID()})
@@ -308,22 +320,41 @@ func (c *Collection) Delete(f Filter) int {
 	for i, d := range c.docs {
 		c.byID[d.ID()] = i
 	}
-	return removed
+	c.maybeMergeSortedLocked()
+	return len(doomed)
 }
 
 // Update replaces the non-_id fields of matching documents with the merge
-// of the existing document and set, returning how many changed.
+// of the existing document and set, returning how many changed. A nil
+// filter updates every document.
 func (c *Collection) Update(f Filter, set Document) int {
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
 	j := c.db.journal
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for i, d := range c.docs {
-		if f != nil && !f.Match(d) {
-			continue
+	match := compileMatch(f)
+	var positions []int
+	cands, planned := c.lookupIndexedLocked(unwrapFilter(f))
+	if !planned {
+		cands, planned = c.lookupRangeLocked(unwrapFilter(f))
+	}
+	if planned {
+		for _, d := range cands {
+			if match(d) {
+				positions = append(positions, c.byID[d.ID()])
+			}
 		}
+		sort.Ints(positions) // journal in document order, like a scan
+	} else {
+		for i, d := range c.docs {
+			if match(d) {
+				positions = append(positions, i)
+			}
+		}
+	}
+	for _, i := range positions {
+		d := c.docs[i]
 		c.indexRemoveLocked(d)
 		for k, v := range set {
 			if k == "_id" {
@@ -331,66 +362,37 @@ func (c *Collection) Update(f Filter, set Document) int {
 			}
 			d[k] = cloneValue(v)
 		}
-		c.docs[i] = d
 		c.indexAddLocked(d)
-		n++
 		if j != nil {
 			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: d, Replace: true})
 		}
 	}
-	return n
+	c.maybeMergeSortedLocked()
+	return len(positions)
 }
 
-// Find runs a query and returns matching documents (deep copies).
+// Find runs a query and returns matching documents (deep copies). Results
+// with SortBy are ordered by the sort field in the engine's total order,
+// ties broken by _id (reversed as a whole under SortDesc), so query results
+// are deterministic and index-ordered scans agree with in-memory sorts.
 func (c *Collection) Find(q Query) []Document {
 	c.mu.RLock()
-	matched := make([]Document, 0, 16)
-	if candidates, ok := c.lookupIndexedLocked(q.Filter); ok {
-		// Index narrowed the scan; re-check the full filter (the index may
-		// cover only one conjunct of an And).
-		for _, d := range candidates {
-			if q.Filter.Match(d) {
-				matched = append(matched, d)
-			}
-		}
-	} else {
-		for _, d := range c.docs {
-			if q.Filter == nil || q.Filter.Match(d) {
-				matched = append(matched, d)
-			}
+	defer c.mu.RUnlock()
+	refs := c.collectLocked(q)
+	var proj []*fieldPath
+	if len(q.Project) > 0 {
+		proj = make([]*fieldPath, len(q.Project))
+		for i, f := range q.Project {
+			proj[i] = compilePath(f)
 		}
 	}
-	c.mu.RUnlock()
-
-	if q.SortBy != "" {
-		asc := !q.SortDesc
-		sort.SliceStable(matched, func(i, j int) bool {
-			vi, _ := matched[i].lookup(q.SortBy)
-			vj, _ := matched[j].lookup(q.SortBy)
-			less := compareValues(vi, vj) < 0
-			if asc {
-				return less
-			}
-			return compareValues(vi, vj) > 0
-		})
-	}
-	if q.Skip > 0 {
-		if q.Skip >= len(matched) {
-			matched = nil
-		} else {
-			matched = matched[q.Skip:]
-		}
-	}
-	if q.Limit > 0 && len(matched) > q.Limit {
-		matched = matched[:q.Limit]
-	}
-	out := make([]Document, len(matched))
-	for i, d := range matched {
-		if len(q.Project) > 0 {
+	out := make([]Document, len(refs))
+	for i, d := range refs {
+		if proj != nil {
 			p := Document{"_id": d.ID()}
-			for _, field := range q.Project {
-				if v, ok := d.lookup(field); ok {
-					p[field] = cloneValue(v)
+			for _, fp := range proj {
+				if v, ok := d.lookupFP(fp); ok {
+					p[fp.raw] = cloneValue(v)
 				}
 			}
 			out[i] = p
@@ -411,15 +413,216 @@ func (c *Collection) FindOne(q Query) Document {
 	return res[0]
 }
 
+// collectLocked is the query planner: it returns matching document
+// references in query order with Skip/Limit applied. Plans, in order:
+// hash-index equality, ordered-index range, ordered-index sorted scan,
+// full scan. Index candidates are always re-checked against the full
+// filter (an index may cover only one conjunct of an And). Callers hold at
+// least mu.RLock; the returned documents are the stored ones, not clones.
+func (c *Collection) collectLocked(q Query) []Document {
+	match := compileMatch(q.Filter)
+	src := unwrapFilter(q.Filter)
+	if cands, ok := c.lookupIndexedLocked(src); ok {
+		return c.shapeLocked(cands, q, match)
+	}
+	if cands, ok := c.lookupRangeLocked(src); ok {
+		return c.shapeLocked(cands, q, match)
+	}
+	if q.SortBy != "" {
+		if si, ok := c.sorted[q.SortBy]; ok {
+			return c.orderedScanLocked(si, q, match)
+		}
+	}
+	return c.shapeLocked(c.docs, q, match)
+}
+
+// shapeLocked filters candidates and applies sort, skip and limit. With a
+// sort and a limit it keeps a top-K heap of skip+limit items instead of
+// sorting every match; without a sort it stops scanning at skip+limit.
+func (c *Collection) shapeLocked(cands []Document, q Query, match matchFn) []Document {
+	if q.SortBy == "" {
+		need := -1
+		if q.Limit > 0 {
+			need = q.Skip + q.Limit
+		}
+		var out []Document
+		for _, d := range cands {
+			if !match(d) {
+				continue
+			}
+			out = append(out, d)
+			if need >= 0 && len(out) >= need {
+				break
+			}
+		}
+		return applySkipLimit(out, q.Skip, q.Limit)
+	}
+
+	sfp := compilePath(q.SortBy)
+	k := 0
+	if q.Limit > 0 {
+		k = q.Skip + q.Limit
+	}
+	if k > 0 && k < len(cands)/2 {
+		h := topKHeap{k: k, desc: q.SortDesc}
+		for _, d := range cands {
+			if !match(d) {
+				continue
+			}
+			v, ok := d.lookupFP(sfp)
+			h.push(sortItem{key: keyOf(v, ok), id: d.ID(), doc: d})
+		}
+		items := h.sorted()
+		out := make([]Document, len(items))
+		for i, it := range items {
+			out[i] = it.doc
+		}
+		return applySkipLimit(out, q.Skip, q.Limit)
+	}
+
+	items := make([]sortItem, 0, len(cands))
+	for _, d := range cands {
+		if !match(d) {
+			continue
+		}
+		v, ok := d.lookupFP(sfp)
+		items = append(items, sortItem{key: keyOf(v, ok), id: d.ID(), doc: d})
+	}
+	desc := q.SortDesc
+	sort.Slice(items, func(i, j int) bool {
+		cmp := cmpItems(items[i], items[j])
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+	out := make([]Document, len(items))
+	for i, it := range items {
+		out[i] = it.doc
+	}
+	return applySkipLimit(out, q.Skip, q.Limit)
+}
+
+// orderedScanLocked streams the ordered index in sort order, re-checking
+// the full filter, and stops as soon as skip+limit matches are in hand —
+// the top-K fast path for sorted+limited queries on an indexed field.
+func (c *Collection) orderedScanLocked(si *sortedIndex, q Query, match matchFn) []Document {
+	need := -1
+	if q.Limit > 0 {
+		need = q.Skip + q.Limit
+	}
+	var out []Document
+	si.iterLocked(c, q.SortDesc, func(d Document) bool {
+		if !match(d) {
+			return true
+		}
+		out = append(out, d)
+		return need < 0 || len(out) < need
+	})
+	return applySkipLimit(out, q.Skip, q.Limit)
+}
+
+// applySkipLimit shapes an already-ordered result window.
+func applySkipLimit(docs []Document, skip, limit int) []Document {
+	if skip > 0 {
+		if skip >= len(docs) {
+			return nil
+		}
+		docs = docs[skip:]
+	}
+	if limit > 0 && len(docs) > limit {
+		docs = docs[:limit]
+	}
+	return docs
+}
+
+// sortItem decorates a document with its pre-extracted sort key so
+// comparisons never re-resolve the field path.
+type sortItem struct {
+	key sortKey
+	id  string
+	doc Document
+}
+
+// cmpItems is the engine's result order: sort key, then _id.
+func cmpItems(a, b sortItem) int {
+	if c := compareKeys(a.key, b.key); c != 0 {
+		return c
+	}
+	return strings.Compare(a.id, b.id)
+}
+
+// topKHeap keeps the best k items under the query order; the root is the
+// worst item kept, so each push is one comparison for the common
+// not-better case.
+type topKHeap struct {
+	items []sortItem
+	k     int
+	desc  bool
+}
+
+// after reports whether a sorts after b in the result order.
+func (h *topKHeap) after(a, b sortItem) bool {
+	cmp := cmpItems(a, b)
+	if h.desc {
+		return cmp < 0
+	}
+	return cmp > 0
+}
+
+func (h *topKHeap) push(it sortItem) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		i := len(h.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.after(h.items[i], h.items[parent]) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+		return
+	}
+	if !h.after(h.items[0], it) {
+		return // not better than the worst kept
+	}
+	h.items[0] = it
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h.items) && h.after(h.items[l], h.items[worst]) {
+			worst = l
+		}
+		if r < len(h.items) && h.after(h.items[r], h.items[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// sorted drains the heap into result order.
+func (h *topKHeap) sorted() []sortItem {
+	sort.Slice(h.items, func(i, j int) bool { return h.after(h.items[j], h.items[i]) })
+	return h.items
+}
+
 // Distinct returns the sorted distinct values of a field among matching
 // documents, rendered as strings.
 func (c *Collection) Distinct(field string, f Filter) []string {
+	fp := compilePath(field)
 	set := map[string]bool{}
-	for _, d := range c.Find(Query{Filter: f}) {
-		if v, ok := d.lookup(field); ok {
+	c.ForEach(Query{Filter: f}, func(d Document) bool {
+		if v, ok := d.lookupFP(fp); ok {
 			set[fmt.Sprint(v)] = true
 		}
-	}
+		return true
+	})
 	out := make([]string, 0, len(set))
 	for v := range set {
 		out = append(out, v)
@@ -435,7 +638,8 @@ type Query struct {
 	SortDesc bool
 	Skip     int
 	Limit    int
-	// Project restricts returned fields (plus _id).
+	// Project restricts returned fields (plus _id). Find-only: the
+	// zero-copy ForEach ignores it (callers read fields directly).
 	Project []string
 }
 
@@ -473,22 +677,7 @@ func (f cmpFilter) Match(d Document) bool {
 		// Missing fields only match $ne, like MongoDB.
 		return f.op == opNe
 	}
-	c := compareValues(v, f.value)
-	switch f.op {
-	case opEq:
-		return c == 0
-	case opNe:
-		return c != 0
-	case opGt:
-		return c > 0
-	case opGte:
-		return c >= 0
-	case opLt:
-		return c < 0
-	case opLte:
-		return c <= 0
-	}
-	return false
+	return evalOp(f.op, compareValues(v, f.value))
 }
 
 // Eq matches field == value.
@@ -608,8 +797,9 @@ func Not(f Filter) Filter { return notFilter{f} }
 // ElemMatch matches documents whose array field contains at least one
 // element equal to value (used for ISD-set membership queries).
 func ElemMatch(field string, value any) Filter {
+	fp := compilePath(field)
 	return FilterFunc(func(d Document) bool {
-		v, ok := d.lookup(field)
+		v, ok := d.lookupFP(fp)
 		if !ok {
 			return false
 		}
@@ -633,19 +823,13 @@ func ElemMatch(field string, value any) Filter {
 
 // compareValues orders mixed scalar values: numbers numerically, strings
 // lexically, booleans false<true; mismatched kinds order by kind name so
-// sorting is total and stable.
+// sorting is total and stable. compareKeys (compile.go) is the same order
+// over pre-projected keys; the two must agree on every pair.
 func compareValues(a, b any) int {
 	na, aNum := toFloat(a)
 	nb, bNum := toFloat(b)
 	if aNum && bNum {
-		switch {
-		case na < nb:
-			return -1
-		case na > nb:
-			return 1
-		default:
-			return 0
-		}
+		return cmpFloat(na, nb)
 	}
 	sa, aStr := a.(string)
 	sb, bStr := b.(string)

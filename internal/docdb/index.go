@@ -9,20 +9,32 @@ import (
 // Index is a hash index over one field: equality lookups consult the index
 // instead of scanning the collection. This backs the §4.2.1 scalability
 // requirement — "a non-relational database can easily store huge quantities
-// of data and query them".
+// of data and query them". Its ordered counterpart is sortedIndex
+// (rangeindex.go), which serves range predicates and sorted scans.
 type index struct {
 	field string
+	fp    *fieldPath
 	// byValue maps the canonical rendering of a field value to document ids.
 	byValue map[string][]string
 }
 
 func indexKey(v any) string {
-	// Normalise numeric types so 6, 6.0 and int64(6) share a bucket, in
-	// line with compareValues' cross-type equality.
+	// Normalise numeric types so 6, 6.0, int64(6) — and 1e6 vs 1000000 —
+	// share a bucket, in line with compareValues' cross-type equality.
 	if f, ok := toFloat(v); ok {
-		return fmt.Sprintf("n:%g", f)
+		return "n:" + canonicalNumber(f)
 	}
 	return fmt.Sprintf("%T:%v", v, v)
+}
+
+// groupKey renders a value for user-visible grouping (Aggregate). It shares
+// canonicalNumber with indexKey so numerically-equal values always land in
+// the same group, whatever Go type they arrived as.
+func groupKey(v any) string {
+	if f, ok := toFloat(v); ok {
+		return canonicalNumber(f)
+	}
+	return fmt.Sprint(v)
 }
 
 // EnsureIndex creates a hash index on a field (idempotent). Existing
@@ -37,9 +49,9 @@ func (c *Collection) EnsureIndex(field string) {
 	if _, ok := c.indexes[field]; ok {
 		return
 	}
-	idx := &index{field: field, byValue: map[string][]string{}}
+	idx := &index{field: field, fp: compilePath(field), byValue: map[string][]string{}}
 	for _, d := range c.docs {
-		if v, ok := d.lookup(field); ok {
+		if v, ok := d.lookupFP(idx.fp); ok {
 			k := indexKey(v)
 			idx.byValue[k] = append(idx.byValue[k], d.ID())
 		}
@@ -47,7 +59,7 @@ func (c *Collection) EnsureIndex(field string) {
 	c.indexes[field] = idx
 }
 
-// Indexes lists indexed fields in sorted order.
+// Indexes lists hash-indexed fields in sorted order.
 func (c *Collection) Indexes() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -59,20 +71,23 @@ func (c *Collection) Indexes() []string {
 	return out
 }
 
-// indexAddLocked/indexRemoveLocked maintain indexes; callers hold c.mu
-// (the Locked suffix is the lockcheck calling convention).
+// indexAddLocked/indexRemoveLocked maintain hash and ordered indexes;
+// callers hold c.mu (the Locked suffix is the lockcheck calling convention).
 func (c *Collection) indexAddLocked(d Document) {
 	for _, idx := range c.indexes {
-		if v, ok := d.lookup(idx.field); ok {
+		if v, ok := d.lookupFP(idx.fp); ok {
 			k := indexKey(v)
 			idx.byValue[k] = append(idx.byValue[k], d.ID())
 		}
+	}
+	for _, si := range c.sorted {
+		si.addLocked(d)
 	}
 }
 
 func (c *Collection) indexRemoveLocked(d Document) {
 	for _, idx := range c.indexes {
-		v, ok := d.lookup(idx.field)
+		v, ok := d.lookupFP(idx.fp)
 		if !ok {
 			continue
 		}
@@ -88,9 +103,20 @@ func (c *Collection) indexRemoveLocked(d Document) {
 			delete(idx.byValue, k)
 		}
 	}
+	for _, si := range c.sorted {
+		si.removeLocked(d)
+	}
 }
 
-// lookupIndexedLocked returns candidate documents via an index when the
+// maybeMergeSortedLocked settles every ordered index (sorted pending,
+// thresholds folded) while the mutation still holds the write lock.
+func (c *Collection) maybeMergeSortedLocked() {
+	for _, si := range c.sorted {
+		si.settleLocked()
+	}
+}
+
+// lookupIndexedLocked returns candidate documents via a hash index when the
 // filter is (or begins with) an equality on an indexed field. The second
 // result is false when no index applies and the caller must scan. Callers
 // hold c.mu.
@@ -116,7 +142,7 @@ func (c *Collection) lookupIndexedLocked(f Filter) ([]Document, bool) {
 // extractEq finds a usable equality predicate: a bare Eq, or an Eq inside a
 // top-level And (the remaining conjuncts are re-checked by Match).
 func extractEq(f Filter) (cmpFilter, bool) {
-	switch t := f.(type) {
+	switch t := unwrapFilter(f).(type) {
 	case cmpFilter:
 		if t.op == opEq {
 			return t, true
@@ -143,33 +169,37 @@ type AggResult struct {
 	Max   float64
 }
 
-// Aggregate groups matching documents by the groupField's rendered value
+// Aggregate groups matching documents by the groupField's canonical value
 // and reduces valueField numerically per group (documents without a numeric
 // valueField count toward Count only). Results are sorted by key. This is
 // what the selection engine's mean-per-path queries and the figures' group
-// summaries build on.
+// summaries build on. It iterates zero-copy under the read lock: no
+// document is cloned.
 func (c *Collection) Aggregate(f Filter, groupField, valueField string) []AggResult {
+	gfp := compilePath(groupField)
+	vfp := compilePath(valueField)
 	groups := map[string]*AggResult{}
-	for _, d := range c.Find(Query{Filter: f}) {
-		gv, ok := d.lookup(groupField)
+	c.ForEach(Query{Filter: f}, func(d Document) bool {
+		gv, ok := d.lookupFP(gfp)
 		if !ok {
-			continue
+			return true
 		}
-		key := fmt.Sprint(gv)
+		key := groupKey(gv)
 		g := groups[key]
 		if g == nil {
 			g = &AggResult{Key: key, Min: math.Inf(1), Max: math.Inf(-1)}
 			groups[key] = g
 		}
 		g.Count++
-		if v, ok := d.lookup(valueField); ok {
+		if v, ok := d.lookupFP(vfp); ok {
 			if x, isNum := toFloat(v); isNum {
 				g.Sum += x
 				g.Min = math.Min(g.Min, x)
 				g.Max = math.Max(g.Max, x)
 			}
 		}
-	}
+		return true
+	})
 	out := make([]AggResult, 0, len(groups))
 	for _, g := range groups {
 		if g.Count > 0 && !math.IsInf(g.Min, 1) {

@@ -1,0 +1,233 @@
+package docdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Query-shape oracle: randomized full queries (filter + sort + skip + limit)
+// evaluated through Find must return exactly — including order — what a
+// naive reference engine returns, on every planner variant: plain scans,
+// hash-indexed, sorted-indexed, and both. This pins the contracts the
+// planner must keep: index candidates re-check the full filter, index
+// scans and in-memory sorts share one total order with ties broken by _id,
+// and the top-K heap is invisible to callers.
+
+// naiveQuery is the reference engine: filter by Match, stable-sort with
+// compareValues (missing fields as nil, ties by _id, reversed wholesale for
+// SortDesc), then slice skip/limit.
+func naiveQuery(docs []Document, q Query) []Document {
+	var out []Document
+	for _, d := range docs {
+		if q.Filter == nil || q.Filter.Match(d) {
+			out = append(out, d)
+		}
+	}
+	if q.SortBy != "" {
+		sort.SliceStable(out, func(i, j int) bool {
+			vi, iok := out[i].lookup(q.SortBy)
+			vj, jok := out[j].lookup(q.SortBy)
+			if !iok {
+				vi = nil
+			}
+			if !jok {
+				vj = nil
+			}
+			if c := compareValues(vi, vj); c != 0 {
+				return (c < 0) != q.SortDesc
+			}
+			return (out[i].ID() < out[j].ID()) != q.SortDesc
+		})
+	}
+	if q.Skip > 0 {
+		if q.Skip >= len(out) {
+			return nil
+		}
+		out = out[q.Skip:]
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+func randomQuery(rng *rand.Rand) Query {
+	q := Query{}
+	if rng.Intn(5) != 0 {
+		q.Filter = randomFilter(rng, 2)
+	}
+	if rng.Intn(4) != 0 {
+		q.SortBy = []string{"hops", "loss", "status", "timestamp", "path_id"}[rng.Intn(5)]
+		q.SortDesc = rng.Intn(2) == 0
+	}
+	if rng.Intn(2) == 0 {
+		q.Skip = rng.Intn(6)
+	}
+	if rng.Intn(2) == 0 {
+		q.Limit = 1 + rng.Intn(10)
+	}
+	return q
+}
+
+func idsOf(docs []Document) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.ID()
+	}
+	return out
+}
+
+func TestQueryShapesMatchNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	db := Open()
+	variants := map[string]*Collection{
+		"plain":  db.Collection("plain"),
+		"hash":   db.Collection("hash"),
+		"sorted": db.Collection("sorted"),
+		"both":   db.Collection("both"),
+	}
+	var docs []Document
+	for i := 0; i < 500; i++ {
+		d := Document{
+			"_id":       fmt.Sprintf("d%03d", i),
+			"hops":      rng.Intn(10),
+			"path_id":   fmt.Sprintf("2_%d", rng.Intn(6)),
+			"timestamp": i * 100,
+		}
+		if rng.Intn(4) != 0 {
+			d["loss"] = float64(rng.Intn(5) * 25)
+		}
+		if rng.Intn(3) != 0 {
+			d["status"] = []string{"alive", "timeout"}[rng.Intn(2)]
+		}
+		docs = append(docs, d)
+	}
+	for _, col := range variants {
+		if err := col.InsertMany(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	variants["hash"].EnsureIndex("path_id")
+	variants["hash"].EnsureIndex("hops")
+	variants["sorted"].EnsureSortedIndex("loss")
+	variants["sorted"].EnsureSortedIndex("hops")
+	variants["sorted"].EnsureSortedIndex("timestamp")
+	variants["both"].EnsureIndex("path_id")
+	variants["both"].EnsureSortedIndex("hops")
+	variants["both"].EnsureSortedIndex("loss")
+
+	// The oracle evaluates over the stored clones so value types match
+	// storage exactly.
+	stored := variants["plain"].Find(Query{})
+
+	for trial := 0; trial < 500; trial++ {
+		q := randomQuery(rng)
+		want := idsOf(naiveQuery(stored, q))
+		for name, col := range variants {
+			got := idsOf(col.Find(q))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (%s) %+v: got %d docs, oracle %d", trial, name, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (%s) %+v: position %d = %s, oracle %s\ngot  %v\nwant %v",
+						trial, name, q, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileFilterAgreesWithMatch pins the compiled closures to the
+// interface semantics for random filter trees, and CompileFilter's nil and
+// idempotence contracts.
+func TestCompileFilterAgreesWithMatch(t *testing.T) {
+	if CompileFilter(nil) != nil {
+		t.Fatal("CompileFilter(nil) != nil")
+	}
+	rng := rand.New(rand.NewSource(99))
+	var docs []Document
+	for i := 0; i < 200; i++ {
+		d := Document{
+			"_id":     fmt.Sprintf("d%d", i),
+			"hops":    rng.Intn(10),
+			"path_id": fmt.Sprintf("2_%d", rng.Intn(6)),
+		}
+		if rng.Intn(4) != 0 {
+			d["loss"] = float64(rng.Intn(5) * 25)
+		}
+		if rng.Intn(3) != 0 {
+			d["status"] = []string{"alive", "timeout"}[rng.Intn(2)]
+		}
+		docs = append(docs, d)
+	}
+	for trial := 0; trial < 300; trial++ {
+		f := randomFilter(rng, 3)
+		c := CompileFilter(f)
+		if again := CompileFilter(c); again != c {
+			t.Fatalf("trial %d: CompileFilter not idempotent", trial)
+		}
+		for _, d := range docs {
+			if c.Match(d) != f.Match(d) {
+				t.Fatalf("trial %d: compiled disagrees with Match on %v", trial, d)
+			}
+		}
+	}
+}
+
+// TestForEachMatchesFind pins the cursor to Find's planner and ordering:
+// same documents, same order, plus early termination.
+func TestForEachMatchesFind(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	var docs []Document
+	for i := 0; i < 300; i++ {
+		docs = append(docs, Document{
+			"_id":  fmt.Sprintf("d%03d", i),
+			"v":    float64((i * 7919) % 100),
+			"tag":  fmt.Sprintf("t%d", i%5),
+			"hops": i % 9,
+		})
+	}
+	if err := col.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	col.EnsureIndex("tag")
+	col.EnsureSortedIndex("v")
+
+	queries := []Query{
+		{},
+		{Filter: Eq("tag", "t3")},
+		{Filter: Gte("v", 50.0), SortBy: "v"},
+		{SortBy: "v", SortDesc: true, Limit: 7},
+		{Filter: Eq("tag", "t1"), SortBy: "hops", Skip: 2, Limit: 4},
+	}
+	for qi, q := range queries {
+		want := idsOf(col.Find(q))
+		var got []string
+		n := col.ForEach(q, func(d Document) bool {
+			got = append(got, d.ID())
+			return true
+		})
+		if n != len(want) || len(got) != len(want) {
+			t.Fatalf("query %d: ForEach saw %d docs, Find returned %d", qi, n, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: position %d = %s, Find has %s", qi, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Early termination: fn returning false stops the stream.
+	stops := 0
+	seen := col.ForEach(Query{SortBy: "v"}, func(Document) bool {
+		stops++
+		return stops < 5
+	})
+	if stops != 5 || seen != 5 {
+		t.Fatalf("early stop: fn ran %d times, ForEach reported %d", stops, seen)
+	}
+}

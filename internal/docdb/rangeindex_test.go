@@ -1,0 +1,257 @@
+package docdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Index-maintenance churn: a collection with a hash index and ordered
+// indexes is driven through randomized InsertMany/UpsertMany/Update/Delete
+// rounds — including updates that change an indexed field's value — while a
+// shadow model replays the same mutations naively. After every round the
+// planner's equality, range and sorted-scan paths must agree with the
+// shadow, so stale or duplicated index entries surface immediately. The
+// volume crosses pendingMax and the dead-tombstone threshold, so merges of
+// the two-level sorted index run mid-test.
+
+// shadow mirrors the engine's documented mutation semantics on a plain
+// slice: insertion order preserved, deletes compact, updates in place.
+type shadow struct {
+	docs []Document
+	pos  map[string]int
+}
+
+func newShadow() *shadow { return &shadow{pos: map[string]int{}} }
+
+func (s *shadow) insert(docs []Document) {
+	for _, d := range docs {
+		c := d.Clone()
+		s.pos[c.ID()] = len(s.docs)
+		s.docs = append(s.docs, c)
+	}
+}
+
+func (s *shadow) upsert(docs []Document) {
+	for _, d := range docs {
+		c := d.Clone()
+		if i, ok := s.pos[c.ID()]; ok {
+			s.docs[i] = c
+			continue
+		}
+		s.pos[c.ID()] = len(s.docs)
+		s.docs = append(s.docs, c)
+	}
+}
+
+func (s *shadow) update(f Filter, set Document) {
+	for _, d := range s.docs {
+		if !f.Match(d) {
+			continue
+		}
+		for k, v := range set {
+			if k == "_id" {
+				continue
+			}
+			d[k] = cloneValue(v)
+		}
+	}
+}
+
+func (s *shadow) delete(f Filter) {
+	kept := s.docs[:0]
+	for _, d := range s.docs {
+		if f.Match(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	s.docs = kept
+	s.pos = make(map[string]int, len(s.docs))
+	for i, d := range s.docs {
+		s.pos[d.ID()] = i
+	}
+}
+
+func churnDoc(rng *rand.Rand, id int) Document {
+	return Document{
+		"_id":     fmt.Sprintf("c%05d", id),
+		"path_id": fmt.Sprintf("2_%d", rng.Intn(8)),
+		"val":     float64(rng.Intn(1000)) / 4,
+		"hops":    rng.Intn(12),
+	}
+}
+
+func checkAgainstShadow(t *testing.T, round int, col *Collection, s *shadow, rng *rand.Rand) {
+	t.Helper()
+	queries := []Query{
+		{Filter: Eq("path_id", fmt.Sprintf("2_%d", rng.Intn(8))), SortBy: "val"},
+		{Filter: And(Gte("val", float64(rng.Intn(200))), Lt("val", float64(50+rng.Intn(200)))), SortBy: "val"},
+		{SortBy: "val", Limit: 1 + rng.Intn(20)},
+		{SortBy: "val", SortDesc: true, Limit: 1 + rng.Intn(20)},
+		{Filter: Gt("val", float64(rng.Intn(250))), SortBy: "val", SortDesc: true, Skip: rng.Intn(4), Limit: 10},
+	}
+	for qi, q := range queries {
+		want := idsOf(naiveQuery(s.docs, q))
+		got := idsOf(col.Find(q))
+		if len(got) != len(want) {
+			t.Fatalf("round %d query %d %+v: got %d docs, shadow %d", round, qi, q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d query %d %+v: position %d = %s, shadow %s", round, qi, q, i, got[i], want[i])
+			}
+		}
+	}
+	if col.Count() != len(s.docs) {
+		t.Fatalf("round %d: Count %d, shadow %d", round, col.Count(), len(s.docs))
+	}
+}
+
+func TestIndexMaintenanceUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1717))
+	db := Open()
+	col := db.Collection("churn")
+	col.EnsureIndex("path_id")
+	col.EnsureSortedIndex("val")
+	col.EnsureSortedIndex("hops")
+	s := newShadow()
+	nextID := 0
+
+	batch := func(n int) []Document {
+		docs := make([]Document, n)
+		for i := range docs {
+			docs[i] = churnDoc(rng, nextID)
+			nextID++
+		}
+		return docs
+	}
+
+	// Seed enough that the first delete/update rounds work on real volume,
+	// and inserts alone cross pendingMax (256) several times.
+	seed := batch(600)
+	if err := col.InsertMany(seed); err != nil {
+		t.Fatal(err)
+	}
+	s.insert(seed)
+
+	for round := 0; round < 40; round++ {
+		switch round % 4 {
+		case 0: // insert a fresh batch
+			docs := batch(50 + rng.Intn(100))
+			if err := col.InsertMany(docs); err != nil {
+				t.Fatal(err)
+			}
+			s.insert(docs)
+		case 1: // upsert: half replacements of existing ids, half new
+			var docs []Document
+			for i := 0; i < 40; i++ {
+				d := churnDoc(rng, nextID)
+				nextID++
+				if i%2 == 0 && len(s.docs) > 0 {
+					d["_id"] = s.docs[rng.Intn(len(s.docs))].ID()
+				}
+				docs = append(docs, d)
+			}
+			// Dedup ids within the batch (UpsertMany rejects repeats).
+			seen := map[string]bool{}
+			uniq := docs[:0]
+			for _, d := range docs {
+				if !seen[d.ID()] {
+					seen[d.ID()] = true
+					uniq = append(uniq, d)
+				}
+			}
+			if _, err := col.UpsertMany(uniq); err != nil {
+				t.Fatal(err)
+			}
+			s.upsert(uniq)
+		case 2: // update changing the *sorted-indexed* field's value
+			f := Eq("path_id", fmt.Sprintf("2_%d", rng.Intn(8)))
+			set := Document{"val": float64(rng.Intn(1000)) / 4, "hops": rng.Intn(12)}
+			n := col.Update(f, set)
+			s.update(f, set)
+			matched := 0
+			for _, d := range s.docs {
+				if f.Match(d) {
+					matched++
+				}
+			}
+			if n != matched {
+				t.Fatalf("round %d: Update reported %d, shadow matched %d", round, n, matched)
+			}
+		case 3: // range delete on the sorted-indexed field
+			f := And(Gte("val", float64(rng.Intn(200))), Lt("val", float64(rng.Intn(100))+200))
+			before := len(s.docs)
+			n := col.Delete(f)
+			s.delete(f)
+			if n != before-len(s.docs) {
+				t.Fatalf("round %d: Delete reported %d, shadow removed %d", round, n, before-len(s.docs))
+			}
+		}
+		checkAgainstShadow(t, round, col, s, rng)
+	}
+}
+
+// TestSortedIndexListedSeparately pins the listing contract: hash and
+// ordered indexes are separate namespaces.
+func TestSortedIndexListedSeparately(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	col.EnsureIndex("a")
+	col.EnsureSortedIndex("b")
+	col.EnsureSortedIndex("b") // idempotent
+	if got := col.Indexes(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Indexes() = %v, want [a]", got)
+	}
+	if got := col.SortedIndexes(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("SortedIndexes() = %v, want [b]", got)
+	}
+}
+
+// TestEnsureSortedIndexOnExistingDocs verifies an index built after inserts
+// serves ordered scans over the pre-existing documents.
+func TestEnsureSortedIndexOnExistingDocs(t *testing.T) {
+	db := Open()
+	col := db.Collection("c")
+	for i := 0; i < 50; i++ {
+		if err := col.Insert(Document{"_id": fmt.Sprintf("d%02d", i), "v": (i * 37) % 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.EnsureSortedIndex("v")
+	got := col.Find(Query{SortBy: "v", Limit: 5})
+	for i, d := range got {
+		if v, _ := d["v"].(int); v != i {
+			t.Fatalf("position %d: v = %v, want %d", i, d["v"], i)
+		}
+	}
+}
+
+// TestRangeQueryMissingFieldSemantics pins that documents lacking the
+// filtered field stay excluded from range results when a sorted index
+// serves the query (the index keys them as nil; the bounds must not).
+func TestRangeQueryMissingFieldSemantics(t *testing.T) {
+	db := Open()
+	withIdx := db.Collection("i")
+	plain := db.Collection("p")
+	docs := []Document{
+		{"_id": "a", "v": 1},
+		{"_id": "b"}, // no v
+		{"_id": "c", "v": 10},
+		{"_id": "d", "v": "s"}, // string sorts after numbers
+	}
+	for _, col := range []*Collection{withIdx, plain} {
+		if err := col.InsertMany(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withIdx.EnsureSortedIndex("v")
+	for _, f := range []Filter{Gt("v", 0), Lt("v", 5), Gte("v", 1), Lte("v", 100), Eq("v", 10)} {
+		want := idsOf(plain.Find(Query{Filter: f, SortBy: "_id"}))
+		got := idsOf(withIdx.Find(Query{Filter: f, SortBy: "_id"}))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("filter %+v: indexed %v, plain %v", f, got, want)
+		}
+	}
+}

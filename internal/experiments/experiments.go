@@ -128,62 +128,41 @@ func pathTraverses(pd measure.PathDoc, ia string) bool {
 	return false
 }
 
-// latencyByPath extracts per-path average latencies from paths_stats.
-func latencyByPath(db *docdb.DB, serverID int) map[string][]float64 {
+// fieldByPath extracts one numeric field per path from paths_stats in
+// timestamp order. It streams zero-copy via ForEach: each figure reads two
+// strings and a float per document, so cloning full documents would
+// dominate the extraction cost.
+func fieldByPath(db *docdb.DB, serverID int, field string) map[string][]float64 {
 	out := map[string][]float64{}
-	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
+	db.Collection(measure.ColStats).ForEach(docdb.Query{
 		Filter: docdb.Eq(measure.FServerID, serverID),
 		SortBy: measure.FTimestamp,
-	}) {
-		pathID, _ := d[measure.FPathID].(string)
-		if v, ok := d[measure.FAvgLatency].(float64); ok {
-			out[pathID] = append(out[pathID], v)
-		}
-	}
-	return out
-}
-
-// mdevByPath extracts per-path latency deviations from paths_stats.
-func mdevByPath(db *docdb.DB, serverID int) map[string][]float64 {
-	out := map[string][]float64{}
-	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
-		Filter: docdb.Eq(measure.FServerID, serverID),
-		SortBy: measure.FTimestamp,
-	}) {
-		pathID, _ := d[measure.FPathID].(string)
-		if v, ok := d[measure.FMdev].(float64); ok {
-			out[pathID] = append(out[pathID], v)
-		}
-	}
-	return out
-}
-
-// lossByPath extracts per-path loss percentages from paths_stats.
-func lossByPath(db *docdb.DB, serverID int) map[string][]float64 {
-	out := map[string][]float64{}
-	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
-		Filter: docdb.Eq(measure.FServerID, serverID),
-		SortBy: measure.FTimestamp,
-	}) {
-		pathID, _ := d[measure.FPathID].(string)
-		if v, ok := d[measure.FLoss].(float64); ok {
-			out[pathID] = append(out[pathID], v)
-		}
-	}
-	return out
-}
-
-// bwByPath extracts one bandwidth field per path from paths_stats.
-func bwByPath(db *docdb.DB, serverID int, field string) map[string][]float64 {
-	out := map[string][]float64{}
-	for _, d := range db.Collection(measure.ColStats).Find(docdb.Query{
-		Filter: docdb.Eq(measure.FServerID, serverID),
-		SortBy: measure.FTimestamp,
-	}) {
+	}, func(d docdb.Document) bool {
 		pathID, _ := d[measure.FPathID].(string)
 		if v, ok := d[field].(float64); ok {
 			out[pathID] = append(out[pathID], v)
 		}
-	}
+		return true
+	})
 	return out
+}
+
+// latencyByPath extracts per-path average latencies from paths_stats.
+func latencyByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	return fieldByPath(db, serverID, measure.FAvgLatency)
+}
+
+// mdevByPath extracts per-path latency deviations from paths_stats.
+func mdevByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	return fieldByPath(db, serverID, measure.FMdev)
+}
+
+// lossByPath extracts per-path loss percentages from paths_stats.
+func lossByPath(db *docdb.DB, serverID int) map[string][]float64 {
+	return fieldByPath(db, serverID, measure.FLoss)
+}
+
+// bwByPath extracts one bandwidth field per path from paths_stats.
+func bwByPath(db *docdb.DB, serverID int, field string) map[string][]float64 {
+	return fieldByPath(db, serverID, field)
 }

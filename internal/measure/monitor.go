@@ -119,12 +119,14 @@ func (s *Suite) Monitor(ctx context.Context, opts MonitorOpts) ([]CampaignDelta,
 	return out, nil
 }
 
-// snapshotPaths maps stored path ids to their probed status.
+// snapshotPaths maps stored path ids to their probed status, streaming
+// zero-copy: only the id and status strings survive the iteration.
 func snapshotPaths(db *docdb.DB) map[string]string {
 	out := map[string]string{}
-	for _, d := range db.Collection(ColPaths).Find(docdb.Query{Project: []string{FStatus}}) {
+	db.Collection(ColPaths).ForEach(docdb.Query{}, func(d docdb.Document) bool {
 		status, _ := d[FStatus].(string)
 		out[d.ID()] = status
-	}
+		return true
+	})
 	return out
 }

@@ -254,6 +254,10 @@ func (s *Suite) Run(ctx context.Context, opts RunOpts) (RunReport, error) {
 	if err := opts.Validate(); err != nil {
 		return rep, err
 	}
+	// Timestamps are the suite's hot ordering: newestStatsTime sorts by
+	// them, PruneStats range-deletes on them. An ordered index turns both
+	// into index scans instead of full sorts/scans as history grows.
+	s.DB.Collection(ColStats).EnsureSortedIndex(FTimestamp)
 	if opts.Campaign.Workers >= 1 {
 		return s.runCampaign(ctx, opts)
 	}

@@ -122,8 +122,11 @@ type Engine struct {
 	topo *topology.Topology
 }
 
-// New returns an engine over the given database and topology.
+// New returns an engine over the given database and topology. The stats
+// collection gets a hash index on path_id so per-path aggregation is an
+// index probe instead of a full scan per candidate path.
 func New(db *docdb.DB, topo *topology.Topology) *Engine {
+	db.Collection(measure.ColStats).EnsureIndex(measure.FPathID)
 	return &Engine{db: db, topo: topo}
 }
 
@@ -179,10 +182,9 @@ func (e *Engine) Best(ctx context.Context, serverID int, req Request) (Candidate
 }
 
 // aggregate folds the paths_stats documents of one path into a candidate.
+// It streams them zero-copy with ForEach — only a handful of numeric fields
+// are read per document, so cloning each one would be pure overhead.
 func (e *Engine) aggregate(pd measure.PathDoc) (Candidate, bool) {
-	stats := e.db.Collection(measure.ColStats).Find(docdb.Query{
-		Filter: docdb.Eq(measure.FPathID, pd.ID),
-	})
 	cand := Candidate{
 		PathID:   pd.ID,
 		ServerID: pd.ServerID,
@@ -192,7 +194,9 @@ func (e *Engine) aggregate(pd measure.PathDoc) (Candidate, bool) {
 	}
 	var latSum, mdevSum, lossSum, upSum, downSum float64
 	var latN, mdevN, lossN, upN, downN int
-	for _, d := range stats {
+	cand.Samples = e.db.Collection(measure.ColStats).ForEach(docdb.Query{
+		Filter: docdb.Eq(measure.FPathID, pd.ID),
+	}, func(d docdb.Document) bool {
 		if v, ok := num(d[measure.FAvgLatency]); ok {
 			latSum += v
 			latN++
@@ -213,8 +217,8 @@ func (e *Engine) aggregate(pd measure.PathDoc) (Candidate, bool) {
 			downSum += v
 			downN++
 		}
-	}
-	cand.Samples = len(stats)
+		return true
+	})
 	if cand.Samples == 0 {
 		return cand, false
 	}

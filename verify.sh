@@ -23,7 +23,14 @@ echo "== tier 1: go test ./..."
 go test ./...
 
 echo "== tier 2: go test -race (concurrency-heavy packages)"
-go test -race ./internal/docdb ./internal/simnet ./internal/measure
+# docdb also smoke-runs its benchmark suite under the race detector so
+# BenchmarkDocDB* (the BENCH_docdb.json trajectory, see docs/DOCDB.md)
+# cannot rot.
+go test -race -bench=DocDB -benchtime=1x ./internal/docdb
+go test -race ./internal/simnet ./internal/measure
+
+echo "== tier 2: docdb benchmark smoke (-benchtime 1x)"
+go test -run '^$' -bench=DocDB -benchtime=1x ./internal/docdb >/dev/null
 
 echo "== tier 2: parallel campaign smoke (testsuite --workers 4)"
 go run ./cmd/testsuite 2 --servers 1,2,3 --workers 4 --no-bandwidth \
