@@ -1,7 +1,12 @@
-// Command benchjson runs the docdb query-engine benchmarks and records the
-// results in a JSON trajectory file, so successive PRs can show measured
-// deltas instead of asserted ones (see docs/DOCDB.md, "Benchmark
-// methodology").
+// Command benchjson runs a benchmark suite and records the results in a
+// JSON trajectory file, so successive PRs can show measured deltas instead
+// of asserted ones (see docs/DOCDB.md, "Benchmark methodology"). It
+// defaults to the docdb query-engine suite (BENCH_docdb.json); -bench,
+// -pkg and -out retarget it at any other suite — the selection engine's
+// serving benchmarks record their trajectory (see docs/SERVING.md) with:
+//
+//	go run ./cmd/benchjson -label after -bench BenchmarkServing \
+//	    -pkg ./internal/selection -out BENCH_serving.json
 //
 // Usage:
 //
@@ -9,7 +14,7 @@
 //	go run ./cmd/benchjson -label pr4 -benchtime 2s
 //	go run ./cmd/benchjson -parse out.txt -label x # record a saved run
 //
-// Each invocation replaces the named label in BENCH_docdb.json and leaves
+// Each invocation replaces the named label in the -out file and leaves
 // every other label untouched, so "before" numbers captured at the start of
 // a PR survive the "after" run.
 package main

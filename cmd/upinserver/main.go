@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,7 +68,16 @@ func run(args []string) int {
 	}()
 	fmt.Printf("upinserver listening on %s\n", *addrFlag)
 
-	srv := &http.Server{Addr: *addrFlag, Handler: handler}
+	srv := &http.Server{
+		Addr:    *addrFlag,
+		Handler: handler,
+		// A public-facing front-end must not let one slow client pin a
+		// connection (slowloris) or an idle keep-alive pool grow unbounded.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -118,5 +128,6 @@ func buildHandler(ctx context.Context, seed int64, dbPath, domain, measureList s
 	explorer := upin.NewDomainExplorer(w.Topo, isds)
 	engine := selection.New(w.DB, w.Topo)
 	srv := upin.NewServer(w.DB, w.Daemon, w.Net, engine, explorer)
+	srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	return srv, w.Close, nil
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors for errors.Is checks.
@@ -81,6 +82,12 @@ func (d Document) ID() string {
 
 // DB is a set of named collections guarded for concurrent use.
 type DB struct {
+	// genSeq issues generation stamps to every collection of this DB. It is
+	// atomic (not guarded by mu) and deliberately DB-wide: a collection that
+	// is dropped and re-created keeps drawing strictly increasing stamps, so
+	// a cached reader can never mistake the new collection for the old one.
+	genSeq atomic.Int64
+
 	mu          sync.RWMutex
 	collections map[string]*Collection
 	journal     *journal // nil for purely in-memory databases
@@ -132,6 +139,12 @@ func (db *DB) Drop(name string) {
 type Collection struct {
 	name string
 	db   *DB
+	// gen and rewriteGen are the collection's mutation generations. They are
+	// atomic — readable without the lock — and are stamped while the write
+	// lock is still held, so a reader that observes a stamp and then takes
+	// the read lock sees at least that mutation's data.
+	gen        atomic.Int64
+	rewriteGen atomic.Int64
 
 	mu      sync.RWMutex
 	docs    []Document
@@ -143,6 +156,34 @@ type Collection struct {
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
+
+// Generation returns a cheap monotonic stamp that changes on every mutation
+// of the collection (insert, upsert, update, delete, journal replay). Two
+// equal stamps bracket an unchanged collection, so a cache can validate a
+// snapshot with one atomic load instead of re-reading the data. Stamps are
+// issued DB-wide: a dropped-and-recreated collection never repeats a stamp
+// it handed out before (a fresh collection reads 0 until its first
+// mutation).
+func (c *Collection) Generation() int64 { return c.gen.Load() }
+
+// RewriteGeneration changes only on mutations that rewrite or remove
+// existing documents (Update, Delete, upsert replacement, replayed
+// replacements/deletes). While it is unchanged the collection has only
+// grown by appended inserts, which is what lets an incremental consumer —
+// e.g. the selection engine's snapshot cache — fold just the new tail into
+// running aggregates instead of rebuilding from scratch.
+func (c *Collection) RewriteGeneration() int64 { return c.rewriteGen.Load() }
+
+// bumpLocked stamps a completed mutation while the caller still holds the
+// write lock; destructive marks mutations that rewrote or removed existing
+// documents.
+func (c *Collection) bumpLocked(destructive bool) {
+	g := c.db.genSeq.Add(1)
+	if destructive {
+		c.rewriteGen.Store(g)
+	}
+	c.gen.Store(g)
+}
 
 // Count returns the number of documents.
 func (c *Collection) Count() int {
@@ -205,6 +246,9 @@ func (c *Collection) InsertMany(docs []Document) error {
 		}
 	}
 	c.maybeMergeSortedLocked()
+	if len(docs) > 0 {
+		c.bumpLocked(false)
+	}
 	return nil
 }
 
@@ -258,6 +302,9 @@ func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 		}
 	}
 	c.maybeMergeSortedLocked()
+	if len(docs) > 0 {
+		c.bumpLocked(replaced > 0)
+	}
 	return replaced, nil
 }
 
@@ -321,6 +368,7 @@ func (c *Collection) Delete(f Filter) int {
 		c.byID[d.ID()] = i
 	}
 	c.maybeMergeSortedLocked()
+	c.bumpLocked(true)
 	return len(doomed)
 }
 
@@ -368,6 +416,9 @@ func (c *Collection) Update(f Filter, set Document) int {
 		}
 	}
 	c.maybeMergeSortedLocked()
+	if len(positions) > 0 {
+		c.bumpLocked(true)
+	}
 	return len(positions)
 }
 

@@ -119,7 +119,10 @@ func (c *Collection) maybeMergeSortedLocked() {
 // lookupIndexedLocked returns candidate documents via a hash index when the
 // filter is (or begins with) an equality on an indexed field. The second
 // result is false when no index applies and the caller must scan. Callers
-// hold c.mu.
+// hold c.mu. Results are in storage order — the engine's contract for
+// unsorted queries (see rangeLocked). Bucket order alone is not enough: an
+// update re-appends the document's id, moving it to the bucket's tail while
+// its storage position stays put.
 func (c *Collection) lookupIndexedLocked(f Filter) ([]Document, bool) {
 	eq, ok := extractEq(f)
 	if !ok {
@@ -130,11 +133,16 @@ func (c *Collection) lookupIndexedLocked(f Filter) ([]Document, bool) {
 		return nil, false
 	}
 	ids := idx.byValue[indexKey(eq.value)]
-	out := make([]Document, 0, len(ids))
+	positions := make([]int, 0, len(ids))
 	for _, id := range ids {
 		if i, ok := c.byID[id]; ok {
-			out = append(out, c.docs[i])
+			positions = append(positions, i)
 		}
+	}
+	sort.Ints(positions) // buckets are append-ordered: usually already sorted
+	out := make([]Document, len(positions))
+	for i, p := range positions {
+		out[i] = c.docs[p]
 	}
 	return out, true
 }

@@ -139,12 +139,14 @@ func (db *DB) applyReplay(e journalEntry) {
 		if i, dup := c.byID[id]; dup {
 			if e.Replace {
 				c.docs[i] = e.Doc
+				c.bumpLocked(true)
 			}
 			c.mu.Unlock()
 			return
 		}
 		c.byID[id] = len(c.docs)
 		c.docs = append(c.docs, e.Doc)
+		c.bumpLocked(false)
 		c.mu.Unlock()
 	case "delete":
 		c := db.Collection(e.Collection)
@@ -155,6 +157,7 @@ func (db *DB) applyReplay(e journalEntry) {
 			for j, d := range c.docs {
 				c.byID[d.ID()] = j
 			}
+			c.bumpLocked(true)
 		}
 		c.mu.Unlock()
 	case "drop":

@@ -178,10 +178,22 @@ type PathDoc struct {
 
 // PathsForServer decodes the stored paths of one destination in index order.
 func PathsForServer(db *docdb.DB, serverID int) ([]PathDoc, error) {
-	docs := db.Collection(ColPaths).Find(docdb.Query{
+	return decodePathDocs(db.Collection(ColPaths).Find(docdb.Query{
 		Filter: docdb.Eq(FServerID, serverID),
 		SortBy: FPathIndex,
-	})
+	}))
+}
+
+// AllPaths decodes every stored path of every destination. The result is
+// ordered by (path_index, _id) globally, so each destination's subsequence
+// is in exactly PathsForServer order — the property the selection engine's
+// snapshot cache relies on to reproduce per-server candidate order without
+// one query per destination.
+func AllPaths(db *docdb.DB) ([]PathDoc, error) {
+	return decodePathDocs(db.Collection(ColPaths).Find(docdb.Query{SortBy: FPathIndex}))
+}
+
+func decodePathDocs(docs []docdb.Document) ([]PathDoc, error) {
 	out := make([]PathDoc, 0, len(docs))
 	for _, d := range docs {
 		pd := PathDoc{ID: d.ID()}

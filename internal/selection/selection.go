@@ -12,6 +12,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/upin/scionpath/internal/addr"
 	"github.com/upin/scionpath/internal/docdb"
@@ -116,28 +118,83 @@ type Candidate struct {
 	Operators []string
 }
 
-// Engine answers path requests from the measurement database.
+// Engine answers path requests from the measurement database. It serves
+// from an atomically-published snapshot of per-path aggregates (see
+// snapshot.go and docs/SERVING.md), refreshed lazily when the backing
+// collections' generations move.
 type Engine struct {
-	db   *docdb.DB
-	topo *topology.Topology
+	db    *docdb.DB
+	topo  *topology.Topology
+	paths *docdb.Collection
+	stats *docdb.Collection
+
+	// current is the published serving snapshot; nil until first refresh.
+	current atomic.Pointer[snapshot]
+	// rebuilds/folds count full vs incremental refreshes (tests, health).
+	rebuilds atomic.Int64
+	folds    atomic.Int64
+
+	// mu guards the single-flight refresh slot below.
+	mu       sync.Mutex
+	inflight *refreshFlight
 }
 
 // New returns an engine over the given database and topology. The stats
-// collection gets a hash index on path_id so per-path aggregation is an
-// index probe instead of a full scan per candidate path.
+// collection gets a hash index on path_id (per-path aggregation on full
+// rebuilds and in the uncached oracle) and an ordered index on
+// timestamp_ms (incremental refresh folds only documents above the
+// snapshot's high-water mark); the paths collection gets a hash index on
+// server_id and an ordered index on path_index.
 func New(db *docdb.DB, topo *topology.Topology) *Engine {
-	db.Collection(measure.ColStats).EnsureIndex(measure.FPathID)
-	return &Engine{db: db, topo: topo}
+	stats := db.Collection(measure.ColStats)
+	stats.EnsureIndex(measure.FPathID)
+	stats.EnsureSortedIndex(measure.FTimestamp)
+	paths := db.Collection(measure.ColPaths)
+	paths.EnsureIndex(measure.FServerID)
+	paths.EnsureSortedIndex(measure.FPathIndex)
+	return &Engine{db: db, topo: topo, paths: paths, stats: stats}
 }
 
 // Select returns the candidate paths to a destination server satisfying the
-// request, best first. Paths without measurements are skipped. Aggregating
-// a destination's full measurement history can be slow on large databases,
-// so cancellation is honored between candidates.
+// request, best first. Paths without measurements are skipped. The answer
+// comes from the serving snapshot: when it is current this is a lock-free
+// read plus per-request filtering; when stale, one caller refreshes while
+// others are served the previous snapshot (bounded staleness, snapshot.go).
 func (e *Engine) Select(ctx context.Context, serverID int, req Request) ([]Candidate, error) {
-	if req.MinSamples == 0 {
-		req.MinSamples = 1
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("selection: select cancelled: %w", err)
 	}
+	snap, err := e.snapshotFor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	aggs := snap.servers[serverID]
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("selection: no collected paths for server %d", serverID)
+	}
+	creq := compileRequest(req)
+	var out []Candidate
+	for _, agg := range aggs {
+		if agg.samples < creq.minSamples || !creq.passesHops(agg) {
+			continue
+		}
+		cand := agg.candidate()
+		if !passesPerformance(&cand, req) {
+			continue
+		}
+		cand.Score = score(&cand, req.Objective)
+		out = append(out, cand)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return out, nil
+}
+
+// selectUncached is the pre-snapshot engine: it re-aggregates each path's
+// full stats history on every call. It is kept as the oracle the snapshot
+// path is verified against (snapshot_test.go) and as the baseline the
+// serving benchmarks measure the cache's speedup from.
+func (e *Engine) selectUncached(ctx context.Context, serverID int, req Request) ([]Candidate, error) {
+	creq := compileRequest(req)
 	pathDocs, err := measure.PathsForServer(e.db, serverID)
 	if err != nil {
 		return nil, err
@@ -152,10 +209,10 @@ func (e *Engine) Select(ctx context.Context, serverID int, req Request) ([]Candi
 			return nil, fmt.Errorf("selection: select cancelled: %w", err)
 		}
 		cand, ok := e.aggregate(pd)
-		if !ok || cand.Samples < req.MinSamples {
+		if !ok || cand.Samples < creq.minSamples {
 			continue
 		}
-		if !e.passesExclusions(&cand, req) {
+		if !e.passesExclusions(&cand, &creq) {
 			continue
 		}
 		if !passesPerformance(&cand, req) {
@@ -265,40 +322,93 @@ func (e *Engine) annotateGeo(c *Candidate) {
 	}
 }
 
-// passesExclusions applies the sovereignty/geography filters hop by hop.
-func (e *Engine) passesExclusions(c *Candidate, req Request) bool {
-	for _, isd := range req.ExcludeISDs {
-		for _, traversed := range c.ISDs {
-			if traversed == isd {
-				return false
-			}
+// compiledRequest holds the request's exclusion lists compiled into hash
+// sets once per Select, instead of once per candidate.
+type compiledRequest struct {
+	minSamples int
+	badISD     map[string]bool
+	badAS      map[string]bool
+	badCountry map[string]bool
+	badOp      map[string]bool
+}
+
+func compileRequest(req Request) compiledRequest {
+	cr := compiledRequest{minSamples: req.MinSamples}
+	if cr.minSamples == 0 {
+		cr.minSamples = 1
+	}
+	if len(req.ExcludeISDs) > 0 {
+		cr.badISD = make(map[string]bool, len(req.ExcludeISDs))
+		for _, isd := range req.ExcludeISDs {
+			cr.badISD[isd] = true
 		}
 	}
-	if len(req.ExcludeASes) == 0 && len(req.ExcludeCountries) == 0 && len(req.ExcludeOperators) == 0 {
+	if len(req.ExcludeASes) > 0 {
+		cr.badAS = make(map[string]bool, len(req.ExcludeASes))
+		for _, a := range req.ExcludeASes {
+			cr.badAS[a] = true
+		}
+	}
+	if len(req.ExcludeCountries) > 0 {
+		cr.badCountry = make(map[string]bool, len(req.ExcludeCountries))
+		for _, cn := range req.ExcludeCountries {
+			cr.badCountry[strings.ToLower(cn)] = true
+		}
+	}
+	if len(req.ExcludeOperators) > 0 {
+		cr.badOp = make(map[string]bool, len(req.ExcludeOperators))
+		for _, op := range req.ExcludeOperators {
+			cr.badOp[strings.ToLower(op)] = true
+		}
+	}
+	return cr
+}
+
+// passesHops applies the sovereignty/geography filters to a cached
+// aggregate using its precomputed hop metadata: no topology lookups, no
+// case-folding at request time.
+func (cr *compiledRequest) passesHops(a *pathAgg) bool {
+	for _, traversed := range a.id.ISDs {
+		if cr.badISD[traversed] {
+			return false
+		}
+	}
+	if len(cr.badAS) == 0 && len(cr.badCountry) == 0 && len(cr.badOp) == 0 {
 		return true
 	}
-	badAS := map[string]bool{}
-	for _, a := range req.ExcludeASes {
-		badAS[a] = true
+	for i := range a.hops {
+		h := &a.hops[i]
+		if cr.badAS[h.ia] {
+			return false
+		}
+		if h.known && (cr.badCountry[h.country] || cr.badOp[h.operator]) {
+			return false
+		}
 	}
-	badCountry := map[string]bool{}
-	for _, cn := range req.ExcludeCountries {
-		badCountry[strings.ToLower(cn)] = true
+	return true
+}
+
+// passesExclusions is passesHops for the uncached oracle: same filters,
+// resolved against the live topology instead of cached hop metadata.
+func (e *Engine) passesExclusions(c *Candidate, cr *compiledRequest) bool {
+	for _, traversed := range c.ISDs {
+		if cr.badISD[traversed] {
+			return false
+		}
 	}
-	badOp := map[string]bool{}
-	for _, op := range req.ExcludeOperators {
-		badOp[strings.ToLower(op)] = true
+	if len(cr.badAS) == 0 && len(cr.badCountry) == 0 && len(cr.badOp) == 0 {
+		return true
 	}
 	for _, pred := range c.Sequence {
 		ia := addr.IA{ISD: pred.ISD, AS: pred.AS}
-		if badAS[ia.String()] {
+		if cr.badAS[ia.String()] {
 			return false
 		}
 		as := e.topo.AS(ia)
 		if as == nil {
 			continue
 		}
-		if badCountry[strings.ToLower(as.Site.Country)] || badOp[strings.ToLower(as.Operator)] {
+		if cr.badCountry[strings.ToLower(as.Site.Country)] || cr.badOp[strings.ToLower(as.Operator)] {
 			return false
 		}
 	}

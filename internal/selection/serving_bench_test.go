@@ -1,0 +1,123 @@
+package selection
+
+// Serving benchmarks (BENCH_serving.json): the cached Select against the
+// uncached pre-snapshot engine at growing stats history, a contended
+// parallel variant, and the incremental-refresh cost, which must scale
+// with the size of the new write batch rather than with history. Record
+// with:
+//
+//	go run ./cmd/benchjson -label after -bench BenchmarkServing \
+//	    -pkg ./internal/selection -out BENCH_serving.json
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/upin/scionpath/internal/docdb"
+)
+
+// bulkInOrder is insertInOrder for benchmark fixtures: one InsertMany per
+// batch instead of one Insert per document.
+func (w *statsWriter) bulkInOrder(t testing.TB, n int) {
+	t.Helper()
+	docs := make([]docdb.Document, 0, n)
+	for i := 0; i < n; i++ {
+		w.nowMs += int64(w.r.Intn(3))
+		pid := w.pathIDs[w.r.Intn(len(w.pathIDs))]
+		docs = append(docs, w.doc(pid, w.nowMs))
+	}
+	if err := w.col.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		w.live = append(w.live, d.ID())
+	}
+}
+
+func benchWorld(b *testing.B, docs int) (*Engine, *statsWriter, int) {
+	b.Helper()
+	e, db, ids := collectedWorld(b, 42)
+	w := newStatsWriter(b, db, 42)
+	w.bulkInOrder(b, docs)
+	return e, w, ids[0]
+}
+
+var benchSizes = []int{10_000, 100_000}
+
+func BenchmarkServingSelectCached(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			e, _, sid := benchWorld(b, n)
+			ctx := context.Background()
+			if _, err := e.Select(ctx, sid, Request{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Select(ctx, sid, Request{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkServingSelectCachedParallel(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			e, _, sid := benchWorld(b, n)
+			ctx := context.Background()
+			if _, err := e.Select(ctx, sid, Request{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := e.Select(ctx, sid, Request{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServingSelectUncached is the pre-snapshot engine: every request
+// re-folds the destination's full stats history.
+func BenchmarkServingSelectUncached(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			e, _, sid := benchWorld(b, n)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.selectUncached(ctx, sid, Request{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServingRefreshIncremental measures write-batch-then-select at a
+// fixed batch size against different history sizes: the per-iteration cost
+// must track the batch, not the history.
+func BenchmarkServingRefreshIncremental(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("history=%d", n), func(b *testing.B) {
+			e, w, sid := benchWorld(b, n)
+			ctx := context.Background()
+			if _, err := e.Select(ctx, sid, Request{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.bulkInOrder(b, 100)
+				if _, err := e.Select(ctx, sid, Request{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,11 +1,15 @@
 package upin
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"github.com/upin/scionpath/internal/addr"
 	"github.com/upin/scionpath/internal/docdb"
@@ -26,6 +30,12 @@ type Server struct {
 	engine   *selection.Engine
 	explorer *DomainExplorer
 	mux      *http.ServeMux
+	ctrl     *Controller
+	tracer   *Tracer
+	logger   *slog.Logger
+	// catalog caches the id -> IA server catalogue, revalidated against the
+	// availableServers collection generation (see serverIA).
+	catalog atomic.Pointer[serverCatalog]
 }
 
 // NewServer wires the front-end.
@@ -33,7 +43,10 @@ func NewServer(db *docdb.DB, daemon *sciond.Daemon, net *simnet.Network,
 	engine *selection.Engine, explorer *DomainExplorer) *Server {
 	s := &Server{
 		db: db, daemon: daemon, net: net, engine: engine, explorer: explorer,
-		mux: http.NewServeMux(),
+		mux:    http.NewServeMux(),
+		ctrl:   NewController(daemon, engine, explorer),
+		tracer: NewTracer(net),
+		logger: slog.Default(),
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/servers", s.handleServers)
@@ -44,15 +57,23 @@ func NewServer(db *docdb.DB, daemon *sciond.Daemon, net *simnet.Network,
 	return s
 }
 
+// SetLogger directs the server's operational log (response-encode failures,
+// client write errors). The default is slog.Default(). Call before serving.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.logger = l
+	}
+}
+
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	pathID := r.URL.Query().Get("path")
 	if pathID == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?path=<id>"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?path=<id>"))
 		return
 	}
 	traces, err := LoadTraces(s.db, pathID)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	type row struct {
@@ -64,27 +85,33 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	for _, tr := range traces {
 		out = append(out, row{tr.ID, tr.Observed, tr.TimeMs})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"status":        "ok",
 		"local_ia":      s.daemon.LocalIA().String(),
 		"simulated_ms":  s.net.Now().Milliseconds(),
 		"stats_stored":  s.db.Collection(measure.ColStats).Count(),
 		"paths_stored":  s.db.Collection(measure.ColPaths).Count(),
 		"servers_known": s.db.Collection(measure.ColServers).Count(),
-	})
+	}
+	if info, ok := s.engine.SnapshotInfo(); ok {
+		doc["snapshot_generation"] = info.StatsGeneration
+		doc["snapshot_paths"] = info.Paths
+		doc["snapshot_stats_folded"] = info.StatsFolded
+	}
+	s.writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
 	servers, err := measure.Servers(s.db)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	type row struct {
@@ -98,7 +125,7 @@ func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
 	for _, srv := range servers {
 		out = append(out, row{srv.ID, srv.Address.String(), srv.Name, srv.Country, srv.Operator})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
@@ -115,21 +142,21 @@ func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
 	for _, n := range nodes {
 		out = append(out, row{n.IA.String(), n.Name, n.Type.String(), n.Country, n.Operator, n.InDomain})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("server"))
 	if err != nil || id < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
 		return
 	}
 	cands, err := s.engine.Select(r.Context(), id, selection.Request{})
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, candidatesJSON(cands))
+	s.writeJSON(w, http.StatusOK, candidatesJSON(cands))
 }
 
 // IntentRequest is the front-end's JSON intent format.
@@ -161,11 +188,11 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad intent: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad intent: %w", err))
 		return
 	}
 	if req.ServerID < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server_id required"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("server_id required"))
 		return
 	}
 	selReq := selection.Request{
@@ -180,7 +207,7 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 	if req.Objective != "" {
 		obj, err := selection.ParseObjective(req.Objective)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		selReq.Objective = obj
@@ -190,25 +217,23 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 	// Resolve the destination AS from the catalogue.
 	dstIA, err := s.serverIA(req.ServerID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
 
-	ctrl := NewController(s.daemon, s.engine, s.explorer)
-	dec2, err := ctrl.Decide(r.Context(), dstIA, intent)
+	dec2, err := s.ctrl.Decide(r.Context(), dstIA, intent)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, err)
 		return
 	}
-	tracer := NewTracer(s.net)
-	trace, err := tracer.Trace(dec2, 2)
+	trace, err := s.tracer.Trace(dec2, 2)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	// The Path Tracer stores every observation for later verification.
-	if _, err := tracer.Record(s.db, trace, dec2.Candidate.PathID); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if _, err := s.tracer.Record(s.db, trace, dec2.Candidate.PathID); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	verdict := NewVerifier(s.explorer).Verify(intent, trace)
@@ -225,13 +250,13 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 		case "browsing":
 			weights = ProfileBrowsing
 		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
 			return
 		}
 	}
 	recs, err := Recommend(r.Context(), s.engine, intent, weights, 3)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 
@@ -249,20 +274,44 @@ func (s *Server) handleIntent(w http.ResponseWriter, r *http.Request) {
 			PathID: rec.Candidate.PathID, Score: rec.Score, Reason: rec.Reason,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// serverCatalog is one immutable build of the id -> IA map, stamped with
+// the availableServers generation it was decoded at.
+type serverCatalog struct {
+	gen  int64
+	byID map[int]addr.IA
+}
+
+// serverIA resolves a server id to its destination AS. The decoded
+// catalogue is cached and revalidated against the collection's generation
+// counter, so the per-intent cost is one atomic load and a map probe
+// instead of re-decoding availableServers. Concurrent rebuilds are
+// harmless: each stores an equally-valid catalogue.
 func (s *Server) serverIA(id int) (addr.IA, error) {
-	servers, err := measure.Servers(s.db)
-	if err != nil {
-		return addr.IA{}, err
-	}
-	for _, srv := range servers {
-		if srv.ID == id {
-			return srv.Address.IA, nil
+	col := s.db.Collection(measure.ColServers)
+	cat := s.catalog.Load()
+	if cat == nil || cat.gen != col.Generation() {
+		// Stamp before decoding: a write landing mid-decode leaves the
+		// stamp stale, forcing revalidation, never a stale map marked fresh.
+		gen := col.Generation()
+		servers, err := measure.Servers(s.db)
+		if err != nil {
+			return addr.IA{}, err
 		}
+		byID := make(map[int]addr.IA, len(servers))
+		for _, srv := range servers {
+			byID[srv.ID] = srv.Address.IA
+		}
+		cat = &serverCatalog{gen: gen, byID: byID}
+		s.catalog.Store(cat)
 	}
-	return addr.IA{}, fmt.Errorf("upin: no server with id %d", id)
+	ia, ok := cat.byID[id]
+	if !ok {
+		return addr.IA{}, fmt.Errorf("upin: no server with id %d", id)
+	}
+	return ia, nil
 }
 
 type candidateJSON struct {
@@ -313,12 +362,32 @@ func candidatesJSON(cands []selection.Candidate) []candidateJSON {
 	return out
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// bufPool recycles response-encoding buffers across requests.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v into a pooled buffer before touching the response.
+// Encoding into the buffer first means an encode failure can still be
+// reported as a clean 500 (the status line is not yet committed), and the
+// hot endpoints reuse buffers instead of allocating per response. Errors
+// the old implementation dropped are logged.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		s.logger.Error("upin: encode response", "error", err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The status line is committed; a client that hung up mid-body is
+		// all this can be. Keep the signal, nothing else to do.
+		s.logger.Warn("upin: write response", "error", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }

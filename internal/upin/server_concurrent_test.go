@@ -1,0 +1,142 @@
+package upin
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+)
+
+func statDocAt(pathID string, serverID int, ts int64, i int) docdb.Document {
+	return docdb.Document{
+		"_id":               fmt.Sprintf("%s@%d#c%d", pathID, ts, i),
+		measure.FPathID:     pathID,
+		measure.FServerID:   serverID,
+		measure.FTimestamp:  ts,
+		measure.FAvgLatency: 20.0 + float64(i%17),
+		measure.FMdev:       1.0 + float64(i%3),
+		measure.FLoss:       float64(i % 5),
+		measure.FBwUpMTU:    1e7 + float64(i)*1e3,
+		measure.FBwDownMTU:  2e7 + float64(i)*1e3,
+	}
+}
+
+// TestServerServesWhileMeasuring drives the front-end while a measurement
+// writer keeps appending stats (run it under -race): every response must be
+// well-formed — no torn aggregates, candidates always carrying at least one
+// sample — and the health endpoint's snapshot generation must never run
+// ahead of the stats collection's.
+func TestServerServesWhileMeasuring(t *testing.T) {
+	srv, f := testServer(t, 61)
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	pds, err := measure.PathsForServer(f.db, f.serverID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pds) == 0 {
+		t.Fatal("fixture has no paths")
+	}
+	col := f.db.Collection(measure.ColStats)
+
+	intentBody, err := json.Marshal(IntentRequest{ServerID: f.serverID, Objective: "latency"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathsURL := fmt.Sprintf("/api/paths?server=%d", f.serverID)
+
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		ts := int64(2_000_000_000_000)
+		for i := 0; i < 120; i++ {
+			pid := pds[i%len(pds)].ID
+			if i%10 == 9 {
+				// Out-of-order backfill: the snapshot must recover by
+				// rebuilding, never by serving a torn aggregate.
+				if err := col.Insert(statDocAt(pid, f.serverID, ts-500, i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				continue
+			}
+			ts++
+			if err := col.Insert(statDocAt(pid, f.serverID, ts, i)); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 3; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, pathsURL, nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("paths: status %d: %s", rec.Code, rec.Body.Bytes())
+					return
+				}
+				var cands []candidateJSON
+				if err := json.Unmarshal(rec.Body.Bytes(), &cands); err != nil {
+					t.Errorf("paths: bad body: %v", err)
+					return
+				}
+				for _, c := range cands {
+					if c.Samples < 1 {
+						t.Errorf("path %s served with %d samples", c.PathID, c.Samples)
+						return
+					}
+				}
+
+				req := httptest.NewRequest(http.MethodPost, "/api/intent", bytes.NewReader(intentBody))
+				req.Header.Set("Content-Type", "application/json")
+				rec = httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusConflict {
+					t.Errorf("intent: status %d: %s", rec.Code, rec.Body.Bytes())
+					return
+				}
+
+				rec = httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/health", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("health: status %d", rec.Code)
+					return
+				}
+				var health map[string]any
+				if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+					t.Errorf("health: bad body: %v", err)
+					return
+				}
+				if g, ok := health["snapshot_generation"].(float64); ok {
+					if int64(g) > col.Generation() {
+						t.Errorf("health reports snapshot generation %d ahead of collection %d",
+							int64(g), col.Generation())
+						return
+					}
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}

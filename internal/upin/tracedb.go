@@ -24,7 +24,10 @@ const (
 )
 
 // Record stores a trace in the database, one document per observation,
-// keyed by path fingerprint and simulated timestamp.
+// keyed by path fingerprint and simulated timestamp. A re-observation at
+// the same key replaces the earlier document instead of failing, so
+// concurrent intents tracing the same path within one simulated
+// millisecond both succeed.
 func (t *Tracer) Record(db *docdb.DB, trace *Trace, pathID string) (string, error) {
 	if trace == nil || trace.Path == nil {
 		return "", fmt.Errorf("upin: nil trace")
@@ -49,7 +52,7 @@ func (t *Tracer) Record(db *docdb.DB, trace *Trace, pathID string) (string, erro
 		FTraceRTTsMs:   rtts,
 		FTraceTime:     now.Milliseconds(),
 	}
-	if err := db.Collection(ColTraces).Insert(doc); err != nil {
+	if _, err := db.Collection(ColTraces).UpsertMany([]docdb.Document{doc}); err != nil {
 		return "", err
 	}
 	return id, nil

@@ -25,12 +25,19 @@ go test ./...
 echo "== tier 2: go test -race (concurrency-heavy packages)"
 # docdb also smoke-runs its benchmark suite under the race detector so
 # BenchmarkDocDB* (the BENCH_docdb.json trajectory, see docs/DOCDB.md)
-# cannot rot.
+# cannot rot. selection and upin carry the snapshot-serving concurrency
+# tests (docs/SERVING.md): the randomized cache-vs-oracle interleavings and
+# the serve-while-measure front-end test.
 go test -race -bench=DocDB -benchtime=1x ./internal/docdb
 go test -race ./internal/simnet ./internal/measure
+go test -race ./internal/selection ./internal/upin
 
 echo "== tier 2: docdb benchmark smoke (-benchtime 1x)"
 go test -run '^$' -bench=DocDB -benchtime=1x ./internal/docdb >/dev/null
+
+echo "== tier 2: serving benchmark smoke (-benchtime 1x)"
+# Keeps BenchmarkServing* (the BENCH_serving.json trajectory) runnable.
+go test -run '^$' -bench=Serving -benchtime=1x ./internal/selection >/dev/null
 
 echo "== tier 2: parallel campaign smoke (testsuite --workers 4)"
 go run ./cmd/testsuite 2 --servers 1,2,3 --workers 4 --no-bandwidth \
