@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/upin/scionpath/internal/bwtest"
+	chaospkg "github.com/upin/scionpath/internal/chaos"
 	"github.com/upin/scionpath/internal/cliutil"
 	"github.com/upin/scionpath/internal/measure"
 )
@@ -50,9 +52,11 @@ func run(args []string) int {
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		workers  = fs.Int("workers", 1, "campaign workers (0 = legacy strictly sequential runner)")
 		resume   = fs.Bool("resume", false, "resume an interrupted campaign from its checkpoints (needs --db)")
+		chaos    = fs.Int64("chaos-seed", 0, "run the chaos harness for this seed instead of a campaign (see docs/CHAOS.md)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: testsuite <iterations> [flags]\n")
+		fmt.Fprintf(os.Stderr, "       testsuite --chaos-seed <seed> [--db journal.jsonl]\n")
 		fs.PrintDefaults()
 	}
 	// Accept the positional <iterations> before or after flags.
@@ -69,6 +73,13 @@ func run(args []string) int {
 		return 2
 	}
 	positional = append(positional, fs.Args()...)
+	if *chaos != 0 {
+		if len(positional) != 0 {
+			fs.Usage()
+			return 2
+		}
+		return runChaos(*chaos, *dbPath)
+	}
 	if len(positional) != 1 {
 		fs.Usage()
 		return 2
@@ -156,6 +167,47 @@ func run(args []string) int {
 		}
 		fmt.Printf("  csv export:        %s (%d rows)\n", *csvPath, rows)
 	}
+	return 0
+}
+
+// runChaos executes one seeded chaotic campaign (crashes, resumes, write
+// faults, journal truncation, network weather, lookup failures) against its
+// fault-free oracle and verifies the harness invariants. With an empty
+// dbPath the journal lives in a temporary directory; a given dbPath must
+// not exist yet (the harness owns the journal from birth, including the
+// damage it inflicts on it).
+func runChaos(seed int64, dbPath string) int {
+	path := dbPath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "chaos-*")
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "testsuite", "chaos: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "journal.jsonl")
+	} else if _, err := os.Stat(path); err == nil {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "chaos: %s already exists; the harness needs a fresh journal path", path)
+	}
+	res, err := chaospkg.Run(seed, path)
+	if err != nil {
+		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
+	}
+	defer res.Close()
+	verr := chaospkg.Verify(res)
+	fmt.Printf("chaos seed %d: %d round(s), %d crash(es) planned, %d write fault(s) planned\n",
+		seed, res.Rounds, len(res.Plan.Crashes), len(res.Plan.Writes))
+	fmt.Printf("  network weather:   %d outage(s), %d episode(s)\n",
+		len(res.Plan.Network.Outages), len(res.Plan.Network.Episodes))
+	fmt.Printf("  stats stored:      %d (oracle %d)\n", res.Report.StatsStored, res.OracleReport.StatsStored)
+	fmt.Printf("  cell failures:     %d\n", res.Report.Failures)
+	if dbPath != "" {
+		fmt.Printf("  journal:           %s\n", dbPath)
+	}
+	if verr != nil {
+		fmt.Fprintf(os.Stderr, "testsuite: chaos: INVARIANT VIOLATION: %v\n", verr)
+		return 1
+	}
+	fmt.Println("  invariants:        all 4 hold")
 	return 0
 }
 

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// sweepSeeds is the tier-1 seed range: every seed runs the full chaotic
+// campaign (crashes, resumes, truncation) against its oracle and must pass
+// all four invariants.
+const sweepSeeds = 50
+
+func runSeed(t *testing.T, seed int64) *Result {
+	t.Helper()
+	res, err := Run(seed, filepath.Join(t.TempDir(), "journal.db"))
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Cleanup(func() { res.Close() })
+	if err := Verify(res); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return res
+}
+
+func TestChaosSweep(t *testing.T) {
+	var interrupted, cellFailures atomic.Int64
+	t.Run("seeds", func(t *testing.T) {
+		for seed := int64(1); seed <= sweepSeeds; seed++ {
+			t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+				t.Parallel()
+				res := runSeed(t, seed)
+				if res.Rounds > 1 {
+					interrupted.Add(1)
+				}
+				cellFailures.Add(int64(res.Report.Failures))
+			})
+		}
+	})
+	// The sweep must actually exercise recovery, not accidentally draw 50
+	// benign plans: most plans schedule at least one crash round.
+	if n := interrupted.Load(); n < sweepSeeds/2 {
+		t.Errorf("only %d/%d seeds interrupted the campaign; faults are not engaging", n, sweepSeeds)
+	}
+	t.Logf("interrupted runs: %d/%d, cell-level failures: %d", interrupted.Load(), sweepSeeds, cellFailures.Load())
+}
+
+// TestChaosSmall is the -race subset verify.sh runs: a handful of full
+// chaotic runs under the race detector.
+func TestChaosSmall(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestPlanDeterminism pins the harness's core property: the fault schedule
+// is a pure function of the seed.
+func TestPlanDeterminism(t *testing.T) {
+	topo := topology.DefaultWorld()
+	distinct := 0
+	for seed := int64(0); seed < 20; seed++ {
+		a := NewPlan(seed, topo)
+		b := NewPlan(seed, topo)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%+v\n%+v", seed, a, b)
+		}
+		if !reflect.DeepEqual(a, NewPlan(seed+1, topo)) {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("every seed produced the same plan; the generator ignores its seed")
+	}
+}
+
+// TestPlanShape checks the generated faults respect the constraints the
+// runner's correctness argument depends on.
+func TestPlanShape(t *testing.T) {
+	topo := topology.DefaultWorld()
+	for seed := int64(0); seed < 200; seed++ {
+		p := NewPlan(seed, topo)
+		if len(p.Crashes) < 1 {
+			t.Fatalf("seed %d: no crash rounds", seed)
+		}
+		for _, c := range p.Crashes {
+			if c.AfterCheckpoints < 1 {
+				t.Fatalf("seed %d: crash with AfterCheckpoints %d", seed, c.AfterCheckpoints)
+			}
+		}
+		for _, w := range p.Writes {
+			switch w.Collection {
+			case "paths_stats":
+				if w.Nth < 1 {
+					t.Fatalf("seed %d: stats fault at write %d", seed, w.Nth)
+				}
+			case "campaign_progress":
+				// Write #1 is the campaign meta document; faulting it would
+				// make the run restart fresh and legitimately diverge.
+				if w.Nth < 2 {
+					t.Fatalf("seed %d: checkpoint fault at write %d would hit the campaign meta", seed, w.Nth)
+				}
+			default:
+				t.Fatalf("seed %d: write fault on unexpected collection %q", seed, w.Collection)
+			}
+		}
+		for _, ep := range p.Network.Episodes {
+			if ep.End <= ep.Start || ep.DropProb <= 0 || ep.DropProb > 1 {
+				t.Fatalf("seed %d: malformed episode %+v", seed, ep)
+			}
+		}
+		for _, o := range p.Network.Outages {
+			if o.End <= o.Start {
+				t.Fatalf("seed %d: malformed outage %+v", seed, o)
+			}
+		}
+	}
+}
+
+// TestTruncateTailBoundedByMeta: however large the requested cut, the
+// campaign metadata line (and everything before it) survives.
+func TestTruncateTailBoundedByMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.db")
+	meta := `{"op":"insert","c":"campaign_progress","doc":{"_id":"meta:camp","campaign":"camp"}}` + "\n"
+	content := `{"op":"insert","c":"paths","doc":{"_id":"p1"}}` + "\n" + meta +
+		`{"op":"insert","c":"paths_stats","doc":{"_id":"s1"}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := truncateTail(path, "camp", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(got), meta) {
+		t.Fatalf("truncation cut into or past the meta line; remaining:\n%s", got)
+	}
+
+	// A partial cut leaves a truncated final line, which replay tolerates.
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := truncateTail(path, "camp", 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(content)-10 {
+		t.Fatalf("cut %d bytes, want 10", len(content)-len(got))
+	}
+
+	// No meta line at all: refuse rather than destroy collected paths.
+	if err := os.WriteFile(path, []byte(`{"op":"insert","c":"paths","doc":{"_id":"p1"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := truncateTail(path, "camp", 10); err == nil {
+		t.Fatal("truncateTail without a meta line should refuse")
+	}
+}

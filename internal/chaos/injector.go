@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/upin/scionpath/internal/measure"
+)
+
+// injector implements docdb.Failpoint for one chaotic run. It injects the
+// plan's write faults and triggers the current round's crash. Write
+// counters and fired flags persist across crash/restart rounds (the plan
+// speaks about the run, not about one process lifetime); the crash trigger
+// is re-armed per round.
+type injector struct {
+	plan Plan
+
+	mu          sync.Mutex
+	writeCounts map[string]int // per-collection write batches seen, all rounds
+	fired       []bool         // plan.Writes[i] already injected
+	crashAfter  int            // checkpoint writes until cancel; 0 = disarmed
+	ckptWrites  int            // checkpoint writes this round
+	cancel      context.CancelFunc
+}
+
+func newInjector(plan Plan) *injector {
+	return &injector{
+		plan:        plan,
+		writeCounts: make(map[string]int),
+		fired:       make([]bool, len(plan.Writes)),
+	}
+}
+
+// armCrash configures the round's crash trigger: cancel after n writes to
+// the checkpoint collection. n <= 0 disarms (the final round must finish).
+func (in *injector) armCrash(n int, cancel context.CancelFunc) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAfter = n
+	in.ckptWrites = 0
+	in.cancel = cancel
+}
+
+// BeforeWrite implements docdb.Failpoint.
+func (in *injector) BeforeWrite(collection, op string, batch int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeCounts[collection]++
+	n := in.writeCounts[collection]
+	for i, wf := range in.plan.Writes {
+		if !in.fired[i] && wf.Collection == collection && wf.Nth == n {
+			in.fired[i] = true
+			return fmt.Errorf("chaos: injected %s fault on %s (write #%d)", op, collection, n)
+		}
+	}
+	if collection == measure.ColProgress && in.crashAfter > 0 {
+		in.ckptWrites++
+		if in.ckptWrites >= in.crashAfter {
+			// Let this write through, then kill the round: cancellation is
+			// honored at cell boundaries, so in-flight cells still finish
+			// and checkpoint — the crash point a real SIGKILL cannot pick.
+			// The journal damage comes separately from truncateTail.
+			in.crashAfter = 0
+			in.cancel()
+		}
+	}
+	return nil
+}
+
+// ReplayEntry implements docdb.Failpoint. Chaos damages journals physically
+// (truncateTail) rather than during replay, so replay always proceeds.
+func (in *injector) ReplayEntry(n int, op string) bool { return true }
+
+// truncateTail cuts up to maxCut bytes off the journal's tail, but never
+// past the end of the campaign metadata line: everything before it
+// (server catalogue, collected paths, campaign identity) is written and
+// flushed before the first cell runs, so a real crash cannot lose it, and
+// a resume without it would legitimately restart fresh and re-collect —
+// a different experiment than the one the oracle ran. A cut mid-line is
+// fine: replay tolerates a truncated final line by design.
+func truncateTail(path, campaign string, maxCut int) error {
+	if maxCut <= 0 {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	}
+	marker := []byte(fmt.Sprintf("%q", measure.CampaignMetaID(campaign)))
+	i := bytes.Index(data, marker)
+	if i < 0 {
+		return fmt.Errorf("chaos: truncate %s: no campaign meta entry for %q", path, campaign)
+	}
+	metaEnd := i + bytes.IndexByte(data[i:], '\n') + 1
+	if metaEnd <= i { // no newline after meta: nothing safely cuttable
+		return nil
+	}
+	cut := maxCut
+	if max := len(data) - metaEnd; cut > max {
+		cut = max
+	}
+	if cut <= 0 {
+		return nil
+	}
+	if err := os.Truncate(path, int64(len(data)-cut)); err != nil {
+		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	}
+	return nil
+}

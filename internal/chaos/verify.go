@@ -1,0 +1,275 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+	"github.com/upin/scionpath/internal/upin"
+)
+
+// Verify asserts the harness's four end-to-end invariants over a completed
+// Run:
+//
+//  1. Convergence: the chaotic run's final database is equivalent to the
+//     uninterrupted oracle's — crashes, resumes, write faults and journal
+//     truncation changed nothing about what was ultimately stored.
+//  2. Checkpoint ordering: no surviving checkpoint claims statistics the
+//     journal does not hold (also asserted at every recovery point by Run).
+//  3. Serving equivalence: path selection over the chaotic database equals
+//     selection over the oracle (the incremental-vs-rebuild half runs
+//     inside Run, where a long-lived engine spans the completing round),
+//     and the UPIN front-end serves identical responses over both.
+//  4. Failure accounting: every cell of the grid is checkpointed, recorded
+//     failures add up to the run report's, and the report matches the
+//     oracle's except for the cells a resume legitimately skipped.
+func Verify(res *Result) error {
+	if err := diffSnapshots(dbSnapshot(res.Final), dbSnapshot(res.Oracle)); err != nil {
+		return fmt.Errorf("chaos: seed %d: invariant 1 (convergence): %w", res.Seed, err)
+	}
+	if err := checkCheckpointOrdering(res.Final, res.Campaign); err != nil {
+		return fmt.Errorf("chaos: seed %d: invariant 2: %w", res.Seed, err)
+	}
+	if err := checkServingEquivalence(res); err != nil {
+		return fmt.Errorf("chaos: seed %d: invariant 3 (serving): %w", res.Seed, err)
+	}
+	if err := checkFailureAccounting(res); err != nil {
+		return fmt.Errorf("chaos: seed %d: invariant 4 (accounting): %w", res.Seed, err)
+	}
+	return nil
+}
+
+// dbSnapshot renders every non-empty collection to id -> canonical JSON.
+// JSON is the comparison domain on purpose: a journal-replayed database
+// holds float64 where the in-memory oracle holds int (JSON round-trip), and
+// canonical encoding (sorted keys, 7 and 7.0 both rendering "7") erases
+// exactly that representational difference and nothing else.
+func dbSnapshot(db *docdb.DB) map[string]map[string]string {
+	out := make(map[string]map[string]string)
+	for _, name := range db.CollectionNames() {
+		docs := db.Collection(name).Find(docdb.Query{})
+		if len(docs) == 0 {
+			continue
+		}
+		m := make(map[string]string, len(docs))
+		for _, d := range docs {
+			b, err := json.Marshal(d)
+			if err != nil {
+				m[d.ID()] = fmt.Sprintf("!marshal: %v", err)
+				continue
+			}
+			m[d.ID()] = string(b)
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// diffSnapshots reports the first difference between two database
+// snapshots, precisely enough to debug a seed.
+func diffSnapshots(got, want map[string]map[string]string) error {
+	names := make(map[string]bool)
+	for n := range got {
+		names[n] = true
+	}
+	for n := range want {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		g, w := got[n], want[n]
+		if len(g) != len(w) {
+			return fmt.Errorf("collection %s: %d documents, oracle has %d", n, len(g), len(w))
+		}
+		for id, wdoc := range w {
+			gdoc, ok := g[id]
+			if !ok {
+				return fmt.Errorf("collection %s: document %s missing", n, id)
+			}
+			if gdoc != wdoc {
+				return fmt.Errorf("collection %s: document %s differs:\n  got  %s\n  want %s", n, id, gdoc, wdoc)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCheckpointOrdering asserts that every surviving cell checkpoint is
+// backed by exactly the statistics it recorded. The engine journals a
+// cell's stats batch before its checkpoint, and crash damage is always a
+// journal suffix, so a checkpoint that survived implies its stats did too;
+// a violation here means that ordering broke.
+func checkCheckpointOrdering(db *docdb.DB, campaign string) error {
+	progress := db.Collection(measure.ColProgress)
+	metaID := measure.CampaignMetaID(campaign)
+	meta := progress.Get(metaID)
+	cells := progress.Find(docdb.Query{Filter: docdb.Eq(measure.FCampaign, campaign)})
+	if meta == nil {
+		// Cells are only ever journaled after the metadata document, so a
+		// database without it must not hold any.
+		if len(cells) > 0 {
+			return fmt.Errorf("checkpoint ordering: %d cell checkpoints but no campaign meta %s", len(cells), metaID)
+		}
+		return nil
+	}
+	base, ok := numInt(meta[measure.FBaseMs])
+	if !ok {
+		return fmt.Errorf("checkpoint ordering: meta %s has no %s", metaID, measure.FBaseMs)
+	}
+	stride, ok := numInt(meta[measure.FStrideMs])
+	if !ok || stride <= 0 {
+		return fmt.Errorf("checkpoint ordering: meta %s has bad %s", metaID, measure.FStrideMs)
+	}
+	stats := db.Collection(measure.ColStats)
+	for _, cell := range cells {
+		if cell.ID() == metaID {
+			continue
+		}
+		it, _ := numInt(cell[measure.FIteration])
+		sid, _ := numInt(cell[measure.FServerID])
+		stored, _ := numInt(cell[measure.FCellStored])
+		// A cell's stats all carry timestamps inside its iteration window
+		// (the stride exceeds a cell's simulated duration by construction).
+		lo := base + it*stride
+		n := len(stats.Find(docdb.Query{Filter: docdb.And(
+			docdb.Eq(measure.FServerID, sid),
+			docdb.Gte(measure.FTimestamp, lo),
+			docdb.Lt(measure.FTimestamp, lo+stride),
+		)}))
+		if int64(n) != stored {
+			return fmt.Errorf("checkpoint ordering: cell %s claims %d stats, journal holds %d", cell.ID(), stored, n)
+		}
+	}
+	return nil
+}
+
+// checkSnapshot compares a long-lived engine (which refreshed its snapshot
+// incrementally across a campaign round) against a from-scratch rebuild
+// over the same database. Run calls it after every completing round.
+func checkSnapshot(db *docdb.DB, topo *topology.Topology, engine *selection.Engine, ids []int) error {
+	fresh := selection.New(db, topo)
+	for _, id := range ids {
+		got, gerr := engine.Select(context.Background(), id, selection.Request{})
+		want, werr := fresh.Select(context.Background(), id, selection.Request{})
+		if (gerr == nil) != (werr == nil) {
+			return fmt.Errorf("snapshot fold: server %d: incremental err=%v, rebuild err=%v", id, gerr, werr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("snapshot fold: server %d: incremental snapshot diverged from rebuild", id)
+		}
+	}
+	return nil
+}
+
+// checkServingEquivalence runs selection and the UPIN front-end over both
+// databases and requires identical answers.
+func checkServingEquivalence(res *Result) error {
+	engF := selection.New(res.Final, res.Topo)
+	engO := selection.New(res.Oracle, res.Topo)
+	for _, id := range res.ServerIDs {
+		got, gerr := engF.Select(context.Background(), id, selection.Request{})
+		want, werr := engO.Select(context.Background(), id, selection.Request{})
+		if (gerr == nil) != (werr == nil) {
+			return fmt.Errorf("server %d: chaotic err=%v, oracle err=%v", id, gerr, werr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("server %d: selection candidates diverged from oracle", id)
+		}
+	}
+
+	srvF, err := probeFrontend(res.Final, res.Topo)
+	if err != nil {
+		return err
+	}
+	srvO, err := probeFrontend(res.Oracle, res.Topo)
+	if err != nil {
+		return err
+	}
+	if code, _ := probeGet(srvF, "/api/health"); code != http.StatusOK {
+		return fmt.Errorf("front-end health over chaotic database: status %d", code)
+	}
+	for _, id := range res.ServerIDs {
+		url := fmt.Sprintf("/api/paths?server=%d", id)
+		gc, gb := probeGet(srvF, url)
+		wc, wb := probeGet(srvO, url)
+		if gc != wc || gb != wb {
+			return fmt.Errorf("front-end %s: chaotic %d %q, oracle %d %q", url, gc, gb, wc, wb)
+		}
+	}
+	return nil
+}
+
+// probeFrontend wires a UPIN server over a database, the way cmd/upinsrv
+// does, on a fresh world (the front-end only reads the database here).
+func probeFrontend(db *docdb.DB, topo *topology.Topology) (*upin.Server, error) {
+	net := simnet.New(topo, simnet.Options{Seed: 1})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		return nil, err
+	}
+	explorer := upin.NewDomainExplorer(topo, topo.ISDs())
+	return upin.NewServer(db, daemon, net, selection.New(db, topo), explorer), nil
+}
+
+func probeGet(srv *upin.Server, url string) (int, string) {
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// checkFailureAccounting asserts invariant 4: the cell grid is fully
+// checkpointed, recorded per-cell failures sum to the report's, and the
+// final report matches the oracle's in every way a user could observe.
+func checkFailureAccounting(res *Result) error {
+	progress := res.Final.Collection(measure.ColProgress)
+	var failSum int64
+	for it := 0; it < scenarioIterations; it++ {
+		for _, sid := range res.ServerIDs {
+			cell := progress.Get(measure.CellID(res.Campaign, it, sid))
+			if cell == nil {
+				return fmt.Errorf("cell (iteration %d, server %d) never checkpointed", it, sid)
+			}
+			f, _ := numInt(cell[measure.FCellFail])
+			failSum += f
+		}
+	}
+	if failSum != int64(res.Report.Failures) {
+		return fmt.Errorf("checkpointed failures %d != reported failures %d", failSum, res.Report.Failures)
+	}
+	got, want := res.Report, res.OracleReport
+	// A resumed run legitimately skips checkpointed cells; everything else
+	// must match the uninterrupted run.
+	got.SkippedCells, want.SkippedCells = 0, 0
+	if got != want {
+		return fmt.Errorf("final report %+v != oracle report %+v", got, want)
+	}
+	return nil
+}
+
+// numInt decodes a numeric document value, tolerating the int/int64/float64
+// split between in-memory writes and JSON journal replay.
+func numInt(v any) (int64, bool) {
+	switch t := v.(type) {
+	case int:
+		return int64(t), true
+	case int64:
+		return t, true
+	case float64:
+		return int64(t), true
+	}
+	return 0, false
+}

@@ -90,7 +90,8 @@ type DB struct {
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
-	journal     *journal // nil for purely in-memory databases
+	journal     *journal  // nil for purely in-memory databases
+	failpoint   Failpoint // nil outside chaos testing (see failpoint.go)
 }
 
 // Open creates an in-memory database.
@@ -209,7 +210,7 @@ func (c *Collection) InsertMany(docs []Document) error {
 	// or the journal, never dropped between them.
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j := c.db.journal
+	j, fp := c.db.journal, c.db.failpoint
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Validate the whole batch first (atomicity).
@@ -233,6 +234,11 @@ func (c *Collection) InsertMany(docs []Document) error {
 		}
 		seen[id] = true
 		ids[i] = id
+	}
+	if fp != nil {
+		if err := fp.BeforeWrite(c.name, "insert", len(docs)); err != nil {
+			return fmt.Errorf("docdb: %s: insert: %w", c.name, err)
+		}
 	}
 	c.seq = seq
 	for i, doc := range docs {
@@ -264,7 +270,7 @@ func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 	// journal append so Compact can never drop a committed batch.
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j := c.db.journal
+	j, fp := c.db.journal, c.db.failpoint
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	seen := make(map[string]bool, len(docs))
@@ -280,6 +286,11 @@ func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 			return 0, fmt.Errorf("docdb: %s: %w %q within batch", c.name, ErrDuplicateID, id)
 		}
 		seen[id] = true
+	}
+	if fp != nil {
+		if err := fp.BeforeWrite(c.name, "upsert", len(docs)); err != nil {
+			return 0, fmt.Errorf("docdb: %s: upsert: %w", c.name, err)
+		}
 	}
 	for _, doc := range docs {
 		stored := doc.Clone()

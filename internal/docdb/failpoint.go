@@ -1,0 +1,48 @@
+package docdb
+
+// Fault injection for chaos testing (see docs/CHAOS.md). A Failpoint lets a
+// test harness make the storage engine fail on demand — batch writes that
+// error before touching any state, journal replay that stops early as if the
+// file had been truncated — without changing the engine's own code paths.
+// Production databases never set one: every hook site is a single nil check
+// on a field that is read under a lock the operation already holds, so the
+// fast path costs nothing measurable (the BenchmarkDocDB* baselines gate
+// this).
+
+// Failpoint injects storage faults. Implementations must be safe for
+// concurrent use; the engine may consult one hook from many writers at once.
+type Failpoint interface {
+	// BeforeWrite is consulted by InsertMany and UpsertMany after the batch
+	// has been validated but before any document is stored or journaled. op
+	// is "insert" or "upsert". Returning a non-nil error aborts the whole
+	// batch atomically: the collection, its indexes and the journal are left
+	// exactly as they were.
+	BeforeWrite(collection, op string, batch int) error
+
+	// ReplayEntry is consulted once per journal entry during OpenFileWith
+	// replay, before the entry is applied; n counts entries from zero.
+	// Returning false stops replay at that point, as if the journal had been
+	// truncated there — the standard crash model the chaos harness uses.
+	ReplayEntry(n int, op string) bool
+}
+
+// SetFailpoint installs (or, with nil, removes) the database's failpoint.
+// Install before sharing the DB with writers; the pointer is guarded by the
+// DB lock the write paths already take.
+func (db *DB) SetFailpoint(fp Failpoint) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.failpoint = fp
+}
+
+// OpenFileWith is OpenFile with a failpoint installed before replay, so
+// ReplayEntry can simulate a truncated journal and BeforeWrite is armed from
+// the first write. fp may be nil, which is exactly OpenFile.
+func OpenFileWith(path string, fp Failpoint) (*DB, error) {
+	db := Open()
+	db.failpoint = fp // no lock needed: the DB is not shared yet
+	if err := db.replay(path); err != nil {
+		return nil, err
+	}
+	return db.attachJournal(path)
+}

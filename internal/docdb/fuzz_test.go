@@ -1,0 +1,168 @@
+package docdb
+
+import (
+	"testing"
+)
+
+// FuzzCompileFilter is a differential fuzzer: the fuzz input is decoded
+// deterministically into a filter tree and a batch of documents, and the
+// compiled matcher must agree with the naive interface evaluator on every
+// one of them. Unlike the seeded oracle tests this explores the corners the
+// generator's fixed pools miss by construction — cross-type comparisons
+// (int vs float64 vs string vs bool vs nil), dotted paths through non-map
+// values, empty And/Or, double negation, filters on missing fields.
+
+// fuzzWalker consumes fuzz bytes one decision at a time; an exhausted input
+// yields zeros, so every byte string decodes to something valid.
+type fuzzWalker struct {
+	data []byte
+	pos  int
+}
+
+func (w *fuzzWalker) next() byte {
+	if w.pos >= len(w.data) {
+		return 0
+	}
+	b := w.data[w.pos]
+	w.pos++
+	return b
+}
+
+// pick returns next() reduced to [0, n).
+func (w *fuzzWalker) pick(n int) int { return int(w.next()) % n }
+
+// The field pool mixes flat names, dotted paths (including one that dives
+// through a non-map on some documents), _id and a never-present field.
+var fuzzFields = []string{"a", "b", "s", "ok", "arr", "n.x", "n.y.z", "a.x", "_id", "ghost"}
+
+// The value pool deliberately spans types: the compiled comparators
+// specialise on the query value's type and must degrade to the generic
+// compareValues semantics when the document side differs. No NaN — the pool
+// is for equivalence testing, not for pinning NaN ordering.
+var fuzzValues = []any{
+	nil, 0, 1, -1, int(7), int64(7), float64(7), 7.5, -2.25, 1e6,
+	"", "x", "seven", "2_3", true, false,
+}
+
+// Valid patterns only: Regex panics on bad patterns by contract.
+var fuzzPatterns = []string{"^s", "e.en", "^$", "[0-9]+", "x|y"}
+
+func (w *fuzzWalker) field() string { return fuzzFields[w.pick(len(fuzzFields))] }
+func (w *fuzzWalker) value() any    { return fuzzValues[w.pick(len(fuzzValues))] }
+
+// filter decodes one filter tree node. Depth is bounded so adversarial
+// inputs cannot build towers of Not; breadth (And/Or arity, In set size) is
+// 0-3, covering the empty-combinator identities.
+func (w *fuzzWalker) filter(depth int) Filter {
+	kind := w.pick(13)
+	if depth <= 0 && kind >= 9 {
+		kind %= 9
+	}
+	switch kind {
+	case 0:
+		return Eq(w.field(), w.value())
+	case 1:
+		return Ne(w.field(), w.value())
+	case 2:
+		return Gt(w.field(), w.value())
+	case 3:
+		return Gte(w.field(), w.value())
+	case 4:
+		return Lt(w.field(), w.value())
+	case 5:
+		return Lte(w.field(), w.value())
+	case 6:
+		values := make([]any, w.pick(4))
+		for i := range values {
+			values[i] = w.value()
+		}
+		return In(w.field(), values...)
+	case 7:
+		values := make([]any, w.pick(4))
+		for i := range values {
+			values[i] = w.value()
+		}
+		return Nin(w.field(), values...)
+	case 8:
+		return Exists(w.field(), w.pick(2) == 0)
+	case 9:
+		return Regex(w.field(), fuzzPatterns[w.pick(len(fuzzPatterns))])
+	case 10:
+		subs := make([]Filter, w.pick(4))
+		for i := range subs {
+			subs[i] = w.filter(depth - 1)
+		}
+		return And(subs...)
+	case 11:
+		subs := make([]Filter, w.pick(4))
+		for i := range subs {
+			subs[i] = w.filter(depth - 1)
+		}
+		return Or(subs...)
+	default:
+		return Not(w.filter(depth - 1))
+	}
+}
+
+// document decodes one document over the same field/value pools the filters
+// draw from, so matches are common. Each optional field flips on its own
+// byte; "a" sometimes holds a scalar where a filter probes the path "a.x".
+func (w *fuzzWalker) document(i int) Document {
+	d := Document{"_id": fuzzValues[10+w.pick(4)].(string) + string(rune('a'+i%26))}
+	if w.pick(2) == 0 {
+		d["a"] = w.value()
+	}
+	if w.pick(2) == 0 {
+		d["b"] = w.value()
+	}
+	if w.pick(2) == 0 {
+		d["s"] = fuzzValues[10+w.pick(4)]
+	}
+	if w.pick(2) == 0 {
+		d["ok"] = w.pick(2) == 0
+	}
+	if w.pick(2) == 0 {
+		arr := make([]any, w.pick(3))
+		for j := range arr {
+			arr[j] = w.value()
+		}
+		d["arr"] = arr
+	}
+	switch w.pick(3) {
+	case 0:
+		d["n"] = Document{"x": w.value(), "y": Document{"z": w.value()}}
+	case 1:
+		d["n"] = w.value() // scalar where filters expect a map
+	}
+	return d
+}
+
+func FuzzCompileFilter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte("\x0a\x03\x00\x05\x0c\x0c\x01\x09\x02seed"))
+	f.Add([]byte{12, 12, 12, 10, 0, 11, 0, 6, 3, 1, 2, 3, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := &fuzzWalker{data: data}
+		filter := w.filter(3)
+		docs := make([]Document, 4)
+		for i := range docs {
+			docs[i] = w.document(i)
+		}
+
+		compiled := CompileFilter(filter)
+		if again := CompileFilter(compiled); again != compiled {
+			t.Fatal("CompileFilter is not idempotent")
+		}
+		for i, d := range docs {
+			naive := filter.Match(d)
+			if got := compiled.Match(d); got != naive {
+				t.Fatalf("doc %d %v: compiled=%v naive=%v for filter %#v", i, d, got, naive, filter)
+			}
+			// Matching must not mutate state: a second evaluation agrees.
+			if got := compiled.Match(d); got != naive {
+				t.Fatalf("doc %d: compiled matcher unstable across calls", i)
+			}
+		}
+	})
+}

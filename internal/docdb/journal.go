@@ -86,6 +86,13 @@ func OpenFile(path string) (*DB, error) {
 	if err := db.replay(path); err != nil {
 		return nil, err
 	}
+	return db.attachJournal(path)
+}
+
+// attachJournal opens the append side of the journal after replay.
+//
+//lint:ignore lockcheck runs before the DB is shared (only OpenFile/OpenFileWith call it), so no other goroutine can observe the field
+func (db *DB) attachJournal(path string) (*DB, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("docdb: open journal %s: %w", path, err)
@@ -112,6 +119,11 @@ func (db *DB) replay(path string) (err error) {
 	}()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	// replay runs before the DB is shared (OpenFile/OpenFileWith own it), so
+	// the failpoint field is readable without the lock here.
+	//lint:ignore lockcheck replay runs before the DB is shared, no concurrent access is possible
+	fp := db.failpoint
+	n := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -121,6 +133,10 @@ func (db *DB) replay(path string) (err error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			break // truncated tail: stop replay, keep what we have
 		}
+		if fp != nil && !fp.ReplayEntry(n, e.Op) {
+			break // injected truncation: drop the journal's tail
+		}
+		n++
 		db.applyReplay(e)
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective throws arbitrary comment text at the directive parser.
+// The parser must never panic, must be deterministic, and the directives it
+// accepts must satisfy the invariants the suppression matcher relies on:
+// only the two documented prefixes parse, wholeFile tracks which one,
+// analyzers carry no whitespace, reasons are trimmed, and a reason-less
+// directive never suppresses anything (the reason is mandatory by design —
+// checked by the lintdirective analyzer).
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore lockcheck runs before the DB is shared")
+	f.Add("//lint:file-ignore * generated code")
+	f.Add("//lint:ignore ")
+	f.Add("//lint:ignore errcheck")
+	f.Add("//lint:ignore\ttab separated\treason")
+	f.Add("// an ordinary comment")
+	f.Add("//lint:ignorance is bliss")
+	f.Add("//lint:file-ignore \x00\xffbinary junk")
+	f.Add("//lint:ignore a \n b")
+	f.Fuzz(func(t *testing.T, text string) {
+		dir, ok := parseIgnore(text)
+		dir2, ok2 := parseIgnore(text)
+		if ok != ok2 || dir != dir2 {
+			t.Fatalf("parseIgnore not deterministic on %q: (%+v,%v) then (%+v,%v)", text, dir, ok, dir2, ok2)
+		}
+		if !ok {
+			if dir != (ignoreDirective{}) {
+				t.Fatalf("rejected text %q produced non-zero directive %+v", text, dir)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, ignorePrefix) && !strings.HasPrefix(text, fileIgnorePrefix) {
+			t.Fatalf("accepted text %q lacks both directive prefixes", text)
+		}
+		if dir.wholeFile != strings.HasPrefix(text, fileIgnorePrefix) {
+			t.Fatalf("wholeFile=%v disagrees with prefix of %q", dir.wholeFile, text)
+		}
+		if strings.ContainsAny(dir.analyzer, " \t\n\r") {
+			t.Fatalf("analyzer %q contains whitespace (text %q)", dir.analyzer, text)
+		}
+		if dir.reason != strings.TrimSpace(dir.reason) {
+			t.Fatalf("reason %q not trimmed (text %q)", dir.reason, text)
+		}
+
+		// A directive without a reason must be inert however it is anchored.
+		dir.file, dir.line, dir.endLine = "f.go", 10, 20
+		set := &ignoreSet{directives: []ignoreDirective{dir}}
+		diag := Diagnostic{Analyzer: dir.analyzer, File: "f.go", Line: 10}
+		if dir.analyzer == "" {
+			diag.Analyzer = "anything"
+		}
+		if got := set.suppresses(diag); got != (dir.reason != "") {
+			t.Fatalf("directive %+v suppresses=%v, want %v (text %q)", dir, got, dir.reason != "", text)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayClamp drives backoffDelay through the attempt range where
+// BaseBackoff << (attempt-1) overflows int64. Before the explicit clamp the
+// shifted value could wrap to a small positive duration that slipped past
+// the d <= 0 guard; every overflowing attempt must saturate at MaxBackoff.
+func TestBackoffDelayClamp(t *testing.T) {
+	pol := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		JitterFrac:  0, // deterministic: delay is exactly the clamped base
+	}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 10 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{7, 640 * time.Millisecond},
+		{8, time.Second},  // 1.28s, above MaxBackoff
+		{40, time.Second}, // 10ms << 39 ≈ 63.5 days, still representable
+		{54, time.Second}, // 10ms << 53 overflows int64: must not wrap
+		{63, time.Second}, // shift == 62, last in-range shift count
+		{64, time.Second}, // shift == 63 would flip the sign bit
+		{100, time.Second},
+	}
+	jrng := rand.New(rand.NewSource(1))
+	for _, tc := range cases {
+		got := backoffDelay(pol, tc.attempt, jrng)
+		if got != tc.want {
+			t.Errorf("backoffDelay(attempt=%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffDelayJitterBounded checks the jittered delay never escapes
+// [0, MaxBackoff] for any attempt, including overflowing ones.
+func TestBackoffDelayJitterBounded(t *testing.T) {
+	pol := RetryPolicy{}.withDefaults() // JitterFrac 0.5
+	jrng := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 128; attempt++ {
+		for i := 0; i < 32; i++ {
+			d := backoffDelay(pol, attempt, jrng)
+			if d < 0 || d > pol.MaxBackoff {
+				t.Fatalf("backoffDelay(attempt=%d) = %v, outside [0, %v]", attempt, d, pol.MaxBackoff)
+			}
+		}
+	}
+}
+
+// TestBackoffDelayZeroBase: a zero BaseBackoff policy must saturate at
+// MaxBackoff rather than shift zero forever.
+func TestBackoffDelayZeroBase(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 3, BaseBackoff: 0, MaxBackoff: time.Second}
+	jrng := rand.New(rand.NewSource(7))
+	if d := backoffDelay(pol, 1, jrng); d != time.Second {
+		t.Fatalf("backoffDelay with zero base = %v, want %v", d, time.Second)
+	}
+}

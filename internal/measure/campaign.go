@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -333,17 +334,34 @@ func cellSeed(campaignSeed int64, serverID, iteration, attempt int) int64 {
 	return int64(h.Sum64())
 }
 
-// sleepBackoff waits out the exponential backoff before retry `attempt`
-// (1-based), jittered by the policy's JitterFrac, honoring cancellation.
-func sleepBackoff(ctx context.Context, pol RetryPolicy, attempt int, jrng *rand.Rand) error {
-	d := pol.BaseBackoff << (attempt - 1)
-	if d <= 0 || d > pol.MaxBackoff {
-		d = pol.MaxBackoff
+// backoffDelay computes the jittered exponential delay before retry
+// `attempt` (1-based). BaseBackoff << (attempt-1) wraps int64 long before
+// the shift count reaches 64 and can wrap to a small positive value that a
+// d <= 0 check never catches, so the doubling is only applied while it
+// provably fits; any attempt past that point saturates at MaxBackoff. The
+// jitter draw happens exactly once regardless, keeping the jrng stream
+// aligned across attempts.
+func backoffDelay(pol RetryPolicy, attempt int, jrng *rand.Rand) time.Duration {
+	d := pol.MaxBackoff
+	if shift := uint(attempt - 1); shift < 63 && pol.BaseBackoff > 0 && pol.BaseBackoff <= math.MaxInt64>>shift {
+		if b := pol.BaseBackoff << shift; b < d {
+			d = b
+		}
 	}
 	d = time.Duration(float64(d) * (1 + pol.JitterFrac*(2*jrng.Float64()-1)))
 	if d > pol.MaxBackoff {
 		d = pol.MaxBackoff
 	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sleepBackoff waits out the exponential backoff before retry `attempt`
+// (1-based), jittered by the policy's JitterFrac, honoring cancellation.
+func sleepBackoff(ctx context.Context, pol RetryPolicy, attempt int, jrng *rand.Rand) error {
+	d := backoffDelay(pol, attempt, jrng)
 	if d <= 0 {
 		return ctx.Err()
 	}

@@ -1,0 +1,64 @@
+package sciond
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+)
+
+// Fault injection for chaos testing (internal/chaos, docs/CHAOS.md): the
+// daemon's path-lookup surface can be made to fail or serve stale segments
+// on demand, modelling a control plane that is itself part of the paper's
+// "dynamic and fallible network" (§4.2.2). The hook is consulted with the
+// world seed of the daemon's data plane, so a chaos plan can make a fault
+// deterministic per (destination, forked world) — a retried measurement
+// cell forks a new world seed per attempt, which is what lets injected
+// lookup failures be transient without any wall-clock dependence.
+
+// Fault is the outcome the hook selects for one path lookup.
+type Fault int
+
+const (
+	// FaultNone lets the lookup proceed normally.
+	FaultNone Fault = iota
+	// FaultLookupError fails the lookup with an error, the way an
+	// unreachable SCION daemon or an empty beacon store would.
+	FaultLookupError
+	// FaultStalePaths suppresses segment-expiry refresh for this lookup:
+	// the daemon answers from whatever registry it has, however old.
+	FaultStalePaths
+)
+
+// FaultHook decides the fate of one path lookup to dst at simulated time
+// now, on the world identified by seed. Hooks must be pure functions of
+// their arguments (no shared mutable state): lookups run concurrently
+// across campaign workers, and reproducibility per seed depends on it.
+type FaultHook func(dst addr.IA, seed int64, now time.Duration) Fault
+
+// SetFaultHook installs (or, with nil, removes) the daemon's fault hook.
+// Install before sharing the daemon; forks inherit the parent's hook.
+func (d *Daemon) SetFaultHook(h FaultHook) { d.fault = h }
+
+// consultFault asks the hook about a lookup; the nil fast path is one
+// comparison. It returns the injected error for FaultLookupError, and
+// reports whether the expiry refresh should be skipped (FaultStalePaths).
+func (d *Daemon) consultFault(dst addr.IA) (skipRefresh bool, err error) {
+	if d.fault == nil {
+		return false, nil
+	}
+	var seed int64
+	var now time.Duration
+	if d.net != nil {
+		seed = d.net.Seed()
+		now = d.net.Now()
+	}
+	switch d.fault(dst, seed, now) {
+	case FaultLookupError:
+		return false, fmt.Errorf("sciond: path lookup to %s failed (injected fault)", dst)
+	case FaultStalePaths:
+		return true, nil
+	default:
+		return false, nil
+	}
+}

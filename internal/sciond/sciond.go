@@ -29,6 +29,9 @@ type Daemon struct {
 	combiner *pathmgr.Combiner
 	net      *simnet.Network
 	local    addr.IA
+	// fault, when set, is consulted before every path lookup (chaos
+	// testing, see fault.go); nil in production and zero-cost then.
+	fault FaultHook
 	// discoveredAt is the simulated time of the last beaconing run; paths
 	// combined from that registry expire SegmentLifetime later.
 	discoveredAt time.Duration
@@ -54,7 +57,7 @@ func New(topo *topology.Topology, net *simnet.Network, local addr.IA) (*Daemon, 
 // re-beacons on its own only when the shared registry's segments expire
 // relative to the fork's clock.
 func (d *Daemon) Fork(net *simnet.Network) *Daemon {
-	f := &Daemon{topo: d.topo, combiner: d.combiner, net: net, local: d.local}
+	f := &Daemon{topo: d.topo, combiner: d.combiner, net: net, local: d.local, fault: d.fault}
 	if net != nil {
 		f.discoveredAt = net.Now()
 	}
@@ -126,7 +129,13 @@ func (d *Daemon) ShowPaths(dst addr.IA, opts ShowPathsOpts) ([]*pathmgr.Path, er
 	if opts.MaxPaths < 0 {
 		return nil, fmt.Errorf("sciond: negative path limit %d", opts.MaxPaths)
 	}
-	d.maybeRefresh()
+	skipRefresh, ferr := d.consultFault(dst)
+	if ferr != nil {
+		return nil, ferr
+	}
+	if !skipRefresh {
+		d.maybeRefresh()
+	}
 	paths, err := d.combiner.Paths(d.local, dst)
 	if err != nil {
 		return nil, err
@@ -151,7 +160,13 @@ func (d *Daemon) ShowPaths(dst addr.IA, opts ShowPathsOpts) ([]*pathmgr.Path, er
 
 // PathsTo returns the full uncapped path set (internal consumers).
 func (d *Daemon) PathsTo(dst addr.IA) ([]*pathmgr.Path, error) {
-	d.maybeRefresh()
+	skipRefresh, ferr := d.consultFault(dst)
+	if ferr != nil {
+		return nil, ferr
+	}
+	if !skipRefresh {
+		d.maybeRefresh()
+	}
 	paths, err := d.combiner.Paths(d.local, dst)
 	if err != nil {
 		return nil, err

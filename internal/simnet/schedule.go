@@ -1,0 +1,46 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+)
+
+// Schedule is a batch of network weather — the plan-driven form the chaos
+// harness (internal/chaos, docs/CHAOS.md) generates from a seed. Applying a
+// schedule to a network before it is forked gives every fork the same
+// weather at the same simulated time, which is what keeps chaos runs
+// reproducible per seed.
+type Schedule struct {
+	Outages  []LinkOutage
+	Episodes []Episode
+}
+
+// Empty reports whether the schedule contains no events.
+func (s Schedule) Empty() bool { return len(s.Outages) == 0 && len(s.Episodes) == 0 }
+
+// ApplySchedule registers every outage and episode of the schedule,
+// validating each exactly like ScheduleLinkOutage and ScheduleEpisode. It
+// stops at the first invalid event; events before it stay registered.
+func (n *Network) ApplySchedule(s Schedule) error {
+	for i, o := range s.Outages {
+		if err := n.ScheduleLinkOutage(o); err != nil {
+			return fmt.Errorf("simnet: schedule outage %d: %w", i, err)
+		}
+	}
+	for i, ep := range s.Episodes {
+		if err := n.ScheduleEpisode(ep); err != nil {
+			return fmt.Errorf("simnet: schedule episode %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Blackout builds an AS-level blackout: a congestion episode that drops
+// every packet traversing the AS for the window — the "node is down"
+// extreme of the paper's dynamic and fallible network (§4.2.2). Schedule it
+// with ScheduleEpisode or as part of a Schedule.
+func Blackout(ia addr.IA, start, end time.Duration) Episode {
+	return Episode{IA: ia, Start: start, End: end, DropProb: 1}
+}

@@ -36,6 +36,15 @@ type Server struct {
 	// catalog caches the id -> IA server catalogue, revalidated against the
 	// availableServers collection generation (see serverIA).
 	catalog atomic.Pointer[serverCatalog]
+
+	// closeMu drains in-flight requests on Close: every request holds the
+	// read side for its whole lifetime (including any snapshot refresh it
+	// triggers inside the selection engine), and Close takes the write side,
+	// so Close returns only after the last in-flight handler has. An RWMutex
+	// instead of a WaitGroup because Add-after-Wait is a race, while a new
+	// RLock simply queues behind the pending Close and then sees closed.
+	closeMu sync.RWMutex
+	closed  bool // guarded by closeMu
 }
 
 // NewServer wires the front-end.
@@ -88,8 +97,30 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Requests arriving after Close are
+// refused with 503 instead of racing a database that may be shutting down.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("upin: server is shut down"))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the server: it blocks until every in-flight request has
+// finished — even ones whose client context was already cancelled but that
+// are still inside a handler (e.g. mid snapshot refresh or mid trace
+// write) — then marks the server down. It does not close the database; the
+// owner of the DB does that after Close returns, which is the ordering that
+// makes the shutdown safe.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	return nil
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	doc := map[string]any{

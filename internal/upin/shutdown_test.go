@@ -1,0 +1,115 @@
+package upin
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingFailpoint parks the first write to the traces collection until
+// release is closed, pinning an intent request inside tracer.Record — deep
+// in a handler, past the point where the client's context matters.
+type blockingFailpoint struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingFailpoint) BeforeWrite(collection, op string, batch int) error {
+	if collection == ColTraces {
+		b.once.Do(func() {
+			close(b.entered)
+			<-b.release
+		})
+	}
+	return nil
+}
+
+func (b *blockingFailpoint) ReplayEntry(int, string) bool { return true }
+
+// TestServerCloseDrainsInFlight pins an /api/intent request inside the
+// handler, cancels its client context, and checks the shutdown ordering:
+// Close must not return while the request is still in a handler (even an
+// abandoned one), must return once it drains, and requests arriving after
+// Close get 503 instead of touching a database that may be closing.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	srv, f := testServer(t, 77)
+	fp := &blockingFailpoint{entered: make(chan struct{}), release: make(chan struct{})}
+	f.db.SetFailpoint(fp)
+
+	body, err := json.Marshal(IntentRequest{ServerID: f.serverID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/api/intent", bytes.NewReader(body)).WithContext(reqCtx)
+	req.Header.Set("Content-Type", "application/json")
+
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		srv.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+
+	select {
+	case <-fp.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("intent request never reached the trace write")
+	}
+	// The client hangs up while the handler is parked mid-write. Draining
+	// must still wait for the handler itself, not for the client.
+	cancelReq()
+
+	closeDone := make(chan struct{})
+	go func() {
+		defer close(closeDone)
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a request was still in a handler")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(fp.release)
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the in-flight request drained")
+	}
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler still running after Close returned")
+	}
+	f.db.SetFailpoint(nil)
+
+	rec, _ := get(t, srv, "/api/health")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close request: status %d, want %d", rec.Code, http.StatusServiceUnavailable)
+	}
+}
+
+// TestServerCloseIdempotent: closing twice is fine, and a server with no
+// in-flight requests closes immediately.
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := testServer(t, 78)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := get(t, srv, "/api/servers")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
