@@ -47,7 +47,7 @@ func BenchmarkFig4Reachability(b *testing.B) {
 func BenchmarkFig5LatencyIreland(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Fig5(env, experiments.Fast)
+		res, err := experiments.Fig5(context.Background(), env, experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func BenchmarkFig5LatencyIreland(b *testing.B) {
 func BenchmarkFig6ISDGrouping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Fig6(env, experiments.Fast)
+		res, err := experiments.Fig6(context.Background(), env, experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func BenchmarkFig6ISDGrouping(b *testing.B) {
 func BenchmarkFig7Bandwidth12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Fig7(env, experiments.Fast)
+		res, err := experiments.Fig7(context.Background(), env, experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func BenchmarkFig7Bandwidth12(b *testing.B) {
 func BenchmarkFig8Bandwidth150(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Fig8(env, experiments.Fast)
+		res, err := experiments.Fig8(context.Background(), env, experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func BenchmarkFig8Bandwidth150(b *testing.B) {
 func BenchmarkFig9PacketLoss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Fig9(env, experiments.Fast)
+		res, err := experiments.Fig9(context.Background(), env, experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func BenchmarkTableReachability(b *testing.B) {
 func BenchmarkTableFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		if _, err := experiments.TableFilter(env); err != nil {
+		if _, err := experiments.TableFilter(context.Background(), env); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,7 +151,7 @@ func BenchmarkTableFilter(b *testing.B) {
 // goodput collapse; the reversal must hold only with it.
 func BenchmarkAblationCollapse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationReversal(int64(i), experiments.Fast)
+		res, err := experiments.RunAblationReversal(context.Background(), int64(i), experiments.Fast)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func BenchmarkAblationJitter(b *testing.B) {
 	scale := experiments.Fast
 	scale.Iterations = 6
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblationJitter(int64(i), scale)
+		res, err := experiments.RunAblationJitter(context.Background(), int64(i), scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -429,7 +429,7 @@ func BenchmarkDocDBQueryIndexedVsScan(b *testing.B) {
 func BenchmarkCorrelation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := mustEnv(b, int64(i))
-		res, err := experiments.Correlation(env, experiments.Fast, nil)
+		res, err := experiments.Correlation(context.Background(), env, experiments.Fast, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

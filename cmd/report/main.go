@@ -33,6 +33,7 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ctx := context.Background()
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "%v", err)
@@ -84,7 +85,7 @@ func run(args []string) int {
 	if all || want["5"] || want["6"] {
 		env := newEnv()
 		if all || want["5"] {
-			res, err := experiments.Fig5(env, scale)
+			res, err := experiments.Fig5(ctx, env, scale)
 			if err != nil {
 				return cliutil.Fatalf(os.Stderr, "report", "fig 5: %v", err)
 			}
@@ -100,7 +101,7 @@ func run(args []string) int {
 		}
 		if all || want["6"] {
 			// Fig 6 reuses the campaign Fig 5 stored in the same env.
-			res, err := experiments.Fig6(env, scale)
+			res, err := experiments.Fig6(ctx, env, scale)
 			if err != nil {
 				return cliutil.Fatalf(os.Stderr, "report", "fig 6: %v", err)
 			}
@@ -109,7 +110,7 @@ func run(args []string) int {
 		}
 	}
 	if all || want["7"] {
-		res, err := experiments.Fig7(newEnv(), scale)
+		res, err := experiments.Fig7(ctx, newEnv(), scale)
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "fig 7: %v", err)
 		}
@@ -119,7 +120,7 @@ func run(args []string) int {
 		ran++
 	}
 	if all || want["8"] {
-		res, err := experiments.Fig8(newEnv(), scale)
+		res, err := experiments.Fig8(ctx, newEnv(), scale)
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "fig 8: %v", err)
 		}
@@ -129,7 +130,7 @@ func run(args []string) int {
 		ran++
 	}
 	if all || want["9"] {
-		res, err := experiments.Fig9(newEnv(), scale)
+		res, err := experiments.Fig9(ctx, newEnv(), scale)
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "fig 9: %v", err)
 		}
@@ -147,7 +148,7 @@ func run(args []string) int {
 		ran++
 	}
 	if all || want["correlation"] {
-		res, err := experiments.Correlation(newEnv(), scale, nil)
+		res, err := experiments.Correlation(ctx, newEnv(), scale, nil)
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "correlation: %v", err)
 		}
@@ -161,7 +162,7 @@ func run(args []string) int {
 		}
 		fmt.Println("In-text results (§6):")
 		fmt.Println(tab.Rendered)
-		ft, err := experiments.TableFilter(newEnv())
+		ft, err := experiments.TableFilter(ctx, newEnv())
 		if err != nil {
 			return cliutil.Fatalf(os.Stderr, "report", "tables: %v", err)
 		}

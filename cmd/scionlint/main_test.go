@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -20,7 +22,10 @@ func TestRunFindsSeededViolations(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	text := out.String()
-	for _, analyzer := range []string{"lockcheck", "errcheck", "goroutinecapture", "timeafter", "hygiene", "ignorecheck"} {
+	for _, analyzer := range []string{
+		"lockcheck", "errcheck", "goroutinecapture", "timeafter", "hygiene",
+		"ignorecheck", "determcheck", "lockcheckv2", "ctxcheck", "snapshotcheck",
+	} {
 		if !strings.Contains(text, "["+analyzer+"]") {
 			t.Errorf("output has no finding from %s:\n%s", analyzer, text)
 		}
@@ -39,11 +44,15 @@ func TestRunJSON(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errOut.String())
 	}
 	var report struct {
+		Schema      string            `json:"schema"`
 		Diagnostics []lint.Diagnostic `json:"diagnostics"`
 		Summary     lint.Summary      `json:"summary"`
 	}
 	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
 		t.Fatalf("unmarshal report: %v\n%s", err, out.String())
+	}
+	if report.Schema != lint.JSONSchemaVersion {
+		t.Errorf("schema = %q, want %q", report.Schema, lint.JSONSchemaVersion)
 	}
 	if len(report.Diagnostics) == 0 {
 		t.Fatal("JSON report has no diagnostics")
@@ -97,5 +106,98 @@ func TestRunList(t *testing.T) {
 		if !strings.Contains(out.String(), a.Name) {
 			t.Errorf("-list output missing %s:\n%s", a.Name, out.String())
 		}
+	}
+}
+
+// TestRunBaselineRoundTrip: recording a baseline and re-running against it
+// must turn the fixture tree's findings into suppressions and exit 0.
+func TestRunBaselineRoundTrip(t *testing.T) {
+	basePath := filepath.Join(t.TempDir(), "lint-baseline.json")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixturesDir, "-write-baseline", basePath, "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("write-baseline exit code = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline recorded") {
+		t.Errorf("stderr = %q, want a baseline-recorded note", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-dir", fixturesDir, "-baseline", basePath, "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("baselined run exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 findings") {
+		t.Errorf("baselined summary = %q, want 0 findings", strings.TrimSpace(out.String()))
+	}
+	if strings.Contains(errOut.String(), "stale baseline entry") {
+		t.Errorf("immediate re-run reported stale entries:\n%s", errOut.String())
+	}
+}
+
+// TestRunBaselineMissingFile: a typoed baseline path must fail loud, not
+// silently disable the filter.
+func TestRunBaselineMissingFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixturesDir, "-baseline", filepath.Join(t.TempDir(), "nope.json"), "./clean"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRunFix applies the ctxcheck rewrite on a throwaway copy of the
+// fixture and verifies both the edit and that unfixable findings remain.
+func TestRunFix(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixfix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(fixturesDir, "ctxcheck", "ctxcheck.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "ctxcheck.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", dir, "-analyzers", "ctxcheck", "-fix", "."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (unfixable findings remain)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "applied 1 fixes in 1 files") {
+		t.Errorf("stderr = %q, want an applied-fixes note", errOut.String())
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), `return work(ctx, "x")`) {
+		t.Errorf("fix did not rewrite context.Background() to the in-scope ctx:\n%s", fixed)
+	}
+	if strings.Contains(string(fixed), "context.Background()") {
+		t.Errorf("context.Background() survived -fix:\n%s", fixed)
+	}
+	// The TODO() in Orphan has no ctx in scope: it must NOT be rewritten.
+	if !strings.Contains(string(fixed), "context.TODO()") {
+		t.Errorf("-fix rewrote the unfixable context.TODO():\n%s", fixed)
+	}
+}
+
+// TestRunTiming pins the -timing line and the -parallel plumbing.
+func TestRunTiming(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", fixturesDir, "-timing", "-parallel", "2", "./clean"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "scionlint: timing: load ") {
+		t.Errorf("stderr = %q, want a timing line", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "(parallel=2)") {
+		t.Errorf("stderr = %q, want the parallel setting echoed", errOut.String())
 	}
 }

@@ -188,12 +188,12 @@ func runChaos(seed int64, dbPath string) int {
 	} else if _, err := os.Stat(path); err == nil {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "chaos: %s already exists; the harness needs a fresh journal path", path)
 	}
-	res, err := chaospkg.Run(seed, path)
+	res, err := chaospkg.Run(context.Background(), seed, path)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
 	}
 	defer res.Close()
-	verr := chaospkg.Verify(res)
+	verr := chaospkg.Verify(context.Background(), res)
 	fmt.Printf("chaos seed %d: %d round(s), %d crash(es) planned, %d write fault(s) planned\n",
 		seed, res.Rounds, len(res.Plan.Crashes), len(res.Plan.Writes))
 	fmt.Printf("  network weather:   %d outage(s), %d episode(s)\n",

@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,15 +21,30 @@ const sweepSeeds = 50
 
 func runSeed(t *testing.T, seed int64) *Result {
 	t.Helper()
-	res, err := Run(seed, filepath.Join(t.TempDir(), "journal.db"))
+	res, err := Run(context.Background(), seed, filepath.Join(t.TempDir(), "journal.db"))
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
 	t.Cleanup(func() { res.Close() })
-	if err := Verify(res); err != nil {
+	if err := Verify(context.Background(), res); err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
 	return res
+}
+
+// A cancelled caller context must abort the whole harness promptly — it is
+// the one cancellation the fault injector never arms itself.
+func TestRunHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, 1, filepath.Join(t.TempDir(), "journal.db"))
+	if err == nil {
+		res.Close()
+		t.Fatal("Run completed under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
 }
 
 func TestChaosSweep(t *testing.T) {

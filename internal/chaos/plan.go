@@ -79,6 +79,8 @@ type Plan struct {
 // NewPlan derives the fault plan for a seed over a topology. Everything is
 // drawn from one seeded generator in a fixed order, so the plan — and
 // through it the whole chaotic run — is reproducible from the seed alone.
+//
+//lint:deterministic plan derivation is the seed contract docs/CHAOS.md promises
 func NewPlan(seed int64, topo *topology.Topology) Plan {
 	rng := rand.New(rand.NewSource(seed))
 	p := Plan{Seed: seed}

@@ -55,8 +55,9 @@ func (r *Result) Close() error { return r.Final.Close() }
 // journalPath under the full plan — write faults, crashes at plan-chosen
 // checkpoints, journal tail truncation — resumed round after round until it
 // completes. The caller owns journalPath (a fresh temp file path) and must
-// Close the Result.
-func Run(seed int64, journalPath string) (*Result, error) {
+// Close the Result. Cancelling ctx aborts the run between (and inside)
+// rounds — the campaign engine checks it per cell.
+func Run(ctx context.Context, seed int64, journalPath string) (*Result, error) {
 	topo := topology.DefaultWorld()
 	res := &Result{
 		Seed:     seed,
@@ -70,7 +71,7 @@ func Run(seed int64, journalPath string) (*Result, error) {
 	// to — that convergence is the schedule-independence promise of the
 	// campaign engine under composed faults.
 	res.Oracle = docdb.Open()
-	rep, ids, err := res.runRound(context.Background(), res.Oracle, false)
+	rep, ids, err := res.runRound(ctx, res.Oracle, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: seed %d: oracle run: %w", seed, err)
 	}
@@ -94,7 +95,7 @@ func Run(seed int64, journalPath string) (*Result, error) {
 		}
 		resume := db.Collection(measure.ColProgress).Get(measure.CampaignMetaID(res.Campaign)) != nil
 
-		ctx, cancel := context.WithCancel(context.Background())
+		roundCtx, cancel := context.WithCancel(ctx)
 		crash := Crash{}
 		if round < len(res.Plan.Crashes) {
 			crash = res.Plan.Crashes[round]
@@ -105,12 +106,12 @@ func Run(seed int64, journalPath string) (*Result, error) {
 		// round checks the incremental snapshot fold against a from-scratch
 		// rebuild (invariant 3's moving part).
 		engine := selection.New(db, topo)
-		warmSnapshot(engine, res.ServerIDs)
+		warmSnapshot(ctx, engine, res.ServerIDs)
 
-		rep, _, err := res.runRound(ctx, db, resume)
+		rep, _, err := res.runRound(roundCtx, db, resume)
 		cancel()
 		if err == nil {
-			if serr := checkSnapshot(db, topo, engine, res.ServerIDs); serr != nil {
+			if serr := checkSnapshot(ctx, db, topo, engine, res.ServerIDs); serr != nil {
 				return nil, fmt.Errorf("chaos: seed %d round %d: %w", seed, round, serr)
 			}
 			res.Report = rep
@@ -122,6 +123,11 @@ func Run(seed int64, journalPath string) (*Result, error) {
 		// flushes nothing), then lose an unsynced journal suffix.
 		if err := truncateTail(journalPath, res.Campaign, crash.TruncateTail); err != nil {
 			return nil, fmt.Errorf("chaos: seed %d round %d: %w", seed, round, err)
+		}
+		// A plan-armed crash cancels roundCtx on purpose; a cancelled parent
+		// ctx means the caller wants out.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("chaos: seed %d: %w", seed, ctx.Err())
 		}
 	}
 	return nil, fmt.Errorf("chaos: seed %d: campaign did not complete within %d rounds", seed, maxRounds)
@@ -186,8 +192,8 @@ func (res *Result) runRound(ctx context.Context, db *docdb.DB, resume bool) (mea
 // warmSnapshot primes the engine's snapshot before the round so a
 // completing round's final Select exercises the incremental fold path.
 // Errors are expected here (a fresh database has no candidates yet).
-func warmSnapshot(engine *selection.Engine, ids []int) {
+func warmSnapshot(ctx context.Context, engine *selection.Engine, ids []int) {
 	for _, id := range ids {
-		_, _ = engine.Select(context.Background(), id, selection.Request{})
+		_, _ = engine.Select(ctx, id, selection.Request{})
 	}
 }

@@ -33,14 +33,14 @@ import (
 //  4. Failure accounting: every cell of the grid is checkpointed, recorded
 //     failures add up to the run report's, and the report matches the
 //     oracle's except for the cells a resume legitimately skipped.
-func Verify(res *Result) error {
+func Verify(ctx context.Context, res *Result) error {
 	if err := diffSnapshots(dbSnapshot(res.Final), dbSnapshot(res.Oracle)); err != nil {
 		return fmt.Errorf("chaos: seed %d: invariant 1 (convergence): %w", res.Seed, err)
 	}
 	if err := checkCheckpointOrdering(res.Final, res.Campaign); err != nil {
 		return fmt.Errorf("chaos: seed %d: invariant 2: %w", res.Seed, err)
 	}
-	if err := checkServingEquivalence(res); err != nil {
+	if err := checkServingEquivalence(ctx, res); err != nil {
 		return fmt.Errorf("chaos: seed %d: invariant 3 (serving): %w", res.Seed, err)
 	}
 	if err := checkFailureAccounting(res); err != nil {
@@ -160,11 +160,11 @@ func checkCheckpointOrdering(db *docdb.DB, campaign string) error {
 // checkSnapshot compares a long-lived engine (which refreshed its snapshot
 // incrementally across a campaign round) against a from-scratch rebuild
 // over the same database. Run calls it after every completing round.
-func checkSnapshot(db *docdb.DB, topo *topology.Topology, engine *selection.Engine, ids []int) error {
+func checkSnapshot(ctx context.Context, db *docdb.DB, topo *topology.Topology, engine *selection.Engine, ids []int) error {
 	fresh := selection.New(db, topo)
 	for _, id := range ids {
-		got, gerr := engine.Select(context.Background(), id, selection.Request{})
-		want, werr := fresh.Select(context.Background(), id, selection.Request{})
+		got, gerr := engine.Select(ctx, id, selection.Request{})
+		want, werr := fresh.Select(ctx, id, selection.Request{})
 		if (gerr == nil) != (werr == nil) {
 			return fmt.Errorf("snapshot fold: server %d: incremental err=%v, rebuild err=%v", id, gerr, werr)
 		}
@@ -177,12 +177,12 @@ func checkSnapshot(db *docdb.DB, topo *topology.Topology, engine *selection.Engi
 
 // checkServingEquivalence runs selection and the UPIN front-end over both
 // databases and requires identical answers.
-func checkServingEquivalence(res *Result) error {
+func checkServingEquivalence(ctx context.Context, res *Result) error {
 	engF := selection.New(res.Final, res.Topo)
 	engO := selection.New(res.Oracle, res.Topo)
 	for _, id := range res.ServerIDs {
-		got, gerr := engF.Select(context.Background(), id, selection.Request{})
-		want, werr := engO.Select(context.Background(), id, selection.Request{})
+		got, gerr := engF.Select(ctx, id, selection.Request{})
+		want, werr := engO.Select(ctx, id, selection.Request{})
 		if (gerr == nil) != (werr == nil) {
 			return fmt.Errorf("server %d: chaotic err=%v, oracle err=%v", id, gerr, werr)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/upin/scionpath/internal/docdb"
@@ -60,13 +61,13 @@ func (a AblationReversal) ReversalGoneWithoutCollapse() bool {
 }
 
 // RunAblationReversal runs the paired experiment.
-func RunAblationReversal(seed int64, scale Scale) (AblationReversal, error) {
+func RunAblationReversal(ctx context.Context, seed int64, scale Scale) (AblationReversal, error) {
 	var out AblationReversal
 	full, err := NewEnvWithOptions(seed, simnet.Options{})
 	if err != nil {
 		return out, err
 	}
-	r1, err := Fig8(full, scale)
+	r1, err := Fig8(ctx, full, scale)
 	if err != nil {
 		return out, fmt.Errorf("full model: %w", err)
 	}
@@ -76,7 +77,7 @@ func RunAblationReversal(seed int64, scale Scale) (AblationReversal, error) {
 	if err != nil {
 		return out, err
 	}
-	r2, err := Fig8(ablated, scale)
+	r2, err := Fig8(ctx, ablated, scale)
 	if err != nil {
 		return out, fmt.Errorf("ablated model: %w", err)
 	}
@@ -106,14 +107,14 @@ func (a AblationJitter) ContrastGoneWithoutJitter() bool {
 }
 
 // RunAblationJitter runs the paired experiment over the Fig 5 campaign.
-func RunAblationJitter(seed int64, scale Scale) (AblationJitter, error) {
+func RunAblationJitter(ctx context.Context, seed int64, scale Scale) (AblationJitter, error) {
 	var out AblationJitter
 	measureMdev := func(opts simnet.Options) (ohio, direct float64, err error) {
 		env, err := NewEnvWithOptions(seed, opts)
 		if err != nil {
 			return 0, 0, err
 		}
-		res, err := Fig5(env, scale)
+		res, err := Fig5(ctx, env, scale)
 		if err != nil {
 			return 0, 0, err
 		}

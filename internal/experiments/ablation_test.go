@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The Fig 8 reversal requires the overload goodput collapse: proportional
 // dropping can never make small packets beat large ones on goodput.
@@ -8,7 +11,7 @@ func TestAblationReversalMechanism(t *testing.T) {
 	// Use more iterations to stabilise the means across the ablated pair.
 	scale := Fast
 	scale.Iterations = 4
-	res, err := RunAblationReversal(21, scale)
+	res, err := RunAblationReversal(context.Background(), 21, scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +34,7 @@ func TestAblationReversalMechanism(t *testing.T) {
 func TestAblationJitterMechanism(t *testing.T) {
 	scale := Fast
 	scale.Iterations = 6
-	res, err := RunAblationJitter(22, scale)
+	res, err := RunAblationJitter(context.Background(), 22, scale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A cancelled context must abort an experiment before it does any real
+// measurement work — the property the ctxcheck analyzer exists to protect.
+// Every entry point that runs a campaign or a collection pass is exercised
+// with an already-cancelled context and must return context.Canceled
+// promptly instead of running the full campaign.
+func TestCancelledContextAbortsExperiments(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	calls := []struct {
+		name string
+		run  func(e *Env) error
+	}{
+		{"Fig5", func(e *Env) error { _, err := Fig5(ctx, e, Fast); return err }},
+		{"Fig6", func(e *Env) error { _, err := Fig6(ctx, e, Fast); return err }},
+		{"Fig7", func(e *Env) error { _, err := Fig7(ctx, e, Fast); return err }},
+		{"Fig9", func(e *Env) error { _, err := Fig9(ctx, e, Fast); return err }},
+		{"Correlation", func(e *Env) error { _, err := Correlation(ctx, e, Fast, nil); return err }},
+		{"TableFilter", func(e *Env) error { _, err := TableFilter(ctx, e); return err }},
+	}
+	for _, tc := range calls {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			err := tc.run(env(t, 1))
+			if err == nil {
+				t.Fatalf("%s ran to completion under a cancelled context", tc.name)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: error %v does not wrap context.Canceled", tc.name, err)
+			}
+			// "Promptly": the abort must cost far less than the campaign it
+			// skipped. Even the Fast scale takes much longer than this bound
+			// when it actually measures.
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("%s took %v to honour the cancelled context", tc.name, elapsed)
+			}
+		})
+	}
+}

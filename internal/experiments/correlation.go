@@ -27,7 +27,7 @@ type CorrelationResult struct {
 
 // Correlation measures several destinations (latency only) and computes
 // both coefficients.
-func Correlation(env *Env, scale Scale, dests []addr.IA) (CorrelationResult, error) {
+func Correlation(ctx context.Context, env *Env, scale Scale, dests []addr.IA) (CorrelationResult, error) {
 	if len(dests) == 0 {
 		dests = []addr.IA{topology.AWSIreland, topology.AWSVirginia, topology.KoreaUniv}
 	}
@@ -39,7 +39,7 @@ func Correlation(env *Env, scale Scale, dests []addr.IA) (CorrelationResult, err
 		}
 		ids = append(ids, id)
 	}
-	if _, err := env.Suite.Run(context.Background(), scale.runOpts(ids, true, 0)); err != nil {
+	if _, err := env.Suite.Run(ctx, scale.runOpts(ids, true, 0)); err != nil {
 		return CorrelationResult{}, err
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // quantitatively: across measured paths, geographic distance correlates
 // with RTT far more strongly than hop count does.
 func TestCorrelationDistanceDominates(t *testing.T) {
-	res, err := Correlation(env(t, 30), Fast, nil)
+	res, err := Correlation(context.Background(), env(t, 30), Fast, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

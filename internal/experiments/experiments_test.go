@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5ThreeLatencyLayers(t *testing.T) {
-	res, err := Fig5(env(t, 2), Fast)
+	res, err := Fig5(context.Background(), env(t, 2), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig5ThreeLatencyLayers(t *testing.T) {
 }
 
 func TestFig6ExclusionShrinksVariance(t *testing.T) {
-	res, err := Fig6(env(t, 3), Fast)
+	res, err := Fig6(context.Background(), env(t, 3), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFig6ExclusionShrinksVariance(t *testing.T) {
 }
 
 func TestFig7SmallPacketsLose(t *testing.T) {
-	res, err := Fig7(env(t, 4), Fast)
+	res, err := Fig7(context.Background(), env(t, 4), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFig7SmallPacketsLose(t *testing.T) {
 }
 
 func TestFig8TrendReverses(t *testing.T) {
-	res, err := Fig8(env(t, 5), Fast)
+	res, err := Fig8(context.Background(), env(t, 5), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFig8TrendReverses(t *testing.T) {
 }
 
 func TestFig9LossPattern(t *testing.T) {
-	res, err := Fig9(env(t, 6), Fast)
+	res, err := Fig9(context.Background(), env(t, 6), Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestTableReachability(t *testing.T) {
 }
 
 func TestTableFilter(t *testing.T) {
-	tab, err := TableFilter(env(t, 8))
+	tab, err := TableFilter(context.Background(), env(t, 8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,12 +44,12 @@ type Fig5Result struct {
 
 // Fig5 measures every retained path to AWS Ireland Scale.Iterations times
 // (latency/loss only) and builds the per-path box plots.
-func Fig5(env *Env, scale Scale) (Fig5Result, error) {
+func Fig5(ctx context.Context, env *Env, scale Scale) (Fig5Result, error) {
 	id, err := env.ServerID(topology.AWSIreland)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, true, 0)); err != nil {
+	if _, err := env.Suite.Run(ctx, scale.runOpts([]int{id}, true, 0)); err != nil {
 		return Fig5Result{}, err
 	}
 	return fig5FromDB(env, id)

@@ -32,14 +32,14 @@ func GroupKey(isds []string, hops int) string {
 
 // Fig6 reuses (or creates) a latency campaign against AWS Ireland and
 // groups it by traversed-ISD set and hop count.
-func Fig6(env *Env, scale Scale) (Fig6Result, error) {
+func Fig6(ctx context.Context, env *Env, scale Scale) (Fig6Result, error) {
 	id, err := env.ServerID(topology.AWSIreland)
 	if err != nil {
 		return Fig6Result{}, err
 	}
 	// Measure only when the database has no campaign for this server yet.
 	if len(latencyByPath(env.DB, id)) == 0 {
-		if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, true, 0)); err != nil {
+		if _, err := env.Suite.Run(ctx, scale.runOpts([]int{id}, true, 0)); err != nil {
 			return Fig6Result{}, err
 		}
 	}

@@ -28,21 +28,21 @@ type BandwidthFigResult struct {
 }
 
 // Fig7 runs the 12 Mbps campaign against the Magdeburg AP (Germany).
-func Fig7(env *Env, scale Scale) (BandwidthFigResult, error) {
-	return bandwidthFig(env, scale, 12e6, "Fig 7")
+func Fig7(ctx context.Context, env *Env, scale Scale) (BandwidthFigResult, error) {
+	return bandwidthFig(ctx, env, scale, 12e6, "Fig 7")
 }
 
 // Fig8 runs the 150 Mbps campaign, where the 64-byte/MTU trend reverses.
-func Fig8(env *Env, scale Scale) (BandwidthFigResult, error) {
-	return bandwidthFig(env, scale, 150e6, "Fig 8")
+func Fig8(ctx context.Context, env *Env, scale Scale) (BandwidthFigResult, error) {
+	return bandwidthFig(ctx, env, scale, 150e6, "Fig 8")
 }
 
-func bandwidthFig(env *Env, scale Scale, target float64, tag string) (BandwidthFigResult, error) {
+func bandwidthFig(ctx context.Context, env *Env, scale Scale, target float64, tag string) (BandwidthFigResult, error) {
 	id, err := env.ServerID(topology.MagdeburgAP)
 	if err != nil {
 		return BandwidthFigResult{}, err
 	}
-	if _, err := env.Suite.Run(context.Background(), scale.runOpts([]int{id}, false, target)); err != nil {
+	if _, err := env.Suite.Run(ctx, scale.runOpts([]int{id}, false, target)); err != nil {
 		return BandwidthFigResult{}, err
 	}
 

@@ -39,13 +39,13 @@ type Fig9Result struct {
 // congestion episode on a shared first-half transit AS (ETHZ) spanning the
 // campaign plus brief mild congestion on the AWS core, then measures loss
 // on every path.
-func Fig9(env *Env, scale Scale) (Fig9Result, error) {
+func Fig9(ctx context.Context, env *Env, scale Scale) (Fig9Result, error) {
 	id, err := env.ServerID(topology.AWSVirginia)
 	if err != nil {
 		return Fig9Result{}, err
 	}
 	// Collect first so the campaign length is known for episode planning.
-	if _, err := measure.CollectPaths(context.Background(), env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
+	if _, err := measure.CollectPaths(ctx, env.DB, env.Daemon, measure.CollectOpts{}); err != nil {
 		return Fig9Result{}, err
 	}
 	pds, err := measure.PathsForServer(env.DB, id)
@@ -75,7 +75,7 @@ func Fig9(env *Env, scale Scale) (Fig9Result, error) {
 		}
 	}
 
-	if _, err := env.Suite.Run(context.Background(), measure.RunOpts{
+	if _, err := env.Suite.Run(ctx, measure.RunOpts{
 		Iterations:    scale.Iterations,
 		Skip:          true,
 		ServerIDs:     []int{id},

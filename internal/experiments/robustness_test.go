@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestFig7ShapeAcrossSeeds(t *testing.T) {
 	for seed := int64(100); seed < 104; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			res, err := Fig7(env(t, seed), Fast)
+			res, err := Fig7(context.Background(), env(t, seed), Fast)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -29,7 +30,7 @@ func TestFig8ShapeAcrossSeeds(t *testing.T) {
 	for seed := int64(200); seed < 204; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			res, err := Fig8(env(t, seed), Fast)
+			res, err := Fig8(context.Background(), env(t, seed), Fast)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +46,7 @@ func TestFig5LayersAcrossSeeds(t *testing.T) {
 	for seed := int64(300); seed < 304; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			res, err := Fig5(env(t, seed), Fast)
+			res, err := Fig5(context.Background(), env(t, seed), Fast)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +62,7 @@ func TestFig9SubsetAcrossSeeds(t *testing.T) {
 	for seed := int64(400); seed < 403; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			res, err := Fig9(env(t, seed), Fast)
+			res, err := Fig9(context.Background(), env(t, seed), Fast)
 			if err != nil {
 				t.Fatal(err)
 			}

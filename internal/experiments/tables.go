@@ -62,8 +62,8 @@ type FilterTable struct {
 }
 
 // TableFilter runs a collection pass and reports the filter effect.
-func TableFilter(env *Env) (FilterTable, error) {
-	rep, err := measure.CollectPaths(context.Background(), env.DB, env.Daemon, measure.CollectOpts{})
+func TableFilter(ctx context.Context, env *Env) (FilterTable, error) {
+	rep, err := measure.CollectPaths(ctx, env.DB, env.Daemon, measure.CollectOpts{})
 	if err != nil {
 		return FilterTable{}, err
 	}

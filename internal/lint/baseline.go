@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a recorded snapshot of accepted findings. The driver
+// subtracts a baseline from a run so a new analyzer can land before every
+// pre-existing finding is fixed: `-write-baseline` records today's
+// diagnostics, `-baseline` filters them out of later runs, and anything
+// NOT in the baseline — a regression — still fails the build. Entries are
+// keyed by (analyzer, file, message) rather than line numbers so unrelated
+// edits above a finding don't invalidate the baseline.
+type Baseline struct {
+	// Version guards the on-disk shape; readers reject versions they don't
+	// understand rather than silently mis-filtering.
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineVersion is the current on-disk baseline schema version.
+const BaselineVersion = 1
+
+// BaselineEntry is one accepted finding class: Count occurrences of an
+// identical (analyzer, file, message) triple. File is slash-separated and
+// relative to the directory the baseline was recorded from.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// baselineKey computes the entry key for a live diagnostic, relativizing
+// its file path the same way the recorder did.
+func baselineKey(dir string, d Diagnostic) string {
+	return BaselineEntry{Analyzer: d.Analyzer, File: baselineFile(dir, d.File), Message: d.Message}.key()
+}
+
+// baselineFile relativizes a diagnostic path to dir and normalizes the
+// separator so baselines recorded on one machine filter on another.
+func baselineFile(dir, file string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil && !filepath.IsAbs(rel) {
+		file = rel
+	}
+	return filepath.ToSlash(file)
+}
+
+// NewBaseline records diags as a baseline with paths relative to dir.
+func NewBaseline(dir string, diags []Diagnostic) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: baselineFile(dir, d.File), Message: d.Message}
+		if prev, ok := counts[e.key()]; ok {
+			prev.Count++
+			continue
+		}
+		e.Count = 1
+		counts[e.key()] = &e
+	}
+	b := &Baseline{Version: BaselineVersion, Entries: []BaselineEntry{}}
+	for _, e := range counts {
+		b.Entries = append(b.Entries, *e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file. A missing file is an error — an
+// empty baseline must be recorded explicitly, so a typoed path fails loud
+// instead of silently disabling the filter.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: version %d, want %d", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Write stores the baseline as indented JSON (stable entry order, so
+// baselines diff cleanly in review).
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return nil
+}
+
+// Filter splits diags into the ones not covered by the baseline (kept —
+// these are regressions) and counts the matches it absorbed. Entries the
+// run no longer produces are returned as stale so CI can prompt a
+// re-record once the underlying findings are fixed.
+func (b *Baseline) Filter(dir string, diags []Diagnostic) (kept []Diagnostic, matched int, stale []BaselineEntry) {
+	remaining := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		remaining[e.key()] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey(dir, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			matched++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		if n := remaining[e.key()]; n > 0 {
+			e.Count = n
+			stale = append(stale, e)
+			remaining[e.key()] = 0
+		}
+	}
+	return kept, matched, stale
+}

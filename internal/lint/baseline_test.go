@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiags(dir string) []Diagnostic {
+	return []Diagnostic{
+		{Analyzer: "ctxcheck", File: filepath.Join(dir, "a", "a.go"), Line: 10, Message: "minted context"},
+		{Analyzer: "ctxcheck", File: filepath.Join(dir, "a", "a.go"), Line: 30, Message: "minted context"},
+		{Analyzer: "lockcheck", File: filepath.Join(dir, "b.go"), Line: 5, Message: "missing unlock"},
+	}
+}
+
+// Recording then filtering the same findings must absorb all of them —
+// and the round trip through disk must preserve that.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := baselineDiags(dir)
+	b := NewBaseline(dir, diags)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (identical findings aggregate)", len(b.Entries))
+	}
+	// Entries sort by file, and paths are slash-relative to dir.
+	if b.Entries[0].File != "a/a.go" || b.Entries[0].Count != 2 {
+		t.Errorf("entry 0 = %+v, want a/a.go x2", b.Entries[0])
+	}
+	if b.Entries[1].File != "b.go" || b.Entries[1].Count != 1 {
+		t.Errorf("entry 1 = %+v, want b.go x1", b.Entries[1])
+	}
+
+	path := filepath.Join(dir, "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, matched, stale := got.Filter(dir, diags)
+	if len(kept) != 0 || matched != 3 || len(stale) != 0 {
+		t.Errorf("filter = kept %d, matched %d, stale %d; want 0, 3, 0", len(kept), matched, len(stale))
+	}
+}
+
+// A finding beyond the recorded count is a regression; an entry the run no
+// longer produces is stale. Line-number changes must affect neither.
+func TestBaselineFilterRegressionAndStale(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBaseline(dir, baselineDiags(dir))
+
+	run := []Diagnostic{
+		// Same (analyzer, file, message) as recorded but a different line:
+		// still covered.
+		{Analyzer: "ctxcheck", File: filepath.Join(dir, "a", "a.go"), Line: 99, Message: "minted context"},
+		// A third occurrence exceeds the recorded count of 2... but only
+		// one is present, so one of the two recorded stays stale.
+		{Analyzer: "errcheck", File: filepath.Join(dir, "c.go"), Line: 1, Message: "dropped error"},
+	}
+	kept, matched, stale := b.Filter(dir, run)
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1", matched)
+	}
+	if len(kept) != 1 || kept[0].Analyzer != "errcheck" {
+		t.Fatalf("kept = %v, want just the errcheck regression", kept)
+	}
+	// Stale: one unused ctxcheck occurrence and the whole lockcheck entry.
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want 2 entries", stale)
+	}
+	counts := map[string]int{}
+	for _, e := range stale {
+		counts[e.Analyzer] = e.Count
+	}
+	if counts["ctxcheck"] != 1 || counts["lockcheck"] != 1 {
+		t.Errorf("stale counts = %v, want ctxcheck:1 lockcheck:1", counts)
+	}
+}
+
+// A missing baseline file must fail loud (a typoed path silently disabling
+// the filter would let regressions through), as must an unknown version
+// and unparseable JSON.
+func TestBaselineReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadBaseline(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("malformed baseline did not error")
+	}
+
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(wrong); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch error = %v, want mention of version", err)
+	}
+}
+
+// Paths outside the anchor directory stay absolute (relativizing with ../
+// would break when the baseline is read from elsewhere); recorded entries
+// always use forward slashes.
+func TestBaselineFileAnchoring(t *testing.T) {
+	if got := baselineFile("/repo", "/repo/pkg/f.go"); got != "pkg/f.go" {
+		t.Errorf("inside anchor: %q, want pkg/f.go", got)
+	}
+	if got := baselineFile("/repo/deep", "/repo/f.go"); got != "../f.go" {
+		t.Errorf("above anchor: %q, want ../f.go", got)
+	}
+}

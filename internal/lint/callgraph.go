@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the first layer of the analysis substrate: a per-module call
+// graph over go/types callees. Direct calls and concrete method calls
+// resolve exactly; the two dynamic dispatch mechanisms are handled
+// conservatively (over-approximated), which is the right bias for every
+// client in this package — an analyzer that walks the graph to prove "f
+// never reaches time.Now" must see every call f *could* make:
+//
+//   - a call through an interface method adds edges to every module method
+//     with that name whose receiver type implements the interface;
+//   - a call through a func value adds edges to every module function whose
+//     address is taken somewhere and whose signature is identical.
+//
+// Function literals do not get their own nodes: calls inside a closure are
+// attributed to the function whose body declares it. A closure's calls
+// happen (at the latest) when something invokes the value the enclosing
+// function built, so for reachability purposes charging the encloser is a
+// sound over-approximation — and it keeps goroutine bodies visible.
+
+// CallEdge is one call site resolved to one possible callee.
+type CallEdge struct {
+	// Site is the call expression (position for diagnostics).
+	Site *ast.CallExpr
+	// Callee is the called function or method. It may belong to another
+	// package (including the standard library), in which case the graph has
+	// no node for it and traversal stops there.
+	Callee *types.Func
+	// Dynamic marks edges added by the conservative interface/func-value
+	// handling rather than exact resolution.
+	Dynamic bool
+}
+
+// CallNode is one module function with a body.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out lists every resolved call edge in body order (dynamic fan-out
+	// expands one site into several consecutive edges).
+	Out []CallEdge
+}
+
+// CallGraph is the per-module call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+}
+
+// Node returns the graph node for fn, or nil when fn has no body in the
+// analyzed module (stdlib, interface method, external package).
+func (g *CallGraph) Node(fn *types.Func) *CallNode { return g.nodes[fn] }
+
+// Nodes returns every node, sorted by position for deterministic iteration.
+func (g *CallGraph) Nodes() []*CallNode {
+	out := make([]*CallNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// Reachable walks the graph from the roots and returns, for every function
+// reached (roots included), the root that reaches it — the witness named in
+// diagnostics. Traversal descends only into functions with module bodies.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	witness := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, seen := witness[r]; seen || g.nodes[r] == nil {
+			continue
+		}
+		witness[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.nodes[fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if _, seen := witness[e.Callee]; seen {
+				continue
+			}
+			witness[e.Callee] = witness[fn]
+			if g.nodes[e.Callee] != nil {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return witness
+}
+
+// buildCallGraph constructs the graph over the loaded packages. Packages
+// whose type-check failed contribute no nodes (their functions are simply
+// absent, like stdlib bodies).
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+
+	// Pass 1: index every declared function, every named-type method (for
+	// interface dispatch) and every address-taken function (for func-value
+	// dispatch).
+	methodsByName := make(map[string][]*types.Func)
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+				if fd.Recv != nil {
+					methodsByName[fn.Name()] = append(methodsByName[fn.Name()], fn)
+				}
+			}
+		}
+	}
+	addressTaken := collectAddressTaken(pkgs)
+
+	// Pass 2: resolve every call site in every body.
+	for _, node := range g.nodes {
+		node.Out = resolveCalls(node.Pkg, node.Decl, methodsByName, addressTaken)
+	}
+	return g
+}
+
+// collectAddressTaken finds module functions referenced as values (assigned,
+// passed, returned, captured) rather than directly called. These are the
+// possible targets of calls through func-typed variables.
+func collectAddressTaken(pkgs []*Package) map[*types.Func]bool {
+	taken := make(map[*types.Func]bool)
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		// Idents that are the operand of a direct call are uses, not value
+		// references; collect them first so the second walk can skip them.
+		calleeIdent := make(map[*ast.Ident]bool)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					calleeIdent[fun] = true
+				case *ast.SelectorExpr:
+					calleeIdent[fun.Sel] = true
+				}
+				return true
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || calleeIdent[id] {
+					return true
+				}
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+					taken[fn] = true
+				}
+				return true
+			})
+		}
+	}
+	return taken
+}
+
+// resolveCalls walks one function body (closures included) and resolves each
+// call expression to its possible callees.
+func resolveCalls(pkg *Package, fd *ast.FuncDecl, methodsByName map[string][]*types.Func, addressTaken map[*types.Func]bool) []CallEdge {
+	info := pkg.Info
+	var out []CallEdge
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Type conversions parse as calls; skip them.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[fun].(type) {
+			case *types.Func:
+				out = append(out, CallEdge{Site: call, Callee: obj})
+				return true
+			case *types.Builtin, *types.TypeName, nil:
+				return true
+			}
+			// A variable of function type: dynamic dispatch.
+			out = append(out, funcValueEdges(call, info, addressTaken)...)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				callee, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				out = append(out, CallEdge{Site: call, Callee: callee})
+				if types.IsInterface(sel.Recv()) {
+					out = append(out, interfaceEdges(call, sel.Recv(), callee.Name(), methodsByName)...)
+				}
+				return true
+			}
+			// Package-qualified call (time.Now) or func-typed field/method
+			// expression.
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				out = append(out, CallEdge{Site: call, Callee: fn})
+				return true
+			}
+			out = append(out, funcValueEdges(call, info, addressTaken)...)
+		default:
+			// Calling a func literal inline analyses itself (the literal's
+			// body is walked as part of this function); anything else —
+			// index expressions, call results — is a func value.
+			if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+				out = append(out, funcValueEdges(call, info, addressTaken)...)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcValueEdges over-approximates a call through a func value: every
+// address-taken module function with an identical signature is a possible
+// callee. (types.Identical ignores receivers, so method values unify with
+// their unbound signatures.)
+func funcValueEdges(call *ast.CallExpr, info *types.Info, addressTaken map[*types.Func]bool) []CallEdge {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var targets []*types.Func
+	for fn := range addressTaken {
+		fsig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if fsig.Recv() != nil {
+			// A method value's signature drops the receiver.
+			fsig = types.NewSignatureType(nil, nil, nil, fsig.Params(), fsig.Results(), fsig.Variadic())
+		}
+		if types.Identical(sig, fsig) {
+			targets = append(targets, fn)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].FullName() < targets[j].FullName() })
+	out := make([]CallEdge, len(targets))
+	for i, fn := range targets {
+		out[i] = CallEdge{Site: call, Callee: fn, Dynamic: true}
+	}
+	return out
+}
+
+// interfaceEdges over-approximates dispatch through an interface method:
+// every module method with the same name whose receiver type implements the
+// interface is a possible callee.
+func interfaceEdges(call *ast.CallExpr, recv types.Type, name string, methodsByName map[string][]*types.Func) []CallEdge {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []CallEdge
+	for _, m := range methodsByName[name] {
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		if types.Implements(rt, iface) {
+			out = append(out, CallEdge{Site: call, Callee: m, Dynamic: true})
+			continue
+		}
+		// Value receivers: the pointer type's method set includes them.
+		if ptr, isPtr := rt.(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(rt), iface) {
+				out = append(out, CallEdge{Site: call, Callee: m, Dynamic: true})
+			}
+		} else if types.Implements(ptr, iface) {
+			out = append(out, CallEdge{Site: call, Callee: m, Dynamic: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Callee.FullName() < out[j].Callee.FullName() })
+	return out
+}

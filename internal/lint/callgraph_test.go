@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// graphFixture loads the graph fixture package and builds a Module over
+// just it, the same shape analyzers see.
+func graphFixture(t *testing.T) (*Module, *Package) {
+	t.Helper()
+	byName, fset := loadFixtures(t)
+	pkg := byName["graph"]
+	if pkg == nil {
+		t.Fatal("graph fixture not loaded")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("graph fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return NewModule(fset, []*Package{pkg}), pkg
+}
+
+func funcObj(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found in fixture", name)
+	}
+	return fn
+}
+
+func methodObj(t *testing.T, pkg *Package, typeName, method string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(typeName)
+	if obj == nil {
+		t.Fatalf("type %s not found in fixture", typeName)
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("%s is not a named type", typeName)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	t.Fatalf("method %s.%s not found in fixture", typeName, method)
+	return nil
+}
+
+// edgesTo returns the edges from fn to callee.
+func edgesTo(g *CallGraph, fn, callee *types.Func) []CallEdge {
+	node := g.Node(fn)
+	if node == nil {
+		return nil
+	}
+	var out []CallEdge
+	for _, e := range node.Out {
+		if e.Callee == callee {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// An interface call must fan out to every implementing method in the
+// module (conservative over-approximation) and to nothing else.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	m, pkg := graphFixture(t)
+	g := m.Graph()
+	caller := funcObj(t, pkg, "CallIface")
+	implDo := methodObj(t, pkg, "Impl", "Do")
+	otherDo := methodObj(t, pkg, "Other", "Do")
+	act := methodObj(t, pkg, "Unrelated", "Act")
+
+	for _, target := range []*types.Func{implDo, otherDo} {
+		es := edgesTo(g, caller, target)
+		if len(es) != 1 {
+			t.Fatalf("CallIface -> %s: %d edges, want 1", target.FullName(), len(es))
+		}
+		if !es[0].Dynamic {
+			t.Errorf("CallIface -> %s edge not marked Dynamic", target.FullName())
+		}
+	}
+	if es := edgesTo(g, caller, act); len(es) != 0 {
+		t.Errorf("CallIface resolved to same-signature method of the wrong name: %s", act.FullName())
+	}
+}
+
+// A deferred call is a direct (exact) edge from the enclosing function.
+func TestCallGraphDeferredCall(t *testing.T) {
+	m, pkg := graphFixture(t)
+	g := m.Graph()
+	es := edgesTo(g, funcObj(t, pkg, "CallDeferred"), funcObj(t, pkg, "Target"))
+	if len(es) != 1 {
+		t.Fatalf("CallDeferred -> Target: %d edges, want 1", len(es))
+	}
+	if es[0].Dynamic {
+		t.Error("deferred direct call marked Dynamic")
+	}
+}
+
+// A call through a func-typed variable reaches every address-taken module
+// function with an identical signature.
+func TestCallGraphFuncValueDispatch(t *testing.T) {
+	m, pkg := graphFixture(t)
+	g := m.Graph()
+	es := edgesTo(g, funcObj(t, pkg, "CallFuncValue"), funcObj(t, pkg, "Target"))
+	if len(es) != 1 {
+		t.Fatalf("CallFuncValue -> Target: %d edges, want 1", len(es))
+	}
+	if !es[0].Dynamic {
+		t.Error("func-value dispatch edge not marked Dynamic")
+	}
+}
+
+// A method value (g := i.Do; g()) unifies with its receiver-stripped
+// signature, so the bound method is a possible callee.
+func TestCallGraphMethodValueDispatch(t *testing.T) {
+	m, pkg := graphFixture(t)
+	g := m.Graph()
+	es := edgesTo(g, funcObj(t, pkg, "CallMethodValue"), methodObj(t, pkg, "Impl", "Do"))
+	if len(es) == 0 {
+		t.Fatal("CallMethodValue has no edge to Impl.Do through the method value")
+	}
+	if !es[0].Dynamic {
+		t.Error("method-value dispatch edge not marked Dynamic")
+	}
+}
+
+// Calls inside a function literal are attributed to the enclosing
+// function, so reachability sees through `go func() { ... }()`.
+func TestCallGraphClosureAttributionAndReachable(t *testing.T) {
+	m, pkg := graphFixture(t)
+	g := m.Graph()
+	caller := funcObj(t, pkg, "CallClosure")
+	target := funcObj(t, pkg, "Target")
+	if es := edgesTo(g, caller, target); len(es) != 1 {
+		t.Fatalf("CallClosure -> Target (via closure): %d edges, want 1", len(es))
+	}
+	witness := g.Reachable([]*types.Func{caller})
+	if witness[target] != caller {
+		t.Errorf("Reachable witness for Target = %v, want CallClosure", witness[target])
+	}
+	if _, ok := witness[funcObj(t, pkg, "CallIface")]; ok {
+		t.Error("Reachable leaked into a function no root calls")
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheck enforces the cancellation-threading convention the campaign
+// engine established: library code receives its context from the caller and
+// passes it down, so a Ctrl-C during a four-hour sweep actually stops the
+// sweep.
+//
+// Checks:
+//
+//  1. context.Background() and context.TODO() are banned in library
+//     packages (everything except package main and _test.go files, which
+//     legitimately mint root contexts). When the enclosing function already
+//     has a context.Context parameter the finding carries a machine fix
+//     replacing the call with that parameter (applied by scionlint -fix).
+//
+//  2. A function that takes a context.Context must take it as the first
+//     parameter (after the receiver), matching the stdlib convention.
+//
+//  3. Structs must not store a context.Context field — contexts flow
+//     through call chains, not through object lifetimes (a stored ctx
+//     outlives its cancellation scope silently).
+var CtxCheck = &Analyzer{
+	Name:       "ctxcheck",
+	Doc:        "context.Background/TODO in library code, ctx parameters not first, contexts stored in structs",
+	Severity:   SeverityError,
+	NeedsTypes: true,
+	Run:        runCtxCheck,
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func runCtxCheck(pass *Pass) {
+	isMain := pass.Pkg.Name == "main"
+	for i, f := range pass.Pkg.Files {
+		isTest := strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go")
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkCtxFields(pass, d)
+			case *ast.FuncDecl:
+				checkCtxParamOrder(pass, d)
+				if !isMain && !isTest && d.Body != nil {
+					checkCtxBackground(pass, d)
+				}
+			}
+		}
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"%s stores a context.Context in a struct field; pass ctx through calls instead (a stored ctx outlives its cancellation scope)",
+				ts.Name.Name)
+		}
+	}
+}
+
+// checkCtxParamOrder flags context.Context parameters in any position but
+// the first.
+func checkCtxParamOrder(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		isCtx := ok && isContextType(tv.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"%s takes context.Context as parameter %d; ctx goes first (after the receiver)",
+				fd.Name.Name, pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkCtxBackground flags context.Background()/TODO() calls, attaching a
+// rewrite to the function's own ctx parameter when one is in scope.
+func checkCtxBackground(pass *Pass, fd *ast.FuncDecl) {
+	ctxParam := contextParamName(pass.Pkg.Info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[qual].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "context" {
+			return true
+		}
+		if ctxParam != "" {
+			pass.ReportfFix(call.Pos(), call.End(), ctxParam,
+				"context.%s() in library code discards the caller's cancellation; use the %q parameter already in scope",
+				sel.Sel.Name, ctxParam)
+		} else {
+			pass.Reportf(call.Pos(),
+				"context.%s() in library code discards the caller's cancellation; accept a ctx parameter and thread it here",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// contextParamName returns the name of fd's context.Context parameter, or ""
+// when there is none (or it is blank).
+func contextParamName(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}

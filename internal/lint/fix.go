@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied counts the edits written to disk.
+	Applied int
+	// Files lists the rewritten files, sorted.
+	Files []string
+	// Remaining holds the diagnostics that were not fixed: either they
+	// carry no machine-applicable fix, or their fix overlapped an earlier
+	// one in the same file and applying both would corrupt the source.
+	Remaining []Diagnostic
+}
+
+// ApplyFixes applies the machine-applicable fixes attached to diags,
+// rewriting source files in place. Edits within a file are applied from
+// the end backwards so earlier offsets stay valid; overlapping edits are
+// rejected (first wins, the loser's diagnostic stays in Remaining) rather
+// than risk splicing garbage. Offsets are validated against the current
+// file bytes — if the file changed since analysis, the whole file's fixes
+// are skipped.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	type edit struct {
+		fix  *Fix
+		diag Diagnostic
+	}
+	var res FixResult
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			res.Remaining = append(res.Remaining, d)
+			continue
+		}
+		perFile[d.Fix.File] = append(perFile[d.Fix.File], edit{d.Fix, d})
+	}
+
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		edits := perFile[file]
+		sort.SliceStable(edits, func(i, j int) bool {
+			return edits[i].fix.StartOffset < edits[j].fix.StartOffset
+		})
+
+		// Reject overlaps up front: keep the first edit at a position,
+		// push the conflicting diagnostic back to the caller. Exact
+		// duplicates (two analyzers proposing the identical rewrite)
+		// collapse to one.
+		accepted := edits[:0]
+		for _, e := range edits {
+			if n := len(accepted); n > 0 {
+				prev := accepted[n-1]
+				if *prev.fix == *e.fix {
+					continue
+				}
+				if e.fix.StartOffset < prev.fix.EndOffset {
+					res.Remaining = append(res.Remaining, e.diag)
+					continue
+				}
+			}
+			accepted = append(accepted, e)
+		}
+
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return res, fmt.Errorf("lint: fix: %w", err)
+		}
+		valid := true
+		for _, e := range accepted {
+			if e.fix.StartOffset < 0 || e.fix.EndOffset > len(src) || e.fix.StartOffset > e.fix.EndOffset {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			// The file on disk no longer matches what was analyzed.
+			for _, e := range accepted {
+				res.Remaining = append(res.Remaining, e.diag)
+			}
+			continue
+		}
+		for i := len(accepted) - 1; i >= 0; i-- {
+			f := accepted[i].fix
+			src = append(src[:f.StartOffset], append([]byte(f.NewText), src[f.EndOffset:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return res, fmt.Errorf("lint: fix: %w", err)
+		}
+		res.Applied += len(accepted)
+		res.Files = append(res.Files, file)
+	}
+	return res, nil
+}

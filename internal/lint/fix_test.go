@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Overlapping fixes must not both splice into the same bytes: the first
+// (lowest-offset) edit wins, the loser's diagnostic is handed back.
+func TestApplyFixesOverlapRejection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(path, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Analyzer: "a", Message: "first", Fix: &Fix{File: path, StartOffset: 1, EndOffset: 4, NewText: "XY"}},
+		{Analyzer: "b", Message: "overlaps", Fix: &Fix{File: path, StartOffset: 3, EndOffset: 5, NewText: "Z"}},
+		{Analyzer: "c", Message: "disjoint", Fix: &Fix{File: path, StartOffset: 5, EndOffset: 6, NewText: "!"}},
+		{Analyzer: "d", Message: "no fix attached"},
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 {
+		t.Errorf("applied = %d, want 2", res.Applied)
+	}
+	if len(res.Remaining) != 2 {
+		t.Fatalf("remaining = %d (%v), want 2", len(res.Remaining), res.Remaining)
+	}
+	for _, d := range res.Remaining {
+		if d.Message != "overlaps" && d.Message != "no fix attached" {
+			t.Errorf("wrong diagnostic left behind: %q", d.Message)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXYe!" {
+		t.Errorf("file = %q, want %q", got, "aXYe!")
+	}
+}
+
+// Identical duplicate fixes (two analyzers proposing the same rewrite)
+// collapse to one application instead of double-splicing.
+func TestApplyFixesDeduplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fix := Fix{File: path, StartOffset: 0, EndOffset: 5, NewText: "bye"}
+	f1, f2 := fix, fix
+	res, err := ApplyFixes([]Diagnostic{
+		{Analyzer: "a", Fix: &f1},
+		{Analyzer: "b", Fix: &f2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || len(res.Remaining) != 0 {
+		t.Errorf("applied = %d, remaining = %d; want 1, 0", res.Applied, len(res.Remaining))
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "bye" {
+		t.Errorf("file = %q, want %q", got, "bye")
+	}
+}
+
+// Offsets that no longer fit the file (it changed since analysis) skip the
+// whole file's fixes rather than corrupting it.
+func TestApplyFixesStaleOffsets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(path, []byte("ab"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApplyFixes([]Diagnostic{
+		{Analyzer: "a", Message: "stale", Fix: &Fix{File: path, StartOffset: 1, EndOffset: 99, NewText: "X"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 || len(res.Remaining) != 1 {
+		t.Errorf("applied = %d, remaining = %d; want 0, 1", res.Applied, len(res.Remaining))
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "ab" {
+		t.Errorf("file modified despite stale offsets: %q", got)
+	}
+}

@@ -5,13 +5,15 @@ import (
 	"testing"
 )
 
-// FuzzIgnoreDirective throws arbitrary comment text at the directive parser.
-// The parser must never panic, must be deterministic, and the directives it
-// accepts must satisfy the invariants the suppression matcher relies on:
-// only the two documented prefixes parse, wholeFile tracks which one,
-// analyzers carry no whitespace, reasons are trimmed, and a reason-less
-// directive never suppresses anything (the reason is mandatory by design —
-// checked by the lintdirective analyzer).
+// FuzzIgnoreDirective throws arbitrary comment text at both directive
+// parsers. They must never panic, must be deterministic, and the
+// directives they accept must satisfy the invariants their consumers rely
+// on. For ignore directives: only the two documented prefixes parse,
+// wholeFile tracks which one, analyzers carry no whitespace, reasons are
+// trimmed, and a reason-less directive never suppresses anything (the
+// reason is mandatory by design — checked by the lintdirective analyzer).
+// For the deterministic directive: only the exact word parses (longer
+// words sharing the prefix are ordinary comments) and the note is trimmed.
 func FuzzIgnoreDirective(f *testing.F) {
 	f.Add("//lint:ignore lockcheck runs before the DB is shared")
 	f.Add("//lint:file-ignore * generated code")
@@ -22,7 +24,32 @@ func FuzzIgnoreDirective(f *testing.F) {
 	f.Add("//lint:ignorance is bliss")
 	f.Add("//lint:file-ignore \x00\xffbinary junk")
 	f.Add("//lint:ignore a \n b")
+	f.Add("//lint:deterministic one seed one trace")
+	f.Add("//lint:deterministic")
+	f.Add("//lint:deterministic\ttab note")
+	f.Add("//lint:deterministic-ish close but no directive")
+	f.Add("//lint:deterministically wrong")
 	f.Fuzz(func(t *testing.T, text string) {
+		note, detOK := parseDeterministic(text)
+		note2, detOK2 := parseDeterministic(text)
+		if detOK != detOK2 || note != note2 {
+			t.Fatalf("parseDeterministic not deterministic on %q", text)
+		}
+		if detOK {
+			rest := strings.TrimPrefix(text, deterministicDirective)
+			if rest == text {
+				t.Fatalf("accepted text %q lacks the deterministic prefix", text)
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				t.Fatalf("accepted %q where the directive word continues (%q)", text, rest)
+			}
+			if note != strings.TrimSpace(note) {
+				t.Fatalf("note %q not trimmed (text %q)", note, text)
+			}
+		} else if note != "" {
+			t.Fatalf("rejected text %q produced non-empty note %q", text, note)
+		}
+
 		dir, ok := parseIgnore(text)
 		dir2, ok2 := parseIgnore(text)
 		if ok != ok2 || dir != dir2 {

@@ -28,8 +28,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Severity classifies a diagnostic. Both severities fail a CI run; the
@@ -48,6 +51,18 @@ type Diagnostic struct {
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
 	Message  string `json:"message"`
+	// Fix, when non-nil, is a machine-applicable rewrite that resolves the
+	// finding (applied by scionlint -fix).
+	Fix *Fix `json:"fix,omitempty"`
+}
+
+// Fix is one textual edit: replace [StartOffset, EndOffset) of File with
+// NewText. Offsets are byte offsets into the file as loaded.
+type Fix struct {
+	File        string `json:"file"`
+	StartOffset int    `json:"start_offset"`
+	EndOffset   int    `json:"end_offset"`
+	NewText     string `json:"new_text"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -67,8 +82,43 @@ type Analyzer struct {
 	// NeedsTypes marks analyzers that require type information; they are
 	// skipped (with a load note) for packages whose type-check failed.
 	NeedsTypes bool
+	// NeedsCallGraph marks interprocedural analyzers; the Module call graph
+	// is built (once per run) before they execute. Implies NeedsTypes.
+	NeedsCallGraph bool
 	// Run performs the analysis.
 	Run func(*Pass)
+}
+
+// Module is the whole analyzed package set plus lazily built, shared,
+// immutable-once-built analysis artifacts (call graph, deterministic-root
+// closure, frozen-type set). Passes of one Run share one Module; accessors
+// are safe for concurrent use.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	detOnce    sync.Once
+	detWitness map[*types.Func]*types.Func
+
+	frozenOnce sync.Once
+	frozen     map[*types.Named]token.Pos
+
+	lockOnce  sync.Once
+	lockWorld *lockWorld
+}
+
+// NewModule wraps a loaded package set for analysis.
+func NewModule(fset *token.FileSet, pkgs []*Package) *Module {
+	return &Module{Fset: fset, Pkgs: pkgs}
+}
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Pkgs) })
+	return m.graph
 }
 
 // Pass carries one package through one analyzer.
@@ -76,6 +126,8 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Mod is the whole analyzed module (shared, read-only substrate).
+	Mod *Module
 
 	diags []Diagnostic
 }
@@ -91,40 +143,127 @@ func (p *Pass) ReportSeverityf(pos token.Pos, severity, format string, args ...a
 }
 
 func (p *Pass) report(pos token.Pos, severity, format string, args ...any) {
+	p.diags = append(p.diags, p.makeDiag(pos, severity, format, args...))
+}
+
+// ReportfFix records a finding like Reportf plus a machine-applicable fix
+// replacing the source range [pos, end) with newText.
+func (p *Pass) ReportfFix(pos, end token.Pos, newText, format string, args ...any) {
+	d := p.makeDiag(pos, p.Analyzer.Severity, format, args...)
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	if start.Filename != "" && start.Filename == stop.Filename && start.Offset < stop.Offset {
+		d.Fix = &Fix{
+			File:        start.Filename,
+			StartOffset: start.Offset,
+			EndOffset:   stop.Offset,
+			NewText:     newText,
+		}
+	}
+	p.diags = append(p.diags, d)
+}
+
+func (p *Pass) makeDiag(pos token.Pos, severity, format string, args ...any) Diagnostic {
 	position := p.Fset.Position(pos)
 	sev := severity
 	if sev == "" {
 		sev = SeverityError
 	}
-	p.diags = append(p.diags, Diagnostic{
+	return Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Severity: sev,
 		File:     position.Filename,
 		Line:     position.Line,
 		Column:   position.Column,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+}
+
+// RunOpts tunes Run's execution.
+type RunOpts struct {
+	// Parallel is the number of packages analyzed concurrently (<= 1 means
+	// serial). Output is deterministic regardless.
+	Parallel int
 }
 
 // Run executes the analyzers over the packages and returns surviving
 // diagnostics sorted by position, plus the count of suppressed findings.
+// Packages are analyzed concurrently (one worker per core).
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
-	for _, pkg := range pkgs {
+	return RunWith(fset, pkgs, analyzers, RunOpts{Parallel: runtime.GOMAXPROCS(0)})
+}
+
+// RunWith is Run with explicit options.
+func RunWith(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts RunOpts) (diags []Diagnostic, suppressed int) {
+	mod := NewModule(fset, pkgs)
+	type pkgResult struct {
+		diags      []Diagnostic
+		suppressed int
+	}
+	results := make([]pkgResult, len(pkgs))
+
+	// The shared substrate (call graph, root closures) is built lazily
+	// behind sync.Once; forcing it here keeps the per-package workers free
+	// of the one expensive serial step.
+	for _, a := range analyzers {
+		if a.NeedsCallGraph {
+			mod.Graph()
+			break
+		}
+	}
+
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	analyze := func(i int) {
+		pkg := pkgs[i]
 		ignores := collectIgnores(fset, pkg)
+		var res pkgResult
 		for _, a := range analyzers {
-			if a.NeedsTypes && pkg.Info == nil {
+			if (a.NeedsTypes || a.NeedsCallGraph) && pkg.Info == nil {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Mod: mod}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if ignores.suppresses(d) {
-					suppressed++
+					res.suppressed++
 					continue
 				}
-				diags = append(diags, d)
+				res.diags = append(res.diags, d)
 			}
 		}
+		results[i] = res
+	}
+	if workers <= 1 {
+		for i := range pkgs {
+			analyze(i)
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					analyze(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, res := range results {
+		diags = append(diags, res.diags...)
+		suppressed += res.suppressed
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
@@ -181,7 +320,26 @@ func (s *ignoreSet) suppresses(d Diagnostic) bool {
 const (
 	ignorePrefix     = "//lint:ignore "
 	fileIgnorePrefix = "//lint:file-ignore "
+	// deterministicDirective marks determcheck roots (see determcheck.go):
+	// in a function's doc comment it declares that function, anywhere else
+	// in a file it declares the whole package. Optional trailing text is a
+	// free-form note.
+	deterministicDirective = "//lint:deterministic"
 )
+
+// parseDeterministic parses "//lint:deterministic[ note]". ok is false for
+// any other comment, including longer words sharing the prefix
+// ("//lint:deterministic-ish").
+func parseDeterministic(text string) (note string, ok bool) {
+	if !strings.HasPrefix(text, deterministicDirective) {
+		return "", false
+	}
+	rest := text[len(deterministicDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
 
 // collectIgnores scans a package's comments for lint directives. Directives
 // in a declaration's doc comment (or in any comment group whose last line
@@ -251,6 +409,10 @@ func Default() []*Analyzer {
 		TimeAfter,
 		Hygiene,
 		IgnoreCheck,
+		DetermCheck,
+		LockCheckV2,
+		CtxCheck,
+		SnapshotCheck,
 	}
 }
 

@@ -72,6 +72,13 @@ func TestAnalyzersGolden(t *testing.T) {
 		// suppress proves both directive shapes silence findings and that a
 		// reasonless directive silences nothing.
 		{"suppress", []*Analyzer{TimeAfter, Hygiene}, 2},
+		{"determcheck", []*Analyzer{DetermCheck}, 0},
+		// determwide pins the package-wide directive shape (directive in the
+		// package doc marks every function a root).
+		{"determwide", []*Analyzer{DetermCheck}, 0},
+		{"lockcheckv2", []*Analyzer{LockCheckV2}, 0},
+		{"ctxcheck", []*Analyzer{CtxCheck}, 0},
+		{"snapshotcheck", []*Analyzer{SnapshotCheck}, 0},
 		{"clean", Default(), 0},
 	}
 

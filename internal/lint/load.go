@@ -9,9 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and (best-effort) type-checked package.
@@ -46,6 +48,18 @@ type LoadConfig struct {
 	// IncludeTests adds in-package _test.go files. External test packages
 	// (package foo_test) are not loaded.
 	IncludeTests bool
+	// Parallel caps the loader's worker count for parsing and
+	// type-checking. 0 means GOMAXPROCS; 1 forces the sequential path
+	// (used by verify.sh to demonstrate the speedup).
+	Parallel int
+}
+
+func (cfg LoadConfig) workers() int {
+	n := cfg.Parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // Load parses and type-checks the packages matching patterns. Patterns
@@ -68,11 +82,11 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, *token.FileSet, error
 	}
 
 	fset := token.NewFileSet()
-	pkgs, err := parseTree(fset, root, modPath, cfg.IncludeTests)
+	pkgs, err := parseTree(fset, root, modPath, cfg.IncludeTests, cfg.workers())
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := typeCheck(fset, modPath, pkgs); err != nil {
+	if err := typeCheck(fset, modPath, pkgs, cfg.workers()); err != nil {
 		return nil, nil, err
 	}
 
@@ -109,9 +123,12 @@ func findModule(dir string) (root, modPath string, err error) {
 }
 
 // parseTree walks the module and parses every package directory, skipping
-// testdata, vendor, hidden and underscore-prefixed directories.
-func parseTree(fset *token.FileSet, root, modPath string, includeTests bool) (map[string]*Package, error) {
-	pkgs := make(map[string]*Package)
+// testdata, vendor, hidden and underscore-prefixed directories. The walk
+// itself only collects directories; parsing fans out over workers —
+// token.FileSet is documented safe for concurrent use, so the files all
+// land in the shared fset.
+func parseTree(fset *token.FileSet, root, modPath string, includeTests bool, workers int) (map[string]*Package, error) {
+	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -123,16 +140,39 @@ func parseTree(fset *token.FileSet, root, modPath string, includeTests bool) (ma
 		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		pkg, err := parseDir(fset, path, includeTests)
-		if err != nil {
-			return err
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walk %s: %w", root, err)
+	}
+
+	parsed := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i], errs[i] = parseDir(fset, dir, includeTests)
+		}(i, dir)
+	}
+	wg.Wait()
+
+	pkgs := make(map[string]*Package)
+	for i, pkg := range parsed {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		if pkg == nil {
-			return nil
+			continue
 		}
-		rel, err := filepath.Rel(root, path)
+		rel, err := filepath.Rel(root, dirs[i])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if rel == "." {
 			pkg.Path = modPath
@@ -140,10 +180,6 @@ func parseTree(fset *token.FileSet, root, modPath string, includeTests bool) (ma
 			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
 		}
 		pkgs[pkg.Path] = pkg
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("lint: walk %s: %w", root, err)
 	}
 	return pkgs, nil
 }
@@ -205,29 +241,68 @@ func parseDir(fset *token.FileSet, dir string, includeTests bool) (*Package, err
 // moduleImporter resolves module-internal imports to already-checked
 // packages and everything else (the standard library) through the source
 // importer, which parses GOROOT sources — no pre-compiled export data or
-// external tooling needed.
+// external tooling needed. The mutex makes it safe for concurrent
+// type-checkers: the source importer is NOT concurrency-safe, so stdlib
+// loads serialize through mu (its internal cache keeps repeat imports
+// cheap), and mu also guards the checked map.
 type moduleImporter struct {
 	modPath string
+	mu      sync.Mutex
 	checked map[string]*types.Package
 	std     types.Importer
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
 		if p, ok := m.checked[path]; ok {
 			return p, nil
 		}
-		return nil, fmt.Errorf("lint: internal package %s not yet checked (import cycle?)", path)
+		return nil, fmt.Errorf("lint: internal package %s not checked (import cycle or failed dependency?)", path)
 	}
 	return m.std.Import(path)
 }
 
-// typeCheck checks every package in dependency order so that internal
-// imports resolve to fully checked packages. Soft errors are collected per
-// package; a package that fails outright keeps Info == nil and type-needing
-// analyzers skip it.
-func typeCheck(fset *token.FileSet, modPath string, pkgs map[string]*Package) error {
-	order, err := topoSort(pkgs)
+func (m *moduleImporter) setChecked(path string, p *types.Package) {
+	m.mu.Lock()
+	m.checked[path] = p
+	m.mu.Unlock()
+}
+
+// checkOne type-checks a single package whose module-internal imports have
+// all been checked already. Soft errors accumulate on the package; a hard
+// failure (no usable types.Package at all) is returned.
+func checkOne(fset *token.FileSet, imp *moduleImporter, pkg *Package) error {
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if tpkg == nil {
+		return fmt.Errorf("lint: type-check %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	imp.setChecked(pkg.Path, tpkg)
+	return nil
+}
+
+// typeCheck checks every package respecting dependency order so that
+// internal imports resolve to fully checked packages. With workers > 1,
+// packages whose internal imports are all satisfied check concurrently —
+// the module's import DAG is wide enough (independent leaf packages) that
+// this wins real wall-clock over the sequential walk. Soft errors are
+// collected per package; a package that fails outright keeps Info == nil
+// and type-needing analyzers skip it.
+func typeCheck(fset *token.FileSet, modPath string, pkgs map[string]*Package, workers int) error {
+	order, err := topoSort(pkgs) // also rejects import cycles up front
 	if err != nil {
 		return err
 	}
@@ -236,27 +311,67 @@ func typeCheck(fset *token.FileSet, modPath string, pkgs map[string]*Package) er
 		checked: make(map[string]*types.Package, len(pkgs)),
 		std:     importer.ForCompiler(fset, "source", nil),
 	}
-	for _, pkg := range order {
-		pkg := pkg
-		conf := types.Config{
-			Importer: imp,
-			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	if workers <= 1 || len(pkgs) < 2 {
+		for _, pkg := range order {
+			if err := checkOne(fset, imp, pkg); err != nil {
+				return err
+			}
 		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
-		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
-		if tpkg == nil {
-			return fmt.Errorf("lint: type-check %s: %w", pkg.Path, err)
-		}
-		pkg.Types = tpkg
-		pkg.Info = info
-		imp.checked[pkg.Path] = tpkg
+		return nil
 	}
-	return nil
+
+	// Ready-queue scheduler: a package becomes ready when its last
+	// module-internal import finishes. A failed dependency still releases
+	// its dependents (their own checks fail loudly via the importer) so the
+	// queue always drains; the first hard error is what callers see.
+	waiting := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string, len(pkgs))
+	for path, pkg := range pkgs {
+		for _, ipath := range pkg.imports {
+			if _, ok := pkgs[ipath]; ok {
+				waiting[path]++
+				dependents[ipath] = append(dependents[ipath], path)
+			}
+		}
+	}
+	ready := make(chan *Package, len(pkgs))
+	for _, pkg := range order {
+		if waiting[pkg.Path] == 0 {
+			ready <- pkg
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		finished int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range ready {
+				err := checkOne(fset, imp, pkg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				for _, dep := range dependents[pkg.Path] {
+					waiting[dep]--
+					if waiting[dep] == 0 {
+						ready <- pkgs[dep]
+					}
+				}
+				finished++
+				if finished == len(pkgs) {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // topoSort orders packages so every module-internal import precedes its

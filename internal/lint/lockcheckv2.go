@@ -1,0 +1,521 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheckV2 is the interprocedural companion to lockcheck: where v1 checks
+// one method at a time syntactically, v2 combines the module call graph with
+// a per-function must-hold dataflow over the CFG to enforce the ...Locked
+// convention in both directions, catch the self-deadlock class, and report
+// cycles in the cross-mutex acquisition-order graph.
+//
+// Checks:
+//
+//  1. A call to a ...Locked method must happen with the receiver's mutex
+//     provably held at the call site (acquired earlier on every path), or
+//     from inside another ...Locked method of the same type on its own
+//     receiver (the convention's hand-off case).
+//
+//  2. Self-deadlock: re-acquiring a mutex that is already held on every
+//     path to the acquire site (Lock-while-Lock, Lock-while-RLock,
+//     RLock-while-Lock — RLock-while-RLock is legal and skipped), calling a
+//     non-Locked method that acquires the receiver's own mutex while that
+//     mutex is held, and a ...Locked method that locks the very mutex its
+//     name promises the caller already holds.
+//
+//  3. Lock-order cycles: every acquisition of mutex B at a site where mutex
+//     A is held adds the edge A->B to a module-wide order graph (keys are
+//     type-level: pkg.Type.field for receiver mutexes, pkg.var for package
+//     ones); call sites add edges to everything the callee transitively
+//     acquires. Edges inside a strongly connected component are reported —
+//     two locks taken in both orders on different paths can deadlock.
+//
+// The analysis is a must-analysis (facts are intersected at joins), so
+// "held" is never over-claimed; sites inside function literals and sites the
+// flow cannot see (lock taken by a caller without the ...Locked marker) are
+// skipped rather than guessed. Intentional exceptions carry
+// //lint:ignore lockcheckv2 <why>.
+var LockCheckV2 = &Analyzer{
+	Name:           "lockcheckv2",
+	Doc:            "call-graph ...Locked enforcement, self-deadlocks, and cross-mutex acquisition-order cycles",
+	Severity:       SeverityError,
+	NeedsTypes:     true,
+	NeedsCallGraph: true,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Mod.locks().findings[pass.Pkg] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	},
+}
+
+// lockFinding is one pre-computed diagnostic, attributed to the package that
+// will emit it (the whole analysis runs once per module, not per package).
+type lockFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// lockWorld is the module-wide lock analysis result shared by every
+// LockCheckV2 pass.
+type lockWorld struct {
+	findings map[*Package][]lockFinding
+}
+
+// locks returns the lock analysis, building it on first use.
+func (m *Module) locks() *lockWorld {
+	m.lockOnce.Do(func() { m.lockWorld = buildLockWorld(m) })
+	return m.lockWorld
+}
+
+const (
+	modeLock  = "Lock"
+	modeRLock = "RLock"
+)
+
+// mutexOp matches <expr>.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex (or pointer) and returns the mutex expression and method.
+func mutexOp(info *types.Info, call *ast.CallExpr) (mu ast.Expr, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	tv, okType := info.Types[sel.X]
+	if !okType {
+		return nil, "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// mutexTypeKey renders a module-unique, type-level identity for a mutex
+// expression: "pkg.Type.field" for a struct mutex, "pkg.var" for a package
+// variable. Locals and unrecognized shapes return "".
+func mutexTypeKey(info *types.Info, mu ast.Expr) string {
+	switch x := ast.Unparen(mu).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[x.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// mutexFieldOf returns the name of the first sync.Mutex/RWMutex field of a
+// named struct type, the field the ...Locked convention refers to.
+func mutexFieldOf(named *types.Named) string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		t := f.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+			if name := n.Obj().Name(); name == "Mutex" || name == "RWMutex" {
+				return f.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// recvNamed unwraps a method's receiver type to its *types.Named.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// lockFacts builds the FlowSpec tracking which mutex expressions are held.
+// Keys are printed expressions ("c.mu"); values are "mode|typeKey" so order
+// edges can be derived from held facts.
+func lockFacts(fset *token.FileSet, info *types.Info) FlowSpec {
+	return FlowSpec{
+		Transfer: func(n ast.Node, state Facts) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch c := x.(type) {
+				case *ast.FuncLit:
+					return false // closure bodies are separate flows
+				case *ast.DeferStmt:
+					return false // a deferred unlock releases at return, not here
+				case *ast.CallExpr:
+					mu, op, ok := mutexOp(info, c)
+					if !ok {
+						return true
+					}
+					key := exprString(fset, mu)
+					if key == "" {
+						return true
+					}
+					switch op {
+					case "Lock":
+						state[key] = modeLock + "|" + mutexTypeKey(info, mu)
+					case "RLock":
+						state[key] = modeRLock + "|" + mutexTypeKey(info, mu)
+					case "Unlock", "RUnlock":
+						delete(state, key)
+					}
+				}
+				return true
+			})
+		},
+	}
+}
+
+func heldMode(v string) string { return strings.SplitN(v, "|", 2)[0] }
+func heldTypeKey(v string) string {
+	p := strings.SplitN(v, "|", 2)
+	if len(p) == 2 {
+		return p[1]
+	}
+	return ""
+}
+
+// orderEdge is one "to acquired while from held" observation.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+}
+
+func buildLockWorld(m *Module) *lockWorld {
+	w := &lockWorld{findings: make(map[*Package][]lockFinding)}
+	g := m.Graph()
+	nodes := g.Nodes()
+
+	// Pass 1: per-function direct acquisitions (type-level) and whether the
+	// function locks its own receiver's mutex, plus same-receiver callees
+	// for the acquiresOwn closure.
+	directKeys := make(map[*types.Func]map[string]bool)
+	directOwn := make(map[*types.Func]bool)
+	selfCallees := make(map[*types.Func][]*types.Func)
+	for _, node := range nodes {
+		info := node.Pkg.Info
+		recvName, _, hasRecv := receiverInfo(node.Decl)
+		keys := make(map[string]bool)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			mu, op, ok := mutexOp(info, call)
+			if !ok || (op != "Lock" && op != "RLock") {
+				return true
+			}
+			if tk := mutexTypeKey(info, mu); tk != "" {
+				keys[tk] = true
+			}
+			if hasRecv {
+				if sel, ok := ast.Unparen(mu).(*ast.SelectorExpr); ok {
+					if base, ok := sel.X.(*ast.Ident); ok && base.Name == recvName {
+						directOwn[node.Fn] = true
+					}
+				}
+			}
+			return true
+		})
+		directKeys[node.Fn] = keys
+		if hasRecv {
+			myType := recvNamed(node.Fn)
+			for _, e := range node.Out {
+				if e.Dynamic || recvNamed(e.Callee) == nil || recvNamed(e.Callee) != myType {
+					continue
+				}
+				if sel, ok := ast.Unparen(e.Site.Fun).(*ast.SelectorExpr); ok {
+					if base, ok := sel.X.(*ast.Ident); ok && base.Name == recvName {
+						selfCallees[node.Fn] = append(selfCallees[node.Fn], e.Callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: transitive closures. acquiresAll[fn] is every type-level key
+	// fn may acquire through static calls; acquiresOwn[fn] is whether fn
+	// locks its own receiver's mutex, directly or through same-receiver
+	// calls.
+	acquiresAll := make(map[*types.Func]map[string]bool, len(nodes))
+	for _, node := range nodes {
+		set := make(map[string]bool, len(directKeys[node.Fn]))
+		for k := range directKeys[node.Fn] {
+			set[k] = true
+		}
+		acquiresAll[node.Fn] = set
+	}
+	acquiresOwn := make(map[*types.Func]bool, len(nodes))
+	for fn, own := range directOwn {
+		acquiresOwn[fn] = own
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			mine := acquiresAll[node.Fn]
+			for _, e := range node.Out {
+				for k := range acquiresAll[e.Callee] {
+					if !mine[k] {
+						mine[k] = true
+						changed = true
+					}
+				}
+			}
+			if !acquiresOwn[node.Fn] {
+				for _, callee := range selfCallees[node.Fn] {
+					if acquiresOwn[callee] {
+						acquiresOwn[node.Fn] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: flow-sensitive per-function checks and order-edge collection.
+	var edges []orderEdge
+	edgeSeen := make(map[[2]string]bool)
+	for _, node := range nodes {
+		edges = append(edges, checkFunction(m, w, node, acquiresAll, acquiresOwn, directOwn, edgeSeen)...)
+	}
+
+	// Pass 4: cycle detection over the type-level order graph.
+	reportOrderCycles(w, edges)
+	return w
+}
+
+// checkFunction runs the held-lock dataflow over one function and emits the
+// Locked-convention and self-deadlock findings, returning the order edges
+// its acquire/call sites contribute.
+func checkFunction(m *Module, w *lockWorld, node *CallNode,
+	acquiresAll map[*types.Func]map[string]bool, acquiresOwn, directOwn map[*types.Func]bool,
+	edgeSeen map[[2]string]bool) []orderEdge {
+
+	info := node.Pkg.Info
+	spec := lockFacts(m.Fset, info)
+	cfg := NewCFG(node.Decl.Body)
+	entry := cfg.Forward(spec)
+	heldAt := func(n ast.Node) Facts { return cfg.FactsAt(spec, entry, n) }
+
+	recvName, _, hasRecv := receiverInfo(node.Decl)
+	enclosingLocked := strings.HasSuffix(node.Fn.Name(), "Locked")
+	myRecv := recvNamed(node.Fn)
+
+	report := func(pos token.Pos, format string, args ...any) {
+		w.findings[node.Pkg] = append(w.findings[node.Pkg], lockFinding{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+
+	var edges []orderEdge
+	addEdges := func(held Facts, toKey string, pos token.Pos) {
+		if toKey == "" {
+			return
+		}
+		for _, v := range held {
+			from := heldTypeKey(v)
+			if from == "" || from == toKey {
+				continue
+			}
+			if !edgeSeen[[2]string{from, toKey}] {
+				edgeSeen[[2]string{from, toKey}] = true
+				edges = append(edges, orderEdge{from: from, to: toKey, pos: pos, pkg: node.Pkg})
+			}
+		}
+	}
+
+	// Direct acquire sites: self-deadlock re-acquisition, Locked-method
+	// self-lock, and order edges.
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mu, op, ok := mutexOp(info, call)
+		if !ok || (op != "Lock" && op != "RLock") {
+			return true
+		}
+		key := exprString(m.Fset, mu)
+		held := heldAt(call)
+		if held == nil {
+			return true // inside a closure or unreachable: no flow facts
+		}
+		if prev, already := held[key]; already {
+			prevMode := heldMode(prev)
+			if op == "Lock" || prevMode == modeLock {
+				report(call.Pos(), "%s.%s() while %s is already held (%s at this point on every path) — self-deadlock", key, op, key, prevMode)
+			}
+		}
+		if enclosingLocked && hasRecv && directOwn[node.Fn] {
+			if sel, isSel := ast.Unparen(mu).(*ast.SelectorExpr); isSel {
+				if base, isIdent := sel.X.(*ast.Ident); isIdent && base.Name == recvName {
+					report(call.Pos(), "%s acquires %s, the mutex its ...Locked name promises the caller already holds", node.Fn.Name(), key)
+				}
+			}
+		}
+		addEdges(held, mutexTypeKey(info, mu), call.Pos())
+		return true
+	})
+
+	// Call sites, via the resolved graph edges.
+	for _, e := range node.Out {
+		held := heldAt(e.Site)
+		if held == nil {
+			continue
+		}
+		calleeRecv := recvNamed(e.Callee)
+		calleeLocked := strings.HasSuffix(e.Callee.Name(), "Locked")
+
+		if !e.Dynamic && calleeRecv != nil {
+			field := mutexFieldOf(calleeRecv)
+			if field != "" {
+				sel, isSel := ast.Unparen(e.Site.Fun).(*ast.SelectorExpr)
+				if isSel {
+					requiredKey := exprString(m.Fset, sel.X) + "." + field
+					_, haveLock := held[requiredKey]
+					onOwnRecv := false
+					if base, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent && hasRecv && base.Name == recvName {
+						onOwnRecv = true
+					}
+					if calleeLocked {
+						// Hand-off case: a Locked method of the same type may
+						// forward to a sibling Locked method on its receiver.
+						handoff := enclosingLocked && onOwnRecv && calleeRecv == myRecv
+						if !haveLock && !handoff {
+							report(e.Site.Pos(), "call to %s.%s without %s held — ...Locked methods require the caller to hold the receiver's mutex",
+								calleeRecv.Obj().Name(), e.Callee.Name(), requiredKey)
+						}
+					} else if haveLock && acquiresOwn[e.Callee] {
+						report(e.Site.Pos(), "calling %s.%s while %s is held — the callee acquires that mutex itself (self-deadlock)",
+							calleeRecv.Obj().Name(), e.Callee.Name(), requiredKey)
+					}
+				}
+			}
+		}
+		// Any held lock orders before everything the callee may acquire.
+		for to := range acquiresAll[e.Callee] {
+			addEdges(held, to, e.Site.Pos())
+		}
+	}
+	return edges
+}
+
+// reportOrderCycles finds strongly connected components of the type-level
+// order graph and reports every edge inside one.
+func reportOrderCycles(w *lockWorld, edges []orderEdge) {
+	adj := make(map[string][]string)
+	keys := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		keys[e.from], keys[e.to] = true, true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	// Tarjan's SCC, iterative enough for lock graphs this small.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	counter, compID := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := append([]string(nil), adj[v]...)
+		sort.Strings(succs)
+		for _, to := range succs {
+			if _, seen := index[to]; !seen {
+				strongconnect(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp[top] = compID
+				if top == v {
+					break
+				}
+			}
+			compID++
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if comp[e.from] == comp[e.to] && compSize[comp[e.from]] > 1 {
+			w.findings[e.pkg] = append(w.findings[e.pkg], lockFinding{
+				pos: e.pos,
+				msg: fmt.Sprintf("lock order cycle: %s acquired while %s is held, but the reverse order also occurs — potential deadlock", e.to, e.from),
+			})
+		}
+	}
+}

@@ -57,8 +57,16 @@ func WriteText(w io.Writer, dir string, diags []Diagnostic, sum Summary) error {
 	return err
 }
 
+// JSONSchemaVersion identifies the -json output shape. Consumers should
+// check it before parsing: the version only changes when a field is
+// renamed, removed, or changes meaning — adding fields is not a bump.
+// History: "scionlint/1" had no schema field; "scionlint/2" added it along
+// with per-diagnostic fixes.
+const JSONSchemaVersion = "scionlint/2"
+
 // jsonReport is the machine-readable shape of a run (-json flag).
 type jsonReport struct {
+	Schema      string       `json:"schema"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	Summary     Summary      `json:"summary"`
 }
@@ -75,7 +83,7 @@ func WriteJSON(w io.Writer, dir string, diags []Diagnostic, sum Summary) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{Diagnostics: rel, Summary: sum})
+	return enc.Encode(jsonReport{Schema: JSONSchemaVersion, Diagnostics: rel, Summary: sum})
 }
 
 // CountByAnalyzer returns "name: n" lines for the verbose summary, sorted

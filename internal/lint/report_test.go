@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func reportDiags() []Diagnostic {
+	return []Diagnostic{
+		{Analyzer: "lockcheck", Severity: SeverityError, File: "/repo/a.go", Line: 3, Column: 2, Message: "missing unlock"},
+		{Analyzer: "hygiene", Severity: SeverityWarning, File: "/repo/sub/b.go", Line: 7, Column: 1, Message: "long line"},
+		{Analyzer: "lockcheck", Severity: SeverityError, File: "/repo/c.go", Line: 9, Column: 4, Message: "lock copied"},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p1 := &Package{Files: make([]*ast.File, 3)}
+	p2 := &Package{}
+	sum := Summarize([]*Package{p1, p2}, reportDiags(), 4)
+	if sum.Findings != 3 || sum.Errors != 2 || sum.Warnings != 1 || sum.Suppressed != 4 || sum.Packages != 2 || sum.Files != 3 {
+		t.Errorf("summary = %+v", sum)
+	}
+	line := sum.Line()
+	if !strings.Contains(line, "3 findings") || !strings.Contains(line, "4 suppressed") {
+		t.Errorf("summary line = %q", line)
+	}
+}
+
+// WriteText relativizes paths to dir and ends with the summary line.
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	sum := Summarize(nil, reportDiags(), 0)
+	if err := WriteText(&sb, "/repo", reportDiags(), sum); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"a.go:3:2: [lockcheck] missing unlock\n",
+		"sub/b.go:7:1: [hygiene] long line\n",
+		sum.Line() + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// WriteJSON carries the schema version and relativized paths, and must not
+// mutate the caller's diagnostics while relativizing.
+func TestWriteJSON(t *testing.T) {
+	diags := reportDiags()
+	var sb strings.Builder
+	if err := WriteJSON(&sb, "/repo", diags, Summarize(nil, diags, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if diags[0].File != "/repo/a.go" {
+		t.Errorf("WriteJSON mutated caller's diagnostics: %q", diags[0].File)
+	}
+	var rep struct {
+		Schema      string       `json:"schema"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Summary     Summary      `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != JSONSchemaVersion {
+		t.Errorf("schema = %q, want %q", rep.Schema, JSONSchemaVersion)
+	}
+	if len(rep.Diagnostics) != 3 || rep.Diagnostics[1].File != "sub/b.go" {
+		t.Errorf("diagnostics = %+v", rep.Diagnostics)
+	}
+	if rep.Summary.Suppressed != 1 {
+		t.Errorf("summary = %+v", rep.Summary)
+	}
+}
+
+func TestCountByAnalyzer(t *testing.T) {
+	got := CountByAnalyzer(reportDiags())
+	want := []string{"lockcheck: 2", "hygiene: 1"}
+	if len(got) != len(want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts[%d] = %q, want %q (desc count, then name)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "errcheck", File: "x.go", Line: 4, Column: 7, Message: "dropped error"}
+	if got := d.String(); got != "x.go:4:7: [errcheck] dropped error" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Default()) {
+		t.Errorf("empty list = %d analyzers, want all %d", len(all), len(Default()))
+	}
+	picked, err := ByName(" lockcheck , errcheck ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "lockcheck" || picked[1].Name != "errcheck" {
+		t.Errorf("picked = %v", picked)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+}

@@ -1,0 +1,32 @@
+// Package ctxcheck seeds one violation per context-threading rule. It is a
+// library package (not main, not a test file), so root contexts are banned.
+package ctxcheck
+
+import "context"
+
+// Holder pins a context to an object lifetime.
+type Holder struct {
+	ctx context.Context // want "Holder stores a context.Context in a struct field; pass ctx through calls instead"
+}
+
+// Later takes its context in the wrong position.
+func Later(name string, ctx context.Context) error { // want "Later takes context.Context as parameter 2; ctx goes first .after the receiver."
+	return work(ctx, name)
+}
+
+// Mint discards the caller's cancellation with a ctx already in scope: the
+// finding carries the mechanical rewrite to that parameter.
+func Mint(ctx context.Context) error {
+	return work(context.Background(), "x") // want "context.Background.. in library code discards the caller.s cancellation; use the .ctx. parameter already in scope"
+}
+
+// Orphan has no ctx parameter to thread, so the fix cannot apply.
+func Orphan() error {
+	return work(context.TODO(), "y") // want "context.TODO.. in library code discards the caller.s cancellation; accept a ctx parameter and thread it here"
+}
+
+// work follows the convention: ctx first, threaded down. No finding.
+func work(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}

@@ -1,0 +1,65 @@
+// Package determcheck seeds one violation per determcheck rule; roots are
+// declared per function so the package also proves non-roots stay free.
+package determcheck
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Step is the fixture's declared root: everything it reaches must be
+// deterministic.
+//
+//lint:deterministic step results must replay per seed
+func Step(rng *rand.Rand) int {
+	_ = time.Now()     // want "time.Now reads the wall clock in deterministic code .reachable from itself, a declared root.; thread a seeded source or the sim clock instead"
+	n := rand.Intn(10) // want "math/rand.Intn uses the global math/rand source in deterministic code .reachable from itself, a declared root.; use the seeded .rand.Rand .rng. in scope"
+	n += rng.Intn(3)   // a seeded *rand.Rand is the sanctioned source: no finding
+	helper()
+	return n
+}
+
+// helper is deterministic only because Step reaches it; the diagnostic
+// names the root as witness.
+func helper() {
+	_ = os.Getenv("HOME") // want "os.Getenv reads the process environment in deterministic code .reachable from root fixtures/determcheck.Step."
+}
+
+// Render leaks map iteration order into its accumulated result.
+//
+//lint:deterministic rendering is part of the replayed trace
+func Render(m map[string]int) string {
+	var out string
+	for k := range m { // want "map iteration order escapes into .out. in deterministic code .reachable from itself, a declared root.; range over sorted keys or sort the result"
+		out += k
+	}
+	return out
+}
+
+// RenderSorted sorts the accumulator after the range: sanctioned.
+//
+//lint:deterministic sorted output is order-free
+func RenderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is an order-insensitive fold: the heuristic must not flag it.
+//
+//lint:deterministic commutative folds are order-free
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Wall is not a root and is reached by no root: free to read the clock.
+func Wall() time.Time { return time.Now() }

@@ -1,0 +1,18 @@
+// Package determwide carries a package-wide deterministic directive (it
+// sits in the package doc, not on a function), so every function here is a
+// root.
+//
+//lint:deterministic the whole package replays per seed
+package determwide
+
+import "time"
+
+var epoch time.Time
+
+// Tick violates the package-wide contract.
+func Tick() time.Duration {
+	return time.Since(epoch) // want "time.Since reads the wall clock in deterministic code .reachable from itself, a declared root.; thread a seeded source or the sim clock instead"
+}
+
+// Add is pure: no finding even though it is a root.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,42 @@
+// Package graph exercises the call-graph substrate's resolution rules —
+// interface dispatch conservatism, func and method values, deferred calls,
+// closures. The callgraph unit tests assert over its edges directly; there
+// are no want comments here.
+package graph
+
+type Doer interface{ Do() }
+
+type Impl struct{}
+
+func (Impl) Do() {}
+
+type Other struct{}
+
+func (o *Other) Do() {}
+
+// Unrelated has a method of a different name: never a dispatch target.
+type Unrelated struct{}
+
+func (Unrelated) Act() {}
+
+func CallIface(d Doer) { d.Do() }
+
+func Target() {}
+
+func CallFuncValue() {
+	f := Target
+	f()
+}
+
+func CallDeferred() {
+	defer Target()
+}
+
+func CallMethodValue(i Impl) {
+	g := i.Do
+	g()
+}
+
+func CallClosure() {
+	go func() { Target() }()
+}

@@ -1,0 +1,79 @@
+// Package lockcheckv2 seeds one violation per interprocedural lock rule:
+// the ...Locked convention in both directions, the self-deadlock class,
+// and an acquisition-order cycle between two mutexes.
+package lockcheckv2
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// addLocked follows the convention: it touches state and trusts the caller
+// to hold c.mu.
+func (c *Counter) addLocked() { c.n++ }
+
+// badLocked locks the very mutex its name promises is already held.
+func (c *Counter) badLocked() {
+	c.mu.Lock() // want "badLocked acquires c.mu, the mutex its ...Locked name promises the caller already holds"
+	c.n++
+	c.mu.Unlock()
+}
+
+// Good holds the lock across the Locked call: no finding.
+func (c *Counter) Good() {
+	c.mu.Lock()
+	c.addLocked()
+	c.mu.Unlock()
+}
+
+// Bad calls a Locked method with nothing held.
+func (c *Counter) Bad() {
+	c.addLocked() // want "call to Counter.addLocked without c.mu held . ...Locked methods require the caller to hold the receiver.s mutex"
+}
+
+// forwardLocked hands off to a sibling Locked method on its own receiver:
+// the convention's legal hand-off, no finding.
+func (c *Counter) forwardLocked() { c.addLocked() }
+
+// Reenter re-acquires a mutex provably held on every path.
+func (c *Counter) Reenter() {
+	c.mu.Lock()
+	c.mu.Lock() // want "c.mu.Lock.. while c.mu is already held .Lock at this point on every path. . self-deadlock"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Add locks internally, so calling it with c.mu held deadlocks.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Nested() {
+	c.mu.Lock()
+	c.Add() // want "calling Counter.Add while c.mu is held . the callee acquires that mutex itself .self-deadlock."
+	c.mu.Unlock()
+}
+
+// A and B are acquired in both orders below: every edge inside the
+// resulting cycle is reported.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock order cycle: fixtures/lockcheckv2.B.mu acquired while fixtures/lockcheckv2.A.mu is held, but the reverse order also occurs"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock order cycle: fixtures/lockcheckv2.A.mu acquired while fixtures/lockcheckv2.B.mu is held, but the reverse order also occurs"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

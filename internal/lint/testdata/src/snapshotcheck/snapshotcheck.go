@@ -1,0 +1,42 @@
+// Package snapshotcheck seeds copy-on-write violations around an
+// atomic.Pointer-published snapshot type: published values are frozen,
+// fresh pre-publication values are writable.
+package snapshotcheck
+
+import "sync/atomic"
+
+type Snap struct {
+	N     int
+	Items []int
+}
+
+var cur atomic.Pointer[Snap]
+
+// Mutate writes the published value in place: every reader holding the
+// pointer races with this.
+func Mutate() {
+	s := cur.Load()
+	s.N++ // want "write to a field of Snap, which is published via atomic.Pointer and frozen after Store; build a fresh copy .COW. and Store that instead"
+}
+
+// MutateArg writes through a parameter, which may alias the stored value.
+func MutateArg(s *Snap) {
+	s.Items[0] = 1 // want "write to a field of Snap, which is published via atomic.Pointer and frozen after Store"
+}
+
+// Publish builds a fresh value and mutates it before publication: the
+// sanctioned COW shape, no finding.
+func Publish(n int) {
+	next := &Snap{N: n}
+	next.Items = append(next.Items, n)
+	cur.Store(next)
+}
+
+// Clone copies the current snapshot by dereference — the copy is new
+// memory — mutates the copy, and republishes it. No finding.
+func Clone(n int) {
+	old := cur.Load()
+	clone := *old
+	clone.N = n
+	cur.Store(&clone)
+}

@@ -228,6 +228,8 @@ func (r *campaignRun) runCell(ctx context.Context, c gridCell) {
 // private world seeded by (campaign seed, server, iteration, attempt) and
 // advances it to the cell's simulated start time, so the outcome depends
 // only on those coordinates — never on which worker ran it or when.
+//
+//lint:deterministic cell outcomes depend only on (seed, server, iteration, attempt)
 func (r *campaignRun) measureCell(ctx context.Context, c gridCell) (cellResult, error) {
 	pol := r.opts.Campaign.Retry
 	// Jitter randomness is wall-clock-only (it shapes retry pacing, not

@@ -4,6 +4,8 @@
 // cross-traffic queueing, tail-drop under overload, and scheduled congestion
 // episodes. The SCMP tools (ping, traceroute) and the bwtester are built on
 // top of it.
+//
+//lint:deterministic one seed must yield one event trace — the repo's replay contract
 package simnet
 
 import (

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -35,6 +36,14 @@ func TestGenerateDeterministic(t *testing.T) {
 		if b.ASes()[i].IA != as.IA {
 			t.Fatal("AS sets differ")
 		}
+	}
+	// The strong form of the determcheck contract: every attribute of every
+	// AS and link — not just identity — must be bit-identical per seed.
+	if !reflect.DeepEqual(a.ASes(), b.ASes()) {
+		t.Fatal("same seed produced different AS attributes")
+	}
+	if !reflect.DeepEqual(a.Links(), b.Links()) {
+		t.Fatal("same seed produced different link attributes")
 	}
 }
 

@@ -7,6 +7,8 @@
 // The package mirrors the structure of the SCIONLab world topology the paper
 // evaluates (Fig 1): 35 ASes across several ISDs plus the experimenters' own
 // AS attached to ETHZ-AP.
+//
+//lint:deterministic generated worlds must be reproducible from GenerateSpec.Seed
 package topology
 
 import (

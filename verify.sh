@@ -23,8 +23,14 @@ go build ./...
 echo "== tier 2: go vet ./..."
 go vet ./...
 
-echo "== tier 2: scionlint ./..."
-go run ./cmd/scionlint ./...
+echo "== tier 2: scionlint ./... (baseline must be empty; timing shows loader speedup)"
+# Two runs against the checked-in (empty) baseline: sequential loader
+# first, concurrent loader second. The -timing lines on stderr prove the
+# concurrent package loader's wall-clock win in CI logs. -parallel 4 is
+# explicit (not 0 = GOMAXPROCS) so the concurrent scheduler runs even on
+# a single-CPU box, where overlapped parse I/O still wins.
+go run ./cmd/scionlint -timing -parallel 1 -baseline lint-baseline.json ./...
+go run ./cmd/scionlint -timing -parallel 4 -baseline lint-baseline.json ./...
 
 echo "== tier 1: go test ./..."
 go test ./...
