@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// Repro: lock acquired only inside a range body must NOT be "held" after the
+// loop (the range may iterate zero times), and must not trigger a
+// self-deadlock report on a post-loop Lock.
+func TestRangeBodyFactLeak(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type C struct{ mu sync.Mutex }
+
+func (c *C) F(m map[int]int) {
+	for k := range m {
+		_ = k
+		c.mu.Lock()
+		c.mu.Unlock()
+		c.mu.Lock()
+	}
+	c.mu.Lock() // not a self-deadlock: the loop may run zero times
+	c.mu.Unlock()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info := typeCheckTestFile(t, fset, f)
+	_ = pkg
+
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "F" {
+			fd = x
+		}
+	}
+	spec := lockFacts(fset, info)
+	cfg := NewCFG(fd.Body)
+	entry := cfg.Forward(spec)
+
+	// Find the post-loop c.mu.Lock() call (line 15).
+	var post *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if fset.Position(c.Pos()).Line == 15 {
+				post = c
+			}
+		}
+		return true
+	})
+	if post == nil {
+		t.Fatal("post-loop call not found")
+	}
+	held := cfg.FactsAt(spec, entry, post)
+	t.Logf("held at post-loop Lock: %v", held)
+	if _, ok := held["c.mu"]; ok {
+		t.Fatalf("c.mu reported held after a possibly-zero-iteration range loop: %v", held)
+	}
+}
