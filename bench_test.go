@@ -279,7 +279,7 @@ func BenchmarkBandwidthTest(b *testing.B) {
 }
 
 func BenchmarkDocDBInsertBatch(b *testing.B) {
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	col := db.Collection("bench")
 	batch := make([]docdb.Document, 100)
 	b.ResetTimer()
@@ -297,7 +297,7 @@ func BenchmarkDocDBInsertBatch(b *testing.B) {
 }
 
 func BenchmarkDocDBQuery(b *testing.B) {
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	col := db.Collection("bench")
 	for i := 0; i < 5000; i++ {
 		col.Insert(docdb.Document{"_id": fmt.Sprintf("d%d", i), "hops": i % 8, "loss": float64(i % 100)})
@@ -394,7 +394,7 @@ func BenchmarkFullCampaignParallel(b *testing.B) {
 // §4.2.1 scalability requirement rests on.
 func BenchmarkDocDBQueryIndexedVsScan(b *testing.B) {
 	build := func(indexed bool) *docdb.Collection {
-		db := docdb.Open()
+		db := docdb.MustOpen()
 		col := db.Collection("bench")
 		batch := make([]docdb.Document, 0, 20000)
 		for i := 0; i < 20000; i++ {

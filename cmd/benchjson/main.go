@@ -34,11 +34,15 @@ import (
 
 // benchResult is one parsed "BenchmarkX-8  N  ns/op ..." line.
 type benchResult struct {
-	Name     string  `json:"name"`
-	Iters    int64   `json:"iters"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	BPerOp   int64   `json:"bytes_per_op,omitempty"`
-	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Backend is the docdb storage backend a "backend=<name>" sub-benchmark
+	// ran against (BenchmarkDocDBInsert/backend=segment/n=100k → "segment");
+	// empty for backend-independent benchmarks.
+	Backend  string `json:"backend,omitempty"`
+	BPerOp   int64  `json:"bytes_per_op,omitempty"`
+	AllocsOp int64  `json:"allocs_per_op,omitempty"`
 }
 
 // trajectory is the whole BENCH_docdb.json file: labelled benchmark runs,
@@ -131,6 +135,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
+// backendLabel extracts the storage backend from a benchmark path element
+// like ".../backend=segment/...".
+var backendLabel = regexp.MustCompile(`/backend=([a-z]+)(?:/|-|$)`)
+
 // parseBench extracts benchmark results from go test -bench output.
 func parseBench(out string) []benchResult {
 	var results []benchResult
@@ -140,6 +148,9 @@ func parseBench(out string) []benchResult {
 			continue
 		}
 		r := benchResult{Name: m[1]}
+		if bm := backendLabel.FindStringSubmatch(m[1]); bm != nil {
+			r.Backend = bm[1]
+		}
 		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {

@@ -13,14 +13,15 @@ goarch: amd64
 pkg: github.com/upin/scionpath/internal/docdb
 BenchmarkDocDBFindEq/n=10k-8         	   12345	     97531 ns/op	   20480 B/op	     210 allocs/op
 BenchmarkDocDBTopK/n=100k-8          	      50	  22334455.5 ns/op
+BenchmarkDocDBLoad/backend=segment/n=100k-8 	       3	 163000000 ns/op
 PASS
 ok  	github.com/upin/scionpath/internal/docdb	3.2s
 `
 
 func TestParseBench(t *testing.T) {
 	got := parseBench(sampleOutput)
-	if len(got) != 2 {
-		t.Fatalf("parsed %d results, want 2", len(got))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
 	}
 	first := got[0]
 	if first.Name != "BenchmarkDocDBFindEq/n=10k-8" || first.Iters != 12345 ||
@@ -30,6 +31,13 @@ func TestParseBench(t *testing.T) {
 	second := got[1]
 	if second.Name != "BenchmarkDocDBTopK/n=100k-8" || second.NsPerOp != 22334455.5 || second.BPerOp != 0 {
 		t.Errorf("second result: %+v", second)
+	}
+	if first.Backend != "" || second.Backend != "" {
+		t.Errorf("backend-independent results carry backend labels: %+v, %+v", first, second)
+	}
+	third := got[2]
+	if third.Backend != "segment" {
+		t.Errorf("third result backend %q, want segment: %+v", third.Backend, third)
 	}
 }
 
@@ -58,7 +66,7 @@ func TestRunParseModeMergesLabels(t *testing.T) {
 	if err := json.Unmarshal(b, &traj); err != nil {
 		t.Fatal(err)
 	}
-	if len(traj.Runs) != 2 || len(traj.Runs["before"]) != 2 || len(traj.Runs["after"]) != 2 {
+	if len(traj.Runs) != 2 || len(traj.Runs["before"]) != 3 || len(traj.Runs["after"]) != 3 {
 		t.Fatalf("trajectory runs: %+v", traj.Runs)
 	}
 }

@@ -30,6 +30,7 @@ func run(args []string) int {
 	var (
 		dest       = fs.String("d", "", "destination: server id, ISD-AS or host address (required)")
 		dbPath     = fs.String("db", "", "measurement database journal (required; produce with testsuite --db)")
+		dbBackend  = fs.String("docdb-backend", "", "docdb storage backend: jsonl or segment (auto-detect when empty)")
 		objective  = fs.String("objective", "latency", "latency | bandwidth | loss | stable")
 		maxLatency = fs.Float64("max-latency", 0, "maximum average latency in ms (0 = unconstrained)")
 		maxLoss    = fs.Float64("max-loss", 0, "maximum average loss in percent")
@@ -49,7 +50,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	w, err := cliutil.NewWorld(*seed, *dbPath)
+	w, err := cliutil.NewWorld(*seed, *dbPath, *dbBackend)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "pathselect", "%v", err)
 	}

@@ -33,7 +33,7 @@ func capture(t *testing.T, f func() int) (string, int) {
 func measuredDB(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "stats.jsonl")
-	w, err := cliutil.NewWorld(1, path)
+	w, err := cliutil.NewWorld(1, path, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,8 @@ func run(args []string) int {
 		skip     = fs.Bool("skip", false, "bypass paths collection (paths must already be collected)")
 		someOnly = fs.Bool("some-only", false, "test only the first destination")
 		servers  = fs.String("servers", "", "comma-separated server ids to test (default all)")
-		dbPath   = fs.String("db", "", "JSONL journal path for persistent storage (default in-memory)")
+		dbPath   = fs.String("db", "", "database path for persistent storage (default in-memory)")
+		backend  = fs.String("docdb-backend", "", "docdb storage backend: jsonl or segment (auto-detect when empty)")
 		target   = fs.String("target", "12Mbps", "bandwidth target for the bwtester runs")
 		pingN    = fs.Int("ping-count", 30, "echo packets per latency measurement")
 		pingIvl  = fs.Duration("ping-interval", 100*time.Millisecond, "echo packet interval")
@@ -56,7 +57,7 @@ func run(args []string) int {
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: testsuite <iterations> [flags]\n")
-		fmt.Fprintf(os.Stderr, "       testsuite --chaos-seed <seed> [--db journal.jsonl]\n")
+		fmt.Fprintf(os.Stderr, "       testsuite --chaos-seed <seed> [--db journal.jsonl] [--docdb-backend segment]\n")
 		fs.PrintDefaults()
 	}
 	// Accept the positional <iterations> before or after flags.
@@ -78,7 +79,7 @@ func run(args []string) int {
 			fs.Usage()
 			return 2
 		}
-		return runChaos(*chaos, *dbPath)
+		return runChaos(*chaos, *dbPath, *backend)
 	}
 	if len(positional) != 1 {
 		fs.Usage()
@@ -96,7 +97,7 @@ func run(args []string) int {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "--resume needs --db (checkpoints live in the database)")
 	}
 
-	w, err := cliutil.NewWorld(*seed, *dbPath)
+	w, err := cliutil.NewWorld(*seed, *dbPath, *backend)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
 	}
@@ -171,12 +172,12 @@ func run(args []string) int {
 }
 
 // runChaos executes one seeded chaotic campaign (crashes, resumes, write
-// faults, journal truncation, network weather, lookup failures) against its
-// fault-free oracle and verifies the harness invariants. With an empty
-// dbPath the journal lives in a temporary directory; a given dbPath must
-// not exist yet (the harness owns the journal from birth, including the
-// damage it inflicts on it).
-func runChaos(seed int64, dbPath string) int {
+// faults, log truncation, network weather, lookup failures) against its
+// fault-free oracle and verifies the harness invariants, on the selected
+// storage backend. With an empty dbPath the log lives in a temporary
+// directory; a given dbPath must not exist yet (the harness owns the log
+// from birth, including the damage it inflicts on it).
+func runChaos(seed int64, dbPath, backend string) int {
 	path := dbPath
 	if path == "" {
 		dir, err := os.MkdirTemp("", "chaos-*")
@@ -186,9 +187,9 @@ func runChaos(seed int64, dbPath string) int {
 		defer os.RemoveAll(dir)
 		path = filepath.Join(dir, "journal.jsonl")
 	} else if _, err := os.Stat(path); err == nil {
-		return cliutil.Fatalf(os.Stderr, "testsuite", "chaos: %s already exists; the harness needs a fresh journal path", path)
+		return cliutil.Fatalf(os.Stderr, "testsuite", "chaos: %s already exists; the harness needs a fresh database path", path)
 	}
-	res, err := chaospkg.Run(context.Background(), seed, path)
+	res, err := chaospkg.Run(context.Background(), seed, path, backend)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "testsuite", "%v", err)
 	}

@@ -34,6 +34,7 @@ func run(args []string) int {
 	var (
 		dest      = fs.String("d", "", "destination: server id, ISD-AS or host address (required)")
 		dbPath    = fs.String("db", "", "measurement database (in-memory campaign when empty)")
+		dbBackend = fs.String("docdb-backend", "", "docdb storage backend: jsonl or segment (auto-detect when empty)")
 		profile   = fs.String("profile", "browsing", "recommendation profile: voip | streaming | bulk | browsing")
 		exCountry = fs.String("exclude-country", "", "comma-separated countries to avoid")
 		exISD     = fs.String("exclude-isd", "", "comma-separated ISDs to avoid")
@@ -53,7 +54,7 @@ func run(args []string) int {
 		return cliutil.Fatalf(os.Stderr, "upin", "%v", err)
 	}
 
-	w, err := cliutil.NewWorld(*seed, *dbPath)
+	w, err := cliutil.NewWorld(*seed, *dbPath, *dbBackend)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upin", "%v", err)
 	}

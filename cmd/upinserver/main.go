@@ -45,11 +45,12 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("upinserver", flag.ContinueOnError)
 	var (
-		addrFlag = fs.String("addr", ":8080", "listen address")
-		dbPath   = fs.String("db", "", "measurement database journal (in-memory when empty)")
-		domain   = fs.String("domain", "16,17,19", "comma-separated ISDs forming the UPIN domain")
-		measureS = fs.String("measure", "", "comma-separated server ids to measure at boot")
-		seed     = fs.Int64("seed", 1, "simulation seed")
+		addrFlag  = fs.String("addr", ":8080", "listen address")
+		dbPath    = fs.String("db", "", "measurement database path (in-memory when empty)")
+		dbBackend = fs.String("docdb-backend", "", "docdb storage backend: jsonl or segment (auto-detect when empty)")
+		domain    = fs.String("domain", "16,17,19", "comma-separated ISDs forming the UPIN domain")
+		measureS  = fs.String("measure", "", "comma-separated server ids to measure at boot")
+		seed      = fs.Int64("seed", 1, "simulation seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,7 +58,7 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	handler, cleanup, err := buildHandler(ctx, *seed, *dbPath, *domain, *measureS)
+	handler, cleanup, err := buildHandler(ctx, *seed, *dbPath, *dbBackend, *domain, *measureS)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
 	}
@@ -96,8 +97,8 @@ func run(args []string) int {
 
 // buildHandler wires the world, optional boot-time measurements, and the
 // front-end handler. The returned cleanup closes the database journal.
-func buildHandler(ctx context.Context, seed int64, dbPath, domain, measureList string) (http.Handler, func() error, error) {
-	w, err := cliutil.NewWorld(seed, dbPath)
+func buildHandler(ctx context.Context, seed int64, dbPath, dbBackend, domain, measureList string) (http.Handler, func() error, error) {
+	w, err := cliutil.NewWorld(seed, dbPath, dbBackend)
 	if err != nil {
 		return nil, nil, err
 	}

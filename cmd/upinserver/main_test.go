@@ -11,7 +11,7 @@ import (
 )
 
 func TestBuildHandlerServesIntent(t *testing.T) {
-	handler, cleanup, err := buildHandler(context.Background(), 1, "", "16,17,19", "1")
+	handler, cleanup, err := buildHandler(context.Background(), 1, "", "", "16,17,19", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestBuildHandlerServesIntent(t *testing.T) {
 
 func TestBuildHandlerWithJournal(t *testing.T) {
 	db := filepath.Join(t.TempDir(), "stats.jsonl")
-	_, cleanup, err := buildHandler(context.Background(), 1, db, "17", "")
+	_, cleanup, err := buildHandler(context.Background(), 1, db, "", "17", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +61,10 @@ func TestBuildHandlerWithJournal(t *testing.T) {
 }
 
 func TestBuildHandlerErrors(t *testing.T) {
-	if _, _, err := buildHandler(context.Background(), 1, "", "17", "zz"); err == nil {
+	if _, _, err := buildHandler(context.Background(), 1, "", "", "17", "zz"); err == nil {
 		t.Error("bad measure list accepted")
 	}
-	if _, _, err := buildHandler(context.Background(), 1, filepath.Join(t.TempDir(), "no", "dir", "x.jsonl"), "17", ""); err == nil {
+	if _, _, err := buildHandler(context.Background(), 1, filepath.Join(t.TempDir(), "no", "dir", "x.jsonl"), "", "17", ""); err == nil {
 		t.Error("bad db path accepted")
 	}
 }

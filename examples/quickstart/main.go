@@ -35,7 +35,7 @@ func main() {
 		len(topo.ASes()), topo.ISDs(), len(topo.Servers()))
 
 	// 2. The database and the availableServers catalogue.
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		log.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "stats.jsonl")
 
 	// Session 1: collect + measure Ireland.
-	w1, err := cliutil.NewWorld(5, dbPath)
+	w1, err := cliutil.NewWorld(5, dbPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 	}
 
 	// Session 2: replay, then select without re-measuring.
-	w2, err := cliutil.NewWorld(6, dbPath)
+	w2, err := cliutil.NewWorld(6, dbPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestFullPipelinePersistence(t *testing.T) {
 // session keeps everything before the torn record.
 func TestCrashRecovery(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "stats.jsonl")
-	w, err := cliutil.NewWorld(7, dbPath)
+	w, err := cliutil.NewWorld(7, dbPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, err := cliutil.NewWorld(8, dbPath)
+	w2, err := cliutil.NewWorld(8, dbPath, "")
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -123,7 +123,7 @@ func TestCrashRecovery(t *testing.T) {
 // TestUPINPipelineOverMeasuredDB drives controller -> tracer -> verifier
 // over a journal-backed campaign.
 func TestUPINPipelineOverMeasuredDB(t *testing.T) {
-	w, err := cliutil.NewWorld(9, "")
+	w, err := cliutil.NewWorld(9, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestUPINPipelineOverMeasuredDB(t *testing.T) {
 // TestConcurrentReadersDuringCampaign runs selection queries concurrently
 // with an ongoing measurement campaign (run with -race in CI).
 func TestConcurrentReadersDuringCampaign(t *testing.T) {
-	w, err := cliutil.NewWorld(10, "")
+	w, err := cliutil.NewWorld(10, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestConcurrentReadersDuringCampaign(t *testing.T) {
 // stored statistics byte for byte.
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() []docdb.Document {
-		w, err := cliutil.NewWorld(11, "")
+		w, err := cliutil.NewWorld(11, "", "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +236,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 // TestEpisodeVisibleEndToEnd injects an outage through the public pipeline
 // and checks it shows up in the database and flips path status probes.
 func TestEpisodeVisibleEndToEnd(t *testing.T) {
-	w, err := cliutil.NewWorld(12, "")
+	w, err := cliutil.NewWorld(12, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

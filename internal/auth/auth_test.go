@@ -180,7 +180,7 @@ func TestGrantFlow(t *testing.T) {
 func TestGuardedDBEndToEnd(t *testing.T) {
 	trc, key, cert := trustSetup(t)
 	owner, _ := NewOwner()
-	gdb := NewGuardedDB(docdb.Open(), owner, []*TRC{trc})
+	gdb := NewGuardedDB(docdb.MustOpen(), owner, []*TRC{trc})
 	gdb.Guard("paths_stats")
 	gdb.Register(cert)
 	grant := owner.Grant(memberIA, "paths_stats", PermWrite, time.Hour)
@@ -207,7 +207,7 @@ func TestGuardedDBEndToEnd(t *testing.T) {
 		t.Error("grantless insert accepted")
 	}
 	// Unknown certificate.
-	gdb2 := NewGuardedDB(docdb.Open(), owner, []*TRC{trc})
+	gdb2 := NewGuardedDB(docdb.MustOpen(), owner, []*TRC{trc})
 	gdb2.Guard("paths_stats")
 	if err := gdb2.InsertMany("paths_stats", memberIA, grant, []docdb.Document{doc}, time.Minute); err == nil {
 		t.Error("insert without registered certificate accepted")
@@ -220,7 +220,7 @@ func TestGuardedDBEndToEnd(t *testing.T) {
 
 func TestGuardedDBMissingTRC(t *testing.T) {
 	owner, _ := NewOwner()
-	gdb := NewGuardedDB(docdb.Open(), owner, nil)
+	gdb := NewGuardedDB(docdb.MustOpen(), owner, nil)
 	gdb.Guard("paths_stats")
 	trc, key, cert := trustSetup(t)
 	_ = trc

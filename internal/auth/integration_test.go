@@ -24,7 +24,7 @@ func TestSignedCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestSignedCampaignSignerFailureAborts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		t.Fatal(err)
 	}

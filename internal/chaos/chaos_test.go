@@ -11,17 +11,23 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/upin/scionpath/internal/docdb"
 	"github.com/upin/scionpath/internal/topology"
 )
+
+// backends is every storage backend the sweep and the -race subset run
+// against: the fault plans, crash model and invariants are backend-agnostic
+// by contract (docdb.Backend), and this is where that contract is held to.
+var backends = []string{docdb.BackendJSONL, docdb.BackendSegment}
 
 // sweepSeeds is the tier-1 seed range: every seed runs the full chaotic
 // campaign (crashes, resumes, truncation) against its oracle and must pass
 // all four invariants.
 const sweepSeeds = 50
 
-func runSeed(t *testing.T, seed int64) *Result {
+func runSeed(t *testing.T, seed int64, backend string) *Result {
 	t.Helper()
-	res, err := Run(context.Background(), seed, filepath.Join(t.TempDir(), "journal.db"))
+	res, err := Run(context.Background(), seed, filepath.Join(t.TempDir(), "journal.db"), backend)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
@@ -37,7 +43,7 @@ func runSeed(t *testing.T, seed int64) *Result {
 func TestRunHonoursCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := Run(ctx, 1, filepath.Join(t.TempDir(), "journal.db"))
+	res, err := Run(ctx, 1, filepath.Join(t.TempDir(), "journal.db"), "")
 	if err == nil {
 		res.Close()
 		t.Fatal("Run completed under a cancelled context")
@@ -48,35 +54,44 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 }
 
 func TestChaosSweep(t *testing.T) {
-	var interrupted, cellFailures atomic.Int64
-	t.Run("seeds", func(t *testing.T) {
-		for seed := int64(1); seed <= sweepSeeds; seed++ {
-			t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-				t.Parallel()
-				res := runSeed(t, seed)
-				if res.Rounds > 1 {
-					interrupted.Add(1)
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			var interrupted, cellFailures atomic.Int64
+			t.Run("seeds", func(t *testing.T) {
+				for seed := int64(1); seed <= sweepSeeds; seed++ {
+					t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+						t.Parallel()
+						res := runSeed(t, seed, backend)
+						if res.Rounds > 1 {
+							interrupted.Add(1)
+						}
+						cellFailures.Add(int64(res.Report.Failures))
+					})
 				}
-				cellFailures.Add(int64(res.Report.Failures))
 			})
-		}
-	})
-	// The sweep must actually exercise recovery, not accidentally draw 50
-	// benign plans: most plans schedule at least one crash round.
-	if n := interrupted.Load(); n < sweepSeeds/2 {
-		t.Errorf("only %d/%d seeds interrupted the campaign; faults are not engaging", n, sweepSeeds)
+			// The sweep must actually exercise recovery, not accidentally
+			// draw 50 benign plans: most plans schedule at least one crash
+			// round.
+			if n := interrupted.Load(); n < sweepSeeds/2 {
+				t.Errorf("only %d/%d seeds interrupted the campaign; faults are not engaging", n, sweepSeeds)
+			}
+			t.Logf("interrupted runs: %d/%d, cell-level failures: %d", interrupted.Load(), sweepSeeds, cellFailures.Load())
+		})
 	}
-	t.Logf("interrupted runs: %d/%d, cell-level failures: %d", interrupted.Load(), sweepSeeds, cellFailures.Load())
 }
 
 // TestChaosSmall is the -race subset verify.sh runs: a handful of full
-// chaotic runs under the race detector.
+// chaotic runs under the race detector, against both storage backends.
 func TestChaosSmall(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			t.Parallel()
-			runSeed(t, seed)
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+					t.Parallel()
+					runSeed(t, seed, backend)
+				})
+			}
 		})
 	}
 }

@@ -1,12 +1,11 @@
 package chaos
 
 import (
-	"bytes"
 	"context"
 	"fmt"
-	"os"
 	"sync"
 
+	"github.com/upin/scionpath/internal/docdb"
 	"github.com/upin/scionpath/internal/measure"
 )
 
@@ -70,43 +69,21 @@ func (in *injector) BeforeWrite(collection, op string, batch int) error {
 	return nil
 }
 
-// ReplayEntry implements docdb.Failpoint. Chaos damages journals physically
+// ReplayEntry implements docdb.Failpoint. Chaos damages logs physically
 // (truncateTail) rather than during replay, so replay always proceeds.
 func (in *injector) ReplayEntry(n int, op string) bool { return true }
 
-// truncateTail cuts up to maxCut bytes off the journal's tail, but never
-// past the end of the campaign metadata line: everything before it
+// truncateTail loses an unsynced log suffix the way a crash would, via the
+// backend-aware docdb.TruncateLogTail: up to maxCut bytes off a jsonl
+// journal's tail, the entire uncommitted suffix of every segment shard —
+// but never past the campaign metadata record. Everything before it
 // (server catalogue, collected paths, campaign identity) is written and
 // flushed before the first cell runs, so a real crash cannot lose it, and
 // a resume without it would legitimately restart fresh and re-collect —
-// a different experiment than the one the oracle ran. A cut mid-line is
-// fine: replay tolerates a truncated final line by design.
+// a different experiment than the one the oracle ran.
 func truncateTail(path, campaign string, maxCut int) error {
-	if maxCut <= 0 {
-		return nil
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("chaos: truncate %s: %w", path, err)
-	}
-	marker := []byte(fmt.Sprintf("%q", measure.CampaignMetaID(campaign)))
-	i := bytes.Index(data, marker)
-	if i < 0 {
-		return fmt.Errorf("chaos: truncate %s: no campaign meta entry for %q", path, campaign)
-	}
-	metaEnd := i + bytes.IndexByte(data[i:], '\n') + 1
-	if metaEnd <= i { // no newline after meta: nothing safely cuttable
-		return nil
-	}
-	cut := maxCut
-	if max := len(data) - metaEnd; cut > max {
-		cut = max
-	}
-	if cut <= 0 {
-		return nil
-	}
-	if err := os.Truncate(path, int64(len(data)-cut)); err != nil {
-		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	if err := docdb.TruncateLogTail(path, measure.CampaignMetaID(campaign), maxCut); err != nil {
+		return fmt.Errorf("chaos: %w", err)
 	}
 	return nil
 }

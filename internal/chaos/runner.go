@@ -40,24 +40,26 @@ type Result struct {
 	ServerIDs []int
 
 	Topo *topology.Topology
-	// Final is the journal-backed database the chaotic campaign ended
-	// with; Oracle is the in-memory database of the uninterrupted run.
+	// Final is the persistent database the chaotic campaign ended with;
+	// Oracle is the in-memory database of the uninterrupted run.
 	Final  *docdb.DB
 	Oracle *docdb.DB
 }
 
-// Close releases the journal-backed database.
+// Close releases the persistent database.
 func (r *Result) Close() error { return r.Final.Close() }
 
 // Run executes the chaotic experiment for one seed: an oracle campaign on
 // an in-memory database with the plan's network and lookup faults but
-// perfect storage, then the same campaign on a journal-backed database at
-// journalPath under the full plan — write faults, crashes at plan-chosen
-// checkpoints, journal tail truncation — resumed round after round until it
-// completes. The caller owns journalPath (a fresh temp file path) and must
-// Close the Result. Cancelling ctx aborts the run between (and inside)
-// rounds — the campaign engine checks it per cell.
-func Run(ctx context.Context, seed int64, journalPath string) (*Result, error) {
+// perfect storage, then the same campaign on a persistent database at
+// dbPath under the full plan — write faults, crashes at plan-chosen
+// checkpoints, log tail truncation — resumed round after round until it
+// completes. backend names the docdb storage backend ("jsonl", "segment",
+// or "" for the default); the fault plan is backend-agnostic. The caller
+// owns dbPath (a fresh temp path) and must Close the Result. Cancelling
+// ctx aborts the run between (and inside) rounds — the campaign engine
+// checks it per cell.
+func Run(ctx context.Context, seed int64, dbPath, backend string) (*Result, error) {
 	topo := topology.DefaultWorld()
 	res := &Result{
 		Seed:     seed,
@@ -70,7 +72,7 @@ func Run(ctx context.Context, seed int64, journalPath string) (*Result, error) {
 	// never interrupted. Its database is what the chaotic run must converge
 	// to — that convergence is the schedule-independence promise of the
 	// campaign engine under composed faults.
-	res.Oracle = docdb.Open()
+	res.Oracle = docdb.MustOpen()
 	rep, ids, err := res.runRound(ctx, res.Oracle, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: seed %d: oracle run: %w", seed, err)
@@ -82,7 +84,7 @@ func Run(ctx context.Context, seed int64, journalPath string) (*Result, error) {
 	// completes; one spare round absorbs the crash-trigger-never-fired case.
 	maxRounds := len(res.Plan.Crashes) + len(res.Plan.Writes) + 2
 	for round := 0; round < maxRounds; round++ {
-		db, err := docdb.OpenFile(journalPath)
+		db, err := docdb.Open(docdb.WithPath(dbPath), docdb.WithBackend(backend))
 		if err != nil {
 			return nil, fmt.Errorf("chaos: seed %d round %d: reopen: %w", seed, round, err)
 		}
@@ -120,8 +122,8 @@ func Run(ctx context.Context, seed int64, journalPath string) (*Result, error) {
 			return res, nil
 		}
 		// Crash semantics: abandon the database without Close (a real crash
-		// flushes nothing), then lose an unsynced journal suffix.
-		if err := truncateTail(journalPath, res.Campaign, crash.TruncateTail); err != nil {
+		// flushes nothing), then lose an unsynced log suffix.
+		if err := truncateTail(dbPath, res.Campaign, crash.TruncateTail); err != nil {
 			return nil, fmt.Errorf("chaos: seed %d round %d: %w", seed, round, err)
 		}
 		// A plan-armed crash cancels roundCtx on purpose; a cancelled parent

@@ -22,14 +22,15 @@ type World struct {
 	Net    *simnet.Network
 	Daemon *sciond.Daemon
 	DB     *docdb.DB
-	// closeDB is non-nil for journal-backed databases.
+	// closeDB is non-nil for persistent databases.
 	closeDB func() error
 }
 
 // NewWorld builds the default SCIONLab world with the given seed. When
 // dbPath is non-empty the database persists to (and replays from) that
-// JSONL journal; otherwise it is in-memory.
-func NewWorld(seed int64, dbPath string) (*World, error) {
+// path through the named docdb storage backend ("jsonl", "segment", or ""
+// to auto-detect an existing log's format); otherwise it is in-memory.
+func NewWorld(seed int64, dbPath, dbBackend string) (*World, error) {
 	topo := topology.DefaultWorld()
 	net := simnet.New(topo, simnet.Options{Seed: seed})
 	daemon, err := sciond.New(topo, net, topology.MyAS)
@@ -39,13 +40,13 @@ func NewWorld(seed int64, dbPath string) (*World, error) {
 	var db *docdb.DB
 	var closer func() error
 	if dbPath != "" {
-		db, err = docdb.OpenFile(dbPath)
+		db, err = docdb.Open(docdb.WithPath(dbPath), docdb.WithBackend(dbBackend))
 		if err != nil {
 			return nil, err
 		}
 		closer = db.Close
 	} else {
-		db = docdb.Open()
+		db = docdb.MustOpen()
 	}
 	if err := measure.SeedServers(db, topo); err != nil {
 		return nil, err

@@ -11,7 +11,7 @@ import (
 // hash index — and every comparison operator — treats them as equal. Group
 // keys now share indexKey's canonical numeric rendering.
 func TestAggregateGroupsNumericallyEqualKeys(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	err := col.InsertMany([]Document{
 		{"_id": "a", "g": float64(1e6), "v": 1.0},
@@ -45,7 +45,7 @@ func TestAggregateGroupsNumericallyEqualKeys(t *testing.T) {
 // Aggregate must agree with an equivalent Find-based reduction (it now
 // streams zero-copy under the read lock instead of cloning every document).
 func TestAggregateMatchesFindReduction(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	var docs []Document
 	for i := 0; i < 200; i++ {
@@ -90,7 +90,7 @@ func TestAggregateMatchesFindReduction(t *testing.T) {
 // Satellite regression: Delete with no matches must report 0 and leave the
 // collection fully intact (it used to rebuild byID unconditionally).
 func TestDeleteNoMatchLeavesCollectionIntact(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	col.EnsureIndex("tag")
 	col.EnsureSortedIndex("v")

@@ -1,0 +1,222 @@
+package docdb
+
+// The storage backend seam. A DB persists through a Backend: an append-only
+// mutation log that can be replayed on open and atomically checkpointed to
+// the current state. Two implementations ship in-tree:
+//
+//   - jsonlBackend (jsonl.go): one JSON object per line, human-greppable,
+//     the reference implementation and the historical on-disk format;
+//   - segmentBackend (segment.go, wal.go): length-prefixed binary records
+//     with per-record CRC32, one segment file per collection (so writers on
+//     different collections never serialize on one file), group-commit
+//     fsync batching, and online per-collection compaction.
+//
+// Engine code never touches files: collection write paths append Records
+// under their own locks, Open replays whatever the backend streams back,
+// and Compact hands the backend a snapshot emitter. Adding a backend means
+// implementing Backend (plus one of the checkpointer extensions) and
+// registering it in openBackend; the conformance suite
+// (conformance_test.go) is the contract executable.
+
+import (
+	"fmt"
+	"os"
+)
+
+// Record is one mutation of the persistence log — the unit a Backend
+// appends, replays and checkpoints. Exactly one of Doc/ID is meaningful
+// depending on Op.
+type Record struct {
+	// Op is "insert" (Doc set), "delete" (ID set) or "drop" (whole
+	// collection).
+	Op         string
+	Collection string
+	// Doc is the stored document of an insert. The engine encodes each
+	// stored document exactly once per mutation: backends serialize Doc
+	// straight into their write buffer and must not retain it.
+	Doc Document
+	// ID is the deleted document's _id.
+	ID string
+	// Replace marks an insert that overwrites an existing _id (update and
+	// upsert journaling).
+	Replace bool
+}
+
+// Backend is the persistence seam behind a DB. Implementations must be safe
+// for concurrent use: collection write paths call Append/Commit from many
+// goroutines at once, concurrently with Flush. Replay is called exactly
+// once, before the DB is shared, and arms the append side; Append before
+// Replay is undefined.
+//
+// Append must be cheap and non-blocking (buffer, don't sync): it runs under
+// the collection write lock. Errors are sticky — a failed Append poisons
+// the backend and the error surfaces on the next Commit/Flush/Close, the
+// same contract a buffered writer gives.
+type Backend interface {
+	// Name identifies the backend ("jsonl", "segment").
+	Name() string
+	// Path is the backing file (jsonl) or directory (segment).
+	Path() string
+	// Replay streams the persisted log into apply in log order, consulting
+	// fp.ReplayEntry (when fp is non-nil) once per record. A physically
+	// torn tail — a crash's partial final record — is truncated away, so
+	// subsequent appends can never merge into damaged bytes; an injected
+	// (failpoint) stop leaves the file untouched.
+	Replay(fp Failpoint, apply func(Record)) error
+	// Append buffers one mutation record. Called under engine locks.
+	Append(rec Record)
+	// Commit is the per-batch durability point, called by every mutating
+	// operation after its records are appended. Under SyncOnFlush it is a
+	// no-op; under SyncGroupCommit it returns once the appended records are
+	// on stable storage, coalescing concurrent callers into shared fsyncs.
+	Commit() error
+	// Flush forces all buffered records to stable storage.
+	Flush() error
+	// Close flushes and releases the backing files.
+	Close() error
+}
+
+// LogCheckpointer is the whole-log compaction extension: the backend
+// atomically replaces its entire log with the emitted snapshot. DB.Compact
+// uses it stop-the-world (the DB write lock is held across snap), which is
+// all a single-file log can offer.
+type LogCheckpointer interface {
+	CheckpointLog(snap func(emit func(Record) error) error) error
+}
+
+// CollectionCheckpointer is the online compaction extension for backends
+// that shard their log per collection. DB.Compact rewrites one collection
+// at a time — snap emits that collection's live documents while the engine
+// holds only that collection's read lock, so readers are never blocked and
+// writers only wait for their own collection's rewrite. DropStaleShards
+// then removes shards whose collection no longer exists (live reports
+// whether a collection name is still present).
+type CollectionCheckpointer interface {
+	CheckpointCollection(name string, snap func(emit func(Record) error) error) error
+	DropStaleShards(live func(name string) bool) error
+}
+
+// SyncPolicy selects when committed batches reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncOnFlush (the default) makes data durable at explicit Flush,
+	// Close and Compact points only — the measurement runner's contract: a
+	// crash costs at most the batches since the last Flush.
+	SyncOnFlush SyncPolicy = iota
+	// SyncGroupCommit makes every mutating call durable before it returns.
+	// Backends amortize the cost by group commit: concurrent batches share
+	// one fsync per commit window instead of paying one each.
+	SyncGroupCommit
+)
+
+// Backend names accepted by WithBackend and the --docdb-backend flags.
+const (
+	BackendJSONL   = "jsonl"
+	BackendSegment = "segment"
+)
+
+// Options configures Open. The zero value is a purely in-memory database.
+type Options struct {
+	// Path is the persistence location: a JSONL journal file (jsonl) or a
+	// segment directory (segment). Empty means in-memory, no backend.
+	Path string
+	// Backend names the storage backend ("jsonl" or "segment"). Empty
+	// auto-detects: an existing segment directory opens as segment,
+	// anything else (including a fresh path) as jsonl, so pre-redesign
+	// journals keep opening unchanged.
+	Backend string
+	// Sync is the durability policy for mutating operations.
+	Sync SyncPolicy
+	// Failpoint is installed before replay, so ReplayEntry can truncate
+	// the log and BeforeWrite is armed from the first write (chaos
+	// testing; see failpoint.go).
+	Failpoint Failpoint
+}
+
+// Option mutates Options functional-options style.
+type Option func(*Options)
+
+// WithPath persists the database at path (see Options.Path).
+func WithPath(path string) Option { return func(o *Options) { o.Path = path } }
+
+// WithBackend selects the storage backend by name (see Options.Backend).
+func WithBackend(name string) Option { return func(o *Options) { o.Backend = name } }
+
+// WithSyncPolicy sets the durability policy for mutating operations.
+func WithSyncPolicy(p SyncPolicy) Option { return func(o *Options) { o.Sync = p } }
+
+// WithFailpoint installs fp before replay (see Options.Failpoint).
+func WithFailpoint(fp Failpoint) Option { return func(o *Options) { o.Failpoint = fp } }
+
+// resolveBackend turns an Options backend name plus path into a concrete
+// backend name, sniffing existing on-disk state when the name is empty.
+func resolveBackend(name, path string) (string, error) {
+	st, statErr := os.Stat(path)
+	switch name {
+	case "":
+		if statErr == nil && st.IsDir() {
+			return BackendSegment, nil
+		}
+		return BackendJSONL, nil
+	case BackendJSONL:
+		if statErr == nil && st.IsDir() {
+			return "", fmt.Errorf("docdb: %s is a segment directory, not a jsonl journal", path)
+		}
+		return BackendJSONL, nil
+	case BackendSegment:
+		if statErr == nil && !st.IsDir() {
+			return "", fmt.Errorf("docdb: %s is a jsonl journal file, not a segment directory", path)
+		}
+		return BackendSegment, nil
+	default:
+		return "", fmt.Errorf("docdb: unknown backend %q (have %q, %q)", name, BackendJSONL, BackendSegment)
+	}
+}
+
+// openBackend constructs the named backend for path. The backend is not
+// replayed yet; Open calls Replay before sharing the DB.
+func openBackend(o Options) (Backend, error) {
+	name, err := resolveBackend(o.Backend, o.Path)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case BackendJSONL:
+		return newJSONLBackend(o.Path, o.Sync), nil
+	default:
+		return newSegmentBackend(o.Path, o.Sync)
+	}
+}
+
+// TruncateLogTail damages the persisted log at path the way a crash's lost
+// page-cache suffix would, for fault-injection harnesses (the chaos
+// harness's truncateTail contract, docs/CHAOS.md). marker is a string that
+// must survive — typically the campaign metadata document id — and maxCut
+// arms the cut (<= 0 is a no-op). The damage model is format-aware:
+//
+//   - jsonl: up to maxCut bytes are cut off the file's tail, but never at
+//     or past the end of the line containing marker. A cut mid-line is
+//     fine — replay truncates the torn final line by design.
+//   - segment: every shard drops its entire uncommitted suffix (bytes past
+//     its last commit marker), but never past the record containing
+//     marker. Committed bytes survive because the commit marker was
+//     written by an fsync — cutting them would un-happen durability and
+//     let a checkpoint outlive statistics it was ordered after.
+//
+// It refuses (returns an error) when marker appears nowhere in the log:
+// cutting a log that never recorded the campaign identity would destroy
+// state a real crash cannot lose.
+func TruncateLogTail(path, marker string, maxCut int) error {
+	if maxCut <= 0 {
+		return nil
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("docdb: truncate %s: %w", path, err)
+	}
+	if st.IsDir() {
+		return truncateSegmentTail(path, marker)
+	}
+	return truncateJSONLTail(path, marker, maxCut)
+}

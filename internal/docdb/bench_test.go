@@ -11,6 +11,8 @@ package docdb
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -52,7 +54,7 @@ func benchDocs(n int) []Document {
 // measurement layer maintains on paths_stats.
 func benchCollection(b *testing.B, n int) *Collection {
 	b.Helper()
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("paths_stats")
 	docs := benchDocs(n)
 	for lo := 0; lo < len(docs); lo += 1000 {
@@ -70,8 +72,43 @@ func benchCollection(b *testing.B, n int) *Collection {
 
 func sizeName(n int) string { return fmt.Sprintf("n=%dk", n/1000) }
 
+// benchBackends are the persistent storage backends the backend-labeled
+// benchmarks compare. cmd/benchjson parses the "backend=<name>" path
+// element into the trajectory's backend label.
+var benchBackends = []string{BackendJSONL, BackendSegment}
+
+// openBenchDB opens a fresh persistent database for one benchmark
+// iteration.
+func openBenchDB(b *testing.B, backend string, opts ...Option) *DB {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.db")
+	db, err := Open(append([]Option{WithPath(path), WithBackend(backend)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// insertBatches loads docs in the measurement runner's 1000-document
+// batches.
+func insertBatches(b *testing.B, col *Collection, docs []Document) {
+	b.Helper()
+	for lo := 0; lo < len(docs); lo += 1000 {
+		hi := lo + 1000
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		if err := col.InsertMany(docs[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDocDBInsert measures batched insertion (the §4.2.2 multi-insert
-// path) of 1000-document batches into an indexed collection.
+// path) of 1000-document batches into an indexed collection. The unlabeled
+// sub-runs keep the historical in-memory trajectory; the backend= sub-runs
+// measure the same workload journaled through each storage backend,
+// including the closing Flush (the runner's per-batch durability point).
 func BenchmarkDocDBInsert(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(sizeName(n), func(b *testing.B) {
@@ -80,15 +117,151 @@ func BenchmarkDocDBInsert(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				db := Open()
+				db := MustOpen()
 				col := db.Collection("paths_stats")
 				ensureBenchIndexes(col)
 				b.StartTimer()
-				for lo := 0; lo < len(docs); lo += 1000 {
-					if err := col.InsertMany(docs[lo : lo+1000]); err != nil {
+				insertBatches(b, col, docs)
+			}
+		})
+	}
+	for _, backend := range benchBackends {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("backend=%s/%s", backend, sizeName(n)), func(b *testing.B) {
+				docs := benchDocs(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					db := openBenchDB(b, backend)
+					col := db.Collection("paths_stats")
+					ensureBenchIndexes(col)
+					b.StartTimer()
+					insertBatches(b, col, docs)
+					if err := db.Flush(); err != nil {
 						b.Fatal(err)
 					}
+					b.StopTimer()
+					if err := db.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkDocDBLoad measures cold open + full replay of an n-document log
+// — the monitor-restart path, and the headline number of the storage
+// redesign: binary frame decoding (segment) versus per-line JSON decoding
+// (jsonl) over identical document streams.
+func BenchmarkDocDBLoad(b *testing.B) {
+	for _, backend := range benchBackends {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("backend=%s/%s", backend, sizeName(n)), func(b *testing.B) {
+				path := filepath.Join(b.TempDir(), "bench.db")
+				db, err := Open(WithPath(path), WithBackend(backend))
+				if err != nil {
+					b.Fatal(err)
+				}
+				insertBatches(b, db.Collection("paths_stats"), benchDocs(n))
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					db, err := Open(WithPath(path), WithBackend(backend))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if db.Collection("paths_stats").Count() != n {
+						b.Fatal("short replay")
+					}
+					b.StopTimer()
+					if err := db.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDocDBShardedInsert measures concurrent batch writers spread over
+// four collections — the workload the segment backend shards per collection
+// while jsonl serializes every writer on one journal lock.
+func BenchmarkDocDBShardedInsert(b *testing.B) {
+	const collections, perCollection = 4, 4000
+	for _, backend := range benchBackends {
+		b.Run(fmt.Sprintf("backend=%s", backend), func(b *testing.B) {
+			docs := benchDocs(perCollection)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := openBenchDB(b, backend)
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < collections; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						insertBatches(b, db.Collection(fmt.Sprintf("shard%d", w)), docs)
+					}(w)
+				}
+				wg.Wait()
+				if err := db.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkDocDBGroupCommit measures synchronous-durability writers: every
+// batch fsynced before it returns, concurrent batches coalescing into
+// shared group-commit rounds.
+func BenchmarkDocDBGroupCommit(b *testing.B) {
+	const writers, batches, batchSize = 4, 10, 50
+	docs := benchDocs(writers * batches * batchSize)
+	for _, backend := range benchBackends {
+		b.Run(fmt.Sprintf("backend=%s", backend), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := openBenchDB(b, backend, WithSyncPolicy(SyncGroupCommit))
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						col := db.Collection("paths_stats")
+						base := w * batches * batchSize
+						for k := 0; k < batches; k++ {
+							lo := base + k*batchSize
+							if err := col.InsertMany(docs[lo : lo+batchSize]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
 			}
 		})
 	}

@@ -9,7 +9,7 @@ import (
 
 func TestCompactShrinksJournal(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCompactShrinksJournal(t *testing.T) {
 	}
 
 	// Replay reproduces the full state including the post-compact insert.
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +76,14 @@ func TestCompactShrinksJournal(t *testing.T) {
 }
 
 func TestCompactInMemoryFails(t *testing.T) {
-	if err := Open().Compact(); err == nil {
+	if err := MustOpen().Compact(); err == nil {
 		t.Error("in-memory compact accepted")
 	}
 }
 
 func TestCompactDroppedCollectionStaysGone(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestCompactDroppedCollectionStaysGone(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Close()
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}

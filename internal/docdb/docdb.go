@@ -6,9 +6,10 @@
 // trade-off of §4.2.2), and a query surface with filters, sorting,
 // projection, hash and ordered indexes. Queries are compiled — field paths
 // pre-split and comparators type-specialised — and planned against the
-// collection's indexes (see docs/DOCDB.md). Persistence is an append-only
-// JSONL journal that can be replayed on open, so a crash costs at most the
-// unflushed batch.
+// collection's indexes (see docs/DOCDB.md). Persistence goes through a
+// pluggable storage backend (see backend.go): an append-only mutation log
+// replayed on open — the greppable JSONL journal or the CRC-framed binary
+// segment store — so a crash costs at most the unflushed batch.
 package docdb
 
 import (
@@ -90,13 +91,51 @@ type DB struct {
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
-	journal     *journal  // nil for purely in-memory databases
+	backend     Backend   // nil for purely in-memory databases
 	failpoint   Failpoint // nil outside chaos testing (see failpoint.go)
 }
 
-// Open creates an in-memory database.
-func Open() *DB {
-	return &DB{collections: make(map[string]*Collection)}
+// Open creates a database. With no options it is purely in-memory; with
+// WithPath it persists through a storage backend (WithBackend selects
+// which; an existing log's format is auto-detected), replaying any
+// existing log so a restarted test-suite continues with its data — the
+// fault-tolerance requirement of §4.1.2.
+func Open(opts ...Option) (*DB, error) {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	db := &DB{collections: make(map[string]*Collection)}
+	// Open runs before the DB is shared, so the guarded fields are writable
+	// without the lock here.
+	//lint:ignore lockcheck Open runs before the DB is shared, no concurrent access is possible
+	db.failpoint = o.Failpoint
+	if o.Path == "" {
+		if o.Backend != "" {
+			return nil, fmt.Errorf("docdb: backend %q requires a path (WithPath)", o.Backend)
+		}
+		return db, nil
+	}
+	b, err := openBackend(o)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Replay(o.Failpoint, db.applyReplay); err != nil {
+		return nil, err
+	}
+	//lint:ignore lockcheck Open runs before the DB is shared, no concurrent access is possible
+	db.backend = b
+	return db, nil
+}
+
+// MustOpen is Open for call sites that cannot fail — in-memory databases
+// and test fixtures — panicking on error.
+func MustOpen(opts ...Option) *DB {
+	db, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
 // Collection returns the named collection, creating it on first use, like
@@ -124,13 +163,16 @@ func (db *DB) CollectionNames() []string {
 	return names
 }
 
-// Drop removes a collection and its documents.
+// Drop removes a collection and its documents. Under SyncGroupCommit a
+// commit failure is not reported here (sticky backend errors surface on
+// the next Flush/Close).
 func (db *DB) Drop(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	delete(db.collections, name)
-	if db.journal != nil {
-		db.journal.append(journalEntry{Op: "drop", Collection: name})
+	if db.backend != nil {
+		db.backend.Append(Record{Op: "drop", Collection: name})
+		_ = db.backend.Commit()
 	}
 }
 
@@ -203,14 +245,14 @@ func (c *Collection) Insert(doc Document) error {
 // or none. This is the paper's "multiple insertions of path statistics"
 // I/O-overhead optimisation (§4.2.2).
 func (c *Collection) InsertMany(docs []Document) error {
-	// The DB read-lock is held across the whole operation so Compact's
-	// journal swap (which holds the write lock for snapshot + swap) can
-	// never interleave between the in-memory mutation and its journal
-	// append — a committed batch is always captured by either the snapshot
-	// or the journal, never dropped between them.
+	// The DB read-lock is held across the whole operation so a Compact log
+	// swap (which holds the write lock for snapshot + swap) can never
+	// interleave between the in-memory mutation and its backend append — a
+	// committed batch is always captured by either the snapshot or the
+	// log, never dropped between them.
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j, fp := c.db.journal, c.db.failpoint
+	b, fp := c.db.backend, c.db.failpoint
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Validate the whole batch first (atomicity).
@@ -247,13 +289,18 @@ func (c *Collection) InsertMany(docs []Document) error {
 		c.byID[ids[i]] = len(c.docs)
 		c.docs = append(c.docs, stored)
 		c.indexAddLocked(stored)
-		if j != nil {
-			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
+		if b != nil {
+			b.Append(Record{Op: "insert", Collection: c.name, Doc: stored})
 		}
 	}
 	c.maybeMergeSortedLocked()
 	if len(docs) > 0 {
 		c.bumpLocked(false)
+		if b != nil {
+			if err := b.Commit(); err != nil {
+				return fmt.Errorf("docdb: %s: insert: commit: %w", c.name, err)
+			}
+		}
 	}
 	return nil
 }
@@ -267,10 +314,10 @@ func (c *Collection) InsertMany(docs []Document) error {
 // partial batch instead of failing on ErrDuplicateID.
 func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 	// Same lock discipline as InsertMany: the DB read-lock spans mutation +
-	// journal append so Compact can never drop a committed batch.
+	// backend append so Compact can never drop a committed batch.
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j, fp := c.db.journal, c.db.failpoint
+	b, fp := c.db.backend, c.db.failpoint
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	seen := make(map[string]bool, len(docs))
@@ -300,21 +347,26 @@ func (c *Collection) UpsertMany(docs []Document) (replaced int, err error) {
 			c.docs[i] = stored
 			c.indexAddLocked(stored)
 			replaced++
-			if j != nil {
-				j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored, Replace: true})
+			if b != nil {
+				b.Append(Record{Op: "insert", Collection: c.name, Doc: stored, Replace: true})
 			}
 			continue
 		}
 		c.byID[id] = len(c.docs)
 		c.docs = append(c.docs, stored)
 		c.indexAddLocked(stored)
-		if j != nil {
-			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: stored})
+		if b != nil {
+			b.Append(Record{Op: "insert", Collection: c.name, Doc: stored})
 		}
 	}
 	c.maybeMergeSortedLocked()
 	if len(docs) > 0 {
 		c.bumpLocked(replaced > 0)
+		if b != nil {
+			if err := b.Commit(); err != nil {
+				return replaced, fmt.Errorf("docdb: %s: upsert: commit: %w", c.name, err)
+			}
+		}
 	}
 	return replaced, nil
 }
@@ -334,7 +386,7 @@ func (c *Collection) Get(id string) Document {
 func (c *Collection) Delete(f Filter) int {
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j := c.db.journal
+	b := c.db.backend
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if f == nil {
@@ -366,8 +418,8 @@ func (c *Collection) Delete(f Filter) int {
 	for _, d := range c.docs {
 		if doomed[d.ID()] {
 			c.indexRemoveLocked(d)
-			if j != nil {
-				j.append(journalEntry{Op: "delete", Collection: c.name, ID: d.ID()})
+			if b != nil {
+				b.Append(Record{Op: "delete", Collection: c.name, ID: d.ID()})
 			}
 			continue
 		}
@@ -380,6 +432,11 @@ func (c *Collection) Delete(f Filter) int {
 	}
 	c.maybeMergeSortedLocked()
 	c.bumpLocked(true)
+	if b != nil {
+		// Sticky commit errors surface on the next Flush/Close (Delete's
+		// signature predates the backend split).
+		_ = b.Commit()
+	}
 	return len(doomed)
 }
 
@@ -389,7 +446,7 @@ func (c *Collection) Delete(f Filter) int {
 func (c *Collection) Update(f Filter, set Document) int {
 	c.db.mu.RLock()
 	defer c.db.mu.RUnlock()
-	j := c.db.journal
+	b := c.db.backend
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	match := compileMatch(f)
@@ -422,13 +479,17 @@ func (c *Collection) Update(f Filter, set Document) int {
 			d[k] = cloneValue(v)
 		}
 		c.indexAddLocked(d)
-		if j != nil {
-			j.append(journalEntry{Op: "insert", Collection: c.name, Doc: d, Replace: true})
+		if b != nil {
+			b.Append(Record{Op: "insert", Collection: c.name, Doc: d, Replace: true})
 		}
 	}
 	c.maybeMergeSortedLocked()
 	if len(positions) > 0 {
 		c.bumpLocked(true)
+		if b != nil {
+			// As in Delete: commit errors are sticky, reported at Flush/Close.
+			_ = b.Commit()
+		}
 	}
 	return len(positions)
 }

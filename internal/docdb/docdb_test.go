@@ -19,7 +19,7 @@ func sampleDocs() []Document {
 
 func seeded(t *testing.T) *Collection {
 	t.Helper()
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("paths")
 	if err := c.InsertMany(sampleDocs()); err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestInsertDuplicateIDRejectedAtomically(t *testing.T) {
 }
 
 func TestInsertAutoID(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("auto")
 	if err := c.InsertMany([]Document{{"v": 1}, {"v": 2}}); err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestSentinelErrors(t *testing.T) {
 }
 
 func TestInsertIsolation(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("iso")
 	orig := Document{"_id": "a", "nested": map[string]any{"k": 1}}
 	if err := c.Insert(orig); err != nil {
@@ -170,7 +170,7 @@ func TestMissingFieldSemantics(t *testing.T) {
 }
 
 func TestNumericCrossTypeCompare(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("nums")
 	if err := c.InsertMany([]Document{
 		{"_id": "a", "v": 5},
@@ -258,7 +258,7 @@ func TestDeleteAndUpdate(t *testing.T) {
 }
 
 func TestDottedPathLookup(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("nested")
 	if err := c.Insert(Document{
 		"_id":   "n1",
@@ -278,7 +278,7 @@ func TestDottedPathLookup(t *testing.T) {
 }
 
 func TestCollectionNamesAndDrop(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	db.Collection("b")
 	db.Collection("a")
 	if got := db.CollectionNames(); fmt.Sprint(got) != "[a b]" {
@@ -291,7 +291,7 @@ func TestCollectionNamesAndDrop(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("conc")
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -343,7 +343,7 @@ func TestInOrEquivalenceQuick(t *testing.T) {
 // Property: sorting is total — Find with SortBy never panics and returns all
 // documents regardless of mixed value kinds.
 func TestSortTotalOverMixedKinds(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("mixed")
 	docs := []Document{
 		{"_id": "a", "v": 1}, {"_id": "b", "v": "s"}, {"_id": "c", "v": true},
@@ -359,7 +359,7 @@ func TestSortTotalOverMixedKinds(t *testing.T) {
 }
 
 func TestUpsertMany(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("stats")
 	if err := c.Insert(Document{"_id": "a", "v": 1}); err != nil {
 		t.Fatal(err)

@@ -7,7 +7,7 @@ import (
 )
 
 func Example() {
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	paths := db.Collection("paths")
 	if err := paths.InsertMany([]docdb.Document{
 		{"_id": "1_0", "hops": 6, "isds": []any{"16", "17"}},

@@ -2,8 +2,12 @@ package docdb
 
 // Fault injection for chaos testing (see docs/CHAOS.md). A Failpoint lets a
 // test harness make the storage engine fail on demand — batch writes that
-// error before touching any state, journal replay that stops early as if the
+// error before touching any state, log replay that stops early as if the
 // file had been truncated — without changing the engine's own code paths.
+// The contract is backend-agnostic: BeforeWrite fires in the engine before
+// any state or backend is touched, and every Backend implementation
+// consults ReplayEntry once per replayed record (see Backend.Replay), so
+// chaos fault plans run unchanged against jsonl and segment storage.
 // Production databases never set one: every hook site is a single nil check
 // on a field that is read under a lock the operation already holds, so the
 // fast path costs nothing measurable (the BenchmarkDocDB* baselines gate
@@ -13,16 +17,19 @@ package docdb
 // concurrent use; the engine may consult one hook from many writers at once.
 type Failpoint interface {
 	// BeforeWrite is consulted by InsertMany and UpsertMany after the batch
-	// has been validated but before any document is stored or journaled. op
-	// is "insert" or "upsert". Returning a non-nil error aborts the whole
-	// batch atomically: the collection, its indexes and the journal are left
-	// exactly as they were.
+	// has been validated but before any document is stored or logged. op is
+	// "insert" or "upsert". Returning a non-nil error aborts the whole
+	// batch atomically: the collection, its indexes and the backend log are
+	// left exactly as they were.
 	BeforeWrite(collection, op string, batch int) error
 
-	// ReplayEntry is consulted once per journal entry during OpenFileWith
-	// replay, before the entry is applied; n counts entries from zero.
-	// Returning false stops replay at that point, as if the journal had been
-	// truncated there — the standard crash model the chaos harness uses.
+	// ReplayEntry is consulted once per log record during replay (install
+	// the failpoint with WithFailpoint so it is armed before Open replays),
+	// before the record is applied; n counts records from zero, in the
+	// backend's replay order — chronological for jsonl, shard-by-shard for
+	// segment. Returning false stops replay at that point, as if the log
+	// had been truncated there — the standard crash model the chaos
+	// harness uses. The file itself is left untouched.
 	ReplayEntry(n int, op string) bool
 }
 
@@ -33,16 +40,4 @@ func (db *DB) SetFailpoint(fp Failpoint) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.failpoint = fp
-}
-
-// OpenFileWith is OpenFile with a failpoint installed before replay, so
-// ReplayEntry can simulate a truncated journal and BeforeWrite is armed from
-// the first write. fp may be nil, which is exactly OpenFile.
-func OpenFileWith(path string, fp Failpoint) (*DB, error) {
-	db := Open()
-	db.failpoint = fp // no lock needed: the DB is not shared yet
-	if err := db.replay(path); err != nil {
-		return nil, err
-	}
-	return db.attachJournal(path)
 }

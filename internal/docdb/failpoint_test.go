@@ -44,7 +44,7 @@ func (f *testFailpoint) ReplayEntry(n int, op string) bool {
 // indexes and the journal exactly as they were — for both insert and upsert.
 func TestFailpointBeforeWriteAtomic(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestFailpointBeforeWriteAtomic(t *testing.T) {
 
 	// Nothing of the failed batches was journaled: a reopened database shows
 	// exactly the surviving state.
-	re, err := OpenFile(path)
+	re, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFailpointBeforeWriteAtomic(t *testing.T) {
 // if the journal ended there, and the database stays fully usable after.
 func TestFailpointReplayTruncation(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestFailpointReplayTruncation(t *testing.T) {
 	}
 
 	fp := &testFailpoint{keepReplay: 2}
-	re, err := OpenFileWith(path, fp)
+	re, err := Open(WithPath(path), WithFailpoint(fp))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestFailpointReplayTruncation(t *testing.T) {
 	// The journal itself was never rewritten: a plain reopen sees all five
 	// entries (e2 twice — the replayed original and the re-insert; first one
 	// wins on duplicate _id).
-	full, err := OpenFile(path)
+	full, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +158,10 @@ func TestFailpointReplayTruncation(t *testing.T) {
 	}
 }
 
-// TestOpenFileWithNil: a nil failpoint is exactly OpenFile.
-func TestOpenFileWithNil(t *testing.T) {
+// TestOpenWithNilFailpoint: a nil failpoint is exactly a plain Open.
+func TestOpenWithNilFailpoint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFileWith(path, nil)
+	db, err := Open(WithPath(path), WithFailpoint(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestOpenFileWithNil(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := OpenFileWith(path, nil)
+	re, err := Open(WithPath(path), WithFailpoint(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 // mutation moves Generation, destructive mutations also move
 // RewriteGeneration, and reads or no-op mutations move neither.
 func TestGenerationBumpsOnMutations(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("g")
 	if c.Generation() != 0 || c.RewriteGeneration() != 0 {
 		t.Fatalf("fresh collection generations = %d/%d, want 0/0",
@@ -81,7 +81,7 @@ func TestGenerationBumpsOnMutations(t *testing.T) {
 // incarnation handed out (it reads 0 until mutated, then jumps past every
 // stamp the DB ever issued).
 func TestGenerationMonotonicAcrossDrop(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("g")
 	for i := 0; i < 5; i++ {
 		if err := c.Insert(Document{"v": i}); err != nil {
@@ -108,7 +108,7 @@ func TestGenerationMonotonicAcrossDrop(t *testing.T) {
 // against the previous process cannot validate against it.
 func TestGenerationAfterReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gen.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestGenerationAfterReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}

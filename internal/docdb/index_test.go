@@ -8,7 +8,7 @@ import (
 
 func indexed(t *testing.T) *Collection {
 	t.Helper()
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("stats")
 	docs := make([]Document, 0, 300)
 	for i := 0; i < 300; i++ {
@@ -79,7 +79,7 @@ func TestIndexMaintainedOnDeleteAndUpdate(t *testing.T) {
 }
 
 func TestIndexCrossTypeNumericEquality(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("nums")
 	c.Insert(Document{"_id": "a", "v": 6})
 	c.Insert(Document{"_id": "b", "v": 6.0})
@@ -101,7 +101,7 @@ func TestEnsureIndexIdempotentAndListed(t *testing.T) {
 }
 
 func TestIndexedAndScanAgree(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	plain := db.Collection("plain")
 	fast := db.Collection("fast")
 	for i := 0; i < 200; i++ {
@@ -154,7 +154,7 @@ func TestAggregate(t *testing.T) {
 }
 
 func TestAggregateMissingValueField(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	c := db.Collection("x")
 	c.Insert(Document{"_id": "a", "g": "one"})
 	c.Insert(Document{"_id": "b", "g": "one", "v": 4})

@@ -15,9 +15,9 @@ import (
 // journal swap against InsertMany's append.
 func TestJournalConcurrentAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "stats.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
-		t.Fatalf("OpenFile: %v", err)
+		t.Fatalf("Open: %v", err)
 	}
 
 	const (
@@ -77,7 +77,7 @@ func TestJournalConcurrentAppend(t *testing.T) {
 
 	// Reopen and replay: every batch journaled before the final flush must
 	// survive. Compaction plus Close's flush means everything survives.
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -97,9 +97,9 @@ func TestJournalConcurrentAppend(t *testing.T) {
 // no torn pointer read — -race fails on the seed code.
 func TestCloseConcurrentWithInsert(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "race.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
-		t.Fatalf("OpenFile: %v", err)
+		t.Fatalf("Open: %v", err)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {

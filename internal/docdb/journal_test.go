@@ -8,7 +8,7 @@ import (
 
 func TestJournalPersistAndReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestJournalPersistAndReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestJournalPersistAndReplay(t *testing.T) {
 
 func TestJournalReplayDelete(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestJournalReplayDelete(t *testing.T) {
 	c.Delete(Eq("_id", "a"))
 	db.Close()
 
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestJournalReplayDelete(t *testing.T) {
 
 func TestJournalReplayUpdateAndDrop(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestJournalReplayUpdateAndDrop(t *testing.T) {
 	db.Drop("tmp")
 	db.Close()
 
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestJournalReplayUpdateAndDrop(t *testing.T) {
 
 func TestJournalTruncatedTailTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestJournalTruncatedTailTolerated(t *testing.T) {
 	}
 	f.Close()
 
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatalf("truncated journal rejected: %v", err)
 	}
@@ -127,7 +127,7 @@ func TestJournalTruncatedTailTolerated(t *testing.T) {
 
 func TestJournalFlush(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := OpenFile(path)
+	db, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestJournalFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Without Close, a reader must already see the flushed insert.
-	db2, err := OpenFile(path)
+	db2, err := Open(WithPath(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestJournalFlush(t *testing.T) {
 }
 
 func TestInMemoryFlushCloseNoop(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	if err := db.Flush(); err != nil {
 		t.Error(err)
 	}
@@ -157,8 +157,8 @@ func TestInMemoryFlushCloseNoop(t *testing.T) {
 	}
 }
 
-func TestOpenFileBadDir(t *testing.T) {
-	if _, err := OpenFile(filepath.Join(t.TempDir(), "no", "such", "dir", "db.jsonl")); err == nil {
+func TestOpenBadDir(t *testing.T) {
+	if _, err := Open(WithPath(filepath.Join(t.TempDir(), "no", "such", "dir", "db.jsonl"))); err == nil {
 		t.Error("bad path accepted")
 	}
 }

@@ -1,0 +1,309 @@
+package docdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// jsonlBackend is the reference storage backend and the historical on-disk
+// format: one JSON object per mutation, one mutation per line, so a journal
+// stays greppable and diffable. Everything goes through a single append
+// file, which makes it the simplest possible implementation of the Backend
+// contract — and the baseline the segment backend is measured against.
+type jsonlBackend struct {
+	jpath  string
+	policy SyncPolicy
+
+	gc groupCommitter
+
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// jsonlEntry is one line of the journal. The short keys are load-bearing:
+// they are the on-disk format of every journal written before the backend
+// split, and replay must keep reading those.
+type jsonlEntry struct {
+	Op         string   `json:"op"` // insert | delete | drop
+	Collection string   `json:"c"`
+	Doc        Document `json:"doc,omitempty"`
+	ID         string   `json:"id,omitempty"`
+	Replace    bool     `json:"replace,omitempty"`
+}
+
+var errBeforeReplay = errors.New("docdb: backend used before replay")
+
+func newJSONLBackend(path string, policy SyncPolicy) *jsonlBackend {
+	b := &jsonlBackend{jpath: path, policy: policy, err: errBeforeReplay}
+	b.gc.init()
+	return b
+}
+
+func (b *jsonlBackend) Name() string { return BackendJSONL }
+func (b *jsonlBackend) Path() string { return b.jpath }
+
+// Replay loads the journal into apply, then opens the append side. A
+// physically torn tail — a partial or corrupt record with no injected
+// failpoint in play — is truncated off the file before the appender
+// attaches. Without that, O_APPEND would write the next record onto the
+// same line as the torn bytes and the merged line would fail to parse on
+// the next replay, silently discarding every record after it.
+func (b *jsonlBackend) Replay(fp Failpoint, apply func(Record)) error {
+	f, err := os.Open(b.jpath)
+	var goodEnd int64
+	var bareTail, torn bool
+	switch {
+	case err == nil:
+		goodEnd, bareTail, torn, err = replayJSONL(f, fp, apply)
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return fmt.Errorf("docdb: replay %s: %w", b.jpath, cerr)
+		}
+		if torn {
+			if err := os.Truncate(b.jpath, goodEnd); err != nil {
+				return fmt.Errorf("docdb: truncate torn tail %s: %w", b.jpath, err)
+			}
+			bareTail = false
+		}
+	case os.IsNotExist(err):
+		// Fresh database.
+	default:
+		return fmt.Errorf("docdb: open %s: %w", b.jpath, err)
+	}
+	af, err := os.OpenFile(b.jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: open journal %s: %w", b.jpath, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.f = af
+	b.w = bufio.NewWriterSize(af, 1<<16)
+	b.enc = json.NewEncoder(b.w)
+	b.err = nil
+	if bareTail {
+		// The final line parsed but lacked its newline (a crash between the
+		// record bytes and the terminator). It was applied and kept, so
+		// terminate it before anything is appended after it.
+		b.err = b.w.WriteByte('\n')
+	}
+	return b.err
+}
+
+// replayJSONL streams the journal into apply. It returns the byte offset
+// just past the last intact record (goodEnd), whether the final record
+// parsed but had no trailing newline (bareTail), and whether the tail is
+// physically torn and should be truncated to goodEnd. An injected failpoint
+// stop reports neither: the file is left exactly as found.
+func replayJSONL(f *os.File, fp Failpoint, apply func(Record)) (goodEnd int64, bareTail, torn bool, err error) {
+	r := bufio.NewReaderSize(f, 1<<20)
+	n := 0
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return 0, false, false, fmt.Errorf("docdb: replay %s: %w", f.Name(), rerr)
+		}
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var e jsonlEntry
+			if uerr := json.Unmarshal(trimmed, &e); uerr != nil {
+				// Torn or corrupt record: stop replay, keep what we have,
+				// and have the caller cut the damage off the file.
+				return goodEnd, false, true, nil
+			}
+			if fp != nil && !fp.ReplayEntry(n, e.Op) {
+				// Injected truncation: drop the journal's tail from the
+				// replayed state but leave the file untouched.
+				return goodEnd, false, false, nil
+			}
+			n++
+			apply(Record{Op: e.Op, Collection: e.Collection, Doc: e.Doc, ID: e.ID, Replace: e.Replace})
+			if !complete {
+				goodEnd += int64(len(line))
+				bareTail = true
+			}
+		} else if !complete && len(line) > 0 {
+			// Whitespace-only unterminated tail: torn.
+			return goodEnd, false, true, nil
+		}
+		if complete {
+			goodEnd += int64(len(line))
+		}
+		if rerr == io.EOF {
+			return goodEnd, bareTail, false, nil
+		}
+	}
+}
+
+// Append encodes the record straight into the journal's write buffer — one
+// encode per mutation, no intermediate allocation (the insert
+// write-amplification fix).
+func (b *jsonlBackend) Append(rec Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return
+	}
+	e := jsonlEntry{Op: rec.Op, Collection: rec.Collection, Doc: rec.Doc, ID: rec.ID, Replace: rec.Replace}
+	if err := b.enc.Encode(e); err != nil {
+		b.err = err
+	}
+}
+
+// Commit is a no-op under SyncOnFlush; under SyncGroupCommit concurrent
+// batches coalesce into shared fsync rounds via the group committer.
+func (b *jsonlBackend) Commit() error {
+	if b.policy != SyncGroupCommit {
+		return nil
+	}
+	return b.gc.commit(b)
+}
+
+// syncForCommit is the group committer's per-round sync hook.
+func (b *jsonlBackend) syncForCommit() error { return b.Flush() }
+
+func (b *jsonlBackend) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *jsonlBackend) flushLocked() error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := b.w.Flush(); err != nil {
+		b.err = err
+		return err
+	}
+	return b.f.Sync()
+}
+
+func (b *jsonlBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closeLocked()
+}
+
+func (b *jsonlBackend) closeLocked() error {
+	if b.err == errBeforeReplay {
+		return nil
+	}
+	ferr := b.flushLocked()
+	cerr := b.f.Close()
+	b.err = errBeforeReplay // poison further appends
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// CheckpointLog rewrites the whole journal to the emitted snapshot through
+// a temporary file and an atomic rename, so a crash during compaction
+// leaves either the old or the new journal intact. The caller (DB.Compact)
+// holds the DB write lock, so no appends race the swap.
+func (b *jsonlBackend) CheckpointLog(snap func(emit func(Record) error) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.flushLocked(); err != nil {
+		return err
+	}
+	tmp := b.jpath + ".compact"
+	if err := writeJSONLSnapshot(tmp, snap); err != nil {
+		return err
+	}
+	if err := b.closeLocked(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, b.jpath); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	nf, err := os.OpenFile(b.jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: compact: reopen: %w", err)
+	}
+	b.f = nf
+	b.w = bufio.NewWriterSize(nf, 1<<16)
+	b.enc = json.NewEncoder(b.w)
+	b.err = nil
+	return nil
+}
+
+// writeJSONLSnapshot writes the emitted records to tmp, synced to disk. On
+// any failure the partial file is removed.
+func writeJSONLSnapshot(tmp string, snap func(emit func(Record) error) error) (err error) {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("docdb: compact: %w", cerr)
+		}
+		if err != nil {
+			if rmErr := os.Remove(tmp); rmErr != nil && !os.IsNotExist(rmErr) {
+				err = errors.Join(err, rmErr)
+			}
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w)
+	if err := snap(func(rec Record) error {
+		e := jsonlEntry{Op: rec.Op, Collection: rec.Collection, Doc: rec.Doc, ID: rec.ID, Replace: rec.Replace}
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("docdb: compact: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("docdb: compact: %w", err)
+	}
+	return nil
+}
+
+// truncateJSONLTail cuts up to maxCut bytes off the journal's tail, but
+// never at or past the end of the line whose JSON contains marker (as a
+// quoted string value). See TruncateLogTail.
+func truncateJSONLTail(path, marker string, maxCut int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("docdb: truncate %s: %w", path, err)
+	}
+	needle := []byte(fmt.Sprintf("%q", marker))
+	i := bytes.Index(data, needle)
+	if i < 0 {
+		return fmt.Errorf("docdb: truncate %s: marker %q not found", path, marker)
+	}
+	floor := len(data)
+	if nl := bytes.IndexByte(data[i:], '\n'); nl >= 0 {
+		floor = i + nl + 1
+	}
+	cut := len(data) - maxCut
+	if cut < floor {
+		cut = floor
+	}
+	if cut >= len(data) {
+		return nil
+	}
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return fmt.Errorf("docdb: truncate %s: %w", path, err)
+	}
+	return nil
+}

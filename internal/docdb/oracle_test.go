@@ -54,7 +54,7 @@ func randomFilter(rng *rand.Rand, depth int) Filter {
 
 func TestFindMatchesNaiveOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	db := Open()
+	db := MustOpen()
 	plain := db.Collection("plain")
 	fast := db.Collection("fast")
 	var docs []Document

@@ -81,7 +81,7 @@ func idsOf(docs []Document) []string {
 
 func TestQueryShapesMatchNaiveOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(4242))
-	db := Open()
+	db := MustOpen()
 	variants := map[string]*Collection{
 		"plain":  db.Collection("plain"),
 		"hash":   db.Collection("hash"),
@@ -180,7 +180,7 @@ func TestCompileFilterAgreesWithMatch(t *testing.T) {
 // TestForEachMatchesFind pins the cursor to Find's planner and ordering:
 // same documents, same order, plus early termination.
 func TestForEachMatchesFind(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	var docs []Document
 	for i := 0; i < 300; i++ {

@@ -110,7 +110,7 @@ func checkAgainstShadow(t *testing.T, round int, col *Collection, s *shadow, rng
 
 func TestIndexMaintenanceUnderChurn(t *testing.T) {
 	rng := rand.New(rand.NewSource(1717))
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("churn")
 	col.EnsureIndex("path_id")
 	col.EnsureSortedIndex("val")
@@ -196,7 +196,7 @@ func TestIndexMaintenanceUnderChurn(t *testing.T) {
 // TestSortedIndexListedSeparately pins the listing contract: hash and
 // ordered indexes are separate namespaces.
 func TestSortedIndexListedSeparately(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	col.EnsureIndex("a")
 	col.EnsureSortedIndex("b")
@@ -212,7 +212,7 @@ func TestSortedIndexListedSeparately(t *testing.T) {
 // TestEnsureSortedIndexOnExistingDocs verifies an index built after inserts
 // serves ordered scans over the pre-existing documents.
 func TestEnsureSortedIndexOnExistingDocs(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	col := db.Collection("c")
 	for i := 0; i < 50; i++ {
 		if err := col.Insert(Document{"_id": fmt.Sprintf("d%02d", i), "v": (i * 37) % 50}); err != nil {
@@ -232,7 +232,7 @@ func TestEnsureSortedIndexOnExistingDocs(t *testing.T) {
 // filtered field stay excluded from range results when a sorted index
 // serves the query (the index keys them as nil; the bounds must not).
 func TestRangeQueryMissingFieldSemantics(t *testing.T) {
-	db := Open()
+	db := MustOpen()
 	withIdx := db.Collection("i")
 	plain := db.Collection("p")
 	docs := []Document{

@@ -1,0 +1,405 @@
+package docdb
+
+// The segment backend's wire layer: CRC-framed binary records, a compact
+// value codec for documents, and the group committer that coalesces
+// concurrent Commit calls into shared fsync rounds. segment.go owns the
+// files; this file owns the bytes.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"sync"
+)
+
+// segMagic is the 8-byte header of every segment file: format name, a
+// version byte, and a trailing newline so `head -c8` output stays tidy.
+const segMagic = "SCSEG\x00\x01\n"
+
+// Frame layout: u32 payload length, u32 CRC-32C of the payload, payload.
+// Little-endian, Castagnoli polynomial (hardware-accelerated on any recent
+// CPU). A frame is the unit of torn-tail detection: replay stops at the
+// first frame whose length is implausible, whose bytes run short, or whose
+// CRC disagrees.
+const (
+	frameHeaderSize   = 8
+	maxFramePayload   = 1 << 28 // 256 MiB: far above any document batch, far below corrupt-length garbage
+	segMaxValueDepth  = 100
+	segMaxFrameFields = 1 << 20 // cap on decoded map/slice element counts per length prefix
+)
+
+// Payload op codes (first payload byte).
+const (
+	segOpInsert  = 1
+	segOpReplace = 2
+	segOpDelete  = 3
+	segOpDrop    = 4
+	segOpCommit  = 5 // commit marker: everything before it in this shard was fsynced
+)
+
+var segCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+var errSegCorrupt = errors.New("docdb: corrupt segment record")
+
+// sealFrame wraps payload (which starts at buf[start:]) in a frame
+// header, in place: callers reserve frameHeaderSize bytes, encode the
+// payload after them, then seal.
+func sealFrame(buf []byte, start int) []byte {
+	payload := buf[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, segCRCTable))
+	return buf
+}
+
+// appendRecordFrame encodes rec as one sealed frame appended to buf.
+func appendRecordFrame(buf []byte, rec Record) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	var err error
+	switch rec.Op {
+	case "insert":
+		op := byte(segOpInsert)
+		if rec.Replace {
+			op = segOpReplace
+		}
+		buf = append(buf, op)
+		buf = appendSegString(buf, rec.Collection)
+		buf, err = appendSegValue(buf, rec.Doc, 0)
+		if err != nil {
+			return buf[:start], err
+		}
+	case "delete":
+		buf = append(buf, segOpDelete)
+		buf = appendSegString(buf, rec.Collection)
+		buf = appendSegString(buf, rec.ID)
+	case "drop":
+		buf = append(buf, segOpDrop)
+		buf = appendSegString(buf, rec.Collection)
+	default:
+		return buf[:start], fmt.Errorf("docdb: segment: unknown op %q", rec.Op)
+	}
+	return sealFrame(buf, start), nil
+}
+
+// appendCommitFrame appends a sealed commit-marker frame.
+func appendCommitFrame(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	buf = append(buf, segOpCommit)
+	return sealFrame(buf, start)
+}
+
+// decodeRecordPayload parses one frame payload. isCommit is true for commit
+// markers (rec is zero then).
+func decodeRecordPayload(p []byte) (rec Record, isCommit bool, err error) {
+	if len(p) == 0 {
+		return rec, false, errSegCorrupt
+	}
+	op, p := p[0], p[1:]
+	if op == segOpCommit {
+		if len(p) != 0 {
+			return rec, false, errSegCorrupt
+		}
+		return rec, true, nil
+	}
+	coll, p, err := readSegString(p)
+	if err != nil {
+		return rec, false, err
+	}
+	rec.Collection = coll
+	switch op {
+	case segOpInsert, segOpReplace:
+		rec.Op = "insert"
+		rec.Replace = op == segOpReplace
+		v, rest, err := readSegValue(p, 0)
+		if err != nil {
+			return rec, false, err
+		}
+		if len(rest) != 0 {
+			return rec, false, errSegCorrupt
+		}
+		doc, ok := v.(Document)
+		if !ok {
+			return rec, false, errSegCorrupt
+		}
+		rec.Doc = doc
+	case segOpDelete:
+		rec.Op = "delete"
+		id, rest, err := readSegString(p)
+		if err != nil {
+			return rec, false, err
+		}
+		if len(rest) != 0 {
+			return rec, false, errSegCorrupt
+		}
+		rec.ID = id
+	case segOpDrop:
+		rec.Op = "drop"
+		if len(p) != 0 {
+			return rec, false, errSegCorrupt
+		}
+	default:
+		return rec, false, errSegCorrupt
+	}
+	return rec, false, nil
+}
+
+// Value codec. One tag byte, then a type-specific body. Integer widths use
+// unsigned varints; signed integers are zigzag-encoded. Map keys are
+// written in sorted order so the encoded bytes of a document are a pure
+// function of its contents (the chaos harness replays byte-for-byte
+// deterministic worlds; file contents must not depend on map iteration
+// order).
+const (
+	segValNil     = 0
+	segValFalse   = 1
+	segValTrue    = 2
+	segValFloat   = 3
+	segValInt     = 4
+	segValString  = 5
+	segValList    = 6
+	segValDoc     = 7
+	segValStrList = 8
+	segValJSON    = 9 // fallback: length-prefixed JSON bytes, decoded like a jsonl field
+)
+
+func appendSegString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readSegString(p []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return "", nil, errSegCorrupt
+	}
+	return string(p[sz : sz+int(n)]), p[sz+int(n):], nil
+}
+
+func appendSegValue(buf []byte, v any, depth int) ([]byte, error) {
+	if depth > segMaxValueDepth {
+		return buf, fmt.Errorf("docdb: segment: document nesting exceeds %d", segMaxValueDepth)
+	}
+	switch t := v.(type) {
+	case nil:
+		return append(buf, segValNil), nil
+	case bool:
+		if t {
+			return append(buf, segValTrue), nil
+		}
+		return append(buf, segValFalse), nil
+	case float64:
+		buf = append(buf, segValFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(t)), nil
+	case int:
+		buf = append(buf, segValInt)
+		return binary.AppendVarint(buf, int64(t)), nil
+	case int64:
+		buf = append(buf, segValInt)
+		return binary.AppendVarint(buf, t), nil
+	case string:
+		buf = append(buf, segValString)
+		return appendSegString(buf, t), nil
+	case []any:
+		buf = append(buf, segValList)
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		var err error
+		for _, e := range t {
+			if buf, err = appendSegValue(buf, e, depth+1); err != nil {
+				return buf, err
+			}
+		}
+		return buf, nil
+	case []string:
+		buf = append(buf, segValStrList)
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		for _, s := range t {
+			buf = appendSegString(buf, s)
+		}
+		return buf, nil
+	case Document:
+		return appendSegDoc(buf, t, depth)
+	case map[string]any:
+		return appendSegDoc(buf, t, depth)
+	default:
+		// Anything else round-trips through JSON, matching what the jsonl
+		// backend would have persisted for the same value.
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return buf, fmt.Errorf("docdb: segment: encode %T: %w", t, err)
+		}
+		buf = append(buf, segValJSON)
+		buf = binary.AppendUvarint(buf, uint64(len(raw)))
+		return append(buf, raw...), nil
+	}
+}
+
+func appendSegDoc(buf []byte, d map[string]any, depth int) ([]byte, error) {
+	buf = append(buf, segValDoc)
+	buf = binary.AppendUvarint(buf, uint64(len(d)))
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var err error
+	for _, k := range keys {
+		buf = appendSegString(buf, k)
+		if buf, err = appendSegValue(buf, d[k], depth+1); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+func readSegValue(p []byte, depth int) (any, []byte, error) {
+	if depth > segMaxValueDepth || len(p) == 0 {
+		return nil, nil, errSegCorrupt
+	}
+	tag, p := p[0], p[1:]
+	switch tag {
+	case segValNil:
+		return nil, p, nil
+	case segValFalse:
+		return false, p, nil
+	case segValTrue:
+		return true, p, nil
+	case segValFloat:
+		if len(p) < 8 {
+			return nil, nil, errSegCorrupt
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(p)), p[8:], nil
+	case segValInt:
+		n, sz := binary.Varint(p)
+		if sz <= 0 {
+			return nil, nil, errSegCorrupt
+		}
+		return n, p[sz:], nil
+	case segValString:
+		s, rest, err := readSegString(p)
+		return s, rest, err
+	case segValList:
+		n, sz := binary.Uvarint(p)
+		if sz <= 0 || n > segMaxFrameFields || n > uint64(len(p)) {
+			return nil, nil, errSegCorrupt
+		}
+		p = p[sz:]
+		out := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var v any
+			var err error
+			if v, p, err = readSegValue(p, depth+1); err != nil {
+				return nil, nil, err
+			}
+			out = append(out, v)
+		}
+		return out, p, nil
+	case segValStrList:
+		n, sz := binary.Uvarint(p)
+		if sz <= 0 || n > segMaxFrameFields || n > uint64(len(p)) {
+			return nil, nil, errSegCorrupt
+		}
+		p = p[sz:]
+		out := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var s string
+			var err error
+			if s, p, err = readSegString(p); err != nil {
+				return nil, nil, err
+			}
+			out = append(out, s)
+		}
+		return out, p, nil
+	case segValDoc:
+		n, sz := binary.Uvarint(p)
+		if sz <= 0 || n > segMaxFrameFields || n > uint64(len(p)) {
+			return nil, nil, errSegCorrupt
+		}
+		p = p[sz:]
+		d := make(Document, n)
+		for i := uint64(0); i < n; i++ {
+			var k string
+			var v any
+			var err error
+			if k, p, err = readSegString(p); err != nil {
+				return nil, nil, err
+			}
+			if v, p, err = readSegValue(p, depth+1); err != nil {
+				return nil, nil, err
+			}
+			d[k] = v
+		}
+		return d, p, nil
+	case segValJSON:
+		n, sz := binary.Uvarint(p)
+		if sz <= 0 || n > uint64(len(p)-sz) {
+			return nil, nil, errSegCorrupt
+		}
+		var v any
+		if err := json.Unmarshal(p[sz:sz+int(n)], &v); err != nil {
+			return nil, nil, errSegCorrupt
+		}
+		return v, p[sz+int(n):], nil
+	default:
+		return nil, nil, errSegCorrupt
+	}
+}
+
+// groupCommitter coalesces concurrent Commit calls into shared sync
+// rounds. A caller becomes the leader of the next round when none is
+// running, syncs everything buffered so far, and wakes the followers whose
+// appends that round covered; callers that arrive while a round is in
+// flight wait for the round after it (theirs may have missed their bytes).
+// The fsync latency itself is the commit window — no timers, no clocks, so
+// the write path stays legal inside //lint:deterministic roots.
+type groupCommitter struct {
+	mu        sync.Mutex
+	cond      sync.Cond // signalled on round completion; Wait under mu
+	started   uint64    // sync rounds ever started
+	completed uint64    // sync rounds finished
+	err       error     // sticky first sync failure
+}
+
+func (g *groupCommitter) init() {
+	g.cond.L = &g.mu
+}
+
+// syncTarget is the backend side of a group-commit round: syncForCommit
+// must flush and fsync everything the backend has buffered at the moment
+// it is called. It is a named single-method interface rather than a
+// func() error parameter so the call graph stays exact — scionlint's
+// interprocedural analyzers resolve a func-value call to every
+// address-taken function with the same signature, which would smear
+// engine-level lock acquisitions into the commit path.
+type syncTarget interface {
+	syncForCommit() error
+}
+
+// commit returns once a sync round that started after the caller's appends
+// has completed.
+func (g *groupCommitter) commit(t syncTarget) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	target := g.started + 1
+	for g.completed < target {
+		if g.started < target {
+			// Lead the round that covers us.
+			g.started++
+			g.mu.Unlock()
+			err := t.syncForCommit()
+			g.mu.Lock()
+			g.completed++
+			if err != nil && g.err == nil {
+				g.err = err
+			}
+			g.cond.Broadcast()
+			continue
+		}
+		g.cond.Wait()
+	}
+	return g.err
+}

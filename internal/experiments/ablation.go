@@ -30,7 +30,7 @@ func NewEnvWithOptions(seed int64, opts simnet.Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		return nil, err
 	}

@@ -50,7 +50,7 @@ func NewEnv(seed int64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		return nil, err
 	}

@@ -202,7 +202,11 @@ func (b *cfgBuilder) labeledStmt(s ast.Stmt, label string) {
 	case *ast.RangeStmt:
 		head := b.newBlock()
 		b.edge(b.current(), head)
-		head.Nodes = append(head.Nodes, st) // the range clause itself
+		// Only the ranged expression evaluates at the head. The body gets
+		// its own block below — recording the whole RangeStmt here would
+		// replay body effects on the zero-iteration path and claim body
+		// positions for the head block.
+		head.Nodes = append(head.Nodes, st.X)
 		after := b.newBlock()
 		b.edge(head, after) // empty collection
 		body := b.newBlock()

@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typeCheckTestFile type-checks a single parsed file for analyzer repro
+// tests, resolving stdlib imports through the source importer (the same
+// resolver load.go uses, so facts behave as in real runs).
+func typeCheckTestFile(t *testing.T, fset *token.FileSet, f *ast.File) (*types.Package, *types.Info) {
+	t.Helper()
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(f.Name.Name, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return pkg, info
+}

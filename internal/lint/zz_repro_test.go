@@ -46,11 +46,11 @@ func (c *C) F(m map[int]int) {
 	cfg := NewCFG(fd.Body)
 	entry := cfg.Forward(spec)
 
-	// Find the post-loop c.mu.Lock() call (line 15).
+	// Find the post-loop c.mu.Lock() call: the last Lock in source order.
 	var post *ast.CallExpr
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if c, ok := n.(*ast.CallExpr); ok {
-			if fset.Position(c.Pos()).Line == 15 {
+			if s, ok := c.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Lock" {
 				post = c
 			}
 		}

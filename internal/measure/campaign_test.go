@@ -201,7 +201,10 @@ func TestRunOptsValidate(t *testing.T) {
 		func(o *RunOpts) { o.Campaign.IterationStride = -time.Hour },
 		func(o *RunOpts) { o.Campaign.Retry.MaxAttempts = -1 },
 		func(o *RunOpts) { o.Campaign.Retry.JitterFrac = 2 },
-		func(o *RunOpts) { o.Campaign.Retry.BaseBackoff = time.Second; o.Campaign.Retry.MaxBackoff = time.Millisecond },
+		func(o *RunOpts) {
+			o.Campaign.Retry.BaseBackoff = time.Second
+			o.Campaign.Retry.MaxBackoff = time.Millisecond
+		},
 		func(o *RunOpts) { o.Collect.MaxPaths = -1 },
 	}
 	s := suite(t, 1)

@@ -21,7 +21,7 @@ func suite(t testing.TB, seed int64) *Suite {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Suite{DB: docdb.Open(), Daemon: d}
+	return &Suite{DB: docdb.MustOpen(), Daemon: d}
 }
 
 func TestSeedServers(t *testing.T) {
@@ -56,12 +56,12 @@ func TestSeedServers(t *testing.T) {
 }
 
 func TestServersErrors(t *testing.T) {
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	db.Collection(ColServers).Insert(docdb.Document{"_id": "1", FAddress: "bogus"})
 	if _, err := Servers(db); err == nil {
 		t.Error("bogus address accepted")
 	}
-	db2 := docdb.Open()
+	db2 := docdb.MustOpen()
 	db2.Collection(ColServers).Insert(docdb.Document{"_id": "1", FAddress: "16-ffaa:0:1002,[1.2.3.4]"})
 	if _, err := Servers(db2); err == nil {
 		t.Error("missing server_id accepted")

@@ -52,7 +52,7 @@ func TestPruneStats(t *testing.T) {
 
 func TestRetentionPolicy(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "db.jsonl")
-	db, err := docdb.OpenFile(dbPath)
+	db, err := docdb.Open(docdb.WithPath(dbPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRetentionPolicy(t *testing.T) {
 	}
 	// Journal still replayable.
 	db.Close()
-	db2, err := docdb.OpenFile(dbPath)
+	db2, err := docdb.Open(docdb.WithPath(dbPath))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func measuredWorld(t testing.TB, seed int64) (*Engine, *measure.Suite, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &measure.Suite{DB: docdb.Open(), Daemon: d}
+	s := &measure.Suite{DB: docdb.MustOpen(), Daemon: d}
 	if err := measure.SeedServers(s.DB, topo); err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func collectedWorld(t testing.TB, seed int64) (*Engine, *docdb.DB, []int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func setup(t testing.TB, seed int64) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := docdb.Open()
+	db := docdb.MustOpen()
 	if err := measure.SeedServers(db, topo); err != nil {
 		t.Fatal(err)
 	}

@@ -38,9 +38,11 @@ go test ./...
 echo "== tier 2: go test -race (concurrency-heavy packages)"
 # docdb also smoke-runs its benchmark suite under the race detector so
 # BenchmarkDocDB* (the BENCH_docdb.json trajectory, see docs/DOCDB.md)
-# cannot rot. selection and upin carry the snapshot-serving concurrency
-# tests (docs/SERVING.md): the randomized cache-vs-oracle interleavings and
-# the serve-while-measure front-end test.
+# cannot rot — including the backend= sub-runs, which put the segment
+# backend's sharded writers and group committer under the race detector.
+# selection and upin carry the snapshot-serving concurrency tests
+# (docs/SERVING.md): the randomized cache-vs-oracle interleavings and the
+# serve-while-measure front-end test.
 go test -race -bench=DocDB -benchtime=1x ./internal/docdb
 go test -race ./internal/simnet ./internal/measure
 go test -race ./internal/selection ./internal/upin
@@ -52,10 +54,13 @@ go test -race -run 'TestChaosSmall|TestPlanDeterminism' ./internal/chaos
 
 echo "== tier 2: fuzzer smoke (10s each)"
 # Differential fuzz of the compiled query filters against the naive
-# evaluator, and the lint directive parser against arbitrary comment text.
-# The checked-in corpora under testdata/fuzz/ always run as part of tier 1;
+# evaluator, the segment-log replayer against corrupted shard files
+# (truncations and bit flips must never panic or replay past a bad CRC),
+# and the lint directive parser against arbitrary comment text. The
+# checked-in corpora under testdata/fuzz/ always run as part of tier 1;
 # this explores beyond them for a bounded time.
 go test -run '^$' -fuzz '^FuzzCompileFilter$' -fuzztime 10s ./internal/docdb >/dev/null
+go test -run '^$' -fuzz '^FuzzSegmentReplay$' -fuzztime 10s ./internal/docdb >/dev/null
 go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 10s ./internal/lint >/dev/null
 
 echo "== tier 2: coverage floor (internal/..., >= ${COVERAGE_FLOOR}%)"
