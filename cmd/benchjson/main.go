@@ -8,6 +8,12 @@
 //	go run ./cmd/benchjson -label after -bench BenchmarkServing \
 //	    -pkg ./internal/selection -out BENCH_serving.json
 //
+// and the path-discovery suite (see docs/PATHDISC.md) records its
+// AS-count-labelled trajectory with:
+//
+//	go run ./cmd/benchjson -label after -bench BenchmarkPathDisc \
+//	    -pkg . -out BENCH_pathdisc.json
+//
 // Usage:
 //
 //	go run ./cmd/benchjson -label after            # run + record
@@ -40,9 +46,13 @@ type benchResult struct {
 	// Backend is the docdb storage backend a "backend=<name>" sub-benchmark
 	// ran against (BenchmarkDocDBInsert/backend=segment/n=100k → "segment");
 	// empty for backend-independent benchmarks.
-	Backend  string `json:"backend,omitempty"`
-	BPerOp   int64  `json:"bytes_per_op,omitempty"`
-	AllocsOp int64  `json:"allocs_per_op,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// ASes is the topology size an "ases=<n>" sub-benchmark ran against
+	// (BenchmarkPathDiscDiscover/ases=1000 → 1000, the BENCH_pathdisc.json
+	// trajectory); 0 for size-independent benchmarks.
+	ASes     int   `json:"as_count,omitempty"`
+	BPerOp   int64 `json:"bytes_per_op,omitempty"`
+	AllocsOp int64 `json:"allocs_per_op,omitempty"`
 }
 
 // trajectory is the whole BENCH_docdb.json file: labelled benchmark runs,
@@ -139,6 +149,10 @@ var benchLine = regexp.MustCompile(
 // like ".../backend=segment/...".
 var backendLabel = regexp.MustCompile(`/backend=([a-z]+)(?:/|-|$)`)
 
+// asesLabel extracts the topology size from a benchmark path element like
+// ".../ases=1000/..." (the path-discovery trajectory).
+var asesLabel = regexp.MustCompile(`/ases=(\d+)(?:/|-|$)`)
+
 // parseBench extracts benchmark results from go test -bench output.
 func parseBench(out string) []benchResult {
 	var results []benchResult
@@ -150,6 +164,9 @@ func parseBench(out string) []benchResult {
 		r := benchResult{Name: m[1]}
 		if bm := backendLabel.FindStringSubmatch(m[1]); bm != nil {
 			r.Backend = bm[1]
+		}
+		if am := asesLabel.FindStringSubmatch(m[1]); am != nil {
+			r.ASes, _ = strconv.Atoi(am[1])
 		}
 		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)

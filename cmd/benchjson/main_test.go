@@ -14,14 +14,15 @@ pkg: github.com/upin/scionpath/internal/docdb
 BenchmarkDocDBFindEq/n=10k-8         	   12345	     97531 ns/op	   20480 B/op	     210 allocs/op
 BenchmarkDocDBTopK/n=100k-8          	      50	  22334455.5 ns/op
 BenchmarkDocDBLoad/backend=segment/n=100k-8 	       3	 163000000 ns/op
+BenchmarkPathDiscCombineCached/ases=1000-8  	  200000	      5123 ns/op	    1024 B/op	      12 allocs/op
 PASS
 ok  	github.com/upin/scionpath/internal/docdb	3.2s
 `
 
 func TestParseBench(t *testing.T) {
 	got := parseBench(sampleOutput)
-	if len(got) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(got))
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(got))
 	}
 	first := got[0]
 	if first.Name != "BenchmarkDocDBFindEq/n=10k-8" || first.Iters != 12345 ||
@@ -38,6 +39,13 @@ func TestParseBench(t *testing.T) {
 	third := got[2]
 	if third.Backend != "segment" {
 		t.Errorf("third result backend %q, want segment: %+v", third.Backend, third)
+	}
+	if first.ASes != 0 || third.ASes != 0 {
+		t.Errorf("size-independent results carry AS counts: %+v, %+v", first, third)
+	}
+	fourth := got[3]
+	if fourth.ASes != 1000 || fourth.NsPerOp != 5123 {
+		t.Errorf("fourth result: %+v", fourth)
 	}
 }
 
@@ -66,7 +74,7 @@ func TestRunParseModeMergesLabels(t *testing.T) {
 	if err := json.Unmarshal(b, &traj); err != nil {
 		t.Fatal(err)
 	}
-	if len(traj.Runs) != 2 || len(traj.Runs["before"]) != 3 || len(traj.Runs["after"]) != 3 {
+	if len(traj.Runs) != 2 || len(traj.Runs["before"]) != 4 || len(traj.Runs["after"]) != 4 {
 		t.Fatalf("trajectory runs: %+v", traj.Runs)
 	}
 }

@@ -108,3 +108,16 @@ var (
 	Mumbai       = Site{"Mumbai", "India", Coordinates{19.0760, 72.8777}}
 	Johannesburg = Site{"Johannesburg", "South Africa", Coordinates{-26.2041, 28.0473}}
 )
+
+// AllSites returns the full site catalogue in a fixed order (the declaration
+// order above). The topology generator draws AS placements from it; callers
+// own the returned slice and may reorder it freely.
+func AllSites() []Site {
+	return []Site{
+		Zurich, Magdeburg, Darmstadt, Amsterdam, London, Dublin, Paris,
+		Geneva, Bern, Turin, Lisbon, Ashburn, Columbus, NewYork, Oregon,
+		SaoPaulo, Singapore, Seoul, Daejeon, Tokyo, Sydney, Bangalore,
+		TelAviv, Taipei, HongKong, Frankfurt, Stockholm, Prague, Vienna,
+		Madrid, Helsinki, Toronto, LosAngeles, Mumbai, Johannesburg,
+	}
+}

@@ -134,3 +134,26 @@ func clamp(v, lo, hi float64) float64 {
 	}
 	return lo + r
 }
+
+func TestAllSitesCatalogue(t *testing.T) {
+	sites := AllSites()
+	if len(sites) != 35 {
+		t.Fatalf("AllSites: %d sites, want 35", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s.Name == "" || !s.Coords.Valid() {
+			t.Errorf("site %+v invalid", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate site %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// Callers may reorder their copy without affecting later calls.
+	cp := AllSites()
+	cp[0], cp[1] = cp[1], cp[0]
+	if AllSites()[0] != Zurich {
+		t.Error("AllSites does not return a fresh slice")
+	}
+}

@@ -1,0 +1,93 @@
+package pathmgr
+
+import (
+	"sync"
+
+	"github.com/upin/scionpath/internal/addr"
+)
+
+// combineShards spreads the combination cache over independent locks so
+// concurrent daemons (forks share one combiner) rarely contend.
+const combineShards = 16
+
+// pairKey identifies an ordered (src, dst) combination query.
+type pairKey struct{ src, dst addr.IA }
+
+// combineCache is one generation of the (src,dst) -> paths combination
+// cache. It is published through Combiner.cache (atomic.Pointer) and is
+// therefore frozen after construction: invalidation replaces the whole
+// value with a fresh one, never mutates the current one. The mutable entry
+// maps live behind the per-shard locks.
+type combineCache struct {
+	// gen is the cache generation, bumped by every Invalidate.
+	gen    int64
+	shards [combineShards]*cacheShard
+}
+
+// cacheShard holds the entries whose pair key hashes onto it.
+type cacheShard struct {
+	// mu guards entries.
+	mu      sync.Mutex
+	entries map[pairKey]*cacheEntry
+}
+
+// cacheEntry is a single-flight slot for one (src, dst) pair: the caller
+// that inserts it computes the combination with the shard unlocked and
+// closes done; concurrent callers for the same pair block on done and read
+// the shared result instead of recombining.
+type cacheEntry struct {
+	done  chan struct{}
+	paths []*Path
+	err   error
+}
+
+func newCombineCache(gen int64) *combineCache {
+	cc := &combineCache{gen: gen}
+	for i := range cc.shards {
+		cc.shards[i] = &cacheShard{entries: make(map[pairKey]*cacheEntry)}
+	}
+	return cc
+}
+
+// shard picks the cache shard for the key (FNV-1a over the IA words).
+func (k pairKey) shard() int {
+	h := fnvOffset
+	h = fnvMix(h, uint64(k.src.ISD))
+	h = fnvMix(h, uint64(k.src.AS))
+	h = fnvMix(h, uint64(k.dst.ISD))
+	h = fnvMix(h, uint64(k.dst.AS))
+	return int(h % combineShards)
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one word into an FNV-1a style running hash.
+func fnvMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// hashHops hashes a hop tuple for duplicate detection; collisions are
+// resolved by hopsEqual, so the hash only needs to spread well.
+func hashHops(hops []Hop) uint64 {
+	h := fnvOffset
+	for _, hp := range hops {
+		h = fnvMix(h, uint64(hp.IA.ISD))
+		h = fnvMix(h, uint64(hp.IA.AS))
+		h = fnvMix(h, uint64(hp.In))
+		h = fnvMix(h, uint64(hp.Out))
+	}
+	return h
+}
+
+func hopsEqual(a, b []Hop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,8 @@ package pathmgr
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"github.com/upin/scionpath/internal/addr"
 	"github.com/upin/scionpath/internal/segment"
@@ -10,111 +12,385 @@ import (
 )
 
 // Combiner produces end-to-end paths from a segment registry, the role the
-// SCION daemon plays for the scion tools.
+// SCION daemon plays for the scion tools. It is safe for concurrent use:
+// combinations are served from a generation-stamped (src,dst) cache with
+// single-flight fill, and segment metadata (hop lists, link MTU/latency
+// suffix aggregates) is indexed lazily so repeated queries never re-walk
+// the topology. A Combiner published through an atomic.Pointer is a frozen
+// snapshot; all mutable state lives behind the metaStore and cache-shard
+// locks.
 type Combiner struct {
 	topo *topology.Topology
 	reg  *segment.Registry
+
+	metas *metaStore
+	// cache is the current combination-cache generation. Invalidate swaps
+	// in a fresh empty generation; the value itself is never mutated.
+	cache atomic.Pointer[combineCache]
 }
 
 // NewCombiner returns a combiner over the given topology and registry.
 func NewCombiner(topo *topology.Topology, reg *segment.Registry) *Combiner {
-	return &Combiner{topo: topo, reg: reg}
+	c := &Combiner{topo: topo, reg: reg, metas: newMetaStore(topo, reg)}
+	c.cache.Store(newCombineCache(0))
+	return c
 }
 
-// Paths returns all loop-free end-to-end paths from src to dst, deduplicated
-// and sorted by hop count (then fingerprint for determinism), the order
-// showpaths uses.
+// Generation returns the combination-cache generation, bumped by every
+// Invalidate. Diagnostics use it to tell cached from recombined answers.
+func (c *Combiner) Generation() int64 { return c.cache.Load().gen }
+
+// Invalidate atomically discards all cached combinations by publishing a
+// fresh cache generation. In-flight queries finish against the generation
+// they loaded; later queries recombine from the registry.
+func (c *Combiner) Invalidate() {
+	for {
+		old := c.cache.Load()
+		if c.cache.CompareAndSwap(old, newCombineCache(old.gen+1)) {
+			return
+		}
+	}
+}
+
+// Paths returns all loop-free end-to-end paths from src to dst,
+// deduplicated and sorted by hop count (then fingerprint for determinism),
+// the order showpaths uses. Results come from the combination cache when
+// the pair was combined before in the current generation; either way the
+// returned Path structs are private to the caller (the daemon stamps
+// expiry and probe status on them), though Hops slices are shared and must
+// be treated as read-only.
 func (c *Combiner) Paths(src, dst addr.IA) ([]*Path, error) {
 	if src == dst {
 		return nil, fmt.Errorf("pathmgr: src and dst are both %s", src)
 	}
-	srcAS, dstAS := c.topo.AS(src), c.topo.AS(dst)
-	if srcAS == nil {
+	if c.topo.AS(src) == nil {
 		return nil, fmt.Errorf("pathmgr: unknown source AS %s", src)
 	}
-	if dstAS == nil {
+	if c.topo.AS(dst) == nil {
 		return nil, fmt.Errorf("pathmgr: unknown destination AS %s", dst)
 	}
 
+	key := pairKey{src, dst}
+	sh := c.cache.Load().shards[key.shard()]
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e == nil {
+		e = &cacheEntry{done: make(chan struct{})}
+		sh.entries[key] = e
+		sh.mu.Unlock()
+		e.paths, e.err = c.combine(src, dst)
+		close(e.done)
+	} else {
+		sh.mu.Unlock()
+		<-e.done
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return clonePaths(e.paths), nil
+}
+
+// combine enumerates the up/core/down segment combinations for the pair:
+// the uncached path, run at most once per pair and generation.
+func (c *Combiner) combine(src, dst addr.IA) ([]*Path, error) {
+	srcCore := c.topo.AS(src).Type == topology.Core
+	dstCore := c.topo.AS(dst).Type == topology.Core
+
+	var (
+		out    []*Path
+		hashes map[uint64][]int
+	)
+	// add records a candidate unless an identical hop tuple was already
+	// recorded (first wins, like the original fingerprint-map dedup, but
+	// hashing the tuple directly instead of rendering and SHA-summing the
+	// sequence string).
+	add := func(hops []Hop, mtu int, lat time.Duration) {
+		h := hashHops(hops)
+		if hashes == nil {
+			hashes = make(map[uint64][]int)
+		}
+		for _, i := range hashes[h] {
+			if hopsEqual(out[i].Hops, hops) {
+				return
+			}
+		}
+		hashes[h] = append(hashes[h], len(out))
+		out = append(out, &Path{
+			Src: src, Dst: dst, Hops: hops,
+			MTU: mtu, MinLatency: lat, Status: "alive",
+		})
+	}
+
+	switch {
+	case srcCore && dstCore:
+		// Core segments are simple paths: no loop check needed.
+		for _, sm := range c.metas.corePair(src, dst) {
+			if sm.lastBad >= 0 {
+				return nil, sm.err
+			}
+			add(sm.hopsDown, sm.sufMTU[0], sm.sufLat[0])
+		}
+	case srcCore && !dstCore:
+		for _, dm := range c.metas.leafMetas(dst) {
+			if dm.seg.First() == src {
+				if dm.lastBad >= 0 {
+					return nil, dm.err
+				}
+				add(dm.hopsDown, dm.sufMTU[0], dm.sufLat[0])
+				continue
+			}
+			for _, sm := range c.metas.corePair(src, dm.seg.First()) {
+				hops := joinHops(sm.hopsDown, dm.hopsDown)
+				if hopsHaveLoop(hops) {
+					continue
+				}
+				if sm.lastBad >= 0 {
+					return nil, sm.err
+				}
+				if dm.lastBad >= 0 {
+					return nil, dm.err
+				}
+				add(hops, mergeMTU(sm.sufMTU[0], dm.sufMTU[0]), sm.sufLat[0]+dm.sufLat[0])
+			}
+		}
+	case !srcCore && dstCore:
+		for _, um := range c.metas.leafMetas(src) {
+			if um.seg.First() == dst {
+				if um.lastBad >= 0 {
+					return nil, um.err
+				}
+				add(um.hopsUp, um.sufMTU[0], um.sufLat[0])
+				continue
+			}
+			for _, sm := range c.metas.corePair(um.seg.First(), dst) {
+				hops := joinHops(um.hopsUp, sm.hopsDown)
+				if hopsHaveLoop(hops) {
+					continue
+				}
+				if um.lastBad >= 0 {
+					return nil, um.err
+				}
+				if sm.lastBad >= 0 {
+					return nil, sm.err
+				}
+				add(hops, mergeMTU(um.sufMTU[0], sm.sufMTU[0]), um.sufLat[0]+sm.sufLat[0])
+			}
+		}
+	default:
+		for _, um := range c.metas.leafMetas(src) {
+			u := um.seg
+			for _, dm := range c.metas.leafMetas(dst) {
+				d := dm.seg
+				if u.First() == d.First() {
+					// Same-anchor shortcut: splice at the last shared AS.
+					// The parts share no other AS by construction, so the
+					// result is loop-free.
+					i, j := spliceIndexes(u, d)
+					if um.lastBad >= i {
+						return nil, um.err
+					}
+					if dm.lastBad >= j {
+						return nil, dm.err
+					}
+					hops := joinHops(um.hopsUp[:len(u.Entries)-i], dm.hopsDown[j:])
+					add(hops, mergeMTU(um.sufMTU[i], dm.sufMTU[j]), um.sufLat[i]+dm.sufLat[j])
+					continue
+				}
+				for _, sm := range c.metas.corePair(u.First(), d.First()) {
+					hops := joinHops(joinHops(um.hopsUp, sm.hopsDown), dm.hopsDown)
+					if hopsHaveLoop(hops) {
+						continue
+					}
+					if um.lastBad >= 0 {
+						return nil, um.err
+					}
+					if sm.lastBad >= 0 {
+						return nil, sm.err
+					}
+					if dm.lastBad >= 0 {
+						return nil, dm.err
+					}
+					mtu := mergeMTU(mergeMTU(um.sufMTU[0], sm.sufMTU[0]), dm.sufMTU[0])
+					add(hops, mtu, um.sufLat[0]+sm.sufLat[0]+dm.sufLat[0])
+				}
+			}
+		}
+	}
+
+	if len(out) > 1 {
+		// Fingerprints are computed once per path, not once per comparison.
+		fps := make([]string, len(out))
+		for i, p := range out {
+			fps[i] = p.Fingerprint()
+		}
+		sort.Sort(&pathSorter{paths: out, fps: fps})
+	}
+	return out, nil
+}
+
+// MinHops returns the minimum hop count to dst, or 0 with ok=false when
+// dst is unreachable. Unlike Paths it never materialises, annotates or
+// sorts candidates: it walks segment lengths with the same enumeration and
+// loop checks, which keeps daemon-wide reachability reports cheap. It
+// assumes the registry is consistent with the topology (beaconing only
+// emits segments over existing links).
+func (c *Combiner) MinHops(src, dst addr.IA) (int, bool) {
+	if src == dst {
+		return 0, false
+	}
+	srcAS, dstAS := c.topo.AS(src), c.topo.AS(dst)
+	if srcAS == nil || dstAS == nil {
+		return 0, false
+	}
 	srcCore := srcAS.Type == topology.Core
 	dstCore := dstAS.Type == topology.Core
 
-	var candidates [][]Hop
+	best := 0
+	consider := func(n int) {
+		if best == 0 || n < best {
+			best = n
+		}
+	}
 	switch {
 	case srcCore && dstCore:
-		for _, s := range c.reg.CoreSegments(src, dst) {
-			candidates = append(candidates, coreHops(s))
+		// Core lists are sorted shortest-first and loop-free.
+		if segs := c.reg.CoreSegments(src, dst); len(segs) > 0 {
+			consider(segs[0].Len())
 		}
 	case srcCore && !dstCore:
 		for _, d := range c.reg.DownSegments(dst) {
 			if d.First() == src {
-				candidates = append(candidates, downHops(d))
+				consider(d.Len())
 				continue
 			}
 			for _, s := range c.reg.CoreSegments(src, d.First()) {
-				candidates = append(candidates, joinHops(coreHops(s), downHops(d)))
+				n := s.Len() + d.Len() - 1
+				if best != 0 && n >= best {
+					break // core lists sorted by length: no shorter join follows
+				}
+				if overlapEntries(s.Entries, d.Entries[1:]) {
+					continue
+				}
+				consider(n)
 			}
 		}
 	case !srcCore && dstCore:
 		for _, u := range c.reg.UpSegments(src) {
 			if u.First() == dst {
-				candidates = append(candidates, upHops(u))
+				consider(u.Len())
 				continue
 			}
 			for _, s := range c.reg.CoreSegments(u.First(), dst) {
-				candidates = append(candidates, joinHops(upHops(u), coreHops(s)))
+				n := u.Len() + s.Len() - 1
+				if best != 0 && n >= best {
+					break
+				}
+				if overlapEntries(u.Entries, s.Entries[1:]) {
+					continue
+				}
+				consider(n)
 			}
 		}
 	default:
 		for _, u := range c.reg.UpSegments(src) {
 			for _, d := range c.reg.DownSegments(dst) {
 				if u.First() == d.First() {
-					if hops, ok := spliceShortcut(u, d); ok {
-						candidates = append(candidates, hops)
-					}
+					i, j := spliceIndexes(u, d)
+					consider(len(u.Entries) - i + len(d.Entries) - j - 1)
 					continue
 				}
 				for _, s := range c.reg.CoreSegments(u.First(), d.First()) {
-					candidates = append(candidates, joinHops(joinHops(upHops(u), coreHops(s)), downHops(d)))
+					n := u.Len() + s.Len() + d.Len() - 2
+					if best != 0 && n >= best {
+						break
+					}
+					if overlapEntries(u.Entries, s.Entries[1:]) ||
+						overlapEntries(u.Entries, d.Entries[1:]) ||
+						overlapEntries(s.Entries[1:], d.Entries[1:]) {
+						continue
+					}
+					consider(n)
 				}
 			}
 		}
 	}
-
-	seen := map[string]bool{}
-	var out []*Path
-	for _, hops := range candidates {
-		p := &Path{Src: src, Dst: dst, Hops: hops}
-		if p.HasLoop() {
-			continue
-		}
-		if err := p.annotate(c.topo); err != nil {
-			return nil, err
-		}
-		fp := p.Fingerprint()
-		if seen[fp] {
-			continue
-		}
-		seen[fp] = true
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].NumHops() != out[j].NumHops() {
-			return out[i].NumHops() < out[j].NumHops()
-		}
-		return out[i].Fingerprint() < out[j].Fingerprint()
-	})
-	return out, nil
-}
-
-// MinHops returns the minimum hop count to dst, or 0 with ok=false when dst
-// is unreachable.
-func (c *Combiner) MinHops(src, dst addr.IA) (int, bool) {
-	paths, err := c.Paths(src, dst)
-	if err != nil || len(paths) == 0 {
+	if best == 0 {
 		return 0, false
 	}
-	return paths[0].NumHops(), true
+	return best, true
+}
+
+// pathSorter sorts paths by (hop count, fingerprint) while keeping the
+// precomputed fingerprints aligned.
+type pathSorter struct {
+	paths []*Path
+	fps   []string
+}
+
+func (s *pathSorter) Len() int { return len(s.paths) }
+func (s *pathSorter) Swap(i, j int) {
+	s.paths[i], s.paths[j] = s.paths[j], s.paths[i]
+	s.fps[i], s.fps[j] = s.fps[j], s.fps[i]
+}
+func (s *pathSorter) Less(i, j int) bool {
+	if s.paths[i].NumHops() != s.paths[j].NumHops() {
+		return s.paths[i].NumHops() < s.paths[j].NumHops()
+	}
+	return s.fps[i] < s.fps[j]
+}
+
+// clonePaths gives the caller its own Path structs over the cached hop
+// slices, so expiry stamping and probing never write into the cache.
+func clonePaths(in []*Path) []*Path {
+	if in == nil {
+		return nil
+	}
+	out := make([]*Path, len(in))
+	for i, p := range in {
+		cp := *p
+		out[i] = &cp
+	}
+	return out
+}
+
+// hopsHaveLoop reports whether any AS repeats. Paths are short (a dozen
+// hops at most), so the quadratic scan beats allocating a set.
+func hopsHaveLoop(hops []Hop) bool {
+	for i := 1; i < len(hops); i++ {
+		for j := 0; j < i; j++ {
+			if hops[j].IA == hops[i].IA {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// overlapEntries reports whether the two entry lists share an AS.
+func overlapEntries(a, b []segment.ASEntry) bool {
+	for _, ea := range a {
+		for _, eb := range b {
+			if ea.IA == eb.IA {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spliceIndexes locates the SCION common-AS shortcut between an up and a
+// down segment anchored at the same core AS: the last AS of d (scanning
+// from the leaf) that also lies on u. Both segments contain the shared
+// anchor at index 0, so a splice always exists.
+func spliceIndexes(u, d *segment.Segment) (int, int) {
+	for j := len(d.Entries) - 1; j >= 0; j-- {
+		for i, e := range u.Entries {
+			if e.IA == d.Entries[j].IA {
+				return i, j
+			}
+		}
+	}
+	return 0, 0 // unreachable: index 0 is shared
 }
 
 // upHops converts an up segment (stored in core->leaf beacon order) into
@@ -130,18 +406,14 @@ func upHops(u *segment.Segment) []Hop {
 }
 
 // downHops converts a down segment into packet-direction hops core->leaf,
-// which is the beacon direction itself.
+// which is the beacon direction itself. Core segments registered for the
+// src->dst direction convert the same way.
 func downHops(d *segment.Segment) []Hop {
 	hops := make([]Hop, len(d.Entries))
 	for i, e := range d.Entries {
 		hops[i] = Hop{IA: e.IA, In: e.In, Out: e.Out}
 	}
 	return hops
-}
-
-// coreHops converts a core segment registered for the src->dst direction.
-func coreHops(s *segment.Segment) []Hop {
-	return downHops(s)
 }
 
 // joinHops concatenates two hop lists that share their boundary AS, merging
@@ -158,31 +430,4 @@ func joinHops(a, b []Hop) []Hop {
 	out = append(out, Hop{IA: a[len(a)-1].IA, In: a[len(a)-1].In, Out: b[0].Out})
 	out = append(out, b[1:]...)
 	return out
-}
-
-// spliceShortcut joins an up and a down segment anchored at the same core
-// AS, cutting at the last AS the two segments share (the SCION common-AS
-// shortcut). When the only shared AS is the core itself this is the
-// ordinary core join.
-func spliceShortcut(u, d *segment.Segment) ([]Hop, bool) {
-	uIdx := make(map[addr.IA]int, len(u.Entries))
-	for i, e := range u.Entries {
-		uIdx[e.IA] = i
-	}
-	spliceJ := -1
-	for j := len(d.Entries) - 1; j >= 0; j-- {
-		if _, ok := uIdx[d.Entries[j].IA]; ok {
-			spliceJ = j
-			break
-		}
-	}
-	if spliceJ < 0 {
-		return nil, false
-	}
-	i := uIdx[d.Entries[spliceJ].IA]
-	// Up part: entries i..end reversed (leaf -> common AS).
-	up := upHops(&segment.Segment{Type: segment.Up, Entries: u.Entries[i:]})
-	// Down part: entries spliceJ..end (common AS -> leaf).
-	down := downHops(&segment.Segment{Type: segment.Down, Entries: d.Entries[spliceJ:]})
-	return joinHops(up, down), true
 }

@@ -1,0 +1,176 @@
+package pathmgr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// segMeta is a segment with everything combination needs precomputed once:
+// the packet-direction hop lists and suffix aggregates of link MTU and
+// propagation latency. Suffix i covers the links connecting entries
+// i..n-1, so splicing a segment at entry i prices the spliced tail in O(1)
+// instead of re-walking links for every candidate path.
+type segMeta struct {
+	seg *segment.Segment
+	// hopsDown is the beacon-direction hop list (core->leaf for down
+	// segments, origin->terminal for core segments).
+	hopsDown []Hop
+	// hopsUp is the reversed hop list (leaf->core), built for leaf
+	// segments only. Reversal commutes with suffix slicing:
+	// upHops(Entries[i:]) == hopsUp[:n-i] for any i.
+	hopsUp []Hop
+	// sufMTU[i] is the minimum link MTU over entries i..n-1 (0 when the
+	// suffix spans no link); sufLat[i] is the summed propagation delay.
+	// Like the Path annotations they precompute, both are derived from
+	// topo.LinkBetween per adjacent entry pair, not from the beacon's
+	// recorded MTUs.
+	sufMTU []int
+	sufLat []time.Duration
+	// lastBad is the largest entry index whose link to entry index+1 is
+	// missing from the topology, or -1: suffix i is usable iff lastBad < i.
+	// err records the first missing link in entry order.
+	lastBad int
+	err     error
+}
+
+// linkInfo is the cached per-AS-pair link annotation.
+type linkInfo struct {
+	mtu int
+	lat time.Duration
+	ok  bool
+}
+
+// metaStore lazily builds and caches segMetas per leaf AS and per ordered
+// core pair, only for the ASes combination actually touches (eager
+// construction would make building a combiner scale with the registry, not
+// with the queried pairs). It is deliberately a separate type from
+// Combiner: a published Combiner is a frozen snapshot, while the store
+// keeps mutating under its own lock.
+type metaStore struct {
+	topo *topology.Topology
+	reg  *segment.Registry
+
+	// mu guards leaf, core and links. Held only on combination-cache
+	// misses, and never while computing paths.
+	mu    sync.Mutex
+	leaf  map[addr.IA][]*segMeta
+	core  map[pairKey][]*segMeta
+	links map[pairKey]linkInfo
+}
+
+func newMetaStore(topo *topology.Topology, reg *segment.Registry) *metaStore {
+	return &metaStore{
+		topo:  topo,
+		reg:   reg,
+		leaf:  make(map[addr.IA][]*segMeta),
+		core:  make(map[pairKey][]*segMeta),
+		links: make(map[pairKey]linkInfo),
+	}
+}
+
+// leafMetas returns the metas of ia's down segments (used reversed as its
+// up segments), building them on first use.
+func (s *metaStore) leafMetas(ia addr.IA) []*segMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if metas, ok := s.leaf[ia]; ok {
+		return metas
+	}
+	segs := s.reg.DownSegments(ia)
+	metas := make([]*segMeta, len(segs))
+	for i, sg := range segs {
+		metas[i] = s.buildLocked(sg, true)
+	}
+	s.leaf[ia] = metas
+	return metas
+}
+
+// corePair returns the metas of the core segments from src to dst core AS,
+// building them on first use.
+func (s *metaStore) corePair(src, dst addr.IA) []*segMeta {
+	key := pairKey{src, dst}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if metas, ok := s.core[key]; ok {
+		return metas
+	}
+	segs := s.reg.CoreSegments(src, dst)
+	metas := make([]*segMeta, len(segs))
+	for i, sg := range segs {
+		metas[i] = s.buildLocked(sg, false)
+	}
+	s.core[key] = metas
+	return metas
+}
+
+func (s *metaStore) buildLocked(sg *segment.Segment, withUp bool) *segMeta {
+	ents := sg.Entries
+	n := len(ents)
+	m := &segMeta{
+		seg:      sg,
+		hopsDown: downHops(sg),
+		sufMTU:   make([]int, n),
+		sufLat:   make([]time.Duration, n),
+		lastBad:  -1,
+	}
+	if withUp {
+		m.hopsUp = upHops(sg)
+	}
+	for i := n - 2; i >= 0; i-- {
+		li := s.linkLocked(ents[i].IA, ents[i+1].IA)
+		if !li.ok {
+			if m.lastBad < 0 {
+				m.lastBad = i // scanning backwards: first hit is the largest
+			}
+			m.err = fmt.Errorf("pathmgr: path hop %s--%s has no link", ents[i].IA, ents[i+1].IA)
+			m.sufMTU[i], m.sufLat[i] = m.sufMTU[i+1], m.sufLat[i+1]
+			continue
+		}
+		m.sufMTU[i] = mergeMTU(m.sufMTU[i+1], li.mtu)
+		m.sufLat[i] = m.sufLat[i+1] + li.lat
+	}
+	return m
+}
+
+// linkLocked annotates the AS pair the way Path.annotate does — first link
+// between the pair, geographic propagation delay — memoised because tree
+// links recur across many segments. LinkBetween and PropagationDelay are
+// both symmetric, so the reverse direction is cached too.
+func (s *metaStore) linkLocked(a, b addr.IA) linkInfo {
+	key := pairKey{a, b}
+	if li, ok := s.links[key]; ok {
+		return li
+	}
+	var li linkInfo
+	if l := s.topo.LinkBetween(a, b); l != nil {
+		asA, asB := s.topo.AS(a), s.topo.AS(b)
+		li = linkInfo{
+			mtu: l.MTU,
+			lat: geo.PropagationDelay(asA.Site.Coords, asB.Site.Coords),
+			ok:  true,
+		}
+	}
+	s.links[key] = li
+	s.links[pairKey{b, a}] = li
+	return li
+}
+
+// mergeMTU combines two MTU aggregates where 0 means "no links yet".
+func mergeMTU(a, b int) int {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,384 @@
+package pathmgr
+
+// The original combiner — candidate enumeration, HasLoop filtering,
+// annotate-per-candidate, fingerprint-map dedup and (hops, fingerprint)
+// sort — kept verbatim as a test-local oracle. The indexed/cached combiner
+// must return reflect.DeepEqual results on every topology and pair,
+// including when served from the combination cache and across
+// invalidations.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func naivePaths(topo *topology.Topology, reg *segment.Registry, src, dst addr.IA) ([]*Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("pathmgr: src and dst are both %s", src)
+	}
+	srcAS, dstAS := topo.AS(src), topo.AS(dst)
+	if srcAS == nil {
+		return nil, fmt.Errorf("pathmgr: unknown source AS %s", src)
+	}
+	if dstAS == nil {
+		return nil, fmt.Errorf("pathmgr: unknown destination AS %s", dst)
+	}
+	srcCore := srcAS.Type == topology.Core
+	dstCore := dstAS.Type == topology.Core
+
+	var candidates [][]Hop
+	switch {
+	case srcCore && dstCore:
+		for _, s := range reg.CoreSegments(src, dst) {
+			candidates = append(candidates, downHops(s))
+		}
+	case srcCore && !dstCore:
+		for _, d := range reg.DownSegments(dst) {
+			if d.First() == src {
+				candidates = append(candidates, downHops(d))
+				continue
+			}
+			for _, s := range reg.CoreSegments(src, d.First()) {
+				candidates = append(candidates, joinHops(downHops(s), downHops(d)))
+			}
+		}
+	case !srcCore && dstCore:
+		for _, u := range reg.UpSegments(src) {
+			if u.First() == dst {
+				candidates = append(candidates, upHops(u))
+				continue
+			}
+			for _, s := range reg.CoreSegments(u.First(), dst) {
+				candidates = append(candidates, joinHops(upHops(u), downHops(s)))
+			}
+		}
+	default:
+		for _, u := range reg.UpSegments(src) {
+			for _, d := range reg.DownSegments(dst) {
+				if u.First() == d.First() {
+					if hops, ok := naiveSplice(u, d); ok {
+						candidates = append(candidates, hops)
+					}
+					continue
+				}
+				for _, s := range reg.CoreSegments(u.First(), d.First()) {
+					candidates = append(candidates, joinHops(joinHops(upHops(u), downHops(s)), downHops(d)))
+				}
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []*Path
+	for _, hops := range candidates {
+		p := &Path{Src: src, Dst: dst, Hops: hops}
+		if p.HasLoop() {
+			continue
+		}
+		if err := p.annotate(topo); err != nil {
+			return nil, err
+		}
+		fp := p.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NumHops() != out[j].NumHops() {
+			return out[i].NumHops() < out[j].NumHops()
+		}
+		return out[i].Fingerprint() < out[j].Fingerprint()
+	})
+	return out, nil
+}
+
+func naiveSplice(u, d *segment.Segment) ([]Hop, bool) {
+	uIdx := make(map[addr.IA]int, len(u.Entries))
+	for i, e := range u.Entries {
+		uIdx[e.IA] = i
+	}
+	spliceJ := -1
+	for j := len(d.Entries) - 1; j >= 0; j-- {
+		if _, ok := uIdx[d.Entries[j].IA]; ok {
+			spliceJ = j
+			break
+		}
+	}
+	if spliceJ < 0 {
+		return nil, false
+	}
+	i := uIdx[d.Entries[spliceJ].IA]
+	up := upHops(&segment.Segment{Type: segment.Up, Entries: u.Entries[i:]})
+	down := downHops(&segment.Segment{Type: segment.Down, Entries: d.Entries[spliceJ:]})
+	return joinHops(up, down), true
+}
+
+func naiveMinHops(topo *topology.Topology, reg *segment.Registry, src, dst addr.IA) (int, bool) {
+	paths, err := naivePaths(topo, reg, src, dst)
+	if err != nil || len(paths) == 0 {
+		return 0, false
+	}
+	return paths[0].NumHops(), true
+}
+
+// TestPathsMatchNaiveOracle sweeps seeded topologies and random pairs: the
+// indexed combiner, fresh or cache-served, before and after Invalidate,
+// must reproduce the naive combiner bit for bit.
+func TestPathsMatchNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	worlds := []*topology.Topology{topology.DefaultWorld()}
+	for i := 0; i < 6; i++ {
+		worlds = append(worlds, randomWorld(t, rng, 2+rng.Intn(4), 6))
+	}
+	for wi, topo := range worlds {
+		reg := segment.Discover(topo, segment.Options{})
+		c := NewCombiner(topo, reg)
+		all := topo.ASes()
+		for trial := 0; trial < 12; trial++ {
+			src := all[rng.Intn(len(all))].IA
+			dst := all[rng.Intn(len(all))].IA
+			if src == dst {
+				continue
+			}
+			want, wantErr := naivePaths(topo, reg, src, dst)
+			got, err := c.Paths(src, dst)
+			if (err != nil) != (wantErr != nil) {
+				t.Fatalf("world %d %s->%s: err %v, naive err %v", wi, src, dst, err, wantErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("world %d %s->%s: paths diverge from naive combiner", wi, src, dst)
+			}
+			// Second query is served from the combination cache.
+			cached, err := c.Paths(src, dst)
+			if err != nil || !reflect.DeepEqual(cached, want) {
+				t.Fatalf("world %d %s->%s: cached paths diverge (err %v)", wi, src, dst, err)
+			}
+			// And again after discarding the cache generation.
+			gen := c.Generation()
+			c.Invalidate()
+			if c.Generation() != gen+1 {
+				t.Fatalf("world %d: generation %d after invalidating %d", wi, c.Generation(), gen)
+			}
+			fresh, err := c.Paths(src, dst)
+			if err != nil || !reflect.DeepEqual(fresh, want) {
+				t.Fatalf("world %d %s->%s: post-invalidate paths diverge (err %v)", wi, src, dst, err)
+			}
+		}
+	}
+}
+
+// TestPathsCacheIsolation: callers own the returned Path structs — stamping
+// expiry or probe status on them must not leak into later answers.
+func TestPathsCacheIsolation(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := NewCombiner(topo, reg)
+	first, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil || len(first) == 0 {
+		t.Fatalf("paths: %v (%d paths)", err, len(first))
+	}
+	first[0].Status = "timeout"
+	first[0].Expiry = time.Unix(1, 0)
+	again, err := c.Paths(topology.MyAS, topology.AWSIreland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Status != "alive" || !again[0].Expiry.IsZero() {
+		t.Fatalf("caller mutation leaked into cache: status %q expiry %v", again[0].Status, again[0].Expiry)
+	}
+}
+
+// TestPathsConcurrentWithInvalidate hammers one combiner from concurrent
+// readers while another goroutine keeps invalidating; run under -race this
+// checks the single-flight fill and snapshot swap, and every answer must
+// still equal the naive oracle.
+func TestPathsConcurrentWithInvalidate(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := NewCombiner(topo, reg)
+
+	type pair struct{ src, dst addr.IA }
+	all := topo.ASes()
+	var pairs []pair
+	want := make(map[pair][]*Path)
+	rng := rand.New(rand.NewSource(5))
+	for len(pairs) < 10 {
+		src := all[rng.Intn(len(all))].IA
+		dst := all[rng.Intn(len(all))].IA
+		if src == dst {
+			continue
+		}
+		pr := pair{src, dst}
+		if _, dup := want[pr]; dup {
+			continue
+		}
+		w, err := naivePaths(topo, reg, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, pr)
+		want[pr] = w
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 60; iter++ {
+				pr := pairs[(g+iter)%len(pairs)]
+				got, err := c.Paths(pr.src, pr.dst)
+				if err != nil {
+					t.Errorf("paths %s->%s: %v", pr.src, pr.dst, err)
+					return
+				}
+				if !reflect.DeepEqual(got, want[pr]) {
+					t.Errorf("paths %s->%s diverge under concurrency", pr.src, pr.dst)
+					return
+				}
+				if len(got) > 0 {
+					got[0].Status = "timeout" // caller-owned, must not leak
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			c.Invalidate()
+		}
+	}()
+	wg.Wait()
+	if c.Generation() != 25 {
+		t.Fatalf("generation %d after 25 invalidations", c.Generation())
+	}
+}
+
+// TestMinHopsMatchesFullComputation is the satellite check for the cheap
+// MinHops: across a categorized table and exhaustive DefaultWorld sweeps it
+// must agree with materialising, annotating and sorting all paths.
+func TestMinHopsMatchesFullComputation(t *testing.T) {
+	topo := topology.DefaultWorld()
+	reg := segment.Discover(topo, segment.Options{})
+	c := NewCombiner(topo, reg)
+	all := topo.ASes()
+
+	var firstCore, secondCore, leafA, leafB addr.IA
+	for _, as := range all {
+		switch {
+		case as.Type == topology.Core && firstCore == (addr.IA{}):
+			firstCore = as.IA
+		case as.Type == topology.Core && secondCore == (addr.IA{}):
+			secondCore = as.IA
+		case as.Type != topology.Core && leafA == (addr.IA{}):
+			leafA = as.IA
+		case as.Type != topology.Core && leafB == (addr.IA{}):
+			leafB = as.IA
+		}
+	}
+	table := []struct {
+		name     string
+		src, dst addr.IA
+	}{
+		{"core-core", firstCore, secondCore},
+		{"core-leaf", firstCore, leafB},
+		{"leaf-core", leafA, secondCore},
+		{"leaf-leaf", leafA, leafB},
+		{"same AS", leafA, leafA},
+		{"unknown dst", leafA, addr.MustParseIA("99-ff00:0:1")},
+		{"unknown src", addr.MustParseIA("99-ff00:0:1"), leafA},
+	}
+	for _, tc := range table {
+		gotN, gotOK := c.MinHops(tc.src, tc.dst)
+		wantN, wantOK := naiveMinHops(topo, reg, tc.src, tc.dst)
+		if gotN != wantN || gotOK != wantOK {
+			t.Errorf("%s: MinHops(%s,%s) = (%d,%v), full computation (%d,%v)",
+				tc.name, tc.src, tc.dst, gotN, gotOK, wantN, wantOK)
+		}
+	}
+
+	// Exhaustive sweep over every ordered DefaultWorld pair.
+	for _, src := range all {
+		for _, dst := range all {
+			gotN, gotOK := c.MinHops(src.IA, dst.IA)
+			wantN, wantOK := naiveMinHops(topo, reg, src.IA, dst.IA)
+			if gotN != wantN || gotOK != wantOK {
+				t.Fatalf("MinHops(%s,%s) = (%d,%v), full computation (%d,%v)",
+					src.IA, dst.IA, gotN, gotOK, wantN, wantOK)
+			}
+		}
+	}
+
+	// Restrictive bounds leave distant ISDs unreachable: the ok=false
+	// agreement matters as much as the hop counts.
+	rng := rand.New(rand.NewSource(17))
+	topo2 := randomWorld(t, rng, 5, 4)
+	reg2 := segment.Discover(topo2, segment.Options{MaxCoreLen: 2})
+	c2 := NewCombiner(topo2, reg2)
+	all2 := topo2.ASes()
+	sawUnreachable := false
+	for trial := 0; trial < 200; trial++ {
+		src := all2[rng.Intn(len(all2))].IA
+		dst := all2[rng.Intn(len(all2))].IA
+		gotN, gotOK := c2.MinHops(src, dst)
+		wantN, wantOK := naiveMinHops(topo2, reg2, src, dst)
+		if gotN != wantN || gotOK != wantOK {
+			t.Fatalf("restricted MinHops(%s,%s) = (%d,%v), full computation (%d,%v)",
+				src, dst, gotN, gotOK, wantN, wantOK)
+		}
+		if !gotOK && src != dst {
+			sawUnreachable = true
+		}
+	}
+	if !sawUnreachable {
+		t.Error("restricted sweep never hit an unreachable pair; tighten the bounds")
+	}
+}
+
+// TestPathsMissingLinkError: a registry inconsistent with the topology (a
+// segment crossing a link the topology no longer has) must surface as an
+// error, not a bogus path — and the error must be cached like a result.
+func TestPathsMissingLinkError(t *testing.T) {
+	build := func(withLeafLink bool) *topology.Topology {
+		topo := topology.New()
+		add := func(ia string, typ topology.ASType) {
+			topo.MustAddAS(&topology.AS{
+				IA: addr.MustParseIA(ia), Name: ia, Type: typ, Site: geo.Zurich,
+			})
+		}
+		add("1-ff00:0:110", topology.Core)
+		add("1-ff00:0:111", topology.NonCore)
+		add("1-ff00:0:112", topology.NonCore)
+		ia := addr.MustParseIA
+		topo.MustConnect(topology.ParentChild, ia("1-ff00:0:110"), ia("1-ff00:0:111"), topology.LinkSpec{})
+		if withLeafLink {
+			topo.MustConnect(topology.ParentChild, ia("1-ff00:0:111"), ia("1-ff00:0:112"), topology.LinkSpec{})
+		}
+		return topo
+	}
+	reg := segment.Discover(build(true), segment.Options{})
+	c := NewCombiner(build(false), reg)  // same world, leaf link gone
+	for round := 0; round < 2; round++ { // second round hits the cached error
+		_, err := c.Paths(addr.MustParseIA("1-ff00:0:110"), addr.MustParseIA("1-ff00:0:112"))
+		if err == nil {
+			t.Fatal("combining over a missing link succeeded")
+		}
+		want := "pathmgr: path hop 1-ff00:0:111--1-ff00:0:112 has no link"
+		if err.Error() != want {
+			t.Fatalf("error %q, want %q", err, want)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/upin/scionpath/internal/addr"
@@ -23,18 +25,31 @@ import (
 const SegmentLifetime = 6 * time.Hour
 
 // Daemon bundles the control plane (combiner over the beaconing registry)
-// with the data plane (simulator) for one local AS.
+// with the data plane (simulator) for one local AS. Lookups are safe for
+// concurrent use: the combiner is published through an atomic pointer and
+// re-beaconing swaps in a fresh snapshot.
 type Daemon struct {
-	topo     *topology.Topology
-	combiner *pathmgr.Combiner
-	net      *simnet.Network
-	local    addr.IA
+	topo  *topology.Topology
+	net   *simnet.Network
+	local addr.IA
 	// fault, when set, is consulted before every path lookup (chaos
 	// testing, see fault.go); nil in production and zero-cost then.
+	// Installed before the daemon is shared, immutable afterwards.
 	fault FaultHook
-	// discoveredAt is the simulated time of the last beaconing run; paths
-	// combined from that registry expire SegmentLifetime later.
-	discoveredAt time.Duration
+
+	// combiner is the published control-plane snapshot, swapped wholesale
+	// by refresh; loaded once per lookup so a lookup never mixes registry
+	// generations.
+	combiner atomic.Pointer[pathmgr.Combiner]
+	// discoveredAt is the simulated time (nanoseconds) of the last
+	// beaconing run; paths combined from that registry expire
+	// SegmentLifetime later.
+	discoveredAt atomic.Int64
+
+	// refreshMu serializes re-beaconing (it guards no fields — state is
+	// published atomically): concurrent lookups that race on segment
+	// expiry run Discover once, the losers reuse the winner's snapshot.
+	refreshMu sync.Mutex
 }
 
 // New builds a daemon for the local AS. The segment registry is discovered
@@ -57,35 +72,64 @@ func New(topo *topology.Topology, net *simnet.Network, local addr.IA) (*Daemon, 
 // re-beacons on its own only when the shared registry's segments expire
 // relative to the fork's clock.
 func (d *Daemon) Fork(net *simnet.Network) *Daemon {
-	f := &Daemon{topo: d.topo, combiner: d.combiner, net: net, local: d.local, fault: d.fault}
+	f := &Daemon{topo: d.topo, net: net, local: d.local, fault: d.fault}
+	f.combiner.Store(d.combiner.Load())
 	if net != nil {
-		f.discoveredAt = net.Now()
+		f.discoveredAt.Store(int64(net.Now()))
 	}
 	return f
 }
 
-// refresh re-runs beaconing and stamps the discovery time.
+// refresh re-runs beaconing, publishes a combiner over the new registry and
+// stamps the discovery time. The superseded combiner's combination cache is
+// invalidated atomically, so a lookup that already loaded the old snapshot
+// recombines instead of serving cached-but-stale answers indefinitely.
 func (d *Daemon) refresh() {
+	d.refreshMu.Lock()
+	defer d.refreshMu.Unlock()
+	d.refreshLocked()
+}
+
+// refreshLocked is refresh's body; callers hold refreshMu.
+func (d *Daemon) refreshLocked() {
 	reg := segment.Discover(d.topo, segment.Options{})
-	d.combiner = pathmgr.NewCombiner(d.topo, reg)
+	next := pathmgr.NewCombiner(d.topo, reg)
 	if d.net != nil {
-		d.discoveredAt = d.net.Now()
+		d.discoveredAt.Store(int64(d.net.Now()))
+	}
+	if old := d.combiner.Swap(next); old != nil {
+		old.Invalidate()
 	}
 }
 
-// maybeRefresh re-beacons when the registry's segments have expired.
+// maybeRefresh re-beacons when the registry's segments have expired. The
+// expiry check is double-checked under refreshMu so concurrent lookups
+// trigger a single Discover.
 func (d *Daemon) maybeRefresh() {
 	if d.net == nil {
 		return
 	}
-	if d.net.Now()-d.discoveredAt >= SegmentLifetime {
-		d.refresh()
+	if d.net.Now()-d.discovered() < SegmentLifetime {
+		return
 	}
+	d.refreshMu.Lock()
+	defer d.refreshMu.Unlock()
+	if d.net.Now()-d.discovered() < SegmentLifetime {
+		return
+	}
+	d.refreshLocked()
 }
 
-// stampExpiry sets the expiry metadata showpaths prints.
+// discovered returns the simulated time of the last beaconing run.
+func (d *Daemon) discovered() time.Duration {
+	return time.Duration(d.discoveredAt.Load())
+}
+
+// stampExpiry sets the expiry metadata showpaths prints. Paths handed out
+// by the combiner are caller-owned clones, so stamping never writes into
+// the combination cache.
 func (d *Daemon) stampExpiry(paths []*pathmgr.Path) {
-	expiry := time.Unix(0, 0).Add(d.discoveredAt + SegmentLifetime)
+	expiry := time.Unix(0, 0).Add(d.discovered() + SegmentLifetime)
 	for _, p := range paths {
 		p.Expiry = expiry
 	}
@@ -136,7 +180,7 @@ func (d *Daemon) ShowPaths(dst addr.IA, opts ShowPathsOpts) ([]*pathmgr.Path, er
 	if !skipRefresh {
 		d.maybeRefresh()
 	}
-	paths, err := d.combiner.Paths(d.local, dst)
+	paths, err := d.combiner.Load().Paths(d.local, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +211,7 @@ func (d *Daemon) PathsTo(dst addr.IA) ([]*pathmgr.Path, error) {
 	if !skipRefresh {
 		d.maybeRefresh()
 	}
-	paths, err := d.combiner.Paths(d.local, dst)
+	paths, err := d.combiner.Load().Paths(d.local, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +303,7 @@ func (d *Daemon) Reachability(dests []addr.IA) ReachabilityReport {
 		FracWithin:    map[int]float64{},
 	}
 	total := 0
+	c := d.combiner.Load() // one snapshot for the whole report
 	for _, dst := range dests {
 		if dst == d.local {
 			continue
@@ -266,7 +311,7 @@ func (d *Daemon) Reachability(dests []addr.IA) ReachabilityReport {
 		if _, dup := rep.MinHopsByDest[dst]; dup {
 			continue // multi-server ASes count once per AS
 		}
-		min, ok := d.combiner.MinHops(d.local, dst)
+		min, ok := c.MinHops(d.local, dst)
 		if !ok {
 			continue
 		}

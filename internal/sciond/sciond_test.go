@@ -2,6 +2,7 @@ package sciond
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -233,4 +234,96 @@ func TestReachabilitySkipsSelf(t *testing.T) {
 	if len(rep.MinHopsByDest) != 0 {
 		t.Error("self counted as destination")
 	}
+}
+
+// TestConcurrentLookupsAndRefresh drives ShowPaths, PathsTo and
+// Reachability from concurrent goroutines while others force re-beaconing;
+// under -race this exercises the atomic combiner publication, the
+// double-checked expiry refresh and the cache invalidation on swap. Every
+// answer must stay consistent with a quiet single-threaded daemon.
+func TestConcurrentLookupsAndRefresh(t *testing.T) {
+	d := daemon(t)
+	quiet := daemon(t)
+	want, err := quiet.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := serverIAs(quiet.Topology())
+	wantRep := quiet.Reachability(dests)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				paths, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{MaxPaths: 40})
+				if err != nil {
+					t.Errorf("ShowPaths: %v", err)
+					return
+				}
+				if len(paths) != len(want) {
+					t.Errorf("ShowPaths returned %d paths, want %d", len(paths), len(want))
+					return
+				}
+				for i, p := range paths {
+					if p.Fingerprint() != want[i].Fingerprint() {
+						t.Errorf("path %d diverged under concurrent refresh", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			d.refresh()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			rep := d.Reachability(dests)
+			if len(rep.MinHopsByDest) != len(wantRep.MinHopsByDest) {
+				t.Errorf("reachability saw %d destinations, want %d",
+					len(rep.MinHopsByDest), len(wantRep.MinHopsByDest))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestForkSharesSnapshotUntilOwnRefresh: a fork starts on the parent's
+// combiner (no re-beaconing) and leaves the parent untouched when it later
+// re-beacons on its own clock.
+func TestForkSharesSnapshotUntilOwnRefresh(t *testing.T) {
+	d := daemon(t)
+	topo := d.Topology()
+	f := d.Fork(simnet.New(topo, simnet.Options{Seed: 2}))
+	if f.combiner.Load() != d.combiner.Load() {
+		t.Fatal("fork did not share the parent's combiner snapshot")
+	}
+	f.Network().Advance(SegmentLifetime + time.Hour)
+	if _, err := f.ShowPaths(topology.AWSIreland, ShowPathsOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.combiner.Load() == d.combiner.Load() {
+		t.Fatal("fork still shares the combiner after its segments expired")
+	}
+	// The parent keeps serving from its own (still valid) snapshot.
+	if _, err := d.ShowPaths(topology.AWSIreland, ShowPathsOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func serverIAs(topo *topology.Topology) []addr.IA {
+	var dests []addr.IA
+	for _, s := range topo.Servers() {
+		dests = append(dests, s.IA)
+	}
+	return dests
 }

@@ -1,0 +1,163 @@
+// Bounded-width beacon propagation: the scalable replacement for the
+// original exhaustive simple-path DFS. Each AS keeps a small beacon store
+// per origin core AS (BeaconsPerOrigin entries); only retained beacons
+// propagate, which bounds the frontier the way a real SCION beacon store
+// does and keeps discovery polynomial at 10³–10⁴ ASes.
+package segment
+
+import (
+	"sort"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// halfLink is one directed traversal of a topology link: the AS it leads
+// to, the egress interface on the current AS, the ingress interface on the
+// next AS, and the link MTU the beacon records on entry.
+type halfLink struct {
+	next addr.IA
+	out  addr.IfID
+	in   addr.IfID
+	mtu  int
+}
+
+// beaconGraph is the propagation view of a topology, built once per
+// Discover call and shared read-only by all origin workers. core holds core
+// links in both directions; down holds parent->child links in the beacon
+// (downstream) direction only.
+type beaconGraph struct {
+	core map[addr.IA][]halfLink
+	down map[addr.IA][]halfLink
+}
+
+func newBeaconGraph(topo *topology.Topology) *beaconGraph {
+	g := &beaconGraph{
+		core: make(map[addr.IA][]halfLink),
+		down: make(map[addr.IA][]halfLink),
+	}
+	for _, l := range topo.Links() {
+		switch l.Type {
+		case topology.CoreLink:
+			g.core[l.A] = append(g.core[l.A], halfLink{next: l.B, out: l.AIf, in: l.BIf, mtu: l.MTU})
+			g.core[l.B] = append(g.core[l.B], halfLink{next: l.A, out: l.BIf, in: l.AIf, mtu: l.MTU})
+		case topology.ParentChild:
+			g.down[l.A] = append(g.down[l.A], halfLink{next: l.B, out: l.AIf, in: l.BIf, mtu: l.MTU})
+		}
+	}
+	return g
+}
+
+// propagate runs bounded-width best-first beacon propagation from one
+// origin AS: a level-synchronous BFS where round L extends every beacon
+// retained in round L-1 by one link, and each reached AS retains at most k
+// beacons per origin. Retention is best-first — shorter beacons always win
+// because they arrived in an earlier round, and same-length ties are broken
+// lexicographically by hop tuple — so the outcome is a total-order choice
+// independent of link iteration order, map iteration order and worker
+// scheduling. Beacons the store rejects never propagate, which is what
+// bounds the frontier.
+//
+// sameISD restricts propagation to the origin's ISD (intra-ISD beaconing).
+// The returned per-AS lists are sorted by (length, lexicographic entries).
+func propagate(origin addr.IA, adj map[addr.IA][]halfLink, sameISD bool, maxLen, k int) map[addr.IA][][]ASEntry {
+	kept := make(map[addr.IA][][]ASEntry)
+	frontier := [][]ASEntry{{{IA: origin}}}
+	for length := 2; length <= maxLen && len(frontier) > 0; length++ {
+		// Candidate extensions this round, grouped by reached AS. touched
+		// records first-arrival order so the retention loop below never
+		// ranges over the map.
+		cand := make(map[addr.IA][][]ASEntry)
+		var touched []addr.IA
+		for _, seg := range frontier {
+			cur := seg[len(seg)-1]
+			for _, hl := range adj[cur.IA] {
+				if sameISD && hl.next.ISD != origin.ISD {
+					continue
+				}
+				// A full store rejects every candidate this round (it only
+				// holds shorter beacons from earlier rounds): skip building
+				// the extension at all.
+				if len(kept[hl.next]) >= k {
+					continue
+				}
+				if entriesContain(seg, hl.next) {
+					continue
+				}
+				ext := make([]ASEntry, len(seg)+1)
+				copy(ext, seg)
+				ext[len(seg)-1].Out = hl.out
+				ext[len(seg)] = ASEntry{IA: hl.next, In: hl.in, MTU: hl.mtu}
+				if len(cand[hl.next]) == 0 {
+					touched = append(touched, hl.next)
+				}
+				cand[hl.next] = append(cand[hl.next], ext)
+			}
+		}
+		var next [][]ASEntry
+		for _, ia := range touched {
+			room := k - len(kept[ia])
+			if room <= 0 {
+				continue
+			}
+			c := cand[ia]
+			sort.Slice(c, func(i, j int) bool { return entriesLess(c[i], c[j]) })
+			if len(c) > room {
+				c = c[:room]
+			}
+			kept[ia] = append(kept[ia], c...)
+			next = append(next, c...)
+		}
+		frontier = next
+	}
+	return kept
+}
+
+// entriesContain reports whether the beacon already traverses ia (the
+// simple-path check; beacons are short, so a linear scan beats a map).
+func entriesContain(seg []ASEntry, ia addr.IA) bool {
+	for _, e := range seg {
+		if e.IA == ia {
+			return true
+		}
+	}
+	return false
+}
+
+// entriesLess orders entry lists lexicographically by (IA, In, Out) per
+// position, shorter prefix first. Two distinct beacons always differ in
+// some position (interface ids are unique per AS), so this is a total
+// order — the deterministic retention tie-break.
+func entriesLess(a, b []ASEntry) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		x, y := a[i], b[i]
+		if x.IA != y.IA {
+			if x.IA.ISD != y.IA.ISD {
+				return x.IA.ISD < y.IA.ISD
+			}
+			return x.IA.AS < y.IA.AS
+		}
+		if x.In != y.In {
+			return x.In < y.In
+		}
+		if x.Out != y.Out {
+			return x.Out < y.Out
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortSegments orders segments by length, then lexicographically by
+// entries: the canonical registry order (and the retention tie-break the
+// MaxSegmentsPerPair truncation applies).
+func sortSegments(segs []*Segment) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Len() != segs[j].Len() {
+			return segs[i].Len() < segs[j].Len()
+		}
+		return entriesLess(segs[i].Entries, segs[j].Entries)
+	})
+}

@@ -1,0 +1,230 @@
+package segment
+
+// The original exhaustive simple-path DFS, kept as a test-local oracle: the
+// bounded-width propagation in beacon.go must discover exactly the same
+// segment sets whenever its beacon stores are wide enough that nothing is
+// pruned mid-flight.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/geo"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func oracleDiscover(topo *topology.Topology, opts Options) *Registry {
+	opts = opts.withDefaults()
+	reg := &Registry{
+		DownByLeaf: make(map[addr.IA][]*Segment),
+		CoreByPair: make(map[addr.IA]map[addr.IA][]*Segment),
+	}
+	cloneEntries := func(in []ASEntry) []ASEntry {
+		out := make([]ASEntry, len(in))
+		copy(out, in)
+		return out
+	}
+	registerCore := func(origin, terminal addr.IA, entries []ASEntry) {
+		m := reg.CoreByPair[origin]
+		if m == nil {
+			m = make(map[addr.IA][]*Segment)
+			reg.CoreByPair[origin] = m
+		}
+		m[terminal] = append(m[terminal], &Segment{Type: CoreSeg, Entries: entries})
+	}
+	for _, origin := range topo.CoreASes(0) {
+		var walk func(seg []ASEntry, seen map[addr.IA]bool)
+		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
+			cur := seg[len(seg)-1].IA
+			if len(seg) > 1 {
+				registerCore(origin.IA, cur, cloneEntries(seg))
+			}
+			if len(seg) >= opts.MaxCoreLen {
+				return
+			}
+			for _, l := range topo.LinksOf(cur) {
+				if l.Type != topology.CoreLink {
+					continue
+				}
+				next, outIf, inIf := l.B, l.AIf, l.BIf
+				if l.B == cur {
+					next, outIf, inIf = l.A, l.BIf, l.AIf
+				}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				seg[len(seg)-1].Out = outIf
+				seg = append(seg, ASEntry{IA: next, In: inIf, MTU: l.MTU})
+				walk(seg, seen)
+				seg = seg[:len(seg)-1]
+				seg[len(seg)-1].Out = 0
+				delete(seen, next)
+			}
+		}
+		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
+	}
+	for _, m := range reg.CoreByPair {
+		for dst, segs := range m {
+			sortSegments(segs)
+			if len(segs) > opts.MaxSegmentsPerPair {
+				m[dst] = segs[:opts.MaxSegmentsPerPair]
+			}
+		}
+	}
+	for _, origin := range topo.CoreASes(0) {
+		var walk func(seg []ASEntry, seen map[addr.IA]bool)
+		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
+			cur := seg[len(seg)-1].IA
+			if len(seg) > 1 {
+				reg.DownByLeaf[cur] = append(reg.DownByLeaf[cur], &Segment{
+					Type: Down, Entries: cloneEntries(seg),
+				})
+			}
+			if len(seg) >= opts.MaxDownLen {
+				return
+			}
+			for _, l := range topo.LinksOf(cur) {
+				if l.Type != topology.ParentChild || l.A != cur {
+					continue
+				}
+				if l.B.ISD != origin.IA.ISD || seen[l.B] {
+					continue
+				}
+				seen[l.B] = true
+				seg[len(seg)-1].Out = l.AIf
+				seg = append(seg, ASEntry{IA: l.B, In: l.BIf, MTU: l.MTU})
+				walk(seg, seen)
+				seg = seg[:len(seg)-1]
+				seg[len(seg)-1].Out = 0
+				delete(seen, l.B)
+			}
+		}
+		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
+	}
+	for _, segs := range reg.DownByLeaf {
+		sortSegments(segs)
+	}
+	return reg
+}
+
+// oracleWorlds are the topologies the differential tests sweep: the paper's
+// replica plus generated worlds with multi-core ISDs and dense meshes.
+func oracleWorlds(t *testing.T) map[string]*topology.Topology {
+	t.Helper()
+	worlds := map[string]*topology.Topology{
+		"default": topology.DefaultWorld(),
+	}
+	specs := []topology.GenerateSpec{
+		{Seed: 1, ISDs: 4, MaxNonCorePerISD: 6, ExtraCoreLinks: 3},
+		{Seed: 2, ISDs: 5, CoresPerISD: 3, NonCorePerISD: 10, CoreDegree: 4},
+		{Seed: 3, ISDs: 2, CoresPerISD: 2, NonCorePerISD: 14, MaxChildren: 3, MultiParentProb: 0.6},
+	}
+	for _, spec := range specs {
+		topo, err := topology.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[topo.ASes()[0].IA.String()] = topo
+	}
+	return worlds
+}
+
+// TestDiscoverMatchesExhaustive checks the bounded propagation against the
+// exhaustive DFS with retention wide open: with nothing to prune, the two
+// must produce identical registries.
+func TestDiscoverMatchesExhaustive(t *testing.T) {
+	wide := Options{MaxSegmentsPerPair: 1 << 20, BeaconsPerOrigin: 1 << 20}
+	for name, topo := range oracleWorlds(t) {
+		got := Discover(topo, wide)
+		want := oracleDiscover(topo, wide)
+		if !reflect.DeepEqual(got.CoreByPair, want.CoreByPair) {
+			t.Errorf("%s: core segments diverge from exhaustive oracle", name)
+		}
+		if !reflect.DeepEqual(got.DownByLeaf, want.DownByLeaf) {
+			t.Errorf("%s: down segments diverge from exhaustive oracle", name)
+		}
+	}
+}
+
+// TestDiscoverDefaultsMatchOracle runs both at the default retention
+// bounds: on these worlds no beacon store overflows mid-propagation, so
+// bounded discovery must still equal the truncated exhaustive result.
+func TestDiscoverDefaultsMatchOracle(t *testing.T) {
+	for name, topo := range oracleWorlds(t) {
+		got := Discover(topo, Options{})
+		want := oracleDiscover(topo, Options{})
+		if !reflect.DeepEqual(got.CoreByPair, want.CoreByPair) {
+			t.Errorf("%s: core segments diverge at default bounds", name)
+		}
+		if !reflect.DeepEqual(got.DownByLeaf, want.DownByLeaf) {
+			t.Errorf("%s: down segments diverge at default bounds", name)
+		}
+	}
+}
+
+// TestDiscoverWorkerInvariance is the acceptance check for parallel
+// beaconing: any worker count must produce a bit-identical registry.
+func TestDiscoverWorkerInvariance(t *testing.T) {
+	topo, err := topology.Generate(topology.GenerateSpec{
+		Seed: 11, ISDs: 6, CoresPerISD: 2, NonCorePerISD: 12, CoreDegree: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Discover(topo, Options{Workers: 1})
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := Discover(topo, Options{Workers: workers})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("registry differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestCoreRetentionTieBreak is the regression test for the satellite fix:
+// when more equal-length core segments exist than MaxSegmentsPerPair keeps,
+// the survivors must be the lexicographically smallest hop tuples — not
+// whatever discovery order produced (the old behaviour).
+func TestCoreRetentionTieBreak(t *testing.T) {
+	// Four fully meshed cores: A->B has one 2-AS, two 3-AS and two 4-AS
+	// simple paths; MaxSegmentsPerPair 2 must keep the 2-AS segment plus
+	// the lexicographically smaller 3-AS one.
+	topo := topology.New()
+	var cores []addr.IA
+	for i := 0; i < 4; i++ {
+		ia := addr.IA{ISD: 1, AS: addr.AS(0x10000 + i)}
+		topo.MustAddAS(&topology.AS{IA: ia, Name: ia.String(), Type: topology.Core, Site: geo.Zurich})
+		cores = append(cores, ia)
+	}
+	for i := 0; i < len(cores); i++ {
+		for j := i + 1; j < len(cores); j++ {
+			topo.MustConnect(topology.CoreLink, cores[i], cores[j], topology.LinkSpec{})
+		}
+	}
+
+	full := Discover(topo, Options{MaxSegmentsPerPair: 1 << 20})
+	trimmed := Discover(topo, Options{MaxSegmentsPerPair: 2})
+	for _, src := range cores {
+		for _, dst := range cores {
+			if src == dst {
+				continue
+			}
+			all := full.CoreSegments(src, dst)
+			want := all
+			if len(want) > 2 {
+				want = want[:2]
+			}
+			got := trimmed.CoreSegments(src, dst)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s->%s: retention kept %v, want lexicographic prefix %v", src, dst, got, want)
+			}
+		}
+	}
+	// The survivors are a deterministic function of the topology alone:
+	// re-discovery (any worker count) reproduces them bit-identically.
+	again := Discover(topo, Options{MaxSegmentsPerPair: 2, Workers: 3})
+	if !reflect.DeepEqual(trimmed, again) {
+		t.Fatal("retention not reproducible across runs/worker counts")
+	}
+}

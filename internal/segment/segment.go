@@ -9,7 +9,10 @@ package segment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/upin/scionpath/internal/addr"
 	"github.com/upin/scionpath/internal/topology"
@@ -119,8 +122,18 @@ type Options struct {
 	// MaxDownLen caps the number of ASes in a down segment.
 	MaxDownLen int
 	// MaxSegmentsPerPair caps how many core segments are kept per ordered
-	// core-AS pair (shortest first), like a registry retention policy.
+	// core-AS pair (shortest first, length ties broken lexicographically
+	// by hop tuple), like a registry retention policy.
 	MaxSegmentsPerPair int
+	// BeaconsPerOrigin caps how many beacons each AS's beacon store
+	// retains — and therefore propagates — per origin core AS during
+	// beaconing (see propagate). Retention is best-first: shortest
+	// beacons win, same-length ties break lexicographically by hop tuple.
+	BeaconsPerOrigin int
+	// Workers bounds how many origin core ASes beacon concurrently. The
+	// merge is deterministic, so any value yields a bit-identical
+	// registry; 0 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,121 +146,101 @@ func (o Options) withDefaults() Options {
 	if o.MaxSegmentsPerPair == 0 {
 		o.MaxSegmentsPerPair = 8
 	}
+	if o.BeaconsPerOrigin == 0 {
+		o.BeaconsPerOrigin = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // Discover runs core and intra-ISD beaconing over the topology and returns
-// the populated registry.
+// the populated registry. Beaconing is bounded-width best-first propagation
+// (see beacon.go) parallelised across origin core ASes; per-origin results
+// land in indexed slots and merge sequentially in sorted-origin order, so
+// the registry is bit-identical for any Workers value.
+//
+// A core segment registered at a terminal AS, originated by `origin`,
+// supports forwarding terminal->origin in SCION; for simplicity our links
+// are symmetric, so it is registered for the origin->terminal direction and
+// the reverse direction is discovered by the beacon originated at the other
+// end.
 func Discover(topo *topology.Topology, opts Options) *Registry {
 	opts = opts.withDefaults()
+	origins := topo.CoreASes(0)
+	g := newBeaconGraph(topo)
+
+	// originSegs is one origin's beaconing output: segments that reached
+	// each core AS (core beaconing) and each leaf (intra-ISD beaconing).
+	type originSegs struct {
+		core map[addr.IA][][]ASEntry
+		down map[addr.IA][][]ASEntry
+	}
+	results := make([]originSegs, len(origins))
+	workers := opts.Workers
+	if workers > len(origins) {
+		workers = len(origins)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var nextOrigin atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextOrigin.Add(1)) - 1
+				if i >= len(origins) {
+					return
+				}
+				o := origins[i].IA
+				results[i] = originSegs{
+					core: propagate(o, g.core, false, opts.MaxCoreLen, opts.BeaconsPerOrigin),
+					down: propagate(o, g.down, true, opts.MaxDownLen, opts.BeaconsPerOrigin),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
 	reg := &Registry{
 		DownByLeaf: make(map[addr.IA][]*Segment),
 		CoreByPair: make(map[addr.IA]map[addr.IA][]*Segment),
 	}
-	coreBeaconing(topo, opts, reg)
-	intraISDBeaconing(topo, opts, reg)
-	return reg
-}
-
-// coreBeaconing enumerates simple paths over core links from every core AS,
-// registering a core segment at every core AS reached.
-func coreBeaconing(topo *topology.Topology, opts Options, reg *Registry) {
-	for _, origin := range topo.CoreASes(0) {
-		var walk func(seg []ASEntry, seen map[addr.IA]bool)
-		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
-			cur := seg[len(seg)-1].IA
-			if len(seg) > 1 {
-				registerCore(reg, origin.IA, cur, cloneEntries(seg), opts)
+	for i, origin := range origins {
+		res := results[i]
+		if len(res.core) > 0 {
+			m := make(map[addr.IA][]*Segment, len(res.core))
+			for terminal, lists := range res.core {
+				// Retention: the MaxSegmentsPerPair shortest segments per
+				// pair; propagate returns lists already sorted by (length,
+				// lexicographic hop tuple), so truncation is deterministic.
+				if len(lists) > opts.MaxSegmentsPerPair {
+					lists = lists[:opts.MaxSegmentsPerPair]
+				}
+				segs := make([]*Segment, len(lists))
+				for j, e := range lists {
+					segs[j] = &Segment{Type: CoreSeg, Entries: e}
+				}
+				m[terminal] = segs
 			}
-			if len(seg) >= opts.MaxCoreLen {
-				return
-			}
-			for _, l := range topo.LinksOf(cur) {
-				if l.Type != topology.CoreLink {
-					continue
-				}
-				next, outIf, inIf := l.B, l.AIf, l.BIf
-				if l.B == cur {
-					next, outIf, inIf = l.A, l.BIf, l.AIf
-				}
-				if seen[next] {
-					continue
-				}
-				seen[next] = true
-				seg[len(seg)-1].Out = outIf
-				seg = append(seg, ASEntry{IA: next, In: inIf, MTU: l.MTU})
-				walk(seg, seen)
-				seg = seg[:len(seg)-1]
-				seg[len(seg)-1].Out = 0
-				delete(seen, next)
+			reg.CoreByPair[origin.IA] = m
+		}
+		for leaf, lists := range res.down {
+			for _, e := range lists {
+				reg.DownByLeaf[leaf] = append(reg.DownByLeaf[leaf], &Segment{Type: Down, Entries: e})
 			}
 		}
-		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
 	}
-	// Retention: keep the shortest MaxSegmentsPerPair segments per pair.
-	for src, m := range reg.CoreByPair {
-		for dst, segs := range m {
-			sortSegsByLen(segs)
-			if len(segs) > opts.MaxSegmentsPerPair {
-				m[dst] = segs[:opts.MaxSegmentsPerPair]
-			}
-			_ = src
-		}
-	}
-}
-
-// intraISDBeaconing propagates beacons from each ISD's core ASes along
-// parent->child links, registering down segments at every AS reached.
-func intraISDBeaconing(topo *topology.Topology, opts Options, reg *Registry) {
-	for _, origin := range topo.CoreASes(0) {
-		var walk func(seg []ASEntry, seen map[addr.IA]bool)
-		walk = func(seg []ASEntry, seen map[addr.IA]bool) {
-			cur := seg[len(seg)-1].IA
-			if len(seg) > 1 {
-				leaf := cur
-				reg.DownByLeaf[leaf] = append(reg.DownByLeaf[leaf], &Segment{
-					Type: Down, Entries: cloneEntries(seg),
-				})
-			}
-			if len(seg) >= opts.MaxDownLen {
-				return
-			}
-			for _, l := range topo.LinksOf(cur) {
-				// Follow only parent->child direction within the origin ISD.
-				if l.Type != topology.ParentChild || l.A != cur {
-					continue
-				}
-				if l.B.ISD != origin.IA.ISD || seen[l.B] {
-					continue
-				}
-				seen[l.B] = true
-				seg[len(seg)-1].Out = l.AIf
-				seg = append(seg, ASEntry{IA: l.B, In: l.BIf, MTU: l.MTU})
-				walk(seg, seen)
-				seg = seg[:len(seg)-1]
-				seg[len(seg)-1].Out = 0
-				delete(seen, l.B)
-			}
-		}
-		walk([]ASEntry{{IA: origin.IA}}, map[addr.IA]bool{origin.IA: true})
-	}
+	// Per-leaf down lists interleave the origins; restore the canonical
+	// (length, lexicographic) registry order.
 	for _, segs := range reg.DownByLeaf {
-		sortSegsByLen(segs)
+		sortSegments(segs)
 	}
-}
-
-func registerCore(reg *Registry, origin, terminal addr.IA, entries []ASEntry, opts Options) {
-	// A core segment registered at `terminal`, originated by `origin`,
-	// supports forwarding terminal->origin in SCION; for simplicity our
-	// links are symmetric, so we register it for the origin->terminal
-	// direction and the reverse direction is discovered by the beacon
-	// originated at the other end.
-	m := reg.CoreByPair[origin]
-	if m == nil {
-		m = make(map[addr.IA][]*Segment)
-		reg.CoreByPair[origin] = m
-	}
-	m[terminal] = append(m[terminal], &Segment{Type: CoreSeg, Entries: entries})
+	return reg
 }
 
 // UpSegments returns the up segments of a non-core AS: its down segments,
@@ -263,19 +256,4 @@ func (r *Registry) CoreSegments(src, dst addr.IA) []*Segment {
 		return m[dst]
 	}
 	return nil
-}
-
-func cloneEntries(in []ASEntry) []ASEntry {
-	out := make([]ASEntry, len(in))
-	copy(out, in)
-	return out
-}
-
-func sortSegsByLen(segs []*Segment) {
-	// Insertion sort: segment lists are short and mostly ordered.
-	for i := 1; i < len(segs); i++ {
-		for j := i; j > 0 && segs[j].Len() < segs[j-1].Len(); j-- {
-			segs[j], segs[j-1] = segs[j-1], segs[j]
-		}
-	}
 }

@@ -3,103 +3,261 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/upin/scionpath/internal/addr"
 	"github.com/upin/scionpath/internal/geo"
 )
 
 // GenerateSpec parameterises random topology generation: experimenters use
-// it to study how the system scales beyond the 35-AS SCIONLab world.
+// it to study how the system scales beyond the 35-AS SCIONLab world, up to
+// the 10³–10⁴ AS range (e.g. 20 ISDs × (2 cores + 48 non-core) ≈ 1000 ASes,
+// 25 × (4 + 196) ≈ 5000). The zero value of every field selects a default,
+// so the legacy three-ISD/one-core shape still comes out of
+// Generate(GenerateSpec{Seed: s}).
 type GenerateSpec struct {
 	Seed int64
-	// ISDs is the number of isolation domains (each with one core AS).
+	// ISDs is the number of isolation domains.
 	ISDs int
-	// MaxNonCorePerISD bounds the non-core ASes per ISD (the actual count
-	// is uniform in [0, MaxNonCorePerISD]).
+	// CoresPerISD is the number of core ASes per ISD (default 1).
+	CoresPerISD int
+	// NonCorePerISD, when > 0, is the exact number of non-core ASes per
+	// ISD. When 0, the count is uniform in [0, MaxNonCorePerISD] as in the
+	// original generator.
+	NonCorePerISD int
+	// MaxNonCorePerISD bounds the random non-core count per ISD when
+	// NonCorePerISD is 0 (the actual count is uniform in [0, max]).
 	MaxNonCorePerISD int
-	// ExtraCoreLinks adds this many random core-mesh links beyond the
-	// connecting chain.
-	ExtraCoreLinks int
+	// MaxDepth caps how many parent-child levels sit below the cores
+	// (default 4, which keeps every leaf within the default MaxDownLen
+	// beaconing bound).
+	MaxDepth int
+	// MaxChildren caps the children a single AS may parent; 0 = unlimited.
+	MaxChildren int
 	// MultiParentProb is the probability a non-core AS gets a second
 	// parent (creating path diversity).
 	MultiParentProb float64
+	// CoreDegree, when > 0, is the target mean degree of the core mesh:
+	// beyond the connecting chain, extra random core links are added until
+	// the mean degree reaches it. Overrides ExtraCoreLinks.
+	CoreDegree float64
+	// ExtraCoreLinks adds this many random core-mesh links beyond the
+	// connecting chain (legacy knob; ignored when CoreDegree is set).
+	ExtraCoreLinks int
+	// Sites is the geographic catalogue ASes are placed on; defaults to
+	// geo.AllSites(). Each ISD picks a random home site and draws member
+	// placements biased toward it (see Locality).
+	Sites []geo.Site
+	// Locality in (0, 1] biases AS placement toward the ISD's home site:
+	// each draw walks the catalogue sorted by distance-from-home and stops
+	// at each step with probability Locality. 1 pins every AS to the home
+	// site; small values spread an ISD across the globe. Default 0.5.
+	Locality float64
 }
 
 func (s GenerateSpec) withDefaults() GenerateSpec {
 	if s.ISDs == 0 {
 		s.ISDs = 3
 	}
+	if s.CoresPerISD == 0 {
+		s.CoresPerISD = 1
+	}
 	if s.MaxNonCorePerISD == 0 {
 		s.MaxNonCorePerISD = 5
+	}
+	if s.MaxDepth == 0 {
+		s.MaxDepth = 4
 	}
 	if s.MultiParentProb == 0 {
 		s.MultiParentProb = 0.3
 	}
+	if s.Locality == 0 {
+		s.Locality = 0.5
+	}
+	if len(s.Sites) == 0 {
+		s.Sites = geo.AllSites()
+	}
 	return s
 }
 
-// Generate builds a random valid SCION topology: one core AS per ISD, a
-// random parent-child DAG per ISD, and a connected random core mesh. Every
-// non-core AS houses one server. The result always passes Validate.
+// AS-number blocks for generated worlds. Cores and non-cores live in
+// disjoint ranges so identifiers never collide and cores sort first within
+// their ISD (CoreASes / ASes iteration order is part of the determinism
+// contract).
+const (
+	genCoreBase    = 0x1_0000   // core c of ISD i: base + i*0x1000 + c
+	genNonCoreBase = 0x100_0000 // non-core j of ISD i: base + i*0x1_0000 + j
+)
+
+func (s GenerateSpec) validate() error {
+	if s.ISDs < 1 {
+		return fmt.Errorf("topology: generate: need >= 1 ISD")
+	}
+	if s.ISDs > 0xfff {
+		return fmt.Errorf("topology: generate: %d ISDs exceeds the %d supported", s.ISDs, 0xfff)
+	}
+	if s.CoresPerISD < 1 || s.CoresPerISD > 0xfff {
+		return fmt.Errorf("topology: generate: cores per ISD %d out of [1, %d]", s.CoresPerISD, 0xfff)
+	}
+	if s.NonCorePerISD < 0 || s.NonCorePerISD > 0xffff || s.MaxNonCorePerISD > 0xffff {
+		return fmt.Errorf("topology: generate: non-core count per ISD out of [0, %d]", 0xffff)
+	}
+	if s.MaxDepth < 1 {
+		return fmt.Errorf("topology: generate: max depth %d < 1", s.MaxDepth)
+	}
+	if s.MaxChildren < 0 {
+		return fmt.Errorf("topology: generate: negative max children %d", s.MaxChildren)
+	}
+	if s.Locality <= 0 || s.Locality > 1 {
+		return fmt.Errorf("topology: generate: locality %v out of (0, 1]", s.Locality)
+	}
+	if s.CoreDegree < 0 {
+		return fmt.Errorf("topology: generate: negative core degree %v", s.CoreDegree)
+	}
+	return nil
+}
+
+// Generate builds a random valid SCION topology: CoresPerISD core ASes per
+// ISD, a bounded-depth parent-child DAG per ISD (MaxDepth levels,
+// MaxChildren fanout, MultiParentProb extra parents), and a connected core
+// mesh whose density CoreDegree controls. AS placement draws from the Sites
+// catalogue with per-ISD locality. Every non-core AS houses one server. The
+// result always passes Validate and is bit-identical per Seed (this package
+// is a determcheck root).
 func Generate(spec GenerateSpec) (*Topology, error) {
 	spec = spec.withDefaults()
-	if spec.ISDs < 1 {
-		return nil, fmt.Errorf("topology: generate: need >= 1 ISD")
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	sites := []geo.Site{geo.Zurich, geo.Dublin, geo.Tokyo, geo.Sydney, geo.Ashburn,
-		geo.Singapore, geo.Stockholm, geo.SaoPaulo, geo.Mumbai, geo.Toronto,
-		geo.Paris, geo.Madrid, geo.Helsinki, geo.TelAviv, geo.HongKong}
 	t := New()
 	var cores []addr.IA
 	for isd := 1; isd <= spec.ISDs; isd++ {
-		core := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(0x10000 + isd)}
-		if err := t.AddAS(&AS{
-			IA: core, Name: fmt.Sprintf("core-%d", isd), Type: Core,
-			Site: sites[rng.Intn(len(sites))],
-		}); err != nil {
-			return nil, err
+		// Each ISD has a home site; members place near it with
+		// probability decaying by distance rank (Locality).
+		home := spec.Sites[rng.Intn(len(spec.Sites))]
+		local := sitesByDistance(spec.Sites, home)
+		pickSite := func() geo.Site {
+			i := 0
+			for i < len(local)-1 && rng.Float64() >= spec.Locality {
+				i++
+			}
+			return local[i]
 		}
-		cores = append(cores, core)
-		members := []addr.IA{core}
-		for j, n := 0, rng.Intn(spec.MaxNonCorePerISD+1); j < n; j++ {
-			ia := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(0x20000 + isd*1000 + j)}
+
+		// eligible holds the ASes that may still parent a child, in
+		// insertion order (cores first): depth < MaxDepth and, when
+		// MaxChildren is set, fewer than MaxChildren children so far.
+		var eligible []addr.IA
+		depth := make(map[addr.IA]int)
+		kids := make(map[addr.IA]int)
+		for c := 0; c < spec.CoresPerISD; c++ {
+			core := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(genCoreBase + isd*0x1000 + c)}
 			if err := t.AddAS(&AS{
-				IA: ia, Name: ia.String(), Type: NonCore,
-				Site: sites[rng.Intn(len(sites))], NumServers: 1,
+				IA: core, Name: fmt.Sprintf("core-%d-%d", isd, c), Type: Core,
+				Site: pickSite(),
 			}); err != nil {
 				return nil, err
 			}
-			parent := members[rng.Intn(len(members))]
-			if _, err := t.Connect(ParentChild, parent, ia, LinkSpec{}); err != nil {
+			cores = append(cores, core)
+			eligible = append(eligible, core)
+			depth[core] = 0
+		}
+
+		// addChild links parent->child and retires the parent from the
+		// eligible pool once it reaches the fanout cap.
+		addChild := func(parent, child addr.IA) error {
+			if _, err := t.Connect(ParentChild, parent, child, LinkSpec{}); err != nil {
+				return err
+			}
+			kids[parent]++
+			if spec.MaxChildren > 0 && kids[parent] >= spec.MaxChildren {
+				for i, ia := range eligible {
+					if ia == parent {
+						eligible = append(eligible[:i], eligible[i+1:]...)
+						break
+					}
+				}
+			}
+			return nil
+		}
+
+		n := spec.NonCorePerISD
+		if n == 0 {
+			n = rng.Intn(spec.MaxNonCorePerISD + 1)
+		}
+		for j := 0; j < n; j++ {
+			if len(eligible) == 0 {
+				return nil, fmt.Errorf("topology: generate: ISD %d cannot host %d non-core ASes (depth %d, fanout %d)",
+					isd, n, spec.MaxDepth, spec.MaxChildren)
+			}
+			ia := addr.IA{ISD: addr.ISD(isd), AS: addr.AS(genNonCoreBase + isd*0x1_0000 + j)}
+			if err := t.AddAS(&AS{
+				IA: ia, Name: ia.String(), Type: NonCore,
+				Site: pickSite(), NumServers: 1,
+			}); err != nil {
 				return nil, err
 			}
-			if rng.Float64() < spec.MultiParentProb && len(members) > 1 {
-				other := members[rng.Intn(len(members))]
+			parent := eligible[rng.Intn(len(eligible))]
+			if err := addChild(parent, ia); err != nil {
+				return nil, err
+			}
+			depth[ia] = depth[parent] + 1
+			if rng.Float64() < spec.MultiParentProb && len(eligible) > 1 {
+				other := eligible[rng.Intn(len(eligible))]
 				if other != parent && t.LinkBetween(other, ia) == nil {
-					if _, err := t.Connect(ParentChild, other, ia, LinkSpec{}); err != nil {
+					if err := addChild(other, ia); err != nil {
 						return nil, err
 					}
 				}
 			}
-			members = append(members, ia)
+			if depth[ia] < spec.MaxDepth {
+				eligible = append(eligible, ia)
+			}
 		}
 	}
+
+	// Core mesh: a chain over all cores (sorted construction order, which
+	// links intra-ISD cores consecutively and bridges ISDs once) keeps the
+	// graph connected; extra random links densify it to CoreDegree.
 	for i := 1; i < len(cores); i++ {
 		if _, err := t.Connect(CoreLink, cores[i-1], cores[i], LinkSpec{}); err != nil {
 			return nil, err
 		}
 	}
-	for k := 0; k < spec.ExtraCoreLinks; k++ {
+	extra := spec.ExtraCoreLinks
+	if spec.CoreDegree > 0 {
+		want := int(spec.CoreDegree*float64(len(cores))/2 + 0.5)
+		extra = want - (len(cores) - 1)
+	}
+	for added, attempts := 0, 0; added < extra && attempts < 20*extra+20; attempts++ {
 		a, b := rng.Intn(len(cores)), rng.Intn(len(cores))
 		if a != b && t.LinkBetween(cores[a], cores[b]) == nil {
 			if _, err := t.Connect(CoreLink, cores[a], cores[b], LinkSpec{}); err != nil {
 				return nil, err
 			}
+			added++
 		}
 	}
+
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("topology: generate: %w", err)
 	}
 	return t, nil
+}
+
+// sitesByDistance returns the catalogue sorted by great-circle distance from
+// home (ties broken by name, so the order is total and deterministic).
+func sitesByDistance(sites []geo.Site, home geo.Site) []geo.Site {
+	out := make([]geo.Site, len(sites))
+	copy(out, sites)
+	sort.Slice(out, func(i, j int) bool {
+		di := geo.DistanceKm(home.Coords, out[i].Coords)
+		dj := geo.DistanceKm(home.Coords, out[j].Coords)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }

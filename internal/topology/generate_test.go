@@ -3,6 +3,8 @@ package topology
 import (
 	"reflect"
 	"testing"
+
+	"github.com/upin/scionpath/internal/addr"
 )
 
 func TestGenerateValidates(t *testing.T) {
@@ -73,5 +75,164 @@ func TestGenerateServersPresent(t *testing.T) {
 	}
 	if got := len(topo.Servers()); got != nonCore {
 		t.Errorf("%d servers for %d non-core ASes", got, nonCore)
+	}
+}
+
+func TestGenerateCoresAndCounts(t *testing.T) {
+	topo, err := Generate(GenerateSpec{Seed: 11, ISDs: 4, CoresPerISD: 3, NonCorePerISD: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.CoreASes(0)); got != 12 {
+		t.Errorf("cores: %d, want 12", got)
+	}
+	for _, isd := range topo.ISDs() {
+		cores, nonCore := 0, 0
+		for _, as := range topo.ASes() {
+			if as.IA.ISD != isd {
+				continue
+			}
+			if as.Type == Core {
+				cores++
+			} else {
+				nonCore++
+			}
+		}
+		if cores != 3 || nonCore != 12 {
+			t.Errorf("ISD %d: %d cores, %d non-core", isd, cores, nonCore)
+		}
+	}
+}
+
+func TestGenerateDepthAndFanout(t *testing.T) {
+	const maxDepth, maxChildren = 2, 3
+	topo, err := Generate(GenerateSpec{
+		Seed: 4, ISDs: 3, CoresPerISD: 2, NonCorePerISD: 8,
+		MaxDepth: maxDepth, MaxChildren: maxChildren,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := map[addr.IA]int{}
+	parentsOf := map[addr.IA][]addr.IA{}
+	for _, l := range topo.Links() {
+		if l.Type == ParentChild {
+			children[l.A]++
+			parentsOf[l.B] = append(parentsOf[l.B], l.A)
+		}
+	}
+	for ia, n := range children {
+		if n > maxChildren {
+			t.Errorf("AS %s has %d children > %d", ia, n, maxChildren)
+		}
+	}
+	// Depth of an AS = 1 + min depth over parents; cores are depth 0.
+	var depthOf func(ia addr.IA, seen map[addr.IA]bool) int
+	depthOf = func(ia addr.IA, seen map[addr.IA]bool) int {
+		if topo.AS(ia).Type == Core {
+			return 0
+		}
+		seen[ia] = true
+		best := 1 << 20
+		for _, p := range parentsOf[ia] {
+			if seen[p] {
+				continue
+			}
+			if d := depthOf(p, seen) + 1; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for _, as := range topo.ASes() {
+		if as.Type != Core {
+			if d := depthOf(as.IA, map[addr.IA]bool{}); d > maxDepth {
+				t.Errorf("AS %s at depth %d > %d", as.IA, d, maxDepth)
+			}
+		}
+	}
+}
+
+func TestGenerateCapacityError(t *testing.T) {
+	// 1 core, fanout 1, depth 1 can host exactly one non-core AS.
+	_, err := Generate(GenerateSpec{
+		Seed: 1, ISDs: 1, NonCorePerISD: 2, MaxDepth: 1, MaxChildren: 1,
+	})
+	if err == nil {
+		t.Fatal("over-capacity spec accepted")
+	}
+}
+
+func TestGenerateCoreDegree(t *testing.T) {
+	topo, err := Generate(GenerateSpec{Seed: 9, ISDs: 10, CoresPerISD: 2, NonCorePerISD: 1, CoreDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLinks := 0
+	for _, l := range topo.Links() {
+		if l.Type == CoreLink {
+			coreLinks++
+		}
+	}
+	// 20 cores at target degree 4 → 40 links; random duplicate draws may
+	// leave it slightly short, but it must clearly exceed the 19-link chain.
+	if coreLinks < 35 || coreLinks > 40 {
+		t.Errorf("core links: %d, want ~40", coreLinks)
+	}
+}
+
+func TestGenerateLocalityPinsSites(t *testing.T) {
+	topo, err := Generate(GenerateSpec{Seed: 2, ISDs: 3, CoresPerISD: 2, NonCorePerISD: 5, Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, isd := range topo.ISDs() {
+		sites := map[string]bool{}
+		for _, as := range topo.ASes() {
+			if as.IA.ISD == isd {
+				sites[as.Site.Name] = true
+			}
+		}
+		if len(sites) != 1 {
+			t.Errorf("ISD %d: locality 1 placed ASes on %d sites", isd, len(sites))
+		}
+	}
+}
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	spec := GenerateSpec{
+		Seed: 42, ISDs: 20, CoresPerISD: 2, NonCorePerISD: 48,
+		MaxChildren: 8, CoreDegree: 4,
+	}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ASes()) != 20*50 {
+		t.Fatalf("scale world has %d ASes, want 1000", len(a.ASes()))
+	}
+	if !reflect.DeepEqual(a.ASes(), b.ASes()) || !reflect.DeepEqual(a.Links(), b.Links()) {
+		t.Fatal("same seed produced different 1000-AS worlds")
+	}
+}
+
+func TestGenerateSpecErrors(t *testing.T) {
+	bad := []GenerateSpec{
+		{Seed: 1, ISDs: -2},
+		{Seed: 1, CoresPerISD: -1},
+		{Seed: 1, NonCorePerISD: -3},
+		{Seed: 1, MaxDepth: -1},
+		{Seed: 1, MaxChildren: -1},
+		{Seed: 1, Locality: 1.5},
+		{Seed: 1, CoreDegree: -2},
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
 	}
 }

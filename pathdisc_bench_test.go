@@ -1,0 +1,154 @@
+// Path-discovery benchmark suite: discovery (beaconing) and segment
+// combination at 35 / 1000 / 5000 ASes. cmd/benchjson records it into the
+// BENCH_pathdisc.json trajectory (AS-count-labelled entries):
+//
+//	go run ./cmd/benchjson -label after -bench BenchmarkPathDisc \
+//	    -pkg . -out BENCH_pathdisc.json
+//
+// See docs/PATHDISC.md for the generator recipe and the cache contract the
+// cold/cached split measures.
+package scionpath
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// pathDiscSizes are the world sizes the trajectory tracks.
+var pathDiscSizes = []int{35, 1000, 5000}
+
+// pathDiscSpec returns the generator recipe for a benchmark world size.
+// 35 is the paper's SCIONLab replica (DefaultWorld, not generated).
+func pathDiscSpec(ases int) topology.GenerateSpec {
+	switch ases {
+	case 1000:
+		return topology.GenerateSpec{
+			Seed: 1000, ISDs: 20, CoresPerISD: 2, NonCorePerISD: 48,
+			MaxChildren: 8, CoreDegree: 4,
+		}
+	case 5000:
+		return topology.GenerateSpec{
+			Seed: 5000, ISDs: 25, CoresPerISD: 4, NonCorePerISD: 196,
+			MaxChildren: 12, CoreDegree: 4,
+		}
+	default:
+		panic(fmt.Sprintf("no pathdisc spec for %d ASes", ases))
+	}
+}
+
+// pathDiscWorld is a benchmark topology plus a deterministic sample of
+// leaf-to-leaf query pairs.
+type pathDiscWorld struct {
+	topo  *topology.Topology
+	pairs [][2]addr.IA
+}
+
+var (
+	pathDiscMu     sync.Mutex
+	pathDiscWorlds = map[int]*pathDiscWorld{}
+)
+
+// pathDiscSetup builds (once per process) the benchmark world of the given
+// size and samples 8 query pairs spread across its servers.
+func pathDiscSetup(b *testing.B, ases int) *pathDiscWorld {
+	b.Helper()
+	pathDiscMu.Lock()
+	defer pathDiscMu.Unlock()
+	if w, ok := pathDiscWorlds[ases]; ok {
+		return w
+	}
+	var topo *topology.Topology
+	if ases == 35 {
+		// The paper's 35-AS SCIONLab replica (plus the experimenters' MY_AS).
+		topo = topology.DefaultWorld()
+	} else {
+		t, err := topology.Generate(pathDiscSpec(ases))
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo = t
+		if got := len(topo.ASes()); got != ases {
+			b.Fatalf("world has %d ASes, want %d", got, ases)
+		}
+	}
+	servers := topo.Servers()
+	const nPairs = 8
+	var pairs [][2]addr.IA
+	step := len(servers)/nPairs + 1
+	for i := 0; len(pairs) < nPairs && i < 4*nPairs; i++ {
+		src := servers[(i*step)%len(servers)].IA
+		dst := servers[(i*step+len(servers)/2)%len(servers)].IA
+		if src != dst {
+			pairs = append(pairs, [2]addr.IA{src, dst})
+		}
+	}
+	w := &pathDiscWorld{topo: topo, pairs: pairs}
+	pathDiscWorlds[ases] = w
+	return w
+}
+
+// BenchmarkPathDiscDiscover measures a full beaconing run (core +
+// intra-ISD) per world size.
+func BenchmarkPathDiscDiscover(b *testing.B) {
+	for _, ases := range pathDiscSizes {
+		w := pathDiscSetup(b, ases)
+		b.Run(fmt.Sprintf("ases=%d", ases), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reg := segment.Discover(w.topo, segment.Options{})
+				if len(reg.DownByLeaf) == 0 {
+					b.Fatal("no segments discovered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathDiscCombineCold measures first-query combination cost: a
+// fresh combiner (index build included) answering the sampled pairs once.
+func BenchmarkPathDiscCombineCold(b *testing.B) {
+	for _, ases := range pathDiscSizes {
+		w := pathDiscSetup(b, ases)
+		reg := segment.Discover(w.topo, segment.Options{})
+		b.Run(fmt.Sprintf("ases=%d", ases), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := pathmgr.NewCombiner(w.topo, reg)
+				for _, pr := range w.pairs {
+					if _, err := c.Paths(pr[0], pr[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathDiscCombineCached measures steady-state serving: the same
+// combiner answering the same pairs repeatedly (after the rebuild this is a
+// combination-cache hit returning cloned paths).
+func BenchmarkPathDiscCombineCached(b *testing.B) {
+	for _, ases := range pathDiscSizes {
+		w := pathDiscSetup(b, ases)
+		reg := segment.Discover(w.topo, segment.Options{})
+		c := pathmgr.NewCombiner(w.topo, reg)
+		for _, pr := range w.pairs { // warm
+			if _, err := c.Paths(pr[0], pr[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("ases=%d", ases), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, pr := range w.pairs {
+					if _, err := c.Paths(pr[0], pr[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,11 @@ echo "== tier 2: go test -race (concurrency-heavy packages)"
 go test -race -bench=DocDB -benchtime=1x ./internal/docdb
 go test -race ./internal/simnet ./internal/measure
 go test -race ./internal/selection ./internal/upin
+# segment carries the parallel-beaconing worker pool, pathmgr the
+# combination cache (single-flight fill, invalidation, concurrent readers
+# vs the naive-combiner oracle), and sciond the atomic combiner publication
+# with double-checked refresh (docs/PATHDISC.md).
+go test -race ./internal/segment ./internal/pathmgr ./internal/sciond
 
 echo "== tier 2: chaos harness under the race detector (short subset)"
 # Full chaotic runs (crash, truncate, resume, verify all four invariants)
@@ -83,6 +88,11 @@ go test -run '^$' -bench=DocDB -benchtime=1x ./internal/docdb >/dev/null
 echo "== tier 2: serving benchmark smoke (-benchtime 1x)"
 # Keeps BenchmarkServing* (the BENCH_serving.json trajectory) runnable.
 go test -run '^$' -bench=Serving -benchtime=1x ./internal/selection >/dev/null
+
+echo "== tier 2: path-discovery benchmark smoke (-benchtime 1x)"
+# Keeps BenchmarkPathDisc* (the BENCH_pathdisc.json trajectory, see
+# docs/PATHDISC.md) runnable, including the 1k/5k-AS generated worlds.
+go test -run '^$' -bench=PathDisc -benchtime=1x . >/dev/null
 
 echo "== tier 2: parallel campaign smoke (testsuite --workers 4)"
 go run ./cmd/testsuite 2 --servers 1,2,3 --workers 4 --no-bandwidth \
