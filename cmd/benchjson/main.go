@@ -50,9 +50,18 @@ type benchResult struct {
 	// ASes is the topology size an "ases=<n>" sub-benchmark ran against
 	// (BenchmarkPathDiscDiscover/ases=1000 → 1000, the BENCH_pathdisc.json
 	// trajectory); 0 for size-independent benchmarks.
-	ASes     int   `json:"as_count,omitempty"`
-	BPerOp   int64 `json:"bytes_per_op,omitempty"`
-	AllocsOp int64 `json:"allocs_per_op,omitempty"`
+	ASes int `json:"as_count,omitempty"`
+	// Fleet/Shards/Dist describe a load-harness sub-benchmark
+	// (BenchmarkLoadServing/fleet=16/shards=4/dist=zipf — the
+	// BENCH_load.json trajectory); zero values for other suites.
+	Fleet    int    `json:"fleet,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
+	Dist     string `json:"dist,omitempty"`
+	BPerOp   int64  `json:"bytes_per_op,omitempty"`
+	AllocsOp int64  `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric columns (rps, p99_ms, ...)
+	// keyed by unit; nil when a benchmark reports none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // trajectory is the whole BENCH_docdb.json file: labelled benchmark runs,
@@ -140,10 +149,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// benchLine matches standard testing package benchmark output, with or
-// without -benchmem columns.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// benchLine matches the head of a testing package benchmark output line;
+// the tail is a sequence of "<value> <unit>" measurement pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(\S.*)$`)
 
 // backendLabel extracts the storage backend from a benchmark path element
 // like ".../backend=segment/...".
@@ -153,7 +161,18 @@ var backendLabel = regexp.MustCompile(`/backend=([a-z]+)(?:/|-|$)`)
 // ".../ases=1000/..." (the path-discovery trajectory).
 var asesLabel = regexp.MustCompile(`/ases=(\d+)(?:/|-|$)`)
 
-// parseBench extracts benchmark results from go test -bench output.
+// fleetLabel/shardsLabel/distLabel extract the load-harness dimensions
+// from elements like ".../fleet=16/shards=4/dist=zipf" (BENCH_load.json).
+var (
+	fleetLabel  = regexp.MustCompile(`/fleet=(\d+)(?:/|-|$)`)
+	shardsLabel = regexp.MustCompile(`/shards=(\d+)(?:/|-|$)`)
+	distLabel   = regexp.MustCompile(`/dist=([a-z]+)(?:/|-|$)`)
+)
+
+// parseBench extracts benchmark results from go test -bench output. The
+// measurement tail is parsed pairwise, so custom b.ReportMetric columns
+// (which the testing package prints between ns/op and the -benchmem
+// columns) land in Metrics instead of breaking the line match.
 func parseBench(out string) []benchResult {
 	var results []benchResult
 	for _, line := range strings.Split(out, "\n") {
@@ -168,11 +187,39 @@ func parseBench(out string) []benchResult {
 		if am := asesLabel.FindStringSubmatch(m[1]); am != nil {
 			r.ASes, _ = strconv.Atoi(am[1])
 		}
+		if fm := fleetLabel.FindStringSubmatch(m[1]); fm != nil {
+			r.Fleet, _ = strconv.Atoi(fm[1])
+		}
+		if sm := shardsLabel.FindStringSubmatch(m[1]); sm != nil {
+			r.Shards, _ = strconv.Atoi(sm[1])
+		}
+		if dm := distLabel.FindStringSubmatch(m[1]); dm != nil {
+			r.Dist = dm[1]
+		}
 		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		fields := strings.Fields(m[3])
+		sawNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp, sawNs = v, true
+			case "B/op":
+				r.BPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsOp = int64(v)
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		if !sawNs {
+			continue // not a measurement line (e.g. "BenchmarkX --- FAIL")
 		}
 		results = append(results, r)
 	}

@@ -49,6 +49,60 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+const loadOutput = `goos: linux
+pkg: github.com/upin/scionpath/internal/load
+BenchmarkLoadServing/fleet=16/shards=4/dist=zipf-1  	       1	 512345678 ns/op	        42.50 p50_ms	       120.8 p99_ms	       891.2 rps	        0.01250 unavailable_rate	  123456 B/op	     789 allocs/op
+BenchmarkLoadServing/fleet=8/shards=1/dist=uniform-1	       1	 987654321 ns/op	       310.0 rps
+BenchmarkLoadChaos/fleet=16/shards=4/dist=zipf-1    	       1	 700000000 ns/op	         2.000 recovery_buckets
+PASS
+`
+
+// TestParseBenchLoadLabels: fleet=/shards=/dist= land in their fields and
+// custom b.ReportMetric columns land in Metrics, with -benchmem columns
+// still parsed around them.
+func TestParseBenchLoadLabels(t *testing.T) {
+	got := parseBench(loadOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
+	}
+	first := got[0]
+	if first.Fleet != 16 || first.Shards != 4 || first.Dist != "zipf" {
+		t.Errorf("labels: %+v", first)
+	}
+	if first.NsPerOp != 512345678 || first.BPerOp != 123456 || first.AllocsOp != 789 {
+		t.Errorf("standard columns lost around custom metrics: %+v", first)
+	}
+	want := map[string]float64{
+		"p50_ms": 42.50, "p99_ms": 120.8, "rps": 891.2, "unavailable_rate": 0.01250,
+	}
+	for unit, v := range want {
+		if first.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, first.Metrics[unit], v)
+		}
+	}
+	second := got[1]
+	if second.Fleet != 8 || second.Shards != 1 || second.Dist != "uniform" ||
+		second.Metrics["rps"] != 310.0 || second.BPerOp != 0 {
+		t.Errorf("second result: %+v", second)
+	}
+	if got[2].Metrics["recovery_buckets"] != 2 {
+		t.Errorf("third result: %+v", got[2])
+	}
+	// Non-load results must not pick up load labels.
+	if plain := parseBench(sampleOutput); plain[0].Fleet != 0 || plain[0].Shards != 0 || plain[0].Dist != "" || plain[0].Metrics != nil {
+		t.Errorf("docdb result carries load labels: %+v", plain[0])
+	}
+}
+
+// TestParseBenchSkipsNonMeasurement: lines without an ns/op column (FAIL
+// markers, truncated output) are dropped, not recorded as zeros.
+func TestParseBenchSkipsNonMeasurement(t *testing.T) {
+	got := parseBench("BenchmarkBroken-8   \t 1   --- FAIL\nBenchmarkOK-8 \t 2 \t 5 ns/op\n")
+	if len(got) != 1 || got[0].Name != "BenchmarkOK-8" {
+		t.Fatalf("parsed: %+v", got)
+	}
+}
+
 func TestRunParseModeMergesLabels(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "bench.txt")

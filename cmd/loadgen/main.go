@@ -1,0 +1,156 @@
+// Command loadgen drives the UPIN serving tier with a deterministic
+// client fleet and reports latency percentiles, throughput and shed
+// rates as JSON. It builds a synthetic heavy-catalogue world in-process
+// (production-shaped candidate counts no measured SCIONLab campaign
+// reaches), serves it through the sharded tier on a loopback listener,
+// and runs the schedule derived from the seed — same seed, same
+// requests, same report shape. See docs/LOAD.md.
+//
+// Usage:
+//
+//	loadgen -clients 16 -requests 500 -shards 4 -cache 512
+//	loadgen -mode open -rate 2000 -max-inflight 8    # overload probe
+//	loadgen -chaos -seed 7                           # faults mid-run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/chaos"
+	"github.com/upin/scionpath/internal/cliutil"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/load"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+	"github.com/upin/scionpath/internal/upin"
+	"github.com/upin/scionpath/internal/upin/cluster"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// report is the JSON document loadgen emits.
+type report struct {
+	Config   load.Config          `json:"config"`
+	Cluster  cluster.Config       `json:"cluster"`
+	Result   *load.Result         `json:"result"`
+	Tier     cluster.Stats        `json:"tier_stats"`
+	Firings  []load.ChaosFiring   `json:"chaos_firings,omitempty"`
+	Recovery *load.RecoveryReport `json:"recovery,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed        = fs.Int64("seed", 1, "schedule + world seed")
+		mode        = fs.String("mode", "closed", "fleet model: closed or open")
+		dist        = fs.String("dist", "zipf", "destination popularity: zipf or uniform")
+		clients     = fs.Int("clients", 16, "fleet size")
+		requests    = fs.Int("requests", 400, "total requests")
+		rate        = fs.Float64("rate", 0, "open-loop arrival rate (requests/second)")
+		think       = fs.Duration("think", 2*time.Millisecond, "closed-loop mean think time")
+		intentEvery = fs.Int("intent-every", 0, "every Nth request POSTs an intent (0 = never)")
+		top         = fs.Int("top", 5, "server-side candidate truncation (?top=K, 0 = full)")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-request deadline")
+
+		dests    = fs.Int("dests", 6, "synthetic destinations")
+		pathsPer = fs.Int("paths-per", 500, "candidate paths per destination")
+		statsPer = fs.Int("stats-per", 2, "stats documents per path")
+
+		shards       = fs.Int("shards", 4, "serving replicas")
+		cacheSize    = fs.Int("cache", 512, "per-shard response cache entries (0 = off)")
+		maxInflight  = fs.Int("max-inflight", 0, "admission: concurrently admitted requests (0 = unlimited)")
+		queueDepth   = fs.Int("queue-depth", 32, "admission: bounded accept queue")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission: max slot wait before 503")
+		limitRate    = fs.Float64("limit-rate", 0, "per-client token-bucket rate (0 = off)")
+		limitBurst   = fs.Float64("limit-burst", 10, "per-client token-bucket burst")
+
+		withChaos = fs.Bool("chaos", false, "apply the seed's serving chaos plan mid-run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := load.Config{
+		Seed: *seed, Mode: load.Mode(*mode), Dist: load.Dist(*dist),
+		Clients: *clients, Requests: *requests, ArrivalRate: *rate,
+		ThinkMean: *think, IntentEvery: *intentEvery, Top: *top, Timeout: *timeout,
+	}
+	ccfg := cluster.Config{
+		Shards: *shards, CacheEntries: *cacheSize,
+		MaxInflight: *maxInflight, QueueDepth: *queueDepth, QueueTimeout: *queueTimeout,
+		RatePerSec: *limitRate, Burst: *limitBurst,
+	}
+
+	topo := topology.DefaultWorld()
+	net2 := simnet.New(topo, simnet.Options{Seed: *seed})
+	daemon, err := sciond.New(topo, net2, topology.MyAS)
+	if err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+	db := docdb.MustOpen()
+	destIDs, err := load.SeedSynthetic(db, topo, *dests, *pathsPer, *statsPer, *seed)
+	if err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+	cfg.Destinations = destIDs
+	explorer := upin.NewDomainExplorer(topo, []addr.ISD{16, 17, 19})
+	tier := cluster.New(db, daemon, net2, explorer, topo, ccfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+	httpSrv := &http.Server{Handler: tier}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	baseURL := fmt.Sprintf("http://%s", ln.Addr())
+
+	schedule, err := load.BuildSchedule(cfg)
+	if err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+	runner := &load.Runner{BaseURL: baseURL, Client: &http.Client{}}
+	var driver *load.ChaosDriver
+	if *withChaos {
+		driver = &load.ChaosDriver{
+			DB:    db,
+			Plan:  chaos.NewServingPlan(*seed, cfg.Requests),
+			Dests: destIDs,
+		}
+		runner.OnComplete = driver.Notify
+		driver.Start()
+	}
+	fmt.Fprintf(stderr, "loadgen: %s fleet of %d, %d requests against %d shards at %s\n",
+		cfg.Mode, cfg.Clients, cfg.Requests, ccfg.Shards, baseURL)
+	result, err := runner.Run(context.Background(), schedule)
+	if err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+
+	rep := report{Config: cfg, Cluster: ccfg, Result: result, Tier: tier.Stats()}
+	if driver != nil {
+		rep.Firings = driver.Firings()
+		rec := load.AnalyzeRecovery(result, rep.Firings)
+		rep.Recovery = &rec
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "%v", err)
+	}
+	if err := tier.Close(); err != nil {
+		return cliutil.Fatalf(stderr, "loadgen", "drain: %v", err)
+	}
+	return 0
+}

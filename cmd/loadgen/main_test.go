@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunClosedFleet(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-clients", "4", "-requests", "24", "-dests", "3", "-paths-per", "20",
+		"-shards", "2", "-think", "100us",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Result.Completed != 24 {
+		t.Errorf("completed %d of 24", rep.Result.Completed)
+	}
+	if rep.Result.Statuses[200] != 24 {
+		t.Errorf("statuses: %v", rep.Result.Statuses)
+	}
+	if rep.Tier.Shards != 2 || rep.Result.RPS <= 0 {
+		t.Errorf("tier=%+v rps=%v", rep.Tier, rep.Result.RPS)
+	}
+}
+
+func TestRunChaosOpenLoop(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mode", "open", "-rate", "2000", "-clients", "4", "-requests", "60",
+		"-dests", "3", "-paths-per", "20", "-shards", "2", "-chaos", "-seed", "5",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Firings) == 0 || rep.Recovery == nil {
+		t.Errorf("chaos run recorded no firings/recovery: %+v", rep.Firings)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mode", "warp"}, &stdout, &stderr); code == 0 {
+		t.Error("bad mode accepted")
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Error("bad flag accepted")
+	}
+}

@@ -14,6 +14,13 @@
 //
 //	upinserver -addr :8080 -db stats.jsonl
 //	upinserver -addr :8080 -measure 1,13      # measure those servers at boot
+//	upinserver -shards 4 -max-inflight 64 -rate 50   # sharded serving tier
+//
+// With -shards > 1 (or any admission/rate/cache flag) the front-end runs
+// as the horizontally sharded serving tier (internal/upin/cluster):
+// destination-routed replicas with per-shard response caches, per-client
+// token-bucket rate limiting, and admission control feeding the 503 drain
+// path. See docs/LOAD.md.
 //
 // Ctrl-C (or SIGTERM) shuts the server down gracefully: in-flight requests
 // finish, then the database journal is flushed and closed.
@@ -38,7 +45,27 @@ import (
 	"github.com/upin/scionpath/internal/measure"
 	"github.com/upin/scionpath/internal/selection"
 	"github.com/upin/scionpath/internal/upin"
+	"github.com/upin/scionpath/internal/upin/cluster"
 )
+
+// serveConfig collects everything buildHandler needs: world construction,
+// boot-time measurements, and the serving-tier shape.
+type serveConfig struct {
+	seed                int64
+	dbPath, dbBackend   string
+	domain, measureList string
+	shards, maxInflight int
+	queueDepth          int
+	queueTimeout        time.Duration
+	rate, burst         float64
+	cacheEntries        int
+}
+
+// tiered reports whether any flag asks for the cluster tier; without one
+// the command serves the plain single front-end, exactly as before.
+func (c serveConfig) tiered() bool {
+	return c.shards > 1 || c.maxInflight > 0 || c.rate > 0 || c.cacheEntries > 0
+}
 
 func main() { os.Exit(run(os.Args[1:])) }
 
@@ -51,6 +78,14 @@ func run(args []string) int {
 		domain    = fs.String("domain", "16,17,19", "comma-separated ISDs forming the UPIN domain")
 		measureS  = fs.String("measure", "", "comma-separated server ids to measure at boot")
 		seed      = fs.Int64("seed", 1, "simulation seed")
+
+		shards       = fs.Int("shards", 1, "serving replicas behind the rendezvous router (>1 enables the tier)")
+		maxInflight  = fs.Int("max-inflight", 0, "admission control: concurrently admitted requests (0 = unlimited)")
+		queueDepth   = fs.Int("queue-depth", 32, "admission control: bounded accept queue beyond max-inflight")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission control: max wait for a slot before shedding 503")
+		rate         = fs.Float64("rate", 0, "per-client token-bucket rate in requests/second (0 = unlimited)")
+		burst        = fs.Float64("burst", 10, "per-client token-bucket burst")
+		cacheSize    = fs.Int("cache", 0, "per-shard response cache entries (0 = caching off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,7 +93,13 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	handler, cleanup, err := buildHandler(ctx, *seed, *dbPath, *dbBackend, *domain, *measureS)
+	handler, cleanup, err := buildHandler(ctx, serveConfig{
+		seed: *seed, dbPath: *dbPath, dbBackend: *dbBackend,
+		domain: *domain, measureList: *measureS,
+		shards: *shards, maxInflight: *maxInflight,
+		queueDepth: *queueDepth, queueTimeout: *queueTimeout,
+		rate: *rate, burst: *burst, cacheEntries: *cacheSize,
+	})
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "upinserver", "%v", err)
 	}
@@ -96,15 +137,16 @@ func run(args []string) int {
 }
 
 // buildHandler wires the world, optional boot-time measurements, and the
-// front-end handler. The returned cleanup closes the database journal.
-func buildHandler(ctx context.Context, seed int64, dbPath, dbBackend, domain, measureList string) (http.Handler, func() error, error) {
-	w, err := cliutil.NewWorld(seed, dbPath, dbBackend)
+// front-end handler — a single upin.Server, or the sharded serving tier
+// when cfg.tiered(). The returned cleanup closes the database journal.
+func buildHandler(ctx context.Context, cfg serveConfig) (http.Handler, func() error, error) {
+	w, err := cliutil.NewWorld(cfg.seed, cfg.dbPath, cfg.dbBackend)
 	if err != nil {
 		return nil, nil, err
 	}
-	if measureList != "" {
+	if cfg.measureList != "" {
 		var ids []int
-		for _, part := range strings.Split(measureList, ",") {
+		for _, part := range strings.Split(cfg.measureList, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return nil, nil, errors.Join(fmt.Errorf("bad server id %q", part), w.Close())
@@ -121,12 +163,30 @@ func buildHandler(ctx context.Context, seed int64, dbPath, dbBackend, domain, me
 		}
 	}
 	var isds []addr.ISD
-	for _, part := range strings.Split(domain, ",") {
+	for _, part := range strings.Split(cfg.domain, ",") {
 		if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && v > 0 {
 			isds = append(isds, addr.ISD(v))
 		}
 	}
 	explorer := upin.NewDomainExplorer(w.Topo, isds)
+	if cfg.tiered() {
+		tier := cluster.New(w.DB, w.Daemon, w.Net, explorer, w.Topo, cluster.Config{
+			Shards:       cfg.shards,
+			MaxInflight:  cfg.maxInflight,
+			QueueDepth:   cfg.queueDepth,
+			QueueTimeout: cfg.queueTimeout,
+			RatePerSec:   cfg.rate,
+			Burst:        cfg.burst,
+			CacheEntries: cfg.cacheEntries,
+		})
+		return tier, func() error {
+			// Drain the replicas before the journal closes underneath them.
+			if err := tier.Close(); err != nil {
+				return errors.Join(err, w.Close())
+			}
+			return w.Close()
+		}, nil
+	}
 	engine := selection.New(w.DB, w.Topo)
 	srv := upin.NewServer(w.DB, w.Daemon, w.Net, engine, explorer)
 	srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"math/rand"
+)
+
+// ServingEvent is one serving-tier fault, fired when the load generator
+// has completed AfterRequests requests. The plan is pure data; the load
+// harness (internal/load.ChaosDriver) applies it against the live
+// database while traffic is in flight.
+type ServingEvent struct {
+	// AfterRequests is the completed-request count that triggers the
+	// event. Count-based triggers, not wall-clock ones, keep the plan
+	// replayable: the same schedule fires the same faults at the same
+	// points of the request stream on any machine speed.
+	AfterRequests int
+	// Kind selects the fault:
+	//
+	//   - RewriteStorm: an in-place rewrite of stats documents bumps the
+	//     collection's RewriteGeneration, which the selection engine
+	//     answers with a full snapshot rebuild instead of an incremental
+	//     fold — the most expensive refresh the serving path has.
+	//   - WriteBurst: Docs new stats documents land at once, invalidating
+	//     every shard's response cache and forcing an incremental fold.
+	Kind ServingEventKind
+	// Docs sizes a WriteBurst (0 for RewriteStorm).
+	Docs int
+}
+
+// ServingEventKind names a serving-tier fault.
+type ServingEventKind string
+
+const (
+	RewriteStorm ServingEventKind = "rewrite_storm"
+	WriteBurst   ServingEventKind = "write_burst"
+)
+
+// ServingPlan is one seed's worth of serving-tier chaos, ordered by
+// trigger count.
+type ServingPlan struct {
+	Seed   int64
+	Events []ServingEvent
+}
+
+// NewServingPlan derives the serving chaos for a seed against a request
+// stream of the given length. Events land in the middle 20%–80% of the
+// stream, so the harness always observes both an undisturbed warm-up and
+// a recovery tail.
+//
+//lint:deterministic serving chaos is replayable from (seed, totalRequests) alone
+func NewServingPlan(seed int64, totalRequests int) ServingPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := ServingPlan{Seed: seed}
+	if totalRequests < 10 {
+		return p
+	}
+	lo, hi := totalRequests*2/10, totalRequests*8/10
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		ev := ServingEvent{
+			AfterRequests: lo + rng.Intn(hi-lo),
+			Kind:          RewriteStorm,
+		}
+		if rng.Intn(2) == 0 {
+			ev.Kind = WriteBurst
+			ev.Docs = 50 + rng.Intn(200)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	// Order by trigger so the driver can fire them with a single cursor.
+	for i := 1; i < len(p.Events); i++ {
+		for j := i; j > 0 && p.Events[j].AfterRequests < p.Events[j-1].AfterRequests; j-- {
+			p.Events[j], p.Events[j-1] = p.Events[j-1], p.Events[j]
+		}
+	}
+	return p
+}

@@ -1,0 +1,278 @@
+package load
+
+// Load benchmarks (BENCH_load.json): the serving tier under a deterministic
+// fleet, across fleet sizes and shard counts, plus the 2x-overload and
+// chaos-under-load runs. Each b.N iteration is one whole fleet run; the
+// interesting numbers are the custom metrics (rps, p50_ms, p99_ms,
+// p999_ms, unavailable_rate, cache_hit_rate, ...), which cmd/benchjson
+// records next to ns/op. Record with:
+//
+//	go run ./cmd/benchjson -label pr9 -bench BenchmarkLoad \
+//	    -pkg ./internal/load -benchtime 1x -out BENCH_load.json
+//
+// On the 1-CPU reference host the sharded tier's throughput win comes
+// from work reduction — response-cache affinity under rendezvous routing
+// and per-shard snapshot refresh — not CPU parallelism; docs/LOAD.md
+// spells out the decomposition (hence the cache=off single-instance
+// baseline recorded alongside).
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/chaos"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+	"github.com/upin/scionpath/internal/upin"
+	"github.com/upin/scionpath/internal/upin/cluster"
+)
+
+const (
+	benchDests    = 6
+	benchPathsPer = 1000 // production-shaped Select: 10^3 candidates per destination
+	benchRequests = 480
+)
+
+// benchTier builds a synthetic heavy-catalogue world behind a serving
+// tier on a real listener.
+func benchTier(b *testing.B, cfg cluster.Config) (*httptest.Server, []int, *docdb.DB) {
+	b.Helper()
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 3})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := docdb.MustOpen()
+	dests, err := SeedSynthetic(db, topo, benchDests, benchPathsPer, 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	explorer := upin.NewDomainExplorer(topo, []addr.ISD{16, 17, 19})
+	tier := cluster.New(db, daemon, net, explorer, topo, cfg)
+	ts := httptest.NewServer(tier)
+	b.Cleanup(ts.Close)
+	// Warm-up: one request per destination builds every shard's initial
+	// snapshot outside the measured window, so the benchmarks compare
+	// steady-state serving, not cold-start rebuild counts.
+	client := ts.Client()
+	for _, d := range dests {
+		resp, err := client.Get(fmt.Sprintf("%s/api/paths?server=%d&top=1", ts.URL, d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("warmup for dest %d: status %d", d, resp.StatusCode)
+		}
+	}
+	return ts, dests, db
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// steadyWriter inserts one stats document every n completed requests, so
+// response caches see a realistic invalidation cadence instead of an
+// infinite hit streak.
+func steadyWriter(db *docdb.DB, dests []int, n int) func(int) {
+	ts := int64(1_800_000_000_000)
+	return func(completed int) {
+		if completed%n != 0 {
+			return
+		}
+		ts += int64(completed)
+		dest := dests[completed/n%len(dests)]
+		pid := measure.PathID(dest, 0)
+		db.Collection(measure.ColStats).Insert(docdb.Document{
+			"_id": fmt.Sprintf("%s@w%d", pid, ts), measure.FPathID: pid,
+			measure.FServerID: dest, measure.FTimestamp: ts,
+			measure.FLoss: 1.0, measure.FAvgLatency: 25.0, measure.FMdev: 1.0,
+			measure.FBwUpMTU: 5e6, measure.FBwDownMTU: 5e6,
+		})
+	}
+}
+
+func reportResult(b *testing.B, res *Result) {
+	b.ReportMetric(res.RPS, "rps")
+	b.ReportMetric(ms(res.P50), "p50_ms")
+	b.ReportMetric(ms(res.P99), "p99_ms")
+	b.ReportMetric(ms(res.P999), "p999_ms")
+	if res.Completed > 0 {
+		b.ReportMetric(float64(res.Unavailable)/float64(res.Completed), "unavailable_rate")
+	}
+}
+
+func runFleet(b *testing.B, ts *httptest.Server, db *docdb.DB, dests []int, fleet int) *Result {
+	cfg := Config{
+		Seed: 17, Mode: Closed, Dist: Zipf, Clients: fleet, Requests: benchRequests,
+		Destinations: dests, ThinkMean: 200 * time.Microsecond, Top: 5,
+	}
+	s, err := BuildSchedule(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client(),
+		OnComplete: steadyWriter(db, dests, 40)}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d transport errors", res.Errors)
+	}
+	return res
+}
+
+// BenchmarkLoadServing is the fleet x shards matrix: shards=1 with the
+// cache off is the status-quo single instance, shards=4 the full tier.
+func BenchmarkLoadServing(b *testing.B) {
+	for _, bc := range []struct {
+		fleet, shards, cache int
+		suffix               string
+	}{
+		{4, 1, 0, ""},
+		{16, 1, 0, ""},
+		{64, 1, 0, ""},
+		{16, 1, 512, "/cache=on"}, // decomposition: cache alone, no sharding
+		{4, 4, 512, ""},
+		{16, 4, 512, ""},
+		{64, 4, 512, ""},
+	} {
+		name := fmt.Sprintf("fleet=%d/shards=%d/dist=zipf%s", bc.fleet, bc.shards, bc.suffix)
+		b.Run(name, func(b *testing.B) {
+			ts, dests, db := benchTier(b, cluster.Config{
+				Shards: bc.shards, CacheEntries: bc.cache,
+			})
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last = runFleet(b, ts, db, dests, bc.fleet)
+			}
+			b.StopTimer()
+			reportResult(b, last)
+		})
+	}
+}
+
+// rewriteChurn issues a catalogue-wide stats Update every n completed
+// requests. Updates bump docdb's rewrite generation, so each one forces a
+// full snapshot rebuild — the expensive background event (recovery,
+// re-measurement import) that makes overload dangerous in the first
+// place. The mutex serialises concurrent OnComplete callers; `last`
+// guards against out-of-order completion counts re-firing an update.
+func rewriteChurn(db *docdb.DB, dests []int, n int) func(int) {
+	var mu sync.Mutex
+	last := 0
+	return func(completed int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if completed-last < n {
+			return
+		}
+		last = completed
+		db.Collection(measure.ColStats).Update(
+			docdb.Eq(measure.FServerID, dests[0]),
+			docdb.Document{"churn": completed})
+	}
+}
+
+// BenchmarkLoadOverload drives the tier open-loop at ~2x its measured
+// closed-loop capacity while catalogue rewrites churn in the background.
+// The admission=off run is the unprotected baseline; with the gate on,
+// excess arrivals shed as fast 503s (the unavailable_rate metric) and
+// the p99 of served requests stays bounded instead of growing with the
+// backlog. Cache off: every admitted request pays the full Select over
+// 10^3 candidates, so arrivals beyond capacity genuinely queue.
+func BenchmarkLoadOverload(b *testing.B) {
+	const fleet = 32
+	for _, bc := range []struct {
+		suffix string
+		cfg    cluster.Config
+	}{
+		{"/admission=off", cluster.Config{Shards: 4}},
+		{"", cluster.Config{
+			Shards:      4,
+			MaxInflight: 2, QueueDepth: 4, QueueTimeout: 10 * time.Millisecond,
+		}},
+	} {
+		b.Run(fmt.Sprintf("fleet=%d/shards=4/dist=zipf%s", fleet, bc.suffix), func(b *testing.B) {
+			ts, dests, db := benchTier(b, bc.cfg)
+			// Probe capacity closed-loop (churn-free), then arrive at twice
+			// that rate.
+			probe := runFleet(b, ts, db, dests, 16)
+			rate := 2 * probe.RPS
+			cfg := Config{
+				Seed: 18, Mode: Open, Dist: Zipf, Clients: fleet, Requests: benchRequests,
+				Destinations: dests, ArrivalRate: rate, Top: 5, Timeout: 2 * time.Second,
+			}
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := BuildSchedule(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := &Runner{BaseURL: ts.URL, Client: ts.Client(),
+					OnComplete: rewriteChurn(db, dests, 60)}
+				last, err = r.Run(context.Background(), s)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportResult(b, last)
+			b.ReportMetric(rate, "arrival_rate")
+			if bc.cfg.MaxInflight > 0 && last.Unavailable == 0 {
+				b.Log("overload did not engage admission control (no 503s)")
+			}
+		})
+	}
+}
+
+// BenchmarkLoadChaos runs the closed-loop fleet while the serving chaos
+// plan rewrites and floods the database, and reports the recovery window.
+func BenchmarkLoadChaos(b *testing.B) {
+	b.Run("fleet=16/shards=4/dist=zipf", func(b *testing.B) {
+		ts, dests, db := benchTier(b, cluster.Config{Shards: 4, CacheEntries: 512})
+		cfg := Config{
+			Seed: 19, Mode: Closed, Dist: Zipf, Clients: 16, Requests: benchRequests,
+			Destinations: dests, ThinkMean: 200 * time.Microsecond, Top: 5,
+		}
+		plan := chaos.NewServingPlan(19, cfg.Requests)
+		var last *Result
+		var rep RecoveryReport
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := BuildSchedule(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			driver := &ChaosDriver{DB: db, Plan: plan, Dests: dests}
+			driver.Start()
+			r := &Runner{BaseURL: ts.URL, Client: ts.Client(), OnComplete: driver.Notify}
+			last, err = r.Run(context.Background(), s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep = AnalyzeRecovery(last, driver.Firings())
+		}
+		b.StopTimer()
+		reportResult(b, last)
+		b.ReportMetric(ms(rep.BaselineP99), "baseline_p99_ms")
+		b.ReportMetric(ms(rep.PeakP99), "peak_p99_ms")
+		b.ReportMetric(float64(rep.DegradedBuckets), "degraded_buckets")
+		recovered := 0.0
+		if rep.Recovered {
+			recovered = 1
+		}
+		b.ReportMetric(recovered, "recovered")
+	})
+}

@@ -1,0 +1,163 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/upin/scionpath/internal/chaos"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+)
+
+// ChaosFiring records one serving fault the driver applied mid-run.
+type ChaosFiring struct {
+	Event chaos.ServingEvent `json:"event"`
+	// At is the wall offset from run start when the fault landed; the
+	// recovery analysis aligns it with the Result's bucket series.
+	At time.Duration `json:"at"`
+}
+
+// ChaosDriver applies a chaos.ServingPlan against the live database while
+// the generator drives traffic. Hang Notify off Runner.OnComplete; events
+// fire when the completed-request count crosses their trigger, so the
+// fault lands at a fixed point of the request stream regardless of
+// machine speed.
+type ChaosDriver struct {
+	DB    *docdb.DB
+	Plan  chaos.ServingPlan
+	Dests []int
+
+	// start anchors firing offsets; set once by Start before traffic.
+	start time.Time
+
+	mu      sync.Mutex
+	next    int           // guarded by mu: cursor into Plan.Events
+	ts      int64         // guarded by mu: next synthetic stats timestamp
+	firings []ChaosFiring // guarded by mu
+}
+
+// Start anchors the firing clock. Call immediately before Runner.Run.
+func (d *ChaosDriver) Start() {
+	d.start = time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.next = 0
+	// Burst timestamps start far above any seeded history so the engine
+	// folds them incrementally instead of detecting out-of-order writes.
+	d.ts = 1_900_000_000_000
+	d.firings = nil
+}
+
+// Notify observes the completed-request count (Runner.OnComplete) and
+// fires every event whose trigger has been crossed. Events apply under
+// the driver lock, so concurrent fleet goroutines cannot double-fire one.
+func (d *ChaosDriver) Notify(completed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.next < len(d.Plan.Events) && d.Plan.Events[d.next].AfterRequests <= completed {
+		ev := d.Plan.Events[d.next]
+		d.next++
+		d.applyLocked(ev)
+		d.firings = append(d.firings, ChaosFiring{Event: ev, At: time.Since(d.start)})
+	}
+}
+
+// Firings returns the events applied so far, in firing order.
+func (d *ChaosDriver) Firings() []ChaosFiring {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ChaosFiring, len(d.firings))
+	copy(out, d.firings)
+	return out
+}
+
+func (d *ChaosDriver) applyLocked(ev chaos.ServingEvent) {
+	switch ev.Kind {
+	case chaos.RewriteStorm:
+		// An in-place rewrite of one destination's stats bumps the
+		// collection's RewriteGeneration: the next refresh must rebuild
+		// the full snapshot instead of folding the tail.
+		d.DB.Collection(measure.ColStats).Update(
+			docdb.Eq(measure.FServerID, d.Dests[0]),
+			docdb.Document{"chaos_touch": d.Plan.Seed},
+		)
+	case chaos.WriteBurst:
+		docs := make([]docdb.Document, 0, ev.Docs)
+		for i := 0; i < ev.Docs; i++ {
+			dest := d.Dests[i%len(d.Dests)]
+			pid := measure.PathID(dest, 0)
+			d.ts += 1 + int64(i%3)
+			docs = append(docs, docdb.Document{
+				"_id":               fmt.Sprintf("%s@chaos%d#%d", pid, d.ts, i),
+				measure.FPathID:     pid,
+				measure.FServerID:   dest,
+				measure.FTimestamp:  d.ts,
+				measure.FLoss:       float64(i%20) / 2,
+				measure.FAvgLatency: 15 + float64(i%40),
+				measure.FMdev:       float64(i%7) / 3,
+				measure.FBwUpMTU:    2e6 + float64(i%11)*1e6,
+				measure.FBwDownMTU:  2e6 + float64(i%13)*1e6,
+			})
+		}
+		// Chaos injection is best-effort: ids are unique per (seed, event,
+		// index), so the only in-memory failure mode is unreachable.
+		_ = d.DB.Collection(measure.ColStats).InsertMany(docs)
+	}
+}
+
+// RecoveryReport summarises how the latency series absorbed the chaos:
+// baseline p99 before the first fault, worst p99 at or after it, how many
+// buckets stayed degraded, and whether the tail of the run was back under
+// the recovery threshold (2x baseline).
+type RecoveryReport struct {
+	BaselineP99     time.Duration `json:"baseline_p99"`
+	PeakP99         time.Duration `json:"peak_p99"`
+	DegradedBuckets int           `json:"degraded_buckets"`
+	Recovered       bool          `json:"recovered"`
+}
+
+// AnalyzeRecovery aligns the firing times with the result's bucket
+// series. With no firings (or no pre-fault traffic) the zero report is
+// returned.
+func AnalyzeRecovery(res *Result, firings []ChaosFiring) RecoveryReport {
+	var rep RecoveryReport
+	if len(firings) == 0 || len(res.Buckets) == 0 {
+		return rep
+	}
+	first := firings[0].At
+	var pre []time.Duration
+	for _, b := range res.Buckets {
+		if b.Start+res.Duration/bucketCount <= first && b.Count > 0 {
+			pre = append(pre, b.P99)
+		}
+	}
+	if len(pre) == 0 {
+		return rep
+	}
+	// Median of the pre-fault buckets: robust against one slow warm-up
+	// bucket at the very start of the run.
+	for i := 1; i < len(pre); i++ {
+		for j := i; j > 0 && pre[j] < pre[j-1]; j-- {
+			pre[j], pre[j-1] = pre[j-1], pre[j]
+		}
+	}
+	rep.BaselineP99 = pre[len(pre)/2]
+	threshold := 2 * rep.BaselineP99
+	var lastBusy *Bucket
+	for i := range res.Buckets {
+		b := &res.Buckets[i]
+		if b.Start+res.Duration/bucketCount <= first || b.Count == 0 {
+			continue
+		}
+		if b.P99 > rep.PeakP99 {
+			rep.PeakP99 = b.P99
+		}
+		if b.P99 > threshold {
+			rep.DegradedBuckets++
+		}
+		lastBusy = b
+	}
+	rep.Recovered = lastBusy != nil && lastBusy.P99 <= threshold
+	return rep
+}

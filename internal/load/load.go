@@ -1,0 +1,174 @@
+// Package load is the production load harness: a deterministic
+// closed/open-loop generator that drives the UPIN serving tier over real
+// HTTP and reports latency percentiles, throughput and shed rates. One
+// seed yields one schedule — every request's destination, intent flag and
+// timing is fixed before the run starts, so a benchmark number is
+// reproducible and a failure is replayable. Destination popularity is
+// zipfian under a seeded permutation (popular destinations are arbitrary,
+// not low ids), think times are exponential, and the open-loop mode
+// measures latency from the scheduled arrival, not the send, so a slow
+// server cannot hide queueing delay by slowing the generator down
+// (coordinated omission). See docs/LOAD.md.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Mode selects the fleet model.
+type Mode string
+
+const (
+	// Closed: each client issues a request, waits for the response, thinks
+	// (exponential pause), and repeats. Throughput adapts to the server —
+	// this is the user-study model of the paper's §3 participants.
+	Closed Mode = "closed"
+	// Open: requests arrive on an exponential arrival process regardless
+	// of outstanding responses — this is the overload model; arrival rate
+	// is an input, latency the output.
+	Open Mode = "open"
+)
+
+// Dist selects the destination popularity distribution.
+type Dist string
+
+const (
+	// Zipf draws destination ranks from a zipfian distribution and maps
+	// rank to destination through a seeded permutation.
+	Zipf Dist = "zipf"
+	// Uniform spreads requests evenly over the destination set.
+	Uniform Dist = "uniform"
+)
+
+// Config parameterises one schedule.
+type Config struct {
+	Seed         int64
+	Mode         Mode
+	Dist         Dist
+	Clients      int   // fleet size
+	Requests     int   // total requests across the fleet
+	Destinations []int // candidate destination server ids
+
+	// ZipfS is the zipfian skew (> 1; default 1.2).
+	ZipfS float64
+	// ThinkMean is the closed-loop mean think time (default 5ms).
+	ThinkMean time.Duration
+	// ArrivalRate is the open-loop arrival rate in requests/second
+	// (required for Open).
+	ArrivalRate float64
+	// IntentEvery makes every Nth request a POST /api/intent instead of a
+	// GET /api/paths (0 = paths only).
+	IntentEvery int
+	// Top truncates path responses server-side (?top=K; 0 = full body).
+	Top int
+	// Timeout is the per-request deadline (default 5s).
+	Timeout time.Duration
+}
+
+// Step is one closed-loop client action.
+type Step struct {
+	Dest   int
+	Intent bool
+	Think  time.Duration // pause after the response
+}
+
+// Arrival is one open-loop request at a scheduled offset from run start.
+type Arrival struct {
+	At     time.Duration
+	Client int
+	Dest   int
+	Intent bool
+}
+
+// Schedule is a fully materialised run: pure data, safe to share, and
+// deep-equal across BuildSchedule calls with the same Config.
+type Schedule struct {
+	Cfg       Config
+	PerClient [][]Step  // Closed mode
+	Arrivals  []Arrival // Open mode, ordered by At
+}
+
+// BuildSchedule derives the complete request schedule from the config.
+// Everything is drawn from one seeded generator in a fixed order — same
+// config, same schedule, byte for byte.
+//
+//lint:deterministic one seed must yield one schedule — the harness's replay contract
+func BuildSchedule(cfg Config) (*Schedule, error) {
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("load: Clients must be >= 1, have %d", cfg.Clients)
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("load: Requests must be >= 1, have %d", cfg.Requests)
+	}
+	if len(cfg.Destinations) == 0 {
+		return nil, fmt.Errorf("load: no destinations")
+	}
+	switch cfg.Mode {
+	case Closed:
+	case Open:
+		if cfg.ArrivalRate <= 0 {
+			return nil, fmt.Errorf("load: open loop needs ArrivalRate > 0")
+		}
+	default:
+		return nil, fmt.Errorf("load: unknown mode %q", cfg.Mode)
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = Zipf
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("load: ZipfS must be > 1, have %g", cfg.ZipfS)
+	}
+	if cfg.ThinkMean == 0 {
+		cfg.ThinkMean = 5 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The permutation decouples popularity rank from destination id: which
+	// destinations are hot is itself part of the seed draw.
+	perm := rng.Perm(len(cfg.Destinations))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Destinations)-1))
+	pickDest := func() int {
+		if cfg.Dist == Uniform {
+			return cfg.Destinations[rng.Intn(len(cfg.Destinations))]
+		}
+		return cfg.Destinations[perm[int(zipf.Uint64())]]
+	}
+	isIntent := func(n int) bool {
+		return cfg.IntentEvery > 0 && n%cfg.IntentEvery == cfg.IntentEvery-1
+	}
+
+	s := &Schedule{Cfg: cfg}
+	switch cfg.Mode {
+	case Closed:
+		s.PerClient = make([][]Step, cfg.Clients)
+		for n := 0; n < cfg.Requests; n++ {
+			c := n % cfg.Clients
+			s.PerClient[c] = append(s.PerClient[c], Step{
+				Dest:   pickDest(),
+				Intent: isIntent(n),
+				Think:  time.Duration(rng.ExpFloat64() * float64(cfg.ThinkMean)),
+			})
+		}
+	case Open:
+		at := time.Duration(0)
+		interarrival := float64(time.Second) / cfg.ArrivalRate
+		for n := 0; n < cfg.Requests; n++ {
+			at += time.Duration(rng.ExpFloat64() * interarrival)
+			s.Arrivals = append(s.Arrivals, Arrival{
+				At:     at,
+				Client: rng.Intn(cfg.Clients),
+				Dest:   pickDest(),
+				Intent: isIntent(n),
+			})
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,299 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/chaos"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+	"github.com/upin/scionpath/internal/upin"
+	"github.com/upin/scionpath/internal/upin/cluster"
+)
+
+func closedCfg(dests []int) Config {
+	return Config{
+		Seed: 7, Mode: Closed, Clients: 4, Requests: 40,
+		Destinations: dests, ThinkMean: time.Millisecond,
+	}
+}
+
+// TestBuildScheduleDeterministic is the seed contract: same config, same
+// schedule, deep-equal; a different seed diverges.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	dests := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, cfg := range []Config{
+		closedCfg(dests),
+		{Seed: 7, Mode: Open, Clients: 4, Requests: 40, Destinations: dests, ArrivalRate: 500},
+	} {
+		a, err := BuildSchedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildSchedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %s: same config produced different schedules", cfg.Mode)
+		}
+		cfg.Seed = 8
+		c, err := BuildSchedule(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.PerClient, c.PerClient) && reflect.DeepEqual(a.Arrivals, c.Arrivals) {
+			t.Errorf("mode %s: different seeds produced identical schedules", cfg.Mode)
+		}
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	dests := make([]int, 64)
+	for i := range dests {
+		dests[i] = i + 1
+	}
+	cfg := Config{Seed: 11, Mode: Closed, Clients: 8, Requests: 4000,
+		Destinations: dests, IntentEvery: 10, ZipfS: 1.3}
+	s, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, intents := 0, 0
+	byDest := map[int]int{}
+	for _, steps := range s.PerClient {
+		for _, st := range steps {
+			total++
+			if st.Intent {
+				intents++
+			}
+			byDest[st.Dest]++
+			if st.Think < 0 {
+				t.Fatal("negative think time")
+			}
+		}
+	}
+	if total != cfg.Requests {
+		t.Errorf("schedule holds %d steps, want %d", total, cfg.Requests)
+	}
+	if intents != cfg.Requests/cfg.IntentEvery {
+		t.Errorf("%d intents, want %d", intents, cfg.Requests/cfg.IntentEvery)
+	}
+	// Zipf skew: the hottest destination takes far more than the uniform
+	// share (4000/64 ≈ 62).
+	hot := 0
+	for _, n := range byDest {
+		if n > hot {
+			hot = n
+		}
+	}
+	if hot < 3*cfg.Requests/64 {
+		t.Errorf("hottest destination got %d requests — zipf skew missing", hot)
+	}
+
+	open := Config{Seed: 11, Mode: Open, Clients: 8, Requests: 500,
+		Destinations: dests, ArrivalRate: 1000}
+	so, err := BuildSchedule(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(so.Arrivals) != open.Requests {
+		t.Fatalf("%d arrivals, want %d", len(so.Arrivals), open.Requests)
+	}
+	for i := 1; i < len(so.Arrivals); i++ {
+		if so.Arrivals[i].At < so.Arrivals[i-1].At {
+			t.Fatal("arrivals not ordered by offset")
+		}
+	}
+	// Mean interarrival tracks the configured rate (1ms) loosely.
+	mean := so.Arrivals[len(so.Arrivals)-1].At / time.Duration(len(so.Arrivals))
+	if mean < 500*time.Microsecond || mean > 2*time.Millisecond {
+		t.Errorf("mean interarrival %v for rate 1000/s", mean)
+	}
+}
+
+func TestBuildScheduleRejects(t *testing.T) {
+	bad := []Config{
+		{Mode: Closed, Clients: 0, Requests: 1, Destinations: []int{1}},
+		{Mode: Closed, Clients: 1, Requests: 0, Destinations: []int{1}},
+		{Mode: Closed, Clients: 1, Requests: 1},
+		{Mode: Open, Clients: 1, Requests: 1, Destinations: []int{1}}, // no rate
+		{Mode: "warp", Clients: 1, Requests: 1, Destinations: []int{1}},
+		{Mode: Closed, Clients: 1, Requests: 1, Destinations: []int{1}, ZipfS: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildSchedule(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// syntheticTier serves a SeedSynthetic world through a sharded tier over
+// real HTTP.
+func syntheticTier(t testing.TB, cfg cluster.Config) (*httptest.Server, []int, *docdb.DB) {
+	t.Helper()
+	topo := topology.DefaultWorld()
+	net := simnet.New(topo, simnet.Options{Seed: 5})
+	daemon, err := sciond.New(topo, net, topology.MyAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := docdb.MustOpen()
+	dests, err := SeedSynthetic(db, topo, 6, 60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explorer := upin.NewDomainExplorer(topo, []addr.ISD{16, 17, 19})
+	tier := cluster.New(db, daemon, net, explorer, topo, cfg)
+	ts := httptest.NewServer(tier)
+	t.Cleanup(ts.Close)
+	return ts, dests, db
+}
+
+func TestSeedSyntheticDeterministic(t *testing.T) {
+	topo := topology.DefaultWorld()
+	a, b := docdb.MustOpen(), docdb.MustOpen()
+	destsA, err := SeedSynthetic(a, topo, 3, 10, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	destsB, err := SeedSynthetic(b, topo, 3, 10, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(destsA, destsB) {
+		t.Fatalf("destination ids diverged: %v vs %v", destsA, destsB)
+	}
+	for _, col := range []string{measure.ColPaths, measure.ColStats} {
+		da, db2 := a.Collection(col).Count(), b.Collection(col).Count()
+		if da != db2 || da == 0 {
+			t.Errorf("%s: %d vs %d documents", col, da, db2)
+		}
+	}
+	docA := a.Collection(measure.ColPaths).FindOne(docdb.Query{Filter: docdb.Eq("_id", measure.PathID(destsA[0], 0))})
+	docB := b.Collection(measure.ColPaths).FindOne(docdb.Query{Filter: docdb.Eq("_id", measure.PathID(destsB[0], 0))})
+	if docA == nil || docB == nil || !reflect.DeepEqual(docA, docB) {
+		t.Errorf("seeded documents diverged: %v vs %v", docA, docB)
+	}
+}
+
+// TestRunnerClosedLoop drives a real fleet over HTTP: every scheduled
+// request completes with 200 and the percentiles are populated.
+func TestRunnerClosedLoop(t *testing.T) {
+	ts, dests, _ := syntheticTier(t, cluster.Config{Shards: 2, CacheEntries: 256})
+	cfg := Config{Seed: 21, Mode: Closed, Clients: 4, Requests: 60,
+		Destinations: dests, ThinkMean: 500 * time.Microsecond, Top: 5}
+	s, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client()}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != cfg.Requests {
+		t.Fatalf("completed %d of %d", res.Completed, cfg.Requests)
+	}
+	if res.Statuses[http.StatusOK] != cfg.Requests {
+		t.Fatalf("statuses: %v", res.Statuses)
+	}
+	if res.Errors != 0 || res.Unavailable != 0 {
+		t.Errorf("errors=%d unavailable=%d", res.Errors, res.Unavailable)
+	}
+	if res.RPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("degenerate percentiles: rps=%v p50=%v p99=%v max=%v",
+			res.RPS, res.P50, res.P99, res.Max)
+	}
+	if len(res.Buckets) != bucketCount {
+		t.Errorf("%d buckets", len(res.Buckets))
+	}
+}
+
+// TestRunnerOpenLoopChaos: the open-loop fleet keeps arriving while the
+// chaos driver rewrites and floods the database; all events fire, the
+// writes land, and the recovery analysis produces a baseline.
+func TestRunnerOpenLoopChaos(t *testing.T) {
+	ts, dests, db := syntheticTier(t, cluster.Config{Shards: 2, CacheEntries: 256})
+	cfg := Config{Seed: 22, Mode: Open, Clients: 6, Requests: 120,
+		Destinations: dests, ArrivalRate: 2000, Top: 5}
+	s, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := chaos.NewServingPlan(22, cfg.Requests)
+	if len(plan.Events) == 0 {
+		t.Fatal("empty serving plan")
+	}
+	driver := &ChaosDriver{DB: db, Plan: plan, Dests: dests}
+	statsBefore := db.Collection(measure.ColStats).Count()
+	rewriteGenBefore := db.Collection(measure.ColStats).RewriteGeneration()
+
+	driver.Start()
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client(), OnComplete: driver.Notify}
+	res, err := r.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != cfg.Requests {
+		t.Fatalf("completed %d of %d", res.Completed, cfg.Requests)
+	}
+	firings := driver.Firings()
+	if len(firings) != len(plan.Events) {
+		t.Fatalf("fired %d of %d events", len(firings), len(plan.Events))
+	}
+	wantBurst := 0
+	sawRewrite := false
+	for _, f := range firings {
+		if f.Event.Kind == chaos.WriteBurst {
+			wantBurst += f.Event.Docs
+		} else {
+			sawRewrite = true
+		}
+	}
+	if got := db.Collection(measure.ColStats).Count() - statsBefore; got != wantBurst {
+		t.Errorf("burst wrote %d docs, plan says %d", got, wantBurst)
+	}
+	if sawRewrite && db.Collection(measure.ColStats).RewriteGeneration() == rewriteGenBefore {
+		t.Error("rewrite storm did not bump RewriteGeneration")
+	}
+	// Traffic kept succeeding through the chaos.
+	if res.Statuses[http.StatusOK] != cfg.Requests {
+		t.Errorf("statuses: %v", res.Statuses)
+	}
+	rep := AnalyzeRecovery(res, firings)
+	if rep.BaselineP99 <= 0 {
+		t.Errorf("recovery analysis found no baseline: %+v", rep)
+	}
+}
+
+// TestServingPlanDeterministic pins the chaos side of the seed contract.
+func TestServingPlanDeterministic(t *testing.T) {
+	a := chaos.NewServingPlan(33, 1000)
+	b := chaos.NewServingPlan(33, 1000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different serving plans")
+	}
+	if len(a.Events) < 2 {
+		t.Fatalf("plan too small: %+v", a)
+	}
+	for i, ev := range a.Events {
+		if ev.AfterRequests < 200 || ev.AfterRequests > 800 {
+			t.Errorf("event %d trigger %d outside the 20%%..80%% window", i, ev.AfterRequests)
+		}
+		if i > 0 && ev.AfterRequests < a.Events[i-1].AfterRequests {
+			t.Error("events not ordered by trigger")
+		}
+	}
+	if c := chaos.NewServingPlan(33, 5); len(c.Events) != 0 {
+		t.Error("tiny streams must get no events")
+	}
+}

@@ -1,0 +1,305 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result is one run's measurement.
+type Result struct {
+	Mode     Mode          `json:"mode"`
+	Clients  int           `json:"clients"`
+	Requests int           `json:"requests"`
+	Duration time.Duration `json:"duration"`
+
+	Completed   int         `json:"completed"`
+	Errors      int         `json:"errors"` // transport failures + deadline misses
+	Unavailable int         `json:"unavailable"`
+	RateLimited int         `json:"rate_limited"`
+	Statuses    map[int]int `json:"statuses"`
+
+	RPS  float64       `json:"rps"`
+	P50  time.Duration `json:"p50"`
+	P90  time.Duration `json:"p90"`
+	P99  time.Duration `json:"p99"`
+	P999 time.Duration `json:"p999"`
+	Max  time.Duration `json:"max"`
+
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one time slice of the run (Result.Duration / bucketCount):
+// the latency series the chaos analysis reads.
+type Bucket struct {
+	Start  time.Duration `json:"start"`
+	Count  int           `json:"count"`
+	Errors int           `json:"errors"`
+	P99    time.Duration `json:"p99"`
+}
+
+const bucketCount = 20
+
+// sample is one finished request. off is the latency-measurement origin's
+// offset from run start: the send time in closed mode, the scheduled
+// arrival in open mode.
+type sample struct {
+	off    time.Duration
+	lat    time.Duration
+	status int // 0 = transport error
+}
+
+// Runner drives one Schedule against a serving tier over real HTTP.
+type Runner struct {
+	// BaseURL is the tier's root, e.g. the httptest.Server URL.
+	BaseURL string
+	// Client is the shared HTTP client; connections are reused across the
+	// whole fleet. Defaults to http.DefaultClient.
+	Client *http.Client
+	// OnComplete, when set, observes the completed-request count after
+	// every response; the chaos driver hangs off this hook. Called
+	// concurrently from fleet goroutines.
+	OnComplete func(completed int)
+
+	completed atomic.Int64
+
+	mu      sync.Mutex
+	samples []sample // guarded by mu
+}
+
+// Run executes the schedule and blocks until the fleet finishes (or ctx
+// cancels, in which case the partial result is still computed).
+func (r *Runner) Run(ctx context.Context, s *Schedule) (*Result, error) {
+	if r.Client == nil {
+		r.Client = http.DefaultClient
+	}
+	r.mu.Lock()
+	r.samples = make([]sample, 0, s.Cfg.Requests)
+	r.mu.Unlock()
+	r.completed.Store(0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	switch s.Cfg.Mode {
+	case Closed:
+		for c, steps := range s.PerClient {
+			wg.Add(1)
+			go func(client int, steps []Step) {
+				defer wg.Done()
+				r.runClient(ctx, s, client, steps, start)
+			}(c, steps)
+		}
+	case Open:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.dispatch(ctx, s, start)
+		}()
+	default:
+		return nil, fmt.Errorf("load: unknown mode %q", s.Cfg.Mode)
+	}
+	wg.Wait()
+	return r.result(s, time.Since(start)), nil
+}
+
+// runClient is one closed-loop client: request, record, think, repeat.
+func (r *Runner) runClient(ctx context.Context, s *Schedule, client int, steps []Step, start time.Time) {
+	for _, st := range steps {
+		if ctx.Err() != nil {
+			return
+		}
+		sent := time.Now()
+		status := r.fire(ctx, s, client, st.Dest, st.Intent)
+		r.record(sample{off: sent.Sub(start), lat: time.Since(sent), status: status})
+		if st.Think > 0 {
+			t := time.NewTimer(st.Think)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		}
+	}
+}
+
+// dispatch fires open-loop arrivals at their scheduled offsets. Latency
+// is measured from the *scheduled* arrival: if the server (or the local
+// scheduler) falls behind, the queueing delay lands in the recorded
+// latency instead of silently stretching the run.
+func (r *Runner) dispatch(ctx context.Context, s *Schedule, start time.Time) {
+	var wg sync.WaitGroup
+	for _, a := range s.Arrivals {
+		if ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(start.Add(a.At)); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		wg.Add(1)
+		go func(a Arrival) {
+			defer wg.Done()
+			scheduled := start.Add(a.At)
+			status := r.fire(ctx, s, a.Client, a.Dest, a.Intent)
+			r.record(sample{off: a.At, lat: time.Since(scheduled), status: status})
+		}(a)
+	}
+	wg.Wait()
+}
+
+// fire issues one request and returns the HTTP status (0 on transport
+// error or deadline miss).
+func (r *Runner) fire(ctx context.Context, s *Schedule, client, dest int, intent bool) int {
+	ctx, cancel := context.WithTimeout(ctx, s.Cfg.Timeout)
+	defer cancel()
+	var req *http.Request
+	var err error
+	if intent {
+		body := fmt.Sprintf(`{"server_id":%d,"objective":"latency"}`, dest)
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			r.BaseURL+"/api/intent", strings.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		url := fmt.Sprintf("%s/api/paths?server=%d", r.BaseURL, dest)
+		if s.Cfg.Top > 0 {
+			url += fmt.Sprintf("&top=%d", s.Cfg.Top)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("X-Client-ID", fmt.Sprintf("c%03d", client))
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return 0
+	}
+	// Drain so the keep-alive connection is reusable.
+	_, _ = discard(resp)
+	return resp.StatusCode
+}
+
+func (r *Runner) record(smp sample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, smp)
+	r.mu.Unlock()
+	n := r.completed.Add(1)
+	if r.OnComplete != nil {
+		r.OnComplete(int(n))
+	}
+}
+
+// result folds the samples into percentiles and the bucket series.
+func (r *Runner) result(s *Schedule, elapsed time.Duration) *Result {
+	r.mu.Lock()
+	samples := r.samples
+	r.mu.Unlock()
+
+	res := &Result{
+		Mode: s.Cfg.Mode, Clients: s.Cfg.Clients, Requests: s.Cfg.Requests,
+		Duration: elapsed, Completed: len(samples), Statuses: map[int]int{},
+	}
+	if len(samples) == 0 {
+		return res
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, smp := range samples {
+		res.Statuses[smp.status]++
+		switch smp.status {
+		case 0:
+			res.Errors++
+			continue // no latency: the request never completed
+		case http.StatusServiceUnavailable:
+			res.Unavailable++
+		case http.StatusTooManyRequests:
+			res.RateLimited++
+		}
+		lats = append(lats, smp.lat)
+	}
+	if elapsed > 0 {
+		res.RPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		slices.Sort(lats)
+		res.P50 = percentile(lats, 0.50)
+		res.P90 = percentile(lats, 0.90)
+		res.P99 = percentile(lats, 0.99)
+		res.P999 = percentile(lats, 0.999)
+		res.Max = lats[len(lats)-1]
+	}
+	res.Buckets = bucketize(samples, elapsed)
+	return res
+}
+
+// percentile reads the p-quantile of an ascending latency slice
+// (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func bucketize(samples []sample, elapsed time.Duration) []Bucket {
+	if elapsed <= 0 {
+		return nil
+	}
+	width := elapsed / bucketCount
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	lats := make([][]time.Duration, bucketCount)
+	out := make([]Bucket, bucketCount)
+	for i := range out {
+		out[i].Start = time.Duration(i) * width
+	}
+	for _, smp := range samples {
+		i := int(smp.off / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bucketCount {
+			i = bucketCount - 1
+		}
+		out[i].Count++
+		if smp.status == 0 {
+			out[i].Errors++
+			continue
+		}
+		lats[i] = append(lats[i], smp.lat)
+	}
+	for i := range out {
+		slices.Sort(lats[i])
+		out[i].P99 = percentile(lats[i], 0.99)
+	}
+	return out
+}
+
+func discard(resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	var buf [4096]byte
+	var n int64
+	for {
+		m, err := resp.Body.Read(buf[:])
+		n += int64(m)
+		if err != nil {
+			return n, nil
+		}
+	}
+}

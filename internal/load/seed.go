@@ -1,0 +1,94 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// SeedSynthetic fills a database with a synthetic measurement campaign
+// over the given topology: nDests destinations, pathsPer candidate paths
+// each (sequences walk real ASes of the topology, so geo annotation and
+// hop metadata work), statsPer stats documents per path. It returns the
+// seeded destination ids. This is the 10³-candidate regime generated
+// worlds reach, which a real SCIONLab campaign never produces — the load
+// benchmarks run against it so per-request work is production-shaped.
+//
+//lint:deterministic synthetic campaigns must be reproducible from the seed
+func SeedSynthetic(db *docdb.DB, topo *topology.Topology, nDests, pathsPer, statsPer int, seed int64) ([]int, error) {
+	if err := measure.SeedServers(db, topo); err != nil {
+		return nil, err
+	}
+	srvs, err := measure.Servers(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(srvs) < nDests {
+		return nil, fmt.Errorf("load: topology offers %d servers, need %d", len(srvs), nDests)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ases := topo.ASes()
+	dests := make([]int, 0, nDests)
+	pathDocs := make([]docdb.Document, 0, nDests*pathsPer)
+	statsDocs := make([]docdb.Document, 0, nDests*pathsPer*statsPer)
+	nowMs := int64(1_700_000_000_000)
+	for d := 0; d < nDests; d++ {
+		sid, dst := srvs[d].ID, srvs[d].Address.IA
+		dests = append(dests, sid)
+		for i := 0; i < pathsPer; i++ {
+			hops := 3 + rng.Intn(4)
+			parts := make([]string, 0, hops+1)
+			isds := make([]any, 0, hops+1)
+			addISD := func(isd string) {
+				for _, have := range isds {
+					if have == isd {
+						return
+					}
+				}
+				isds = append(isds, isd)
+			}
+			for h := 0; h < hops; h++ {
+				ia := ases[rng.Intn(len(ases))].IA
+				parts = append(parts, ia.String())
+				addISD(fmt.Sprintf("%d", ia.ISD))
+			}
+			parts = append(parts, dst.String())
+			addISD(fmt.Sprintf("%d", dst.ISD))
+			id := measure.PathID(sid, i)
+			pathDocs = append(pathDocs, docdb.Document{
+				"_id":              id,
+				measure.FServerID:  sid,
+				measure.FPathIndex: i,
+				measure.FHops:      hops + 1,
+				measure.FSequence:  strings.Join(parts, " "),
+				measure.FISDs:      isds,
+				measure.FMTU:       1472,
+			})
+			for s := 0; s < statsPer; s++ {
+				nowMs += int64(rng.Intn(3))
+				statsDocs = append(statsDocs, docdb.Document{
+					"_id":               fmt.Sprintf("%s@%d#%d", id, nowMs, s),
+					measure.FPathID:     id,
+					measure.FServerID:   sid,
+					measure.FTimestamp:  nowMs,
+					measure.FLoss:       float64(rng.Intn(200)) / 10,
+					measure.FAvgLatency: 10 + rng.Float64()*150,
+					measure.FMdev:       rng.Float64() * 5,
+					measure.FBwUpMTU:    1e6 + rng.Float64()*1e8,
+					measure.FBwDownMTU:  1e6 + rng.Float64()*1e8,
+				})
+			}
+		}
+	}
+	if err := db.Collection(measure.ColPaths).InsertMany(pathDocs); err != nil {
+		return nil, err
+	}
+	if err := db.Collection(measure.ColStats).InsertMany(statsDocs); err != nil {
+		return nil, err
+	}
+	return dests, nil
+}

@@ -1,0 +1,79 @@
+package selection
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// TestWithServerOwner: an owner-filtered engine snapshots only its own
+// destinations, answers them identically to an unfiltered engine, and
+// reports "no collected paths" for the rest.
+func TestWithServerOwner(t *testing.T) {
+	full, db, ids := collectedWorld(t, 91)
+	w := newStatsWriter(t, db, 91)
+	w.insertInOrder(t, 400)
+	if len(ids) < 2 {
+		t.Fatalf("need >= 2 served destinations, have %d", len(ids))
+	}
+	mine, theirs := ids[0], ids[1]
+	sharded := New(db, topology.DefaultWorld(),
+		WithServerOwner(func(id int) bool { return id == mine }))
+
+	ctx := context.Background()
+	got, err := sharded.Select(ctx, mine, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Select(ctx, mine, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("owned destination: sharded answer diverges from full engine")
+	}
+
+	if _, err := sharded.Select(ctx, theirs, Request{}); err == nil ||
+		!strings.Contains(err.Error(), "no collected paths") {
+		t.Errorf("non-owned destination: err = %v, want no-collected-paths", err)
+	}
+
+	fullInfo, ok := full.SnapshotInfo()
+	if !ok {
+		t.Fatal("full engine has no snapshot")
+	}
+	shardInfo, ok := sharded.SnapshotInfo()
+	if !ok {
+		t.Fatal("sharded engine has no snapshot")
+	}
+	if shardInfo.Paths >= fullInfo.Paths {
+		t.Errorf("sharded snapshot holds %d paths, full %d: owner filter not applied",
+			shardInfo.Paths, fullInfo.Paths)
+	}
+	// Both engines stream the same stats history (accounting invariant).
+	if shardInfo.StatsFolded != fullInfo.StatsFolded {
+		t.Errorf("folded accounting diverged: shard %d, full %d",
+			shardInfo.StatsFolded, fullInfo.StatsFolded)
+	}
+
+	// Incremental refresh keeps working on the filtered snapshot.
+	w.insertInOrder(t, 50)
+	got2, err := sharded.Select(ctx, mine, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := full.Select(ctx, mine, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Errorf("after incremental refresh: sharded answer diverges from full engine")
+	}
+	rebuilds, folds, _ := sharded.Counters()
+	if rebuilds != 1 || folds != 1 {
+		t.Errorf("counters: rebuilds=%d folds=%d, want 1/1", rebuilds, folds)
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -127,16 +127,35 @@ type Engine struct {
 	topo  *topology.Topology
 	paths *docdb.Collection
 	stats *docdb.Collection
+	// owns restricts the snapshot to the destinations this engine serves
+	// (nil = all). A sharded serving tier gives every replica its own
+	// owner-filtered engine, so each shard's snapshot carries — and each
+	// refresh clones and annotates — only its share of the path catalogue.
+	owns func(serverID int) bool
 
 	// current is the published serving snapshot; nil until first refresh.
 	current atomic.Pointer[snapshot]
-	// rebuilds/folds count full vs incremental refreshes (tests, health).
-	rebuilds atomic.Int64
-	folds    atomic.Int64
+	// rebuilds/folds/coalesced count full refreshes, incremental
+	// refreshes, and requests served a stale-but-consistent snapshot while
+	// another caller's refresh was in flight (tests, /api/stats).
+	rebuilds  atomic.Int64
+	folds     atomic.Int64
+	coalesced atomic.Int64
 
 	// mu guards the single-flight refresh slot below.
 	mu       sync.Mutex
 	inflight *refreshFlight
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithServerOwner restricts the engine's serving snapshot to destinations
+// for which owns returns true. Select for a non-owned destination reports
+// "no collected paths" — the caller (a shard router) must not send it
+// there. The uncached oracle path is unaffected.
+func WithServerOwner(owns func(serverID int) bool) Option {
+	return func(e *Engine) { e.owns = owns }
 }
 
 // New returns an engine over the given database and topology. The stats
@@ -145,14 +164,25 @@ type Engine struct {
 // timestamp_ms (incremental refresh folds only documents above the
 // snapshot's high-water mark); the paths collection gets a hash index on
 // server_id and an ordered index on path_index.
-func New(db *docdb.DB, topo *topology.Topology) *Engine {
+func New(db *docdb.DB, topo *topology.Topology, opts ...Option) *Engine {
 	stats := db.Collection(measure.ColStats)
 	stats.EnsureIndex(measure.FPathID)
 	stats.EnsureSortedIndex(measure.FTimestamp)
 	paths := db.Collection(measure.ColPaths)
 	paths.EnsureIndex(measure.FServerID)
 	paths.EnsureSortedIndex(measure.FPathIndex)
-	return &Engine{db: db, topo: topo, paths: paths, stats: stats}
+	e := &Engine{db: db, topo: topo, paths: paths, stats: stats}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Counters reports refresh activity since the engine was built: full
+// rebuilds, incremental folds, and requests coalesced onto a stale
+// snapshot while a refresh was in flight.
+func (e *Engine) Counters() (rebuilds, folds, coalesced int64) {
+	return e.rebuilds.Load(), e.folds.Load(), e.coalesced.Load()
 }
 
 // Select returns the candidate paths to a destination server satisfying the
@@ -173,20 +203,53 @@ func (e *Engine) Select(ctx context.Context, serverID int, req Request) ([]Candi
 		return nil, fmt.Errorf("selection: no collected paths for server %d", serverID)
 	}
 	creq := compileRequest(req)
-	var out []Candidate
+	// One allocation sized to the candidate count: at 10³–10⁴ candidates
+	// per destination the append-growth reallocations and the two
+	// reflective sort.SliceStable allocations dominated the profile.
+	out := make([]Candidate, 0, len(aggs))
 	for _, agg := range aggs {
 		if agg.samples < creq.minSamples || !creq.passesHops(agg) {
 			continue
 		}
 		cand := agg.candidate()
-		if !passesPerformance(&cand, req) {
+		if !passesPerformance(&cand, &req) {
 			continue
 		}
 		cand.Score = score(&cand, req.Objective)
 		out = append(out, cand)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
-	return out, nil
+	return sortByScore(out), nil
+}
+
+// sortByScore orders candidates best (lowest score) first, preserving input
+// order on ties. It sorts an index vector and applies the permutation once:
+// a Candidate is a 168-byte struct with six pointer-bearing fields, and
+// letting the sort move the structs themselves (the old sort.SliceStable)
+// spent ~70% of a 5000-candidate Select in element copies and their GC
+// write barriers.
+func sortByScore(cands []Candidate) []Candidate {
+	if len(cands) < 2 {
+		return cands
+	}
+	idx := make([]int32, len(cands))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		sa, sb := cands[a].Score, cands[b].Score
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		}
+		return int(a - b) // ties keep input order: stable without SortStableFunc
+	})
+	sorted := make([]Candidate, len(cands))
+	for i, j := range idx {
+		sorted[i] = cands[j]
+	}
+	return sorted
 }
 
 // selectUncached is the pre-snapshot engine: it re-aggregates each path's
@@ -203,7 +266,7 @@ func (e *Engine) selectUncached(ctx context.Context, serverID int, req Request) 
 		return nil, fmt.Errorf("selection: no collected paths for server %d", serverID)
 	}
 
-	var out []Candidate
+	out := make([]Candidate, 0, len(pathDocs))
 	for _, pd := range pathDocs {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("selection: select cancelled: %w", err)
@@ -215,14 +278,13 @@ func (e *Engine) selectUncached(ctx context.Context, serverID int, req Request) 
 		if !e.passesExclusions(&cand, &creq) {
 			continue
 		}
-		if !passesPerformance(&cand, req) {
+		if !passesPerformance(&cand, &req) {
 			continue
 		}
 		cand.Score = score(&cand, req.Objective)
 		out = append(out, cand)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
-	return out, nil
+	return sortByScore(out), nil
 }
 
 // Best returns the single best candidate, or an error when no path
@@ -415,7 +477,10 @@ func (e *Engine) passesExclusions(c *Candidate, cr *compiledRequest) bool {
 	return true
 }
 
-func passesPerformance(c *Candidate, req Request) bool {
+// passesPerformance applies the hard performance bounds. The request is
+// passed by pointer: it carries four slice headers, and copying it per
+// candidate showed up in the 5000-candidate Select profile.
+func passesPerformance(c *Candidate, req *Request) bool {
 	if req.MaxLatencyMs > 0 && !(c.AvgLatencyMs <= req.MaxLatencyMs) {
 		return false
 	}

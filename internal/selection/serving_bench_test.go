@@ -12,9 +12,13 @@ package selection
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/topology"
 )
 
 // bulkInOrder is insertInOrder for benchmark fixtures: one InsertMany per
@@ -44,6 +48,117 @@ func benchWorld(b *testing.B, docs int) (*Engine, *statsWriter, int) {
 }
 
 var benchSizes = []int{10_000, 100_000}
+
+// syntheticCatalogue inserts nPaths synthetic path documents for one
+// destination, with sequences walking ASes of the given topology (so geo
+// annotation and hop metadata are real), plus statsPer stats documents per
+// path. It returns the destination's server id. This is the 10³–10⁴
+// candidate regime a single destination reaches on generated worlds, which
+// a measured SCIONLab campaign never produces.
+func syntheticCatalogue(tb testing.TB, topo *topology.Topology, db *docdb.DB,
+	nPaths, statsPer int, seed int64) int {
+	tb.Helper()
+	if err := measure.SeedServers(db, topo); err != nil {
+		tb.Fatal(err)
+	}
+	srvs, err := measure.Servers(db)
+	if err != nil || len(srvs) == 0 {
+		tb.Fatalf("no servers (%v)", err)
+	}
+	sid := srvs[0].ID
+	dst := srvs[0].Address.IA
+	ases := topo.ASes()
+	r := rand.New(rand.NewSource(seed))
+
+	pathDocs := make([]docdb.Document, 0, nPaths)
+	statsDocs := make([]docdb.Document, 0, nPaths*statsPer)
+	nowMs := int64(1_700_000_000_000)
+	for i := 0; i < nPaths; i++ {
+		hops := 3 + r.Intn(4)
+		parts := make([]string, 0, hops+1)
+		isds := map[string]bool{}
+		for h := 0; h < hops; h++ {
+			ia := ases[r.Intn(len(ases))].IA
+			parts = append(parts, ia.String())
+			isds[fmt.Sprintf("%d", ia.ISD)] = true
+		}
+		parts = append(parts, dst.String())
+		isds[fmt.Sprintf("%d", dst.ISD)] = true
+		isdList := make([]any, 0, len(isds))
+		for isd := range isds {
+			isdList = append(isdList, isd)
+		}
+		id := measure.PathID(sid, i)
+		pathDocs = append(pathDocs, docdb.Document{
+			"_id":              id,
+			measure.FServerID:  sid,
+			measure.FPathIndex: i,
+			measure.FHops:      hops + 1,
+			measure.FSequence:  strings.Join(parts, " "),
+			measure.FISDs:      isdList,
+			measure.FMTU:       1472,
+		})
+		for s := 0; s < statsPer; s++ {
+			nowMs += int64(r.Intn(3))
+			statsDocs = append(statsDocs, docdb.Document{
+				"_id":               fmt.Sprintf("%s@%d#%d", id, nowMs, s),
+				measure.FPathID:     id,
+				measure.FServerID:   sid,
+				measure.FTimestamp:  nowMs,
+				measure.FLoss:       float64(r.Intn(200)) / 10,
+				measure.FAvgLatency: 10 + r.Float64()*150,
+				measure.FMdev:       r.Float64() * 5,
+				measure.FBwUpMTU:    1e6 + r.Float64()*1e8,
+				measure.FBwDownMTU:  1e6 + r.Float64()*1e8,
+			})
+		}
+	}
+	if err := db.Collection(measure.ColPaths).InsertMany(pathDocs); err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Collection(measure.ColStats).InsertMany(statsDocs); err != nil {
+		tb.Fatal(err)
+	}
+	return sid
+}
+
+// BenchmarkServingSelect profiles one Select at generated-world candidate
+// counts: the ases=5000 case serves a destination with 5000 candidate
+// paths over a 5000-AS topology (the ROADMAP's unprofiled regime).
+func BenchmarkServingSelect(b *testing.B) {
+	for _, ases := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("ases=%d", ases), func(b *testing.B) {
+			spec := topology.GenerateSpec{
+				Seed: int64(ases), ISDs: 20, CoresPerISD: 2, NonCorePerISD: 48,
+				MaxChildren: 8, CoreDegree: 4,
+			}
+			if ases == 5000 {
+				spec = topology.GenerateSpec{
+					Seed: 5000, ISDs: 25, CoresPerISD: 4, NonCorePerISD: 196,
+					MaxChildren: 12, CoreDegree: 4,
+				}
+			}
+			topo, err := topology.Generate(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db := docdb.MustOpen()
+			sid := syntheticCatalogue(b, topo, db, ases, 3, 7)
+			e := New(db, topo)
+			ctx := context.Background()
+			if _, err := e.Select(ctx, sid, Request{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Select(ctx, sid, Request{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkServingSelectCached(b *testing.B) {
 	for _, n := range benchSizes {

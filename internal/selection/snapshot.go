@@ -196,6 +196,7 @@ func (e *Engine) refresh(ctx context.Context) (*snapshot, error) {
 	if f := e.inflight; f != nil {
 		e.mu.Unlock()
 		if stale != nil {
+			e.coalesced.Add(1)
 			return stale, nil
 		}
 		select {
@@ -305,6 +306,15 @@ func (e *Engine) rebuild(pathsGen, statsGen, statsRW int64) (*snapshot, error) {
 	}
 	for i := range pds {
 		pd := &pds[i]
+		if e.owns != nil && !e.owns(pd.ServerID) {
+			// A sharded engine keeps only its own destinations: the
+			// annotation below and every later COW clone scale with the
+			// shard's share of the catalogue, not with the whole of it.
+			// foldStats still counts the skipped paths' stats documents
+			// (folded++ is unconditional), so the out-of-order-write
+			// detection arithmetic in foldInto keeps working unchanged.
+			continue
+		}
 		agg := &pathAgg{id: Candidate{
 			PathID:   pd.ID,
 			ServerID: pd.ServerID,

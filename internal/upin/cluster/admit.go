@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the admission controller: maxInflight requests run, up to
+// queueDepth more wait at most timeout for a slot, everything beyond
+// that is shed immediately. A buffered channel is the slot pool — a
+// release is one receive, and queued acquirers are served in whatever
+// order the runtime unblocks their sends, which under overload is as
+// good a policy as FIFO and needs no lock.
+type gate struct {
+	slots   chan struct{} // nil: admission disabled
+	depth   int64
+	timeout time.Duration
+
+	queued atomic.Int64
+}
+
+func newGate(maxInflight, queueDepth int, timeout time.Duration) *gate {
+	g := &gate{depth: int64(queueDepth), timeout: timeout}
+	if maxInflight > 0 {
+		g.slots = make(chan struct{}, maxInflight)
+	}
+	return g
+}
+
+// acquire admits one request. The returned release must be called when
+// the request finishes (ok == true only).
+func (g *gate) acquire() (release func(), ok bool) {
+	if g.slots == nil {
+		return func() {}, true
+	}
+	release = func() { <-g.slots }
+	select {
+	case g.slots <- struct{}{}:
+		return release, true
+	default:
+	}
+	// Slots full: queue if the bounded queue has room.
+	if q := g.queued.Add(1); q > g.depth {
+		g.queued.Add(-1)
+		return nil, false
+	}
+	defer g.queued.Add(-1)
+	if g.timeout <= 0 {
+		g.slots <- struct{}{}
+		return release, true
+	}
+	t := time.NewTimer(g.timeout)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return release, true
+	case <-t.C:
+		return nil, false
+	}
+}
+
+func (g *gate) queuedNow() int64 { return g.queued.Load() }
+
+// limiter is a per-client token bucket: rate tokens/second refill, burst
+// capacity. Buckets are created on first sight of a client and the table
+// is reset when it grows past maxClients — a full reset briefly grants
+// every client a fresh burst, which errs on the side of admitting.
+type limiter struct {
+	rate, burst float64
+	// now is the clock; tests substitute a fake one.
+	now func() time.Time
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket // guarded by mu
+	disabled bool
+}
+
+const maxClients = 8192
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64) *limiter {
+	l := &limiter{rate: rate, burst: burst, now: time.Now}
+	if l.burst < 1 {
+		l.burst = 1
+	}
+	if rate <= 0 {
+		l.disabled = true
+	} else {
+		l.buckets = make(map[string]*bucket)
+	}
+	return l
+}
+
+func (l *limiter) allow(client string) bool {
+	if l.disabled {
+		return true
+	}
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buckets) > maxClients {
+		l.buckets = make(map[string]*bucket)
+	}
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// genPair stamps a cached response with the collection generations it was
+// computed at; a write to either collection makes the entry stale.
+type genPair struct {
+	paths, stats int64
+}
+
+type entry struct {
+	status int
+	body   []byte
+}
+
+// respCache is one shard's response cache for GET /api/paths. Entries
+// are keyed by the raw query string and validated against the current
+// generation pair on every hit, so it can never serve across a write —
+// the cost of a write is simply that the next request per key recomputes.
+type respCache struct {
+	max int // immutable; 0 disables the cache
+
+	mu      sync.Mutex
+	gen     genPair          // guarded by mu
+	entries map[string]entry // guarded by mu
+}
+
+func newRespCache(max int) *respCache {
+	if max <= 0 {
+		return nil
+	}
+	return &respCache{max: max, entries: make(map[string]entry)}
+}
+
+func (c *respCache) get(key string, gen genPair) (entry, bool) {
+	if c == nil {
+		return entry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return entry{}, false
+	}
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *respCache) put(key string, gen genPair, e entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		// A write landed since this shard's last fill: every cached body
+		// is stale. Restart the table at the new generation pair.
+		c.gen = gen
+		c.entries = make(map[string]entry)
+	}
+	if len(c.entries) >= c.max {
+		c.entries = make(map[string]entry)
+	}
+	c.entries[key] = e
+}
+
+// captureWriter buffers a shard's response so the router can cache it
+// before forwarding. Only bodies the shard finished writing reach the
+// cache (the router checks the status).
+type captureWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+
+func (c *captureWriter) WriteHeader(status int) { c.status = status }
+
+func (c *captureWriter) Write(p []byte) (int, error) { return c.buf.Write(p) }

@@ -37,6 +37,13 @@ type Server struct {
 	// availableServers collection generation (see serverIA).
 	catalog atomic.Pointer[serverCatalog]
 
+	// Serving counters (see /api/stats and docs/LOAD.md): requests seen,
+	// requests currently inside a handler, and 503s written since start.
+	// The load harness asserts against these.
+	reqTotal    atomic.Int64
+	reqInflight atomic.Int64
+	unavailable atomic.Int64
+
 	// closeMu drains in-flight requests on Close: every request holds the
 	// read side for its whole lifetime (including any snapshot refresh it
 	// triggers inside the selection engine), and Close takes the write side,
@@ -58,6 +65,7 @@ func NewServer(db *docdb.DB, daemon *sciond.Daemon, net *simnet.Network,
 		logger: slog.Default(),
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/servers", s.handleServers)
 	s.mux.HandleFunc("GET /api/nodes", s.handleNodes)
 	s.mux.HandleFunc("GET /api/paths", s.handlePaths)
@@ -100,6 +108,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler. Requests arriving after Close are
 // refused with 503 instead of racing a database that may be shutting down.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.reqInflight.Add(1)
+	defer s.reqInflight.Add(-1)
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
@@ -136,7 +147,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		doc["snapshot_paths"] = info.Paths
 		doc["snapshot_stats_folded"] = info.StatsFolded
 	}
+	doc["requests_in_flight"] = s.reqInflight.Load()
 	s.writeJSON(w, http.StatusOK, doc)
+}
+
+// ServingStats is one point-in-time reading of the serving counters. The
+// cluster router aggregates these across shards for its own /api/stats.
+type ServingStats struct {
+	RequestsTotal    int64 `json:"requests_total"`
+	RequestsInFlight int64 `json:"requests_in_flight"`
+	UnavailableTotal int64 `json:"unavailable_total"`
+	SnapshotGen      int64 `json:"snapshot_generation"`
+	SnapshotPaths    int   `json:"snapshot_paths"`
+	Rebuilds         int64 `json:"snapshot_rebuilds"`
+	Folds            int64 `json:"snapshot_folds"`
+	Coalesced        int64 `json:"snapshot_refreshes_coalesced"`
+}
+
+// Stats reads the serving counters. The fields are sampled independently
+// (each is its own atomic), which is fine for observability: no reading is
+// ever torn, only slightly skewed across fields.
+func (s *Server) Stats() ServingStats {
+	st := ServingStats{
+		RequestsTotal:    s.reqTotal.Load(),
+		RequestsInFlight: s.reqInflight.Load(),
+		UnavailableTotal: s.unavailable.Load(),
+	}
+	st.Rebuilds, st.Folds, st.Coalesced = s.engine.Counters()
+	if info, ok := s.engine.SnapshotInfo(); ok {
+		st.SnapshotGen = info.StatsGeneration
+		st.SnapshotPaths = info.Paths
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
@@ -182,10 +228,23 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
 		return
 	}
+	top := 0 // 0 = all candidates
+	if v := r.URL.Query().Get("top"); v != "" {
+		top, err = strconv.Atoi(v)
+		if err != nil || top < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid ?top=%q: want a positive integer", v))
+			return
+		}
+	}
 	cands, err := s.engine.Select(r.Context(), id, selection.Request{})
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
+	}
+	// Candidates arrive best-first; top=K keeps the response body small on
+	// destinations with thousands of paths without changing what is served.
+	if top > 0 && top < len(cands) {
+		cands = cands[:top]
 	}
 	s.writeJSON(w, http.StatusOK, candidatesJSON(cands))
 }
@@ -402,6 +461,9 @@ var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // hot endpoints reuse buffers instead of allocating per response. Errors
 // the old implementation dropped are logged.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status == http.StatusServiceUnavailable {
+		s.unavailable.Add(1)
+	}
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)

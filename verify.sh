@@ -51,6 +51,10 @@ go test -race ./internal/selection ./internal/upin
 # vs the naive-combiner oracle), and sciond the atomic combiner publication
 # with double-checked refresh (docs/PATHDISC.md).
 go test -race ./internal/segment ./internal/pathmgr ./internal/sciond
+# cluster carries the sharded serving tier (admission gate, per-client
+# limiter, response caches under concurrent invalidation) and load the
+# client fleets hammering it over real HTTP (docs/LOAD.md).
+go test -race ./internal/upin/cluster ./internal/load
 
 echo "== tier 2: chaos harness under the race detector (short subset)"
 # Full chaotic runs (crash, truncate, resume, verify all four invariants)
@@ -88,6 +92,12 @@ go test -run '^$' -bench=DocDB -benchtime=1x ./internal/docdb >/dev/null
 echo "== tier 2: serving benchmark smoke (-benchtime 1x)"
 # Keeps BenchmarkServing* (the BENCH_serving.json trajectory) runnable.
 go test -run '^$' -bench=Serving -benchtime=1x ./internal/selection >/dev/null
+
+echo "== tier 2: load harness benchmark smoke (-benchtime 1x)"
+# Keeps BenchmarkLoad* (the BENCH_load.json trajectory, see docs/LOAD.md)
+# runnable: the fleet x shards matrix, the 2x-overload probe, and the
+# chaos-under-load recovery run.
+go test -run '^$' -bench=Load -benchtime=1x ./internal/load >/dev/null
 
 echo "== tier 2: path-discovery benchmark smoke (-benchtime 1x)"
 # Keeps BenchmarkPathDisc* (the BENCH_pathdisc.json trajectory, see
