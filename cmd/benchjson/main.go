@@ -51,6 +51,10 @@ type benchResult struct {
 	// (BenchmarkPathDiscDiscover/ases=1000 → 1000, the BENCH_pathdisc.json
 	// trajectory); 0 for size-independent benchmarks.
 	ASes int `json:"as_count,omitempty"`
+	// K is the path-set size of a "k=<n>" sub-benchmark
+	// (BenchmarkMultipathSelectSet/ases=35/k=2 — the BENCH_multipath.json
+	// trajectory); 0 for set-size-independent benchmarks.
+	K int `json:"k,omitempty"`
 	// Fleet/Shards/Dist describe a load-harness sub-benchmark
 	// (BenchmarkLoadServing/fleet=16/shards=4/dist=zipf — the
 	// BENCH_load.json trajectory); zero values for other suites.
@@ -161,6 +165,10 @@ var backendLabel = regexp.MustCompile(`/backend=([a-z]+)(?:/|-|$)`)
 // ".../ases=1000/..." (the path-discovery trajectory).
 var asesLabel = regexp.MustCompile(`/ases=(\d+)(?:/|-|$)`)
 
+// kLabel extracts the path-set size from a benchmark path element like
+// ".../k=4" (the multipath trajectory).
+var kLabel = regexp.MustCompile(`/k=(\d+)(?:/|-|$)`)
+
 // fleetLabel/shardsLabel/distLabel extract the load-harness dimensions
 // from elements like ".../fleet=16/shards=4/dist=zipf" (BENCH_load.json).
 var (
@@ -186,6 +194,9 @@ func parseBench(out string) []benchResult {
 		}
 		if am := asesLabel.FindStringSubmatch(m[1]); am != nil {
 			r.ASes, _ = strconv.Atoi(am[1])
+		}
+		if km := kLabel.FindStringSubmatch(m[1]); km != nil {
+			r.K, _ = strconv.Atoi(km[1])
 		}
 		if fm := fleetLabel.FindStringSubmatch(m[1]); fm != nil {
 			r.Fleet, _ = strconv.Atoi(fm[1])

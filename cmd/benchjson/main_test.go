@@ -94,6 +94,37 @@ func TestParseBenchLoadLabels(t *testing.T) {
 	}
 }
 
+// TestParseBenchKLabel: the multipath trajectory's k= label lands in K
+// alongside the AS count, and k-independent suites stay at zero.
+func TestParseBenchKLabel(t *testing.T) {
+	out := `pkg: github.com/upin/scionpath/internal/selection
+BenchmarkMultipathSelectSet/ases=35/k=2-8   	   90000	     13000 ns/op	    4096 B/op	      40 allocs/op
+BenchmarkMultipathSelectSet/ases=1000/k=4-8 	    2000	    529000 ns/op
+PASS
+`
+	got := parseBench(out)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	if got[0].ASes != 35 || got[0].K != 2 {
+		t.Errorf("first result labels: %+v", got[0])
+	}
+	if got[1].ASes != 1000 || got[1].K != 4 || got[1].NsPerOp != 529000 {
+		t.Errorf("second result: %+v", got[1])
+	}
+	// The k= label must survive JSON round-tripping under its own key.
+	b, err := json.Marshal(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"k":2`)) {
+		t.Errorf("k missing from JSON: %s", b)
+	}
+	if plain := parseBench(sampleOutput); plain[0].K != 0 || plain[3].K != 0 {
+		t.Errorf("k-independent results carry k: %+v, %+v", plain[0], plain[3])
+	}
+}
+
 // TestParseBenchSkipsNonMeasurement: lines without an ns/op column (FAIL
 // markers, truncated output) are dropped, not recorded as zeros.
 func TestParseBenchSkipsNonMeasurement(t *testing.T) {

@@ -10,6 +10,7 @@
 //	pathselect -d 2 -db stats.jsonl -objective latency
 //	pathselect -d 16-ffaa:0:1002 -db stats.jsonl -exclude-country 'United States' -max-loss 1
 //	pathselect -d 2 -db stats.jsonl -objective stable -top 5
+//	pathselect -d 2 -db stats.jsonl -set 3
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string) int {
 		exCountry  = fs.String("exclude-country", "", "comma-separated countries to avoid")
 		exOperator = fs.String("exclude-operator", "", "comma-separated operators to avoid")
 		top        = fs.Int("top", 3, "how many ranked candidates to print")
+		setK       = fs.Int("set", 0, "select a disjointness-aware path SET of this size instead of a ranking (0 = off)")
 		seed       = fs.Int64("seed", 1, "simulation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,20 @@ func run(args []string) int {
 		ExcludeOperators: splitList(*exOperator),
 	}
 	engine := selection.New(w.DB, w.Topo)
+	if *setK > 0 {
+		set, err := engine.SelectSet(context.Background(), serverID,
+			selection.SetRequest{Request: req, K: *setK})
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "pathselect", "%v", err)
+		}
+		fmt.Printf("path set of %d to server %d (objective: %s, disjointness %.2f, shared links %d, shared ASes %d)\n",
+			len(set.Paths), serverID, obj, set.Disjointness, set.SharedLinks, set.SharedASes)
+		for i, c := range set.Paths {
+			fmt.Printf("%d. %s\n", i+1, selection.Explain(c))
+			fmt.Printf("   sequence: %s\n", c.Sequence)
+		}
+		return 0
+	}
 	cands, err := engine.Select(context.Background(), serverID, req)
 	if err != nil {
 		return cliutil.Fatalf(os.Stderr, "pathselect", "%v", err)

@@ -101,3 +101,26 @@ func TestPathselectErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestPathselectSet(t *testing.T) {
+	db := measuredDB(t)
+	out, code := capture(t, func() int {
+		return run([]string{"-d", "1", "-db", db, "-set", "2"})
+	})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "path set of 2 to server 1") ||
+		!strings.Contains(out, "disjointness") {
+		t.Errorf("output:\n%s", out)
+	}
+	if n := strings.Count(out, "sequence:"); n != 2 {
+		t.Errorf("%d sequences printed, want 2:\n%s", n, out)
+	}
+	// Unsatisfiable set requests fail like unsatisfiable rankings.
+	if _, code := capture(t, func() int {
+		return run([]string{"-d", "1", "-db", db, "-set", "2", "-max-latency", "0.001"})
+	}); code == 0 {
+		t.Error("unsatisfiable set request accepted")
+	}
+}

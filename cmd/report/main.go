@@ -25,7 +25,7 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "which figure: 4,5,6,7,8,9,campaign,correlation,tables or all")
+		fig      = fs.String("fig", "all", "which figure: 4,5,6,7,8,9,multipath,campaign,correlation,tables or all")
 		scaleStr = fs.String("scale", "fast", "measurement effort: fast | paper")
 		outDir   = fs.String("o", "", "also write each figure to <dir>/<name>.txt")
 		seed     = fs.Int64("seed", 1, "simulation seed")
@@ -137,6 +137,19 @@ func run(args []string) int {
 		emit("fig9", res.Rendered)
 		fmt.Printf("  full-loss paths: %v (shared first-half transits: %v)\n\n",
 			res.FullLossPaths, res.SharedFirstHalf)
+		ran++
+	}
+	if all || want["multipath"] {
+		res, err := experiments.Multipath(ctx, experiments.MultipathOpts{Seed: *seed, Scale: scale})
+		if err != nil {
+			return cliutil.Fatalf(os.Stderr, "report", "multipath: %v", err)
+		}
+		emit("multipath", res.Rendered)
+		for _, set := range res.Sets {
+			fmt.Printf("  K=%d: %d paths, disjointness %.2f, %.1f Mbps\n",
+				set.K, set.Paths, set.Disjointness, set.GoodputBps/1e6)
+		}
+		fmt.Println()
 		ran++
 	}
 	if all || want["campaign"] {

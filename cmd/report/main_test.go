@@ -69,6 +69,22 @@ func TestReportFig789(t *testing.T) {
 	}
 }
 
+func TestReportMultipath(t *testing.T) {
+	dir := t.TempDir()
+	out, code := capture(t, func() int { return run([]string{"-fig", "multipath", "-o", dir}) })
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Aggregate goodput vs single path", "K=1", "K=4", "disjointness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "multipath.txt")); err != nil || len(data) == 0 {
+		t.Errorf("multipath.txt not written: %v", err)
+	}
+}
+
 func TestReportOutputDir(t *testing.T) {
 	dir := t.TempDir()
 	_, code := capture(t, func() int { return run([]string{"-fig", "4,campaign", "-o", dir}) })

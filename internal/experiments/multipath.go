@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/plot"
+	"github.com/upin/scionpath/internal/sciond"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/simnet"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// MultipathOpts parameterises the aggregate-goodput experiment.
+type MultipathOpts struct {
+	Seed int64
+	// MaxK is the largest path-set size to measure (default 4; K ranges
+	// 1..MaxK, K=1 being the single-path baseline).
+	MaxK int
+	// TotalBytes is the split-transfer size (default 64 MiB).
+	TotalBytes int64
+	// Scale sets the measurement-campaign effort (zero value = Fast).
+	Scale Scale
+}
+
+func (o MultipathOpts) withDefaults() MultipathOpts {
+	if o.MaxK <= 0 {
+		o.MaxK = 4
+	}
+	if o.TotalBytes <= 0 {
+		o.TotalBytes = 64 << 20
+	}
+	if o.Scale == (Scale{}) {
+		o.Scale = Fast
+	}
+	return o
+}
+
+// MultipathSet is one measured set size.
+type MultipathSet struct {
+	K     int
+	Paths int // actual set size (≤ K when the pool is smaller)
+	// Disjointness and SharedLinks echo the selection engine's accounting
+	// for the chosen set.
+	Disjointness float64
+	SharedLinks  int
+	// GoodputBps is the aggregate goodput of the split transfer over the
+	// set, on a fork of the same network state for every K.
+	GoodputBps float64
+	Stalled    bool
+}
+
+// MultipathResult is the aggregate-goodput-vs-single-path figure: the new
+// multipath workload the paper's single-best-path evaluation stops short
+// of (cf. the SCION BitTorrent measurements, PAPERS.md).
+type MultipathResult struct {
+	Source string
+	Dest   string
+	Sets   []MultipathSet
+	// Rendered is the bar chart, one bar per K.
+	Rendered string
+}
+
+// Multipath measures aggregate goodput of SelectSet path sets against the
+// single best path. It generates a disjoint-rich world (multi-parent
+// topology, backbone-capacity links, so per-flow sender caps are the
+// binding constraint and disjointness pays), runs a measurement campaign
+// against one destination that provably has a fully link-disjoint path
+// pair, then for each K ≤ MaxK selects a K-set, resolves it to live
+// paths, and splits the same download across the set on a fresh fork of
+// the network — identical network weather for every K, so the bars are
+// comparable.
+func Multipath(ctx context.Context, opts MultipathOpts) (*MultipathResult, error) {
+	opts = opts.withDefaults()
+	topo, err := topology.Generate(topology.GenerateSpec{
+		Seed: opts.Seed, ISDs: 2, CoresPerISD: 3, NonCorePerISD: 20,
+		MaxChildren: 4, CoreDegree: 3, MultiParentProb: 0.6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src, dst, err := disjointEndpoints(topo)
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(topo, simnet.Options{Seed: opts.Seed})
+	daemon, err := sciond.New(topo, net, src)
+	if err != nil {
+		return nil, err
+	}
+	db := docdb.MustOpen()
+	if err := measure.SeedServers(db, topo); err != nil {
+		return nil, err
+	}
+	servers, err := measure.Servers(db)
+	if err != nil {
+		return nil, err
+	}
+	sid := 0
+	for _, s := range servers {
+		if s.Address.IA == dst {
+			sid = s.ID
+			break
+		}
+	}
+	if sid == 0 {
+		return nil, fmt.Errorf("experiments: no server in destination AS %s", dst)
+	}
+
+	suite := &measure.Suite{DB: db, Daemon: daemon}
+	runOpts := opts.Scale.runOpts([]int{sid}, true, 0)
+	// Keep the longer disjoint alternatives the default hop-slack filter
+	// would drop: disjointness usually costs hops.
+	runOpts.Collect = measure.CollectOpts{HopSlack: 3}
+	if _, err := suite.Run(ctx, runOpts); err != nil {
+		return nil, err
+	}
+
+	engine := selection.New(db, topo)
+	res := &MultipathResult{Source: src.String(), Dest: dst.String()}
+	var bars []plot.Bar
+	for k := 1; k <= opts.MaxK; k++ {
+		set, err := engine.SelectSet(ctx, sid, selection.SetRequest{
+			Request: selection.Request{Objective: selection.LowestLatency},
+			K:       k,
+		})
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]*pathmgr.Path, 0, len(set.Paths))
+		for _, cand := range set.Paths {
+			p, err := daemon.ResolveSequence(dst, cand.Sequence)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, p)
+		}
+		// The same fork seed for every K: each transfer runs against the
+		// identical utilization process, so K is the only variable.
+		tr, err := net.Fork(opts.Seed+1).SplitTransfer(paths, simnet.TransferSpec{
+			TotalBytes: opts.TotalBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Sets = append(res.Sets, MultipathSet{
+			K:            k,
+			Paths:        len(set.Paths),
+			Disjointness: set.Disjointness,
+			SharedLinks:  set.SharedLinks,
+			GoodputBps:   tr.GoodputBps,
+			Stalled:      tr.Stalled,
+		})
+		bars = append(bars, plot.Bar{
+			Label: fmt.Sprintf("K=%d (disj %.2f)", k, set.Disjointness),
+			Value: tr.GoodputBps / 1e6,
+		})
+	}
+	res.Rendered = plot.BarChart(
+		fmt.Sprintf("Aggregate goodput vs single path, %s -> %s (Mbps)", src, dst),
+		"Mbps", bars, 50)
+	return res, nil
+}
+
+// disjointEndpoints finds a (source, destination) AS pair joined by at
+// least two fully link-disjoint paths, so the generated world provably
+// supports aggregation at K=2.
+func disjointEndpoints(topo *topology.Topology) (addr.IA, addr.IA, error) {
+	reg := segment.Discover(topo, segment.Options{})
+	comb := pathmgr.NewCombiner(topo, reg)
+	ases := topo.ASes()
+	for _, src := range ases {
+		for _, dst := range ases {
+			if src.IA == dst.IA || dst.NumServers < 1 {
+				continue // the destination must host a measurable server
+			}
+			paths, err := comb.Paths(src.IA, dst.IA)
+			if err != nil {
+				continue
+			}
+			for i := 0; i < len(paths); i++ {
+				links := pathLinkSet(paths[i])
+				for j := i + 1; j < len(paths); j++ {
+					if pathsDisjoint(links, paths[j]) {
+						return src.IA, dst.IA, nil
+					}
+				}
+			}
+		}
+	}
+	return addr.IA{}, addr.IA{}, fmt.Errorf("experiments: generated world has no fully link-disjoint path pair")
+}
+
+func pathLinkSet(p *pathmgr.Path) map[[2]addr.IA]bool {
+	s := map[[2]addr.IA]bool{}
+	for i := 0; i+1 < len(p.Hops); i++ {
+		s[[2]addr.IA{p.Hops[i].IA, p.Hops[i+1].IA}] = true
+	}
+	return s
+}
+
+func pathsDisjoint(links map[[2]addr.IA]bool, p *pathmgr.Path) bool {
+	for i := 0; i+1 < len(p.Hops); i++ {
+		if links[[2]addr.IA{p.Hops[i].IA, p.Hops[i+1].IA}] {
+			return false
+		}
+	}
+	return true
+}

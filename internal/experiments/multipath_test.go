@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestMultipathAggregates is the PR's end-to-end acceptance: on a
+// disjoint-rich world, splitting the transfer across a SelectSet path set
+// yields aggregate goodput at least as high as the single best path, and
+// some multipath set beats it decisively.
+func TestMultipathAggregates(t *testing.T) {
+	res, err := Multipath(context.Background(), MultipathOpts{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 4 {
+		t.Fatalf("expected K=1..4, got %d sets", len(res.Sets))
+	}
+	single := res.Sets[0]
+	if single.K != 1 || single.Paths != 1 {
+		t.Fatalf("first set is not the single-path baseline: %+v", single)
+	}
+	if single.Disjointness != 1 {
+		t.Fatalf("single-path set reports disjointness %v", single.Disjointness)
+	}
+	if single.GoodputBps <= 0 {
+		t.Fatalf("single path moved no data: %+v", single)
+	}
+	bestMulti := 0.0
+	for _, set := range res.Sets[1:] {
+		if set.Stalled {
+			t.Fatalf("K=%d transfer stalled: %+v", set.K, set)
+		}
+		if set.Paths < 2 {
+			t.Fatalf("K=%d selected only %d paths on a disjoint-rich world", set.K, set.Paths)
+		}
+		// The acceptance bar: aggregate goodput >= single-path.
+		if set.GoodputBps < single.GoodputBps {
+			t.Fatalf("K=%d aggregate %.0f below single-path %.0f",
+				set.K, set.GoodputBps, single.GoodputBps)
+		}
+		bestMulti = max(bestMulti, set.GoodputBps)
+	}
+	// And on a world built to be disjoint-rich, at least one set should
+	// aggregate decisively, not just tie.
+	if bestMulti < single.GoodputBps*1.3 {
+		t.Fatalf("no set aggregated meaningfully: single %.0f, best multipath %.0f",
+			single.GoodputBps, bestMulti)
+	}
+	if !strings.Contains(res.Rendered, "K=1") || !strings.Contains(res.Rendered, "K=4") {
+		t.Fatalf("rendered figure missing bars:\n%s", res.Rendered)
+	}
+}

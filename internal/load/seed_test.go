@@ -1,0 +1,66 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/upin/scionpath/internal/docdb"
+	"github.com/upin/scionpath/internal/measure"
+	"github.com/upin/scionpath/internal/selection"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+func TestSeedSyntheticCounts(t *testing.T) {
+	topo := topology.DefaultWorld()
+	db := docdb.MustOpen()
+	const nDests, pathsPer, statsPer = 4, 7, 3
+	dests, err := SeedSynthetic(db, topo, nDests, pathsPer, statsPer, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dests) != nDests {
+		t.Fatalf("%d destination ids, want %d", len(dests), nDests)
+	}
+	seen := map[int]bool{}
+	for _, id := range dests {
+		if id < 1 || seen[id] {
+			t.Fatalf("destination ids invalid or duplicated: %v", dests)
+		}
+		seen[id] = true
+	}
+	if got := db.Collection(measure.ColPaths).Count(); got != nDests*pathsPer {
+		t.Errorf("%d path docs, want %d", got, nDests*pathsPer)
+	}
+	if got := db.Collection(measure.ColStats).Count(); got != nDests*pathsPer*statsPer {
+		t.Errorf("%d stats docs, want %d", got, nDests*pathsPer*statsPer)
+	}
+	// The seeded catalogue is actually servable: every destination yields
+	// pathsPer candidates through the selection engine.
+	engine := selection.New(db, topo)
+	for _, id := range dests {
+		cands, err := engine.Select(context.Background(), id, selection.Request{})
+		if err != nil {
+			t.Fatalf("server %d: %v", id, err)
+		}
+		if len(cands) != pathsPer {
+			t.Errorf("server %d: %d candidates, want %d", id, len(cands), pathsPer)
+		}
+	}
+}
+
+func TestSeedSyntheticTooManyDests(t *testing.T) {
+	topo := topology.DefaultWorld()
+	db := docdb.MustOpen()
+	_, err := SeedSynthetic(db, topo, 10_000, 1, 1, 11)
+	if err == nil {
+		t.Fatal("demand beyond the catalogue accepted")
+	}
+	if !strings.Contains(err.Error(), "servers, need") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The failed seed must not leave partial path/stats documents behind.
+	if n := db.Collection(measure.ColPaths).Count(); n != 0 {
+		t.Errorf("failed seed left %d path docs", n)
+	}
+}

@@ -47,6 +47,13 @@ type pathAgg struct {
 	// hops caches per-hop exclusion metadata so sovereignty filters are
 	// pure hash-set probes at request time.
 	hops []hopMeta
+	// links/transit are the path's hop-level overlap keys (directed
+	// AS-pair links and interior ASes, see pathset.go), computed once per
+	// snapshot generation in rebuild and shared by every COW clone, so
+	// SelectSet's penalty arithmetic is pure integer-set probes at request
+	// time.
+	links   []uint64
+	transit []uint64
 
 	samples                                  int
 	latSum, mdevSum, lossSum, upSum, downSum float64
@@ -324,6 +331,7 @@ func (e *Engine) rebuild(pathsGen, statsGen, statsRW int64) (*snapshot, error) {
 		}}
 		e.annotateGeo(&agg.id)
 		agg.hops = e.hopMetas(pd.Sequence)
+		agg.links, agg.transit = overlapKeys(agg.hops)
 		snap.servers[pd.ServerID] = append(snap.servers[pd.ServerID], agg)
 		snap.byPath[pd.ID] = agg
 	}

@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/upin/scionpath/internal/addr"
+	"github.com/upin/scionpath/internal/pathmgr"
+	"github.com/upin/scionpath/internal/segment"
+	"github.com/upin/scionpath/internal/topology"
+)
+
+// linkSet is a path's set of directed AS-pair links, for disjointness
+// checks independent of the selection package's hashing.
+func linkSet(p *pathmgr.Path) map[[2]addr.IA]bool {
+	s := map[[2]addr.IA]bool{}
+	for i := 0; i+1 < len(p.Hops); i++ {
+		s[[2]addr.IA{p.Hops[i].IA, p.Hops[i+1].IA}] = true
+	}
+	return s
+}
+
+// disjointRichWorld generates a multi-parent topology — backbone-capacity
+// links everywhere, so the per-flow sender packet-rate cap is the binding
+// constraint and FULLY disjoint path pairs genuinely aggregate — and
+// returns such a pair.
+func disjointRichWorld(t *testing.T, seed int64) (*topology.Topology, *pathmgr.Path, *pathmgr.Path) {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenerateSpec{
+		Seed: seed, ISDs: 2, CoresPerISD: 3, NonCorePerISD: 20,
+		MaxChildren: 4, CoreDegree: 3, MultiParentProb: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := segment.Discover(topo, segment.Options{})
+	c := pathmgr.NewCombiner(topo, reg)
+	ases := topo.ASes()
+	for _, src := range ases {
+		for _, dst := range ases {
+			if src.IA == dst.IA {
+				continue
+			}
+			paths, err := c.Paths(src.IA, dst.IA)
+			if err != nil {
+				continue
+			}
+			for i := 0; i < len(paths); i++ {
+				sa := linkSet(paths[i])
+				for j := i + 1; j < len(paths); j++ {
+					shared := false
+					for l := range linkSet(paths[j]) {
+						if sa[l] {
+							shared = true
+							break
+						}
+					}
+					if !shared {
+						return topo, paths[i], paths[j]
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("generated world offers no fully link-disjoint pair")
+	return nil, nil, nil
+}
+
+func runTransfer(t *testing.T, seed int64, topo *topology.Topology, paths []*pathmgr.Path, spec TransferSpec) TransferResult {
+	t.Helper()
+	net := New(topo, Options{Seed: seed})
+	res, err := net.SplitTransfer(paths, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSplitTransferValidation(t *testing.T) {
+	_, c, net := testWorld(t, 1)
+	p := magdeburgPath(t, c)
+	if _, err := net.SplitTransfer(nil, TransferSpec{TotalBytes: 1 << 20}); err == nil {
+		t.Error("empty path set accepted")
+	}
+	if _, err := net.SplitTransfer([]*pathmgr.Path{p}, TransferSpec{}); err == nil {
+		t.Error("zero TotalBytes accepted")
+	}
+	if _, err := net.SplitTransfer([]*pathmgr.Path{p}, TransferSpec{TotalBytes: -5}); err == nil {
+		t.Error("negative TotalBytes accepted")
+	}
+	stub := &pathmgr.Path{Hops: []pathmgr.Hop{{IA: topology.MyAS}}}
+	if _, err := net.SplitTransfer([]*pathmgr.Path{stub}, TransferSpec{TotalBytes: 1 << 20}); err == nil {
+		t.Error("single-hop path accepted")
+	}
+}
+
+func TestSplitTransferAccounting(t *testing.T) {
+	_, c, net := testWorld(t, 2)
+	p := magdeburgPath(t, c)
+	const total = 5 << 20
+	const chunk = 256 << 10
+	before := net.Now()
+	res, err := net.SplitTransfer([]*pathmgr.Path{p}, TransferSpec{TotalBytes: total, ChunkBytes: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatalf("5 MiB transfer stalled: %+v", res)
+	}
+	if res.Bytes != total {
+		t.Fatalf("delivered %d bytes, want %d", res.Bytes, total)
+	}
+	var sumBytes int64
+	var sumChunks int
+	for _, pp := range res.PerPath {
+		sumBytes += pp.Bytes
+		sumChunks += pp.Chunks
+	}
+	if sumBytes != total {
+		t.Fatalf("per-path bytes sum %d != total %d", sumBytes, total)
+	}
+	if want := (total + chunk - 1) / chunk; sumChunks != want {
+		t.Fatalf("chunk count %d, want %d", sumChunks, want)
+	}
+	if res.Duration <= 0 || res.Duration%fluidStep != 0 {
+		t.Fatalf("duration %v not a positive multiple of the fluid step", res.Duration)
+	}
+	if got := float64(res.Bytes) * 8 / res.Duration.Seconds(); got != res.GoodputBps {
+		t.Fatalf("goodput %v inconsistent with bytes/duration %v", res.GoodputBps, got)
+	}
+	if net.Now() != before+res.Duration {
+		t.Fatalf("clock advanced by %v, want %v", net.Now()-before, res.Duration)
+	}
+}
+
+// TestSplitTransferDisjointAggregates is the point of the workload: on a
+// disjoint-rich world, a fully link-disjoint pair decisively beats either
+// of its paths alone, because the flows occupy independent bottlenecks
+// (here, their per-flow sender packet-rate caps).
+func TestSplitTransferDisjointAggregates(t *testing.T) {
+	topo, a, b := disjointRichWorld(t, 3)
+	spec := TransferSpec{TotalBytes: 200 << 20}
+	single := runTransfer(t, 3, topo, []*pathmgr.Path{a}, spec)
+	other := runTransfer(t, 3, topo, []*pathmgr.Path{b}, spec)
+	both := runTransfer(t, 3, topo, []*pathmgr.Path{a, b}, spec)
+	best := max(single.GoodputBps, other.GoodputBps)
+	if both.GoodputBps < best*1.5 {
+		t.Fatalf("disjoint pair did not aggregate: single %.0f / %.0f, pair %.0f",
+			single.GoodputBps, other.GoodputBps, both.GoodputBps)
+	}
+	if both.PerPath[0].Bytes == 0 || both.PerPath[1].Bytes == 0 {
+		t.Fatalf("a disjoint flow sat idle: %+v", both.PerPath)
+	}
+}
+
+// TestSplitTransferSharedBottleneck pins the other side: two flows over
+// the SAME path split its fair share, so the pair cannot meaningfully beat
+// the single flow. On the default world even interior-disjoint pairs sit
+// in this regime — the single-homed access downlink caps the aggregate —
+// which is exactly why the aggregation test above needs a generated world.
+func TestSplitTransferSharedBottleneck(t *testing.T) {
+	topo, c, _ := testWorld(t, 4)
+	p := magdeburgPath(t, c)
+	spec := TransferSpec{TotalBytes: 20 << 20}
+	single := runTransfer(t, 4, topo, []*pathmgr.Path{p}, spec)
+	pair := runTransfer(t, 4, topo, []*pathmgr.Path{p, p}, spec)
+	if pair.GoodputBps > single.GoodputBps*1.15 {
+		t.Fatalf("fully-shared pair should not aggregate: single %.0f, pair %.0f",
+			single.GoodputBps, pair.GoodputBps)
+	}
+}
+
+func TestSplitTransferDeterministic(t *testing.T) {
+	topo, a, b := disjointRichWorld(t, 5)
+	spec := TransferSpec{TotalBytes: 8 << 20}
+	r1 := runTransfer(t, 5, topo, []*pathmgr.Path{a, b}, spec)
+	r2 := runTransfer(t, 5, topo, []*pathmgr.Path{a, b}, spec)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestSplitTransferStallsAtMaxDuration(t *testing.T) {
+	topo, c, _ := testWorld(t, 6)
+	p := magdeburgPath(t, c)
+	res := runTransfer(t, 6, topo, []*pathmgr.Path{p}, TransferSpec{
+		TotalBytes:  1 << 40, // a tebibyte will not finish in 300ms
+		MaxDuration: 300 * time.Millisecond,
+	})
+	if !res.Stalled {
+		t.Fatalf("impossible transfer not marked stalled: %+v", res)
+	}
+	if res.Duration != 300*time.Millisecond {
+		t.Fatalf("stalled duration %v, want the 300ms cap", res.Duration)
+	}
+	if res.Bytes <= 0 || res.Bytes >= 1<<40 {
+		t.Fatalf("stalled transfer delivered %d bytes", res.Bytes)
+	}
+}

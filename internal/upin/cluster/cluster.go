@@ -59,8 +59,15 @@ type Config struct {
 	CacheEntries int
 }
 
+// intentPeekBytes bounds how much of a POST /api/intent body the router
+// reads to learn the destination. Intents are sub-kilobyte; 64 KiB of
+// headroom keeps the router from buffering an abusive body it will never
+// parse.
+const intentPeekBytes = 64 << 10
+
 // shard is one replica: an owner-filtered engine, its front-end, and the
-// response cache that fronts the replica's GET /api/paths traffic.
+// response cache that fronts the replica's GET /api/paths and
+// /api/pathset traffic.
 type shard struct {
 	id     int
 	srv    *upin.Server
@@ -194,7 +201,8 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 // serveShard serves through the shard's response cache when the request
 // is cacheable, otherwise straight through the replica.
 func (r *Router) serveShard(sh *shard, w http.ResponseWriter, req *http.Request) {
-	if sh.cache == nil || req.Method != http.MethodGet || req.URL.Path != "/api/paths" {
+	cacheable := req.URL.Path == "/api/paths" || req.URL.Path == "/api/pathset"
+	if sh.cache == nil || req.Method != http.MethodGet || !cacheable {
 		sh.srv.ServeHTTP(w, req)
 		return
 	}
@@ -204,7 +212,9 @@ func (r *Router) serveShard(sh *shard, w http.ResponseWriter, req *http.Request)
 		paths: r.db.Collection(measure.ColPaths).Generation(),
 		stats: r.db.Collection(measure.ColStats).Generation(),
 	}
-	key := req.URL.RawQuery
+	// The path is part of the key: /api/paths?server=1 and
+	// /api/pathset?server=1 share a query string but not an answer.
+	key := req.URL.Path + "?" + req.URL.RawQuery
 	if e, ok := sh.cache.get(key, gen); ok {
 		r.cacheHits.Add(1)
 		w.Header().Set("Content-Type", "application/json")
@@ -229,7 +239,7 @@ func (r *Router) serveShard(sh *shard, w http.ResponseWriter, req *http.Request)
 // request unchanged.
 func (r *Router) destination(req *http.Request) (int, bool) {
 	switch {
-	case req.URL.Path == "/api/paths":
+	case req.URL.Path == "/api/paths" || req.URL.Path == "/api/pathset":
 		id, err := strconv.Atoi(req.URL.Query().Get("server"))
 		return id, err == nil && id > 0
 	case req.URL.Path == "/api/traces":
@@ -242,16 +252,23 @@ func (r *Router) destination(req *http.Request) (int, bool) {
 		}
 		return 0, false
 	case req.URL.Path == "/api/intent" && req.Method == http.MethodPost:
-		body, err := io.ReadAll(req.Body)
-		_ = req.Body.Close() // already fully read (or err below)
-		req.Body = io.NopCloser(bytes.NewReader(body))
+		// Peek a bounded prefix — an intent is a small JSON object, so a
+		// body whose server_id is not within the first 64 KiB is not one the
+		// shard would accept either. The unread tail stays on req.Body and
+		// the peeked prefix is stitched back in front, so the shard reads
+		// the request byte-for-byte unchanged.
+		peek, err := io.ReadAll(io.LimitReader(req.Body, intentPeekBytes))
+		req.Body = struct {
+			io.Reader
+			io.Closer
+		}{io.MultiReader(bytes.NewReader(peek), req.Body), req.Body}
 		if err != nil {
 			return 0, false
 		}
 		var probe struct {
 			ServerID int `json:"server_id"`
 		}
-		if json.Unmarshal(body, &probe) != nil || probe.ServerID < 1 {
+		if json.Unmarshal(peek, &probe) != nil || probe.ServerID < 1 {
 			return 0, false
 		}
 		return probe.ServerID, true

@@ -69,6 +69,7 @@ func NewServer(db *docdb.DB, daemon *sciond.Daemon, net *simnet.Network,
 	s.mux.HandleFunc("GET /api/servers", s.handleServers)
 	s.mux.HandleFunc("GET /api/nodes", s.handleNodes)
 	s.mux.HandleFunc("GET /api/paths", s.handlePaths)
+	s.mux.HandleFunc("GET /api/pathset", s.handlePathSet)
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /api/intent", s.handleIntent)
 	return s
@@ -247,6 +248,55 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		cands = cands[:top]
 	}
 	s.writeJSON(w, http.StatusOK, candidatesJSON(cands))
+}
+
+// pathSetJSON is the /api/pathset response: the selected set plus the
+// engine's disjointness accounting (docs/SELECTION.md).
+type pathSetJSON struct {
+	ServerID     int             `json:"server_id"`
+	K            int             `json:"k"`
+	Paths        []candidateJSON `json:"paths"`
+	Disjointness float64         `json:"disjointness"`
+	SharedLinks  int             `json:"shared_links"`
+	SharedASes   int             `json:"shared_ases"`
+}
+
+func (s *Server) handlePathSet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("server"))
+	if err != nil || id < 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid ?server=<id>"))
+		return
+	}
+	k := 0 // 0 = engine default (2)
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil || k < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid ?k=%q: want a positive integer", v))
+			return
+		}
+	}
+	req := selection.SetRequest{K: k}
+	if v := r.URL.Query().Get("objective"); v != "" {
+		obj, err := selection.ParseObjective(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Objective = obj
+	}
+	set, err := s.engine.SelectSet(r.Context(), id, req)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, pathSetJSON{
+		ServerID:     id,
+		K:            len(set.Paths),
+		Paths:        candidatesJSON(set.Paths),
+		Disjointness: set.Disjointness,
+		SharedLinks:  set.SharedLinks,
+		SharedASes:   set.SharedASes,
+	})
 }
 
 // IntentRequest is the front-end's JSON intent format.
